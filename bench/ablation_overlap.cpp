@@ -1,0 +1,66 @@
+// Ablation (paper §4.2.2 closing remark): overlapping sequences of
+// matvecs with the host routines that generate inputs and save
+// outputs — "this process is used when computing dense operators that
+// are relevant to solving Bayesian inverse problems in real time."
+//
+// The workload mirrors a data-space Hessian assembly: a sequence of
+// unit-vector inputs generated on the host, matvec applied on the
+// (simulated) device, outputs saved to disk.  Host time is real
+// wall-clock; device time is simulated; the driver reports both the
+// serialized and double-buffered schedules.
+#include <cstdio>
+#include <filesystem>
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "core/sequence_driver.hpp"
+#include "util/io.hpp"
+#include "util/rng.hpp"
+
+using namespace fftmv;
+
+int main() {
+  const core::ProblemDims dims = bench::reduced_dims();
+  std::cout << "Matvec/host-I/O overlap ablation: " << 24
+            << "-matvec sequence (Hessian-column style), N_m=" << dims.n_m
+            << " N_d=" << dims.n_d << " N_t=" << dims.n_t << ".\n";
+
+  const auto out_dir = std::filesystem::temp_directory_path() / "fftmv_overlap";
+  std::filesystem::create_directories(out_dir);
+
+  device::Device dev(device::make_mi300x());
+  device::Stream stream(dev);
+  const auto local = core::LocalDims::single_rank(dims);
+  const auto col = core::make_first_block_col(local, 3);
+  core::BlockToeplitzOperator op(dev, stream, local, col);
+  core::FftMatvecPlan plan(dev, stream, local);
+  core::MatvecSequenceDriver driver(plan, op);
+
+  auto generate = [&](index_t i, std::span<double> m) {
+    util::Rng rng(1000 + static_cast<std::uint64_t>(i));
+    util::fill_uniform_unrepresentable(rng, m.data(),
+                                       static_cast<index_t>(m.size()));
+  };
+  auto consume = [&](index_t i, std::span<const double> d) {
+    util::save_vector((out_dir / ("col_" + std::to_string(i) + ".bin")).string(),
+                      std::vector<double>(d.begin(), d.end()));
+  };
+
+  util::Table table({"config", "device ms", "host ms", "serialized ms",
+                     "overlapped ms", "overlap gain"});
+  for (const char* cfg : {"ddddd", "dssdd"}) {
+    const auto report = driver.run_forward(
+        24, generate, consume, precision::PrecisionConfig::parse(cfg));
+    table.add_row({cfg, bench::ms(report.device_s), bench::ms(report.host_s),
+                   bench::ms(report.serialized_s), bench::ms(report.overlapped_s),
+                   util::Table::fmt(report.overlap_speedup(), 2) + "x"});
+  }
+  table.print(std::cout);
+
+  std::filesystem::remove_all(out_dir);
+  std::cout << "\nOverlap hides whichever resource is cheaper; Phases 2-4\n"
+               "themselves cannot overlap the Phase-1 communication they\n"
+               "depend on (§4.2.2), so inter-matvec pipelining is where the\n"
+               "win lives.\n";
+  return 0;
+}

@@ -1,0 +1,66 @@
+// Shared helpers for the figure-reproduction benchmark harnesses.
+#pragma once
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/block_toeplitz.hpp"
+#include "core/matvec_plan.hpp"
+#include "core/problem.hpp"
+#include "core/synthetic.hpp"
+#include "device/device_spec.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+namespace fftmv::bench {
+
+/// The paper's single-GPU problem size (§4.1.2): N_m = 5,000,
+/// N_d = 100, N_t = 1,000.
+inline core::ProblemDims paper_dims() { return {5000, 100, 1000}; }
+
+/// Reduced-size problem with the paper's aspect ratio, used wherever
+/// real numerics (errors) are measured on this host.
+inline core::ProblemDims reduced_dims() { return {400, 8, 80}; }
+
+/// The three GPUs of the paper's single-GPU studies.
+inline std::vector<device::DeviceSpec> paper_devices() {
+  return {device::make_mi250x_gcd(), device::make_mi300x(),
+          device::make_mi355x()};
+}
+
+/// Paper-scale per-phase timings via a phantom (dry-run) device: the
+/// real pipeline code path runs with unbacked buffers, so the
+/// simulated clock advances exactly as a backed run would.
+/// The single-precision operator copy is pre-materialised so its one-
+/// time cast is not charged to the measured apply.
+inline core::PhaseTimings phantom_phase_times(
+    const device::DeviceSpec& spec, const core::ProblemDims& dims,
+    const precision::PrecisionConfig& config, bool adjoint,
+    const core::MatvecOptions& options = {}) {
+  device::Device dev(spec, &util::ThreadPool::global(), /*phantom=*/true);
+  device::Stream stream(dev);
+  const auto local = core::LocalDims::single_rank(dims);
+  core::BlockToeplitzOperator op(dev, stream, local, {});
+  if (config.phase(precision::kPhaseSbgemv) == precision::Precision::kSingle) {
+    op.spectrum_f(stream);  // warm the cast
+  }
+  core::FftMatvecPlan plan(dev, stream, local, options);
+  std::vector<double> empty;
+  if (adjoint) {
+    plan.adjoint(op, {}, empty, config);
+  } else {
+    plan.forward(op, {}, empty, config);
+  }
+  return plan.last_timings();
+}
+
+inline std::string ms(double seconds, int precision = 3) {
+  return util::Table::fmt(seconds * 1e3, precision);
+}
+
+inline void print_header(const std::string& title) {
+  std::cout << "\n=== " << title << " ===\n";
+}
+
+}  // namespace fftmv::bench

@@ -1,0 +1,22 @@
+// Shared helper for the example applications.
+#pragma once
+
+#include "device/device_spec.hpp"
+
+namespace fftmv::examples {
+
+/// Example problems are reduced-size (they run real numerics on this
+/// host), so their microsecond-scale kernels would be dominated by
+/// the simulated per-launch overheads that paper-scale millisecond
+/// kernels amortise away.  The examples therefore report simulated
+/// times on an overhead-free MI300X: phase ratios and mixed-precision
+/// speedups then reflect the paper-scale byte ratios.  The figure
+/// benchmarks (bench/) use the full spec at paper scale.
+inline device::DeviceSpec example_device() {
+  auto spec = device::make_mi300x();
+  spec.launch_overhead_s = 0.0;
+  spec.block_residency_floor_s = 0.0;
+  return spec;
+}
+
+}  // namespace fftmv::examples

@@ -1,0 +1,109 @@
+// Optimal sensor placement — the paper's Remark-1 "outer-loop"
+// problem that motivates mixed precision in the first place:
+// assembling the data-space Hessian takes N_d * N_t actions of F and
+// F*, and testing many sensor configurations multiplies that by the
+// number of designs, so "any performance improvements in the matvec
+// algorithm will be made much more relevant in these computations."
+//
+// This example assembles the prior-predictive data-space Gram matrix
+// through the FFT matvec (double vs mixed precision), runs greedy
+// expected-information-gain maximisation, and reports both the chosen
+// sensors and the simulated time the mixed-precision assembly saves.
+#include <iostream>
+#include <set>
+
+#include "core/block_toeplitz.hpp"
+#include "core/matvec_plan.hpp"
+#include "device/device_spec.hpp"
+#include "example_common.hpp"
+#include "inverse/bayes.hpp"
+#include "inverse/lti_system.hpp"
+#include "inverse/oed.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+using namespace fftmv;
+
+int main(int argc, char** argv) {
+  util::CliParser cli(argc, argv);
+  inverse::LtiConfig cfg = inverse::LtiConfig::with_uniform_sensors(
+      cli.get_int("nx", 64), cli.get_int("Nt", 24), cli.get_int("nd", 8));
+  const index_t budget = cli.get_int("budget", 4);
+
+  std::cout << "Greedy optimal sensor placement (A/D-optimal EIG)\n"
+            << "  candidate sensors: " << cfg.n_d() << " locations, budget "
+            << budget << "\n  data space: N_d*N_t = " << cfg.n_d() * cfg.n_t
+            << " -> " << 2 * cfg.n_d() * cfg.n_t
+            << " F/F* actions per Gram assembly\n\n";
+
+  inverse::AdvectionDiffusion1D system(cfg);
+  device::Device dev(examples::example_device());
+  device::Stream stream(dev);
+  const core::ProblemDims dims{cfg.n_m(), cfg.n_d(), cfg.n_t};
+  const auto local = core::LocalDims::single_rank(dims);
+  core::BlockToeplitzOperator op(dev, stream, local,
+                                 system.first_block_column());
+  core::FftMatvecPlan plan(dev, stream, local);
+
+  inverse::PriorModel prior;
+  prior.n_m = cfg.n_m();
+  prior.sigma = 1.0;
+  prior.alpha = 2.0;
+  inverse::NoiseModel noise;
+  noise.sigma = 1e-3;
+
+  // Assemble the Gram matrix in both precisions, tracking simulated
+  // device time.
+  std::vector<double> gram_double, gram_mixed;
+  double t_double = 0.0, t_mixed = 0.0;
+  {
+    const double t0 = stream.now();
+    gram_double = inverse::assemble_data_space_gram(
+        plan, op, prior, noise, precision::PrecisionConfig{});
+    t_double = stream.now() - t0;
+  }
+  {
+    const auto mixed = precision::PrecisionConfig::parse("dssdd");
+    op.spectrum_f(stream);  // warm the one-time fp32 operator cast
+    const double t0 = stream.now();
+    index_t matvecs = 0;
+    gram_mixed = inverse::assemble_data_space_gram(plan, op, prior, noise,
+                                                   mixed, &matvecs);
+    t_mixed = stream.now() - t0;
+    std::cout << "Gram assembly: " << matvecs << " matvecs; simulated time "
+              << util::Table::fmt(t_double * 1e3, 2) << " ms (double) vs "
+              << util::Table::fmt(t_mixed * 1e3, 2) << " ms (dssdd) — "
+              << util::Table::fmt(t_double / t_mixed, 2) << "x\n\n";
+  }
+
+  // Greedy selection on both matrices: the designs must agree.
+  const auto pick_d =
+      inverse::greedy_sensor_placement(gram_double, cfg.n_d(), cfg.n_t, budget);
+  const auto pick_m =
+      inverse::greedy_sensor_placement(gram_mixed, cfg.n_d(), cfg.n_t, budget);
+
+  util::Table table({"pick #", "sensor (double)", "EIG (double)",
+                     "sensor (dssdd)", "EIG (dssdd)"});
+  for (index_t k = 0; k < budget; ++k) {
+    table.add_row(
+        {std::to_string(k + 1),
+         std::to_string(pick_d.chosen_sensors[static_cast<std::size_t>(k)]),
+         util::Table::fmt(pick_d.information_gain[static_cast<std::size_t>(k)], 4),
+         std::to_string(pick_m.chosen_sensors[static_cast<std::size_t>(k)]),
+         util::Table::fmt(pick_m.information_gain[static_cast<std::size_t>(k)], 4)});
+  }
+  table.print(std::cout);
+
+  // Symmetric sensor pairs can legitimately swap order within a
+  // greedy tie; the *design* (the chosen set) is what must agree.
+  const std::set<index_t> set_d(pick_d.chosen_sensors.begin(),
+                                pick_d.chosen_sensors.end());
+  const std::set<index_t> set_m(pick_m.chosen_sensors.begin(),
+                                pick_m.chosen_sensors.end());
+  const bool same = set_d == set_m;
+  std::cout << "\nmixed-precision assembly "
+            << (same ? "selects the identical design"
+                     : "selects a different design (tolerance too loose!)")
+            << "; grid indices of chosen sensors map to x = (i+1)/(n_x+1).\n";
+  return same ? 0 : 1;
+}

@@ -1,0 +1,190 @@
+// SBGEMV kernel implementations for the simulated device.
+//
+// Three kernels, mirroring §3.1.1 of the paper:
+//
+//  * reference non-transpose: grid (ceil(m/64), 1, batch); each
+//    gridblock computes a 64-row chunk of the output, i.e. several
+//    long dot products of length n.  Efficient when m is small and n
+//    large (few blocks, lots of work per block).
+//
+//  * reference (conjugate) transpose: grid (n, 1, batch); each
+//    gridblock computes a SINGLE output element as one dot product of
+//    length m.  When m << n this launches very many nearly-empty
+//    blocks, so launch/residency overheads dominate and the achieved
+//    memory bandwidth collapses — the performance pathology the paper
+//    diagnoses with rocprofv3.
+//
+//  * optimized (conjugate) transpose: grid (ceil(n/TILE_N), 1,
+//    batch); each gridblock owns a TILE_N-column tile and a 2-D
+//    (wavefront x TILE_N) thread arrangement: 64 lanes stride down a
+//    column accumulating partials (vectorised, coalesced loads) and a
+//    wavefront-shuffle tree combines them.  The tree-reduction
+//    summation order is reproduced here because it changes rounding
+//    behaviour relative to the sequential reference kernel.
+//
+// Each kernel exposes its LaunchGeometry and KernelFootprint via a
+// *model* function so the analytic paper-scale sweeps use exactly the
+// same cost inputs as real executions.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+
+#include "blas/gemv_types.hpp"
+#include "device/stream.hpp"
+#include "util/math.hpp"
+#include "util/types.hpp"
+
+namespace fftmv::blas {
+
+/// Wavefront width of the simulated device (CDNA).
+inline constexpr index_t kWavefront = 64;
+/// Rows handled per gridblock by the reference non-transpose kernel.
+inline constexpr index_t kRefRowsPerBlock = 64;
+/// Columns per gridblock tile in the optimized transpose kernel.
+inline constexpr index_t kOptTileCols = 32;
+
+enum class GemvKernelKind {
+  kReferenceN,
+  kReferenceT,   // covers T and C
+  kOptimizedT,   // covers T and C
+};
+
+/// Launch geometry for a kernel kind (per paper §3.1.1).
+inline device::LaunchGeometry gemv_geometry(GemvKernelKind kind, index_t m,
+                                            index_t n, index_t batch) {
+  switch (kind) {
+    case GemvKernelKind::kReferenceN:
+      return {.grid_x = util::ceil_div(m, kRefRowsPerBlock),
+              .grid_y = 1,
+              .grid_z = batch,
+              .block_threads = 256};
+    case GemvKernelKind::kReferenceT:
+      return {.grid_x = n, .grid_y = 1, .grid_z = batch, .block_threads = 64};
+    case GemvKernelKind::kOptimizedT:
+      return {.grid_x = util::ceil_div(n, kOptTileCols),
+              .grid_y = 1,
+              .grid_z = batch,
+              .block_threads = 256};
+  }
+  return {};
+}
+
+/// Resource footprint for a kernel kind.  Traffic counts the matrix
+/// once plus the vectors (x assumed L2-resident across blocks of the
+/// same batch entry, so counted once per batch entry).
+template <class T>
+device::KernelFootprint gemv_footprint(GemvKernelKind kind, index_t m,
+                                       index_t n, index_t batch) {
+  const double es = static_cast<double>(sizeof(T));
+  const double b = static_cast<double>(batch);
+  const double matrix = b * static_cast<double>(m) * static_cast<double>(n) * es;
+  const double xlen = static_cast<double>(kind == GemvKernelKind::kReferenceN ? n : m);
+  const double ylen = static_cast<double>(kind == GemvKernelKind::kReferenceN ? m : n);
+
+  device::KernelFootprint fp;
+  fp.bytes_read = matrix + b * xlen * es;
+  fp.bytes_written = b * ylen * es;
+  // 2 real ops per multiply-add; complex multiply-add is 8.
+  fp.flops = (is_complex_v<T> ? 8.0 : 2.0) * b * static_cast<double>(m) *
+             static_cast<double>(n);
+  fp.fp64_path = sizeof(real_t<T>) == 8;
+
+  switch (kind) {
+    case GemvKernelKind::kReferenceN:
+      // Scalar per-element loads; good coalescing across the thread
+      // rows of each column chunk.
+      fp.vector_load_bytes = static_cast<int>(std::min<std::size_t>(sizeof(T), 16));
+      fp.coalescing_efficiency = 0.82;
+      break;
+    case GemvKernelKind::kReferenceT:
+      fp.vector_load_bytes = static_cast<int>(std::min<std::size_t>(sizeof(T), 16));
+      fp.coalescing_efficiency = 0.80;
+      // One serial dot per block: heavier element types keep the CU
+      // busy longer per block (longer dependency chains), observed in
+      // the Figure 1 spread across datatypes.
+      fp.residency_weight = std::sqrt(static_cast<double>(sizeof(T)) / 4.0);
+      break;
+    case GemvKernelKind::kOptimizedT:
+      // float4/double2-style 16-byte vectorised, pipelined loads.
+      fp.vector_load_bytes = 16;
+      fp.coalescing_efficiency = 0.84;
+      break;
+  }
+  return fp;
+}
+
+namespace detail {
+
+template <class T>
+T conj_if_complex_dispatch(const T& v, bool conj) {
+  return conj ? conj_if_complex(v) : v;
+}
+
+}  // namespace detail
+
+/// Reference non-transpose kernel body for gridblock (bx, ., bz).
+template <class T>
+void gemv_n_reference_block(const SbgemvArgs<T>& a, index_t bx, index_t bz) {
+  const T* A = a.a + bz * a.stride_a;
+  const T* x = a.x + bz * a.stride_x;
+  T* y = a.y + bz * a.stride_y;
+  const index_t row_begin = bx * kRefRowsPerBlock;
+  const index_t row_end = std::min(a.m, row_begin + kRefRowsPerBlock);
+  for (index_t i = row_begin; i < row_end; ++i) {
+    T acc{};
+    for (index_t j = 0; j < a.n; ++j) {
+      acc += A[i + j * a.lda] * x[j];
+    }
+    y[i] = a.alpha * acc + (a.beta == T(0) ? T(0) : a.beta * y[i]);
+  }
+}
+
+/// Reference transpose kernel body: gridblock bx computes output
+/// element bx of batch entry bz as one sequential dot product.
+template <class T>
+void gemv_t_reference_block(const SbgemvArgs<T>& a, index_t bx, index_t bz) {
+  const T* A = a.a + bz * a.stride_a;
+  const T* x = a.x + bz * a.stride_x;
+  T* y = a.y + bz * a.stride_y;
+  const T* col = A + bx * a.lda;
+  const bool conj = a.op == Op::C;
+  T acc{};
+  for (index_t i = 0; i < a.m; ++i) {
+    acc += detail::conj_if_complex_dispatch(col[i], conj) * x[i];
+  }
+  y[bx] = a.alpha * acc + (a.beta == T(0) ? T(0) : a.beta * y[bx]);
+}
+
+/// Optimized transpose kernel body: gridblock bx owns columns
+/// [bx*TILE, ...); each column's dot is computed with 64 striding
+/// lanes followed by a shuffle-style tree reduction.
+template <class T>
+void gemv_t_optimized_block(const SbgemvArgs<T>& a, index_t bx, index_t bz) {
+  const T* A = a.a + bz * a.stride_a;
+  const T* x = a.x + bz * a.stride_x;
+  T* y = a.y + bz * a.stride_y;
+  const bool conj = a.op == Op::C;
+
+  const index_t col_begin = bx * kOptTileCols;
+  const index_t col_end = std::min(a.n, col_begin + kOptTileCols);
+  T lanes[kWavefront];
+  for (index_t j = col_begin; j < col_end; ++j) {
+    const T* col = A + j * a.lda;
+    // Lane l accumulates rows l, l+64, l+128, ... (coalesced loads).
+    for (index_t l = 0; l < kWavefront; ++l) {
+      T acc{};
+      for (index_t i = l; i < a.m; i += kWavefront) {
+        acc += detail::conj_if_complex_dispatch(col[i], conj) * x[i];
+      }
+      lanes[l] = acc;
+    }
+    // Wavefront shuffle tree reduction (6 halving steps).
+    for (index_t off = kWavefront / 2; off > 0; off /= 2) {
+      for (index_t l = 0; l < off; ++l) lanes[l] += lanes[l + off];
+    }
+    y[j] = a.alpha * lanes[0] + (a.beta == T(0) ? T(0) : a.beta * y[j]);
+  }
+}
+
+}  // namespace fftmv::blas

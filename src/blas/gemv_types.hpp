@@ -1,0 +1,74 @@
+// Shared argument and policy types for the strided batched GEMV.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+#include "util/types.hpp"
+
+namespace fftmv::blas {
+
+/// BLAS operation selector: N = no transpose, T = transpose,
+/// C = conjugate transpose (identical to T for real datatypes).
+enum class Op { N, T, C };
+
+inline const char* op_name(Op op) {
+  switch (op) {
+    case Op::N: return "N";
+    case Op::T: return "T";
+    case Op::C: return "C";
+  }
+  return "?";
+}
+
+/// Which SBGEMV implementation to run for transpose-family ops.
+///   kAuto       host dispatcher picks using the transition points
+///               established from the Figure-1-style benchmark data
+///               (paper §4.1.1),
+///   kReference  the original rocBLAS-style kernels,
+///   kOptimized  the paper's tiled short-and-wide kernel (§3.1.1).
+enum class GemvKernelPolicy { kAuto, kReference, kOptimized };
+
+/// Arguments of a column-major strided batched GEMV
+/// (rocblas_Xgemv_strided_batched analogue, incx = incy = 1):
+///   op == N: y_b[m] = alpha * A_b        * x_b[n] + beta * y_b
+///   op == T: y_b[n] = alpha * A_b^T      * x_b[m] + beta * y_b
+///   op == C: y_b[n] = alpha * A_b^H      * x_b[m] + beta * y_b
+/// with A_b = A + b*stride_a (m x n, leading dimension lda), and the
+/// vectors advancing by their strides per batch index.
+template <class T>
+struct SbgemvArgs {
+  Op op = Op::N;
+  index_t m = 0;
+  index_t n = 0;
+  T alpha = T(1);
+  const T* a = nullptr;
+  index_t lda = 0;
+  index_t stride_a = 0;
+  const T* x = nullptr;
+  index_t stride_x = 0;
+  T beta = T(0);
+  T* y = nullptr;
+  index_t stride_y = 0;
+  index_t batch = 1;
+
+  index_t x_len() const { return op == Op::N ? n : m; }
+  index_t y_len() const { return op == Op::N ? m : n; }
+
+  /// `allow_null` is set by phantom (dry-run) devices whose buffers
+  /// are capacity-tracked but unbacked.
+  void validate(bool allow_null = false) const {
+    if (m <= 0 || n <= 0 || batch <= 0) {
+      throw std::invalid_argument("sbgemv: m, n, batch must be positive");
+    }
+    if (lda < m) throw std::invalid_argument("sbgemv: lda < m");
+    if (!allow_null && (a == nullptr || x == nullptr || y == nullptr)) {
+      throw std::invalid_argument("sbgemv: null pointer operand");
+    }
+    if (batch > 1 && (stride_a < lda * n)) {
+      throw std::invalid_argument("sbgemv: stride_a too small for batch > 1");
+    }
+  }
+};
+
+}  // namespace fftmv::blas

@@ -1,0 +1,71 @@
+// Strided batched GEMV public API with host-side kernel dispatch.
+//
+// This is the library's rocBLAS-analogue entry point.  The dispatcher
+// reproduces the integration path the paper describes (§3.1.1): the
+// optimized short-and-wide kernel was inserted into the rocBLAS host
+// dispatcher with transition points set from benchmark data, keeping
+// application code unchanged.
+#pragma once
+
+#include "blas/gemv_kernels.hpp"
+#include "blas/gemv_types.hpp"
+#include "device/stream.hpp"
+
+namespace fftmv::blas {
+
+/// Transition rule used by GemvKernelPolicy::kAuto for transpose-
+/// family ops.  Derived from the Figure-1-style benchmark sweep
+/// (bench/ablation_dispatch): the optimized kernel wins for short-
+/// and-wide shapes and roughly ties on large square ones, so prefer
+/// it whenever the matrix is skewed (m < n) or m is small enough
+/// that the reference kernel is launch-bound.
+bool use_optimized_transpose(index_t m, index_t n);
+
+/// Select the kernel kind for the given arguments and policy.
+template <class T>
+GemvKernelKind select_kernel(const SbgemvArgs<T>& args, GemvKernelPolicy policy) {
+  if (args.op == Op::N) return GemvKernelKind::kReferenceN;
+  switch (policy) {
+    case GemvKernelPolicy::kReference: return GemvKernelKind::kReferenceT;
+    case GemvKernelPolicy::kOptimized: return GemvKernelKind::kOptimizedT;
+    case GemvKernelPolicy::kAuto:
+      return use_optimized_transpose(args.m, args.n)
+                 ? GemvKernelKind::kOptimizedT
+                 : GemvKernelKind::kReferenceT;
+  }
+  return GemvKernelKind::kReferenceT;
+}
+
+/// Execute the strided batched GEMV on the simulated device stream.
+/// Returns the simulated kernel timing (used by the benchmarks for
+/// achieved-bandwidth reporting, mirroring rocblas-bench).
+template <class T>
+device::KernelTiming sbgemv(device::Stream& stream, const SbgemvArgs<T>& args,
+                            GemvKernelPolicy policy = GemvKernelPolicy::kAuto) {
+  args.validate(/*allow_null=*/stream.device().phantom());
+  const GemvKernelKind kind = select_kernel(args, policy);
+  const auto geom = gemv_geometry(kind, args.m, args.n, args.batch);
+  const auto fp = gemv_footprint<T>(kind, args.m, args.n, args.batch);
+  switch (kind) {
+    case GemvKernelKind::kReferenceN:
+      return stream.launch(geom, fp, [args](index_t bx, index_t, index_t bz) {
+        gemv_n_reference_block(args, bx, bz);
+      });
+    case GemvKernelKind::kReferenceT:
+      return stream.launch(geom, fp, [args](index_t bx, index_t, index_t bz) {
+        gemv_t_reference_block(args, bx, bz);
+      });
+    case GemvKernelKind::kOptimizedT:
+      return stream.launch(geom, fp, [args](index_t bx, index_t, index_t bz) {
+        gemv_t_optimized_block(args, bx, bz);
+      });
+  }
+  return {};
+}
+
+/// Plain single-threaded host GEMV used as the correctness reference
+/// in tests; accumulates in (complex) double regardless of T.
+template <class T>
+void sbgemv_host_reference(const SbgemvArgs<T>& args);
+
+}  // namespace fftmv::blas

@@ -1,0 +1,47 @@
+#include "comm/cost_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/math.hpp"
+
+namespace fftmv::comm {
+
+double CommCostModel::collective_time(index_t q, double bytes, bool within_node,
+                                      double stage_factor) const {
+  if (q <= 1) return 0.0;
+  const double stages = std::ceil(std::log2(static_cast<double>(q)));
+  const double alpha_stage =
+      (spec_.alpha_stage_s + spec_.alpha_contention_s * static_cast<double>(q)) *
+      stage_factor;
+
+  // Wire time: the library picks the better of the un-pipelined tree
+  // (message traverses every stage) and the chunk-pipelined algorithm
+  // (one pass over the slowest link), like RCCL's algorithm choice;
+  // min() keeps the model continuous in the message size.
+  const double unpipelined = stages * bytes / spec_.gcd_bandwidth_Bps;
+  const double pipelined =
+      within_node ? bytes / spec_.intra_bandwidth_Bps
+                  : bytes / spec_.node_bandwidth_Bps +
+                        bytes / spec_.intra_bandwidth_Bps;
+  return spec_.alpha_call_s + stages * alpha_stage +
+         std::min(unpipelined, pipelined);
+}
+
+double CommCostModel::broadcast_time(index_t q, double bytes,
+                                     bool within_node) const {
+  return collective_time(q, bytes, within_node, 1.0);
+}
+
+double CommCostModel::reduce_time(index_t q, double bytes,
+                                  bool within_node) const {
+  return collective_time(q, bytes, within_node, 1.15);
+}
+
+double CommCostModel::allreduce_time(index_t q, double bytes,
+                                     bool within_node) const {
+  return reduce_time(q, bytes, within_node) +
+         broadcast_time(q, bytes, within_node) - spec_.alpha_call_s;
+}
+
+}  // namespace fftmv::comm

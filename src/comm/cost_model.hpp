@@ -1,0 +1,71 @@
+// Alpha-beta collective cost model for the simulated interconnect.
+//
+// Substitute for RCCL on Frontier's Slingshot fabric (DESIGN.md §1).
+// Collectives are modelled as log2(q)-stage trees with
+//
+//   T = alpha_call + stages * (alpha_stage(q) + small-message wire time)
+//       [+ pipelined wire time for large messages]
+//
+// where alpha_stage grows superlinearly with the group size q —
+// the contention/straggler behaviour that makes very wide
+// small-message collectives expensive at scale and motivates the
+// communication-aware 2-D partitioning (paper §4.2.2: >3x speedup at
+// 4,096 GPUs).  Large messages are chunk-pipelined, so their wire
+// time is paid once; messages that stay inside one node use the
+// faster intra-node fabric.
+#pragma once
+
+#include "util/types.hpp"
+
+namespace fftmv::comm {
+
+struct NetworkSpec {
+  /// GPUs per node (Frontier: 8 GCDs).
+  index_t node_size = 8;
+  /// Fixed software cost of issuing one collective.
+  double alpha_call_s = 250e-6;
+  /// Per-stage base latency.
+  double alpha_stage_s = 20e-6;
+  /// Contention/straggler term: alpha_stage += scale * q.  Wide
+  /// collectives across thousands of endpoints pay per-stage costs
+  /// that grow with the group size (congestion, jitter, stragglers) —
+  /// the effect that makes the naive 1 x p grid lose at scale
+  /// (§4.2.2: >3x from communication-aware partitioning at 4,096
+  /// GPUs).
+  double alpha_contention_s = 0.75e-6;
+  /// Per-GCD share of the node injection bandwidth (Frontier: 4 x
+  /// 25 GB/s NICs across 8 GCDs), used for un-pipelined tree stages.
+  double gcd_bandwidth_Bps = 12.5e9;
+  /// Full-node injection bandwidth for pipelined large transfers.
+  double node_bandwidth_Bps = 100e9;
+  /// Intra-node (Infinity Fabric) bandwidth.
+  double intra_bandwidth_Bps = 100e9;
+
+  static NetworkSpec frontier() { return NetworkSpec{}; }
+};
+
+class CommCostModel {
+ public:
+  explicit CommCostModel(NetworkSpec spec) : spec_(spec) {}
+
+  const NetworkSpec& spec() const { return spec_; }
+
+  /// Tree broadcast of `bytes` over `q` ranks.  `within_node` marks
+  /// groups whose ranks are contiguous inside one node.
+  double broadcast_time(index_t q, double bytes, bool within_node) const;
+
+  /// Tree reduction; slightly heavier per stage than a broadcast
+  /// (arithmetic on arrival).
+  double reduce_time(index_t q, double bytes, bool within_node) const;
+
+  /// Reduce followed by broadcast (the model's allreduce).
+  double allreduce_time(index_t q, double bytes, bool within_node) const;
+
+ private:
+  double collective_time(index_t q, double bytes, bool within_node,
+                         double stage_factor) const;
+
+  NetworkSpec spec_;
+};
+
+}  // namespace fftmv::comm

@@ -1,0 +1,68 @@
+// Communication-aware partitioning (paper §2.4, citing §3.7 of the
+// FFTMatvec algorithm paper [44]).
+//
+// Given the problem size, the number of GPUs, and the machine
+// parameters, choose the 2-D grid shape (p_r x p_c) minimising the
+// modelled per-matvec cost.  The trade encoded here:
+//
+//   * F matvec: broadcast of the local parameter chunk over the p_r
+//     ranks of a grid column (bytes grow ~ p_r) + reduction of the
+//     local data chunk over the p_c ranks of a grid row;
+//   * F* matvec: the mirror image;
+//   * p_r > 1 duplicates the parameter-side FFT work across the
+//     column (every rank transforms the same m_c), so a compute term
+//     penalises extra rows;
+//   * column-contiguous rank numbering keeps the large column
+//     collectives inside a node while p_r <= node size.
+//
+// At small p the wide reductions are cheap and (1, p) wins; at very
+// large p the superlinear contention of wide collectives makes
+// multi-row grids pay off — the paper used 1 row up to 512 GPUs,
+// 8 rows at 1,024-2,048 and 16 rows at 4,096 on Frontier.
+#pragma once
+
+#include <vector>
+
+#include "comm/cost_model.hpp"
+#include "comm/process_grid.hpp"
+#include "util/types.hpp"
+
+namespace fftmv::comm {
+
+struct PartitionProblem {
+  index_t n_m = 0;  ///< global spatial parameter count
+  index_t n_d = 0;  ///< sensor count
+  index_t n_t = 0;  ///< time steps
+  /// Bytes per scalar moved in phase 1/5 buffers (8 double, 4 single).
+  index_t scalar_bytes = 8;
+  /// Effective device streaming bandwidth, for the duplicated-FFT
+  /// compute penalty (B/s).
+  double device_bandwidth_Bps = 1.1e12;
+};
+
+struct PartitionCost {
+  index_t p_rows = 1;
+  index_t p_cols = 1;
+  double forward_comm_s = 0.0;   ///< F matvec: bcast(p_r) + reduce(p_c)
+  double adjoint_comm_s = 0.0;   ///< F* matvec: bcast(p_c) + reduce(p_r)
+  double duplicated_fft_s = 0.0; ///< extra parameter-FFT work when p_r > 1
+  double total() const {
+    return forward_comm_s + adjoint_comm_s + duplicated_fft_s;
+  }
+};
+
+/// Modelled cost of one grid shape.
+PartitionCost evaluate_partition(const PartitionProblem& prob, index_t p_rows,
+                                 index_t p_cols, const CommCostModel& net);
+
+/// All candidate shapes (p_r runs over divisors of p with p_r <= n_d,
+/// so every grid row owns at least one sensor).
+std::vector<PartitionCost> enumerate_partitions(const PartitionProblem& prob,
+                                                index_t p,
+                                                const CommCostModel& net);
+
+/// The communication-aware choice: argmin of total() over candidates.
+PartitionCost choose_partition(const PartitionProblem& prob, index_t p,
+                               const CommCostModel& net);
+
+}  // namespace fftmv::comm

@@ -1,0 +1,64 @@
+// Fourier-space representation of a block-lower-triangular Toeplitz
+// operator (paper §2.3-2.4).
+//
+// Only the first block column {F_11, F_21, ..., F_{Nt,1}} is stored
+// (time invariance); setup embeds it in a block circulant of size
+// L = 2 N_t and precomputes the batched real FFT of every (sensor,
+// parameter) time sequence, yielding N_t + 1 frequency blocks
+// F_hat_f of shape n_d x n_m (column-major, ready for the Phase-3
+// SBGEMV).  Setup always runs in double precision (§3.2: "a one-time
+// operation that is not performance critical"); a single-precision
+// copy of the spectrum is materialised lazily for configurations
+// whose SBGEMV phase computes in single.
+#pragma once
+
+#include <optional>
+#include <span>
+
+#include "core/problem.hpp"
+#include "device/device_vector.hpp"
+#include "device/stream.hpp"
+#include "util/types.hpp"
+
+namespace fftmv::core {
+
+class BlockToeplitzOperator {
+ public:
+  /// `first_block_col` is time-outer: element (t, i, j) — block t,
+  /// sensor i, parameter j — lives at t*(n_d*n_m) + i*n_m + j.
+  /// Empty span is allowed only on a phantom device (dry-run shape).
+  BlockToeplitzOperator(device::Device& dev, device::Stream& stream,
+                        const LocalDims& dims,
+                        std::span<const double> first_block_col);
+
+  const LocalDims& dims() const { return dims_; }
+
+  /// Frequency blocks, double precision: block f is the column-major
+  /// n_d x n_m matrix at spectrum_d() + f*n_d*n_m (lda = n_d).
+  const cdouble* spectrum_d() const { return spectrum_d_.data(); }
+
+  /// Lazily cast single-precision copy (charged to `stream`).
+  const cfloat* spectrum_f(device::Stream& stream) const;
+
+  index_t block_elems() const { return dims_.n_d_local * dims_.n_m_local; }
+  index_t spectrum_elems() const {
+    return dims_.num_frequencies() * block_elems();
+  }
+
+  /// Frobenius norm of the frequency-space operator (used by the
+  /// error model's amplification estimate).  Zero on phantom devices.
+  double spectrum_norm() const { return spectrum_norm_; }
+
+  /// Simulated seconds spent in setup.
+  double setup_seconds() const { return setup_seconds_; }
+
+ private:
+  device::Device* dev_;
+  LocalDims dims_;
+  device::device_vector<cdouble> spectrum_d_;
+  mutable std::optional<device::device_vector<cfloat>> spectrum_f_;
+  double spectrum_norm_ = 0.0;
+  double setup_seconds_ = 0.0;
+};
+
+}  // namespace fftmv::core

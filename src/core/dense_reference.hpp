@@ -1,0 +1,81 @@
+// Dense (traditional) block-triangular Toeplitz matvec baseline.
+//
+// Computes d_i = sum_{j <= i} F_{i-j+1} m_j directly from the first
+// block column in O(N_t^2 N_d N_m) — the "traditional method" the
+// FFT algorithm supersedes by orders of magnitude (paper §1).  Used
+// as ground truth in correctness tests and as the comparison point
+// in bench/ablation_dense_vs_fft.  All arithmetic in double.
+#pragma once
+
+#include <span>
+#include <stdexcept>
+
+#include "core/problem.hpp"
+#include "util/types.hpp"
+
+namespace fftmv::core {
+
+/// `first_block_col` time-outer (n_t, n_d, n_m); `m` TOSI
+/// (n_t x n_m); `d` TOSI (n_t x n_d).
+inline void dense_forward(const LocalDims& dims,
+                          std::span<const double> first_block_col,
+                          std::span<const double> m, std::span<double> d) {
+  const index_t nt = dims.n_t();
+  const index_t nd = dims.n_d_local;
+  const index_t nm = dims.n_m_local;
+  if (static_cast<index_t>(first_block_col.size()) != nt * nd * nm ||
+      static_cast<index_t>(m.size()) != nt * nm ||
+      static_cast<index_t>(d.size()) != nt * nd) {
+    throw std::invalid_argument("dense_forward: extent mismatch");
+  }
+  for (index_t i = 0; i < nt * nd; ++i) d[i] = 0.0;
+  for (index_t ti = 0; ti < nt; ++ti) {
+    for (index_t tj = 0; tj <= ti; ++tj) {
+      const double* block = first_block_col.data() + (ti - tj) * nd * nm;
+      const double* mj = m.data() + tj * nm;
+      double* di = d.data() + ti * nd;
+      for (index_t s = 0; s < nd; ++s) {
+        double acc = 0.0;
+        const double* row = block + s * nm;
+        for (index_t k = 0; k < nm; ++k) acc += row[k] * mj[k];
+        di[s] += acc;
+      }
+    }
+  }
+}
+
+/// Adjoint baseline: m_j = sum_{i >= j} F_{i-j+1}^T d_i.
+inline void dense_adjoint(const LocalDims& dims,
+                          std::span<const double> first_block_col,
+                          std::span<const double> d, std::span<double> m) {
+  const index_t nt = dims.n_t();
+  const index_t nd = dims.n_d_local;
+  const index_t nm = dims.n_m_local;
+  if (static_cast<index_t>(first_block_col.size()) != nt * nd * nm ||
+      static_cast<index_t>(d.size()) != nt * nd ||
+      static_cast<index_t>(m.size()) != nt * nm) {
+    throw std::invalid_argument("dense_adjoint: extent mismatch");
+  }
+  for (index_t i = 0; i < nt * nm; ++i) m[i] = 0.0;
+  for (index_t ti = 0; ti < nt; ++ti) {
+    for (index_t tj = 0; tj <= ti; ++tj) {
+      const double* block = first_block_col.data() + (ti - tj) * nd * nm;
+      const double* di = d.data() + ti * nd;
+      double* mj = m.data() + tj * nm;
+      for (index_t s = 0; s < nd; ++s) {
+        const double ds = di[s];
+        const double* row = block + s * nm;
+        for (index_t k = 0; k < nm; ++k) mj[k] += row[k] * ds;
+      }
+    }
+  }
+}
+
+/// Flop count of the dense matvec (for the speedup ablation).
+inline double dense_matvec_flops(const ProblemDims& dims) {
+  const double nt = static_cast<double>(dims.n_t);
+  return nt * (nt + 1) / 2.0 * 2.0 * static_cast<double>(dims.n_d) *
+         static_cast<double>(dims.n_m);
+}
+
+}  // namespace fftmv::core

@@ -1,0 +1,102 @@
+// First-order rounding-error model of the mixed-precision matvec —
+// Eq. (6) of the paper (§3.2.1):
+//
+//   ||dv5|| / ||v5|| <= kappa(F_hat) * [ c1 e1
+//        + (c_F e_d + c2 e2 + c4 e4) log2(N_t)
+//        + c3 e3 n_m + c5 e5 log2(p_c) ]
+//
+// with n_m -> n_d and p_c -> p_r for the adjoint matvec, e_i the
+// machine epsilon of phase i's precision and c_i O(1) algorithm
+// constants.  c1 is zero when phase 1 runs in double: a pure memory
+// operation in the input precision is exact.
+#pragma once
+
+#include "core/problem.hpp"
+#include "precision/precision.hpp"
+#include "util/math.hpp"
+
+namespace fftmv::core {
+
+struct ErrorModelConstants {
+  double c1 = 1.0;
+  double c2 = 1.0;
+  double c3 = 1.0;
+  double c4 = 1.0;
+  double c5 = 1.0;
+  double c_setup_fft = 1.0;  ///< c_F: setup FFT of the operator (double)
+};
+
+/// Inputs that depend on the run: the amplification factor and the
+/// distribution.  `amplification` plays the role of kappa(F_hat); in
+/// practice we use the observed normwise amplification
+/// ||F_hat||_F ||v0|| / ||v5|| (see EXPERIMENTS.md) because the exact
+/// condition number of the rectangular frequency blocks is not
+/// available in-application.
+struct ErrorModelInputs {
+  LocalDims dims;
+  index_t reduce_ranks = 1;  ///< p_c for F, p_r for F*
+  bool adjoint = false;
+  double amplification = 1.0;
+};
+
+inline double error_bound(const precision::PrecisionConfig& config,
+                          const ErrorModelInputs& in,
+                          const ErrorModelConstants& c = {}) {
+  using precision::Precision;
+  const double e1 = precision::eps(config.phase(precision::kPhasePad));
+  const double e2 = precision::eps(config.phase(precision::kPhaseFft));
+  const double e3 = precision::eps(config.phase(precision::kPhaseSbgemv));
+  const double e4 = precision::eps(config.phase(precision::kPhaseIfft));
+  const double e5 = precision::eps(config.phase(precision::kPhaseUnpad));
+
+  // Memory-only phases are exact in double (c1 := 0, §3.2.1).
+  const double c1 = config.phase(precision::kPhasePad) == Precision::kDouble
+                        ? 0.0
+                        : c.c1;
+  const double c5 = config.phase(precision::kPhaseUnpad) == Precision::kDouble &&
+                            in.reduce_ranks <= 1
+                        ? 0.0
+                        : c.c5;
+
+  const double log_nt = util::log2_ceil(util::next_pow2(in.dims.n_t()));
+  const double n_loc = static_cast<double>(in.adjoint ? in.dims.n_d_local
+                                                      : in.dims.n_m_local);
+  const double log_p =
+      in.reduce_ranks > 1 ? util::log2_ceil(util::next_pow2(in.reduce_ranks)) : 1.0;
+
+  const double terms = c1 * e1 +
+                       (c.c_setup_fft * kEpsDouble + c.c2 * e2 + c.c4 * e4) * log_nt +
+                       c.c3 * e3 * n_loc + c5 * e5 * log_p;
+  return in.amplification * terms;
+}
+
+/// The phase whose epsilon term dominates the bound — §3.2.1 argues
+/// this is the SBGEMV whenever its n-dependence is active.
+inline int dominant_phase(const precision::PrecisionConfig& config,
+                          const ErrorModelInputs& in,
+                          const ErrorModelConstants& c = {}) {
+  double best = -1.0;
+  int phase = precision::kPhaseSbgemv;
+  const double log_nt = util::log2_ceil(util::next_pow2(in.dims.n_t()));
+  const double n_loc = static_cast<double>(in.adjoint ? in.dims.n_d_local
+                                                      : in.dims.n_m_local);
+  const double contributions[precision::kNumPhases] = {
+      (config.phase(0) == precision::Precision::kDouble ? 0.0 : c.c1) *
+          precision::eps(config.phase(0)),
+      c.c2 * precision::eps(config.phase(1)) * log_nt,
+      c.c3 * precision::eps(config.phase(2)) * n_loc,
+      c.c4 * precision::eps(config.phase(3)) * log_nt,
+      c.c5 * precision::eps(config.phase(4)) *
+          (in.reduce_ranks > 1 ? util::log2_ceil(util::next_pow2(in.reduce_ranks))
+                               : 0.0),
+  };
+  for (int i = 0; i < precision::kNumPhases; ++i) {
+    if (contributions[i] > best) {
+      best = contributions[i];
+      phase = i;
+    }
+  }
+  return phase;
+}
+
+}  // namespace fftmv::core

@@ -1,0 +1,147 @@
+#include "core/lockstep_cluster.hpp"
+
+#include <stdexcept>
+
+#include "comm/tree_reduce.hpp"
+
+namespace fftmv::core {
+
+using precision::Precision;
+using precision::PrecisionConfig;
+
+LockstepCluster::LockstepCluster(device::Device& dev, device::Stream& stream,
+                                 const ProblemDims& dims,
+                                 const comm::ProcessGrid& grid,
+                                 const std::vector<double>& global_first_block_col,
+                                 MatvecOptions options)
+    : dev_(&dev), stream_(&stream), dims_(dims), grid_(grid), options_(options) {
+  dims_.validate();
+  if (dims_.n_m % grid.cols() != 0 || dims_.n_d % grid.rows() != 0) {
+    throw std::invalid_argument(
+        "LockstepCluster: N_m and N_d must divide evenly over the grid");
+  }
+  const index_t p = grid_.size();
+  local_dims_.reserve(static_cast<std::size_t>(p));
+  ops_.reserve(static_cast<std::size_t>(p));
+  for (index_t rank = 0; rank < p; ++rank) {
+    local_dims_.push_back(LocalDims::for_rank(dims_, grid_, rank));
+    const auto slice =
+        slice_first_block_col(dims_, local_dims_.back(), global_first_block_col);
+    ops_.push_back(std::make_unique<BlockToeplitzOperator>(dev, stream,
+                                                           local_dims_.back(),
+                                                           slice));
+  }
+  // Even splits guarantee identical local shapes, so one plan's
+  // buffers serve every rank.
+  plan_ = std::make_unique<FftMatvecPlan>(dev, stream, local_dims_[0], options_);
+}
+
+void LockstepCluster::forward(std::span<const double> m, std::span<double> d,
+                              const PrecisionConfig& config) {
+  run(m, d, config, /*adjoint=*/false);
+}
+
+void LockstepCluster::adjoint(std::span<const double> d, std::span<double> m,
+                              const PrecisionConfig& config) {
+  run(d, m, config, /*adjoint=*/true);
+}
+
+void LockstepCluster::run(std::span<const double> in, std::span<double> out,
+                          const PrecisionConfig& config, bool adjoint) {
+  const index_t nt = dims_.n_t;
+  const index_t width_in = adjoint ? dims_.n_d : dims_.n_m;
+  const index_t width_out = adjoint ? dims_.n_m : dims_.n_d;
+  if (static_cast<index_t>(in.size()) != nt * width_in ||
+      static_cast<index_t>(out.size()) != nt * width_out) {
+    throw std::invalid_argument("LockstepCluster: global vector extent mismatch");
+  }
+
+  const Precision p5 = config.phase(precision::kPhaseUnpad);
+  const index_t p = grid_.size();
+  const index_t out_local = adjoint ? local_dims_[0].n_m_local
+                                    : local_dims_[0].n_d_local;
+  const index_t partial_len = nt * out_local;
+
+  std::vector<std::vector<double>> partials_d;
+  std::vector<std::vector<float>> partials_f;
+  if (p5 == Precision::kDouble) {
+    partials_d.assign(static_cast<std::size_t>(p),
+                      std::vector<double>(static_cast<std::size_t>(partial_len)));
+  } else {
+    partials_f.assign(static_cast<std::size_t>(p),
+                      std::vector<float>(static_cast<std::size_t>(partial_len)));
+  }
+
+  std::vector<double> global_in(in.begin(), in.end());
+  max_rank_compute_s_ = 0.0;
+
+  for (index_t rank = 0; rank < p; ++rank) {
+    const LocalDims& l = local_dims_[static_cast<std::size_t>(rank)];
+    const index_t in_off = adjoint ? l.d_offset : l.m_offset;
+    const index_t in_cnt = adjoint ? l.n_d_local : l.n_m_local;
+    const auto in_slice = slice_tosi(global_in, nt, width_in, in_off, in_cnt);
+
+    FftMatvecPlan::PartialSink sink;
+    if (p5 == Precision::kDouble) {
+      sink.d = partials_d[static_cast<std::size_t>(rank)].data();
+    } else {
+      sink.f = partials_f[static_cast<std::size_t>(rank)].data();
+    }
+    const double t0 = stream_->now();
+    if (adjoint) {
+      plan_->adjoint_partial(*ops_[static_cast<std::size_t>(rank)], in_slice, sink,
+                             config);
+    } else {
+      plan_->forward_partial(*ops_[static_cast<std::size_t>(rank)], in_slice, sink,
+                             config);
+    }
+    max_rank_compute_s_ = std::max(max_rank_compute_s_, stream_->now() - t0);
+  }
+
+  // Phase-5 reduction: for the forward matvec partials combine across
+  // the grid row (the p_c column ranks of each row); the adjoint
+  // combines down each grid column.  Pairwise-tree order matches the
+  // threaded communicator exactly.
+  const index_t n_groups = adjoint ? grid_.cols() : grid_.rows();
+  const index_t group_size = adjoint ? grid_.rows() : grid_.cols();
+  std::vector<double> reduced_d(static_cast<std::size_t>(partial_len));
+  std::vector<float> reduced_f;
+  if (p5 == Precision::kSingle) {
+    reduced_f.resize(static_cast<std::size_t>(partial_len));
+  }
+
+  for (index_t g = 0; g < n_groups; ++g) {
+    index_t out_off = 0;
+    if (p5 == Precision::kDouble) {
+      std::vector<const double*> members;
+      for (index_t k = 0; k < group_size; ++k) {
+        const index_t rank = adjoint ? grid_.rank_of(k, g) : grid_.rank_of(g, k);
+        members.push_back(partials_d[static_cast<std::size_t>(rank)].data());
+        const auto& l = local_dims_[static_cast<std::size_t>(rank)];
+        out_off = adjoint ? l.m_offset : l.d_offset;
+      }
+      comm::tree_reduce(members, reduced_d.data(), partial_len);
+    } else {
+      std::vector<const float*> members;
+      for (index_t k = 0; k < group_size; ++k) {
+        const index_t rank = adjoint ? grid_.rank_of(k, g) : grid_.rank_of(g, k);
+        members.push_back(partials_f[static_cast<std::size_t>(rank)].data());
+        const auto& l = local_dims_[static_cast<std::size_t>(rank)];
+        out_off = adjoint ? l.m_offset : l.d_offset;
+      }
+      comm::tree_reduce(members, reduced_f.data(), partial_len);
+      for (index_t i = 0; i < partial_len; ++i) {
+        reduced_d[static_cast<std::size_t>(i)] =
+            static_cast<double>(reduced_f[static_cast<std::size_t>(i)]);
+      }
+    }
+    for (index_t t = 0; t < nt; ++t) {
+      for (index_t k = 0; k < out_local; ++k) {
+        out[static_cast<std::size_t>(t * width_out + out_off + k)] =
+            reduced_d[static_cast<std::size_t>(t * out_local + k)];
+      }
+    }
+  }
+}
+
+}  // namespace fftmv::core

@@ -1,0 +1,159 @@
+// The FFTMatvec execution plan: five-phase mixed-precision matvecs
+// with a block-triangular Toeplitz operator (paper §2.4, §3.2).
+//
+// Forward (F) matvec on rank (r, c) of a p_r x p_c grid:
+//   1. broadcast the local parameter chunk over the grid column in
+//      the phase-1 precision, then fused TOSI->SOTI transpose +
+//      zero-pad (+cast to the FFT precision),
+//   2. batched real FFT (n_m_local sequences of length 2 N_t),
+//   3. Fourier-space reorder, strided batched GEMV over the N_t + 1
+//      frequency blocks, reorder back — the reorders are charged to
+//      the SBGEMV phase exactly as the artifact's timing output does,
+//   4. batched inverse real FFT (n_d_local sequences),
+//   5. fused unpad + SOTI->TOSI transpose, tree reduction of partial
+//      outputs over the grid row, final cast to double.
+// The adjoint (F*) matvec mirrors the pipeline with the conjugate-
+// transpose SBGEMV and broadcast/reduce roles swapped.
+//
+// Precision semantics (§3.2): input/output are always double; each
+// phase computes in its configured precision; casts occur where the
+// working precision changes and are fused into the adjacent memory
+// operations (toggleable for the fusion ablation); the pure reorders
+// read the producer's precision and write the consumer's, so traffic
+// runs at the lowest adjacent width.
+#pragma once
+
+#include <optional>
+#include <span>
+
+#include "blas/sbgemv.hpp"
+#include "comm/communicator.hpp"
+#include "comm/cost_model.hpp"
+#include "core/block_toeplitz.hpp"
+#include "core/problem.hpp"
+#include "device/device_vector.hpp"
+#include "device/stream.hpp"
+#include "fft/plan.hpp"
+#include "precision/precision.hpp"
+
+namespace fftmv::core {
+
+/// Simulated seconds per computational phase of one matvec
+/// (mirroring the runtime breakdowns of Figures 2-3).
+struct PhaseTimings {
+  double pad = 0.0;     ///< broadcast staging + transpose/pad (+cast)
+  double fft = 0.0;     ///< phase-2 batched FFT
+  double sbgemv = 0.0;  ///< phase-3 GEMV incl. both Fourier reorders
+  double ifft = 0.0;    ///< phase-4 batched IFFT
+  double unpad = 0.0;   ///< unpad/transpose + final cast
+  double comm = 0.0;    ///< modelled broadcast + reduction time
+
+  double compute_total() const { return pad + fft + sbgemv + ifft + unpad; }
+  double total() const { return compute_total() + comm; }
+
+  PhaseTimings& operator+=(const PhaseTimings& o);
+  PhaseTimings& operator*=(double s);
+};
+
+struct MatvecOptions {
+  blas::GemvKernelPolicy gemv_policy = blas::GemvKernelPolicy::kAuto;
+  /// When false, precision changes run as separate cast kernels after
+  /// a same-precision memory op (the fusion ablation of §3.2).
+  bool fuse_casts = true;
+  /// Network model used to charge communication time in distributed
+  /// applies.
+  comm::NetworkSpec network = comm::NetworkSpec::frontier();
+};
+
+class FftMatvecPlan {
+ public:
+  FftMatvecPlan(device::Device& dev, device::Stream& stream,
+                const LocalDims& dims, MatvecOptions options = {});
+
+  const LocalDims& dims() const { return dims_; }
+  device::Stream& stream() const { return *stream_; }
+  const MatvecOptions& options() const { return options_; }
+
+  /// d = F m.  `m` is the rank-local TOSI chunk (N_t x n_m_local,
+  /// significant on the grid-column root), `d` receives the local
+  /// TOSI result (N_t x n_d_local, valid on the grid-row root).
+  /// Single-rank when `comms == nullptr`.
+  void forward(const BlockToeplitzOperator& op, std::span<const double> m,
+               std::span<double> d, const precision::PrecisionConfig& config,
+               comm::RankComms* comms = nullptr);
+
+  /// m = F* d; mirror conventions of forward().
+  void adjoint(const BlockToeplitzOperator& op, std::span<const double> d,
+               std::span<double> m, const precision::PrecisionConfig& config,
+               comm::RankComms* comms = nullptr);
+
+  /// Receives the un-reduced phase-5 partial output in the phase-5
+  /// precision (exactly one pointer must be set, matching the
+  /// config's phase-5 precision).  Used by the sequential
+  /// LockstepCluster, which performs the tree reduction itself.
+  struct PartialSink {
+    float* f = nullptr;
+    double* d = nullptr;
+  };
+
+  /// Run phases 1-4 plus the local unpad/transpose and deposit the
+  /// partial (n_t x n_d_local) into `sink`; no reduction, no final
+  /// cast.
+  void forward_partial(const BlockToeplitzOperator& op,
+                       std::span<const double> m, const PartialSink& sink,
+                       const precision::PrecisionConfig& config);
+
+  /// Adjoint analogue; partial extent is n_t x n_m_local.
+  void adjoint_partial(const BlockToeplitzOperator& op,
+                       std::span<const double> d, const PartialSink& sink,
+                       const precision::PrecisionConfig& config);
+
+  /// Timings of the most recent apply.
+  const PhaseTimings& last_timings() const { return timings_; }
+
+ private:
+  struct DualReal {
+    std::optional<device::device_vector<double>> d;
+    std::optional<device::device_vector<float>> f;
+    template <class T>
+    T* get(device::Device& dev, index_t n);
+  };
+  struct DualComplex {
+    std::optional<device::device_vector<cdouble>> d;
+    std::optional<device::device_vector<cfloat>> f;
+    template <class T>
+    T* get(device::Device& dev, index_t n);
+  };
+
+  /// Shared implementation of forward/adjoint (`adjoint` flips the
+  /// sensor/parameter roles and uses the conjugate-transpose GEMV).
+  /// When `partial` is set, the pipeline stops after the local
+  /// unpad/transpose and deposits the phase-5 partial there.
+  void apply(const BlockToeplitzOperator& op, std::span<const double> in,
+             std::span<double> out, const precision::PrecisionConfig& config,
+             comm::RankComms* comms, bool adjoint,
+             const PartialSink* partial = nullptr);
+
+  device::Device* dev_;
+  device::Stream* stream_;
+  LocalDims dims_;
+  MatvecOptions options_;
+  PhaseTimings timings_;
+
+  // FFT plans per (precision, batch-role); built lazily.
+  std::optional<fft::BatchedRealFft<double>> fft_m_d_, fft_d_d_;
+  std::optional<fft::BatchedRealFft<float>> fft_m_f_, fft_d_f_;
+
+  // Pipeline buffers (shared between directions, max-size semantics).
+  DualReal bcast_;     ///< phase-1 staging of the broadcast input
+  DualReal padded_;    ///< SOTI zero-padded real input (x L)
+  DualComplex spec_;   ///< spectrum, space-outer (ns x n_f)
+  DualComplex spec_t_; ///< spectrum, frequency-outer (n_f x ns)
+  DualComplex ospec_t_;///< GEMV output spectrum, frequency-outer
+  DualComplex ospec_;  ///< GEMV output spectrum, space-outer
+  DualReal opad_;      ///< padded real output (x L)
+  DualReal olocal_;    ///< unpadded TOSI partial output
+  DualReal oreduce_;   ///< reduction receive buffer (group root)
+};
+
+}  // namespace fftmv::core

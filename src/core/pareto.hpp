@@ -1,0 +1,69 @@
+// Pareto-front analysis over the 32 mixed-precision configurations
+// (paper §3.2, §4.2): for a target error tolerance, pick the
+// configuration with the best runtime among those whose relative
+// error stays below the tolerance.
+#pragma once
+
+#include <algorithm>
+#include <limits>
+#include <optional>
+#include <vector>
+
+#include "precision/precision.hpp"
+
+namespace fftmv::core {
+
+struct ConfigResult {
+  precision::PrecisionConfig config;
+  double time_s = 0.0;
+  double rel_error = 0.0;
+};
+
+/// Non-dominated subset under (minimise time, minimise error),
+/// sorted by ascending time.  A point is dominated when another is
+/// no worse in both coordinates and strictly better in one.
+inline std::vector<ConfigResult> pareto_front(std::vector<ConfigResult> results) {
+  std::sort(results.begin(), results.end(), [](const auto& a, const auto& b) {
+    if (a.time_s != b.time_s) return a.time_s < b.time_s;
+    return a.rel_error < b.rel_error;
+  });
+  std::vector<ConfigResult> front;
+  double best_error = std::numeric_limits<double>::infinity();
+  for (const auto& r : results) {
+    if (r.rel_error < best_error) {
+      front.push_back(r);
+      best_error = r.rel_error;
+    }
+  }
+  return front;
+}
+
+/// Fastest configuration whose error is within tolerance; nullopt if
+/// none qualifies.  `time_slack` implements the paper's observation
+/// that lowering additional phases "can speed up those individual
+/// phases, [but] the contribution to overall speedup is negligible
+/// [while] such computations incur additional error" (§4.2.1): among
+/// configurations within `time_slack` (relative) of the fastest
+/// feasible time, the lowest-error one is selected.
+inline std::optional<ConfigResult> optimal_config(
+    const std::vector<ConfigResult>& results, double tolerance,
+    double time_slack = 0.0) {
+  std::optional<ConfigResult> fastest;
+  for (const auto& r : results) {
+    if (r.rel_error > tolerance) continue;
+    if (!fastest || r.time_s < fastest->time_s) fastest = r;
+  }
+  if (!fastest || time_slack <= 0.0) return fastest;
+  std::optional<ConfigResult> best = fastest;
+  for (const auto& r : results) {
+    if (r.rel_error > tolerance) continue;
+    if (r.time_s > fastest->time_s * (1.0 + time_slack)) continue;
+    if (r.rel_error < best->rel_error ||
+        (r.rel_error == best->rel_error && r.time_s < best->time_s)) {
+      best = r;
+    }
+  }
+  return best;
+}
+
+}  // namespace fftmv::core

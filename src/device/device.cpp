@@ -1,0 +1,48 @@
+#include "device/device.hpp"
+
+#include <sstream>
+
+namespace fftmv::device {
+
+DeviceOutOfMemory::DeviceOutOfMemory(const std::string& device,
+                                     index_t requested, index_t available)
+    : std::runtime_error([&] {
+        std::ostringstream os;
+        os << device << ": out of device memory (requested " << requested
+           << " B, available " << available << " B)";
+        return os.str();
+      }()) {}
+
+Device::Device(DeviceSpec spec, util::ThreadPool* pool, bool phantom)
+    : model_(std::move(spec)), pool_(pool), phantom_(phantom) {}
+
+void Device::validate_launch(const LaunchGeometry& geom) const {
+  if (geom.grid_x <= 0 || geom.grid_y <= 0 || geom.grid_z <= 0 ||
+      geom.block_threads <= 0) {
+    throw LaunchConfigError("kernel launch with non-positive dimension");
+  }
+  if (geom.grid_y > spec().max_grid_dim_yz || geom.grid_z > spec().max_grid_dim_yz) {
+    std::ostringstream os;
+    os << "kernel launch exceeds grid y/z limit " << spec().max_grid_dim_yz
+       << " (grid = " << geom.grid_x << "x" << geom.grid_y << "x" << geom.grid_z
+       << ")";
+    throw LaunchConfigError(os.str());
+  }
+  if (geom.block_threads > 1024) {
+    throw LaunchConfigError("kernel launch exceeds 1024 threads per block");
+  }
+}
+
+void Device::track_alloc(index_t bytes) {
+  const index_t prev = memory_used_.fetch_add(bytes, std::memory_order_relaxed);
+  if (prev + bytes > memory_capacity()) {
+    memory_used_.fetch_sub(bytes, std::memory_order_relaxed);
+    throw DeviceOutOfMemory(spec().name, bytes, memory_capacity() - prev);
+  }
+}
+
+void Device::track_free(index_t bytes) noexcept {
+  memory_used_.fetch_sub(bytes, std::memory_order_relaxed);
+}
+
+}  // namespace fftmv::device

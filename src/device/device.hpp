@@ -1,0 +1,69 @@
+// Simulated GPU device: memory accounting + cost model + host
+// execution context.
+//
+// Numerics run for real on the host thread pool; time is simulated by
+// the CostModel.  This is the substitution for the CUDA/HIP runtime
+// described in DESIGN.md §1.
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <stdexcept>
+#include <string>
+
+#include "device/cost_model.hpp"
+#include "device/device_spec.hpp"
+#include "util/thread_pool.hpp"
+
+namespace fftmv::device {
+
+/// Thrown when a device_vector allocation would exceed the simulated
+/// device's memory capacity.
+class DeviceOutOfMemory : public std::runtime_error {
+ public:
+  DeviceOutOfMemory(const std::string& device, index_t requested,
+                    index_t available);
+};
+
+/// Thrown when a kernel launch violates the device's grid limits
+/// (e.g. grid.y/grid.z > 65535, the overflow the paper's custom
+/// permutation kernel is designed to avoid).
+class LaunchConfigError : public std::invalid_argument {
+  using std::invalid_argument::invalid_argument;
+};
+
+class Device {
+ public:
+  /// `phantom = true` creates a dry-run device: allocations are
+  /// capacity-tracked but not backed by host memory and kernel
+  /// launches skip numerics, so paper-scale problem shapes can be
+  /// *timed* through the exact pipeline code path on a machine that
+  /// could never hold them (DESIGN.md §1, cost-model extrapolation).
+  explicit Device(DeviceSpec spec,
+                  util::ThreadPool* pool = &util::ThreadPool::global(),
+                  bool phantom = false);
+
+  const DeviceSpec& spec() const { return model_.spec(); }
+  const CostModel& cost_model() const { return model_; }
+  util::ThreadPool& pool() const { return *pool_; }
+  bool phantom() const { return phantom_; }
+
+  index_t memory_used() const { return memory_used_.load(std::memory_order_relaxed); }
+  index_t memory_capacity() const { return spec().memory_bytes; }
+
+  /// Validate a launch geometry against device limits; throws
+  /// LaunchConfigError on violation.
+  void validate_launch(const LaunchGeometry& geom) const;
+
+  // Used by device_vector; throws DeviceOutOfMemory.
+  void track_alloc(index_t bytes);
+  void track_free(index_t bytes) noexcept;
+
+ private:
+  CostModel model_;
+  util::ThreadPool* pool_;
+  bool phantom_ = false;
+  std::atomic<index_t> memory_used_{0};
+};
+
+}  // namespace fftmv::device

@@ -1,0 +1,96 @@
+#include "device/device_spec.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <stdexcept>
+
+namespace fftmv::device {
+
+double DeviceSpec::vector_load_derate(int bytes) const {
+  // 16-byte loads (float4 / double2) achieve full streaming rate; a
+  // thread issuing narrower loads needs proportionally more
+  // instructions per byte and loses a modest fraction of bandwidth.
+  // Values chosen to reproduce the Figure 1 spread between the real
+  // single and double complex columns.
+  if (bytes >= 16) return 1.0;
+  if (bytes >= 8) return 0.95;
+  return 0.88;
+}
+
+DeviceSpec make_mi250x_gcd() {
+  DeviceSpec s;
+  s.name = "MI250X (single GCD)";
+  s.peak_bandwidth_gbps = 1638.0;  // 3.2 TB/s per module / 2 GCDs
+  s.fp32_tflops = 23.9;
+  s.fp64_tflops = 23.9;
+  s.num_cus = 110;
+  s.memory_bytes = 64LL << 30;
+  s.launch_overhead_s = 5e-6;
+  s.block_residency_floor_s = 2.6e-7;
+  // CDNA2: both precisions well tuned (paper: ~70% of peak).
+  s.streaming_derate_fp64 = 0.86;
+  s.streaming_derate_fp32 = 0.86;
+  return s;
+}
+
+DeviceSpec make_mi300x() {
+  DeviceSpec s;
+  s.name = "MI300X";
+  s.peak_bandwidth_gbps = 5300.0;
+  s.fp32_tflops = 163.4;
+  s.fp64_tflops = 81.7;
+  s.num_cus = 304;
+  s.memory_bytes = 192LL << 30;
+  s.launch_overhead_s = 4e-6;
+  s.block_residency_floor_s = 2.0e-7;
+  // CDNA3: well tuned (paper: ~70% of peak for SBGEMV).
+  s.streaming_derate_fp64 = 0.86;
+  s.streaming_derate_fp32 = 0.86;
+  return s;
+}
+
+DeviceSpec make_mi355x() {
+  DeviceSpec s;
+  s.name = "MI355X";
+  s.peak_bandwidth_gbps = 8000.0;
+  s.fp32_tflops = 157.3;
+  s.fp64_tflops = 78.6;
+  s.num_cus = 256;
+  s.memory_bytes = 288LL << 30;
+  s.launch_overhead_s = 4e-6;
+  s.block_residency_floor_s = 2.0e-7;
+  // CDNA4 kernels not yet tuned (paper §4.1.2: ~35% of peak; §4.2.1:
+  // only ~40% mixed-precision speedup, implying the FP32 path is
+  // relatively worse off than FP64).
+  s.streaming_derate_fp64 = 0.50;
+  s.streaming_derate_fp32 = 0.36;
+  return s;
+}
+
+DeviceSpec make_host_reference() {
+  DeviceSpec s;
+  s.name = "host-reference";
+  s.peak_bandwidth_gbps = 100.0;
+  s.fp32_tflops = 1.0;
+  s.fp64_tflops = 0.5;
+  s.num_cus = 16;
+  s.memory_bytes = 16LL << 30;
+  s.launch_overhead_s = 0.0;
+  s.block_residency_floor_s = 0.0;
+  s.streaming_derate_fp64 = 1.0;
+  s.streaming_derate_fp32 = 1.0;
+  return s;
+}
+
+DeviceSpec spec_by_name(const std::string& name) {
+  std::string lower(name.size(), '\0');
+  std::transform(name.begin(), name.end(), lower.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  if (lower == "mi250x" || lower == "mi250x-gcd") return make_mi250x_gcd();
+  if (lower == "mi300x") return make_mi300x();
+  if (lower == "mi355x") return make_mi355x();
+  if (lower == "host") return make_host_reference();
+  throw std::invalid_argument("unknown device spec: " + name);
+}
+
+}  // namespace fftmv::device

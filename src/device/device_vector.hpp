@@ -1,0 +1,71 @@
+// Typed device memory with RAII ownership and capacity accounting.
+#pragma once
+
+#include <utility>
+
+#include "device/device.hpp"
+#include "util/aligned_buffer.hpp"
+
+namespace fftmv::device {
+
+/// Analogue of a cudaMalloc'd array: owned by a Device, counted
+/// against its simulated capacity, backed by aligned host memory for
+/// execution.  Move-only.
+template <class T>
+class device_vector {
+ public:
+  device_vector() = default;
+
+  device_vector(Device& dev, index_t count) : dev_(&dev), size_(count) {
+    dev_->track_alloc(bytes());
+    if (dev_->phantom()) return;  // capacity-tracked, unbacked
+    try {
+      storage_.reset(count);
+    } catch (...) {
+      dev_->track_free(bytes());
+      throw;
+    }
+  }
+
+  device_vector(device_vector&& other) noexcept
+      : dev_(std::exchange(other.dev_, nullptr)),
+        size_(std::exchange(other.size_, 0)),
+        storage_(std::move(other.storage_)) {}
+
+  device_vector& operator=(device_vector&& other) noexcept {
+    if (this != &other) {
+      release();
+      dev_ = std::exchange(other.dev_, nullptr);
+      size_ = std::exchange(other.size_, 0);
+      storage_ = std::move(other.storage_);
+    }
+    return *this;
+  }
+
+  device_vector(const device_vector&) = delete;
+  device_vector& operator=(const device_vector&) = delete;
+
+  ~device_vector() { release(); }
+
+  T* data() noexcept { return storage_.data(); }
+  const T* data() const noexcept { return storage_.data(); }
+  index_t size() const noexcept { return size_; }
+  index_t bytes() const noexcept { return size_ * static_cast<index_t>(sizeof(T)); }
+  bool empty() const noexcept { return size_ == 0; }
+
+  T& operator[](index_t i) noexcept { return storage_[i]; }
+  const T& operator[](index_t i) const noexcept { return storage_[i]; }
+
+ private:
+  void release() noexcept {
+    if (dev_ != nullptr && size_ > 0) dev_->track_free(bytes());
+    dev_ = nullptr;
+    size_ = 0;
+  }
+
+  Device* dev_ = nullptr;
+  index_t size_ = 0;
+  util::AlignedBuffer<T> storage_;
+};
+
+}  // namespace fftmv::device

@@ -1,0 +1,16 @@
+// Explicit instantiations of the FFT templates for the two working
+// precisions, keeping per-TU compile times down in dependants.
+#include "fft/complex_engine.hpp"
+#include "fft/plan.hpp"
+#include "fft/real_engine.hpp"
+
+namespace fftmv::fft {
+
+template class ComplexFftEngine<float>;
+template class ComplexFftEngine<double>;
+template class RealFftEngine<float>;
+template class RealFftEngine<double>;
+template class BatchedRealFft<float>;
+template class BatchedRealFft<double>;
+
+}  // namespace fftmv::fft

@@ -1,0 +1,80 @@
+#include "hipify/gpusim.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+#include <unordered_map>
+
+namespace fftmv::gpusim {
+
+thread_local Dim3 g_threadIdx;
+thread_local Dim3 g_blockIdx;
+thread_local Dim3 g_blockDim;
+thread_local Dim3 g_gridDim;
+
+namespace {
+std::mutex g_alloc_mutex;
+std::unordered_map<void*, std::size_t> g_allocations;
+std::atomic<std::size_t> g_bytes{0};
+}  // namespace
+
+int sim_malloc(void** ptr, std::size_t bytes) {
+  if (ptr == nullptr) return kErrorInvalidValue;
+  void* p = std::malloc(bytes == 0 ? 1 : bytes);
+  if (p == nullptr) {
+    *ptr = nullptr;
+    return kErrorOutOfMemory;
+  }
+  {
+    std::lock_guard lock(g_alloc_mutex);
+    g_allocations.emplace(p, bytes);
+  }
+  g_bytes.fetch_add(bytes, std::memory_order_relaxed);
+  *ptr = p;
+  return kSuccess;
+}
+
+int sim_free(void* ptr) {
+  if (ptr == nullptr) return kSuccess;
+  std::size_t bytes = 0;
+  {
+    std::lock_guard lock(g_alloc_mutex);
+    auto it = g_allocations.find(ptr);
+    if (it == g_allocations.end()) return kErrorInvalidValue;
+    bytes = it->second;
+    g_allocations.erase(it);
+  }
+  g_bytes.fetch_sub(bytes, std::memory_order_relaxed);
+  std::free(ptr);
+  return kSuccess;
+}
+
+int sim_memcpy(void* dst, const void* src, std::size_t bytes) {
+  if ((dst == nullptr || src == nullptr) && bytes > 0) return kErrorInvalidValue;
+  std::memcpy(dst, src, bytes);
+  return kSuccess;
+}
+
+int sim_memset(void* dst, int value, std::size_t bytes) {
+  if (dst == nullptr && bytes > 0) return kErrorInvalidValue;
+  std::memset(dst, value, bytes);
+  return kSuccess;
+}
+
+int sim_device_synchronize() { return kSuccess; }
+
+const char* sim_error_string(int code) {
+  switch (code) {
+    case kSuccess: return "success";
+    case kErrorInvalidValue: return "invalid value";
+    case kErrorOutOfMemory: return "out of memory";
+    default: return "unknown error";
+  }
+}
+
+std::size_t sim_bytes_allocated() {
+  return g_bytes.load(std::memory_order_relaxed);
+}
+
+}  // namespace fftmv::gpusim

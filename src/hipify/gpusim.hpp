@@ -1,0 +1,71 @@
+// Shared execution engine behind the CUDA- and HIP-dialect compat
+// headers.
+//
+// The paper's portability story assumes a working CUDA runtime on
+// NVIDIA and a HIP runtime on AMD; this repository has neither, so
+// both dialects bind to this little host simulator: device memory is
+// host memory, kernels run as nested grid/block/thread loops, and
+// the CUDA built-ins (threadIdx, blockIdx, blockDim, gridDim) are
+// thread-local variables maintained by the launcher.  Enough surface
+// to compile and run the hipified example end to end.
+//
+// Limitation: threads of a block execute sequentially, so kernels
+// requiring __syncthreads()-mediated data exchange through shared
+// memory are outside this simulator's scope.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace fftmv::gpusim {
+
+struct Dim3 {
+  unsigned x = 1, y = 1, z = 1;
+  Dim3() = default;
+  Dim3(unsigned x_, unsigned y_ = 1, unsigned z_ = 1) : x(x_), y(y_), z(z_) {}
+};
+
+/// CUDA built-in analogues; valid only inside a kernel invocation.
+extern thread_local Dim3 g_threadIdx;
+extern thread_local Dim3 g_blockIdx;
+extern thread_local Dim3 g_blockDim;
+extern thread_local Dim3 g_gridDim;
+
+/// Error codes shared by both dialects.
+inline constexpr int kSuccess = 0;
+inline constexpr int kErrorOutOfMemory = 2;
+inline constexpr int kErrorInvalidValue = 1;
+
+int sim_malloc(void** ptr, std::size_t bytes);
+int sim_free(void* ptr);
+int sim_memcpy(void* dst, const void* src, std::size_t bytes);
+int sim_memset(void* dst, int value, std::size_t bytes);
+int sim_device_synchronize();
+const char* sim_error_string(int code);
+
+/// Bytes currently allocated through sim_malloc (for leak tests).
+std::size_t sim_bytes_allocated();
+
+/// Serial grid/block/thread execution of `kernel(args...)`.
+template <class Kernel, class... Args>
+void sim_launch(Kernel kernel, Dim3 grid, Dim3 block, Args... args) {
+  g_gridDim = grid;
+  g_blockDim = block;
+  for (unsigned bz = 0; bz < grid.z; ++bz) {
+    for (unsigned by = 0; by < grid.y; ++by) {
+      for (unsigned bx = 0; bx < grid.x; ++bx) {
+        g_blockIdx = Dim3(bx, by, bz);
+        for (unsigned tz = 0; tz < block.z; ++tz) {
+          for (unsigned ty = 0; ty < block.y; ++ty) {
+            for (unsigned tx = 0; tx < block.x; ++tx) {
+              g_threadIdx = Dim3(tx, ty, tz);
+              kernel(args...);
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace fftmv::gpusim

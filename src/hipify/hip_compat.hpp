@@ -1,0 +1,74 @@
+// HIP-dialect runtime surface over the host simulator — the
+// translation target of hipify-mini (see cuda_compat.hpp for the
+// maintained CUDA dialect).  On a real AMD system the hipified
+// source would include <hip/hip_runtime.h> instead.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "hipify/gpusim.hpp"
+
+#define __global__
+#define __device__
+#define __host__
+#define __forceinline__ inline
+
+using dim3 = fftmv::gpusim::Dim3;
+
+#define threadIdx (fftmv::gpusim::g_threadIdx)
+#define blockIdx (fftmv::gpusim::g_blockIdx)
+#define blockDim (fftmv::gpusim::g_blockDim)
+#define gridDim (fftmv::gpusim::g_gridDim)
+
+using hipError_t = int;
+inline constexpr hipError_t hipSuccess = fftmv::gpusim::kSuccess;
+
+enum hipMemcpyKind {
+  hipMemcpyHostToHost = 0,
+  hipMemcpyHostToDevice = 1,
+  hipMemcpyDeviceToHost = 2,
+  hipMemcpyDeviceToDevice = 3,
+  hipMemcpyDefault = 4,
+};
+
+inline hipError_t hipMalloc(void** ptr, std::size_t bytes) {
+  return fftmv::gpusim::sim_malloc(ptr, bytes);
+}
+template <class T>
+hipError_t hipMalloc(T** ptr, std::size_t bytes) {
+  return fftmv::gpusim::sim_malloc(reinterpret_cast<void**>(ptr), bytes);
+}
+inline hipError_t hipFree(void* ptr) { return fftmv::gpusim::sim_free(ptr); }
+inline hipError_t hipMemcpy(void* dst, const void* src, std::size_t bytes,
+                            hipMemcpyKind) {
+  return fftmv::gpusim::sim_memcpy(dst, src, bytes);
+}
+inline hipError_t hipMemset(void* dst, int value, std::size_t bytes) {
+  return fftmv::gpusim::sim_memset(dst, value, bytes);
+}
+inline hipError_t hipDeviceSynchronize() {
+  return fftmv::gpusim::sim_device_synchronize();
+}
+inline const char* hipGetErrorString(hipError_t e) {
+  return fftmv::gpusim::sim_error_string(e);
+}
+
+/// HIP's standard launch macro (the target of hipify's triple-
+/// chevron conversion).  Shared-memory size and stream are accepted
+/// and ignored by the simulator.
+#define hipLaunchKernelGGL(kernel, grid, block, shmem, stream, ...) \
+  ::fftmv::gpusim::sim_launch(kernel, grid, block, ##__VA_ARGS__)
+
+#define FFTMV_HIP_LAUNCH(kernel, grid, block, ...) \
+  ::fftmv::gpusim::sim_launch(kernel, grid, block, ##__VA_ARGS__)
+
+#define FFTMV_HIP_CHECK(expr)                                         \
+  do {                                                                \
+    const hipError_t fftmv_err_ = (expr);                             \
+    if (fftmv_err_ != hipSuccess) {                                   \
+      std::fprintf(stderr, "HIP error %s at %s:%d\n",                 \
+                   hipGetErrorString(fftmv_err_), __FILE__, __LINE__); \
+      std::abort();                                                   \
+    }                                                                 \
+  } while (0)

@@ -1,0 +1,252 @@
+#include "hipify/hipify.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <sstream>
+
+namespace fftmv::hipify {
+
+namespace {
+
+bool is_ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool is_ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+/// Does this identifier look like a CUDA API name we failed to map?
+bool looks_like_cuda_api(const std::string& id) {
+  if (id.rfind("cuda", 0) == 0 || id.rfind("cublas", 0) == 0 ||
+      id.rfind("cufft", 0) == 0 || id.rfind("curand", 0) == 0 ||
+      id.rfind("cusparse", 0) == 0 || id.rfind("cutensor", 0) == 0 ||
+      id.rfind("cusolver", 0) == 0 || id.rfind("CUBLAS_", 0) == 0 ||
+      id.rfind("CUFFT_", 0) == 0 || id.rfind("CURAND_", 0) == 0 ||
+      id.rfind("CUSPARSE_", 0) == 0) {
+    return true;
+  }
+  // cuComplex-style: "cu" + uppercase letter.
+  return id.size() > 2 && id[0] == 'c' && id[1] == 'u' &&
+         std::isupper(static_cast<unsigned char>(id[2]));
+}
+
+/// Find the matching ">>>" for a "<<<" at `open`, returning the index
+/// just past it; npos when unbalanced.
+std::size_t find_chevron_close(const std::string& s, std::size_t open) {
+  return s.find(">>>", open + 3);
+}
+
+/// Split a chevron argument list on top-level commas.
+std::vector<std::string> split_top_level(const std::string& s) {
+  std::vector<std::string> parts;
+  int depth = 0;
+  std::string cur;
+  for (char c : s) {
+    if (c == '(' || c == '[' || c == '{' || c == '<') ++depth;
+    if (c == ')' || c == ']' || c == '}' || c == '>') --depth;
+    if (c == ',' && depth == 0) {
+      parts.push_back(cur);
+      cur.clear();
+    } else {
+      cur.push_back(c);
+    }
+  }
+  parts.push_back(cur);
+  for (auto& p : parts) {
+    const auto b = p.find_first_not_of(" \t\n");
+    const auto e = p.find_last_not_of(" \t\n");
+    p = (b == std::string::npos) ? std::string{} : p.substr(b, e - b + 1);
+  }
+  return parts;
+}
+
+/// Convert kernel<<<...>>>(args) launches to hipLaunchKernelGGL.
+std::string convert_launches(const std::string& src, Result& result) {
+  std::string out;
+  out.reserve(src.size());
+  std::size_t pos = 0;
+  while (pos < src.size()) {
+    const std::size_t open = src.find("<<<", pos);
+    if (open == std::string::npos) {
+      out.append(src, pos, std::string::npos);
+      break;
+    }
+    const std::size_t close = find_chevron_close(src, open);
+    if (close == std::string::npos) {
+      out.append(src, pos, std::string::npos);
+      break;
+    }
+    // Kernel name: identifier immediately before "<<<".
+    std::size_t name_end = open;
+    while (name_end > pos && std::isspace(static_cast<unsigned char>(src[name_end - 1]))) {
+      --name_end;
+    }
+    std::size_t name_begin = name_end;
+    while (name_begin > pos && is_ident_char(src[name_begin - 1])) --name_begin;
+    if (name_begin == name_end || !is_ident_start(src[name_begin])) {
+      // Not a launch (e.g. a shift expression); copy through.
+      out.append(src, pos, open + 3 - pos);
+      pos = open + 3;
+      continue;
+    }
+    const std::string kernel = src.substr(name_begin, name_end - name_begin);
+    auto cfg = split_top_level(src.substr(open + 3, close - (open + 3)));
+    while (cfg.size() < 4) cfg.push_back(cfg.size() == 2 ? "0" : "0");
+    // Argument list after ">>>".
+    std::size_t paren = close + 3;
+    while (paren < src.size() && std::isspace(static_cast<unsigned char>(src[paren]))) {
+      ++paren;
+    }
+    if (paren >= src.size() || src[paren] != '(') {
+      out.append(src, pos, close + 3 - pos);
+      pos = close + 3;
+      continue;
+    }
+    int depth = 0;
+    std::size_t args_end = paren;
+    for (; args_end < src.size(); ++args_end) {
+      if (src[args_end] == '(') ++depth;
+      if (src[args_end] == ')' && --depth == 0) break;
+    }
+    const std::string args = src.substr(paren + 1, args_end - paren - 1);
+    const bool has_args = args.find_first_not_of(" \t\n") != std::string::npos;
+
+    out.append(src, pos, name_begin - pos);
+    out += "hipLaunchKernelGGL(" + kernel + ", " + cfg[0] + ", " + cfg[1] +
+           ", " + cfg[2] + ", " + cfg[3];
+    if (has_args) out += ", " + args;
+    out += ")";
+    ++result.launches_converted;
+    pos = args_end + 1;
+  }
+  return out;
+}
+
+/// Rewrite #include paths on one line.
+std::size_t rewrite_includes(std::string& line, const RuleSet& rules) {
+  const auto hash = line.find_first_not_of(" \t");
+  if (hash == std::string::npos || line[hash] != '#') return 0;
+  if (line.find("include", hash) == std::string::npos) return 0;
+  std::size_t n = 0;
+  for (const auto& [from, to] : rules.headers) {
+    if (from == to) continue;
+    const std::size_t at = line.find(from);
+    if (at != std::string::npos) {
+      line.replace(at, from.size(), to);
+      ++n;
+    }
+  }
+  return n;
+}
+
+}  // namespace
+
+Result translate(const std::string& cuda_source, const RuleSet& rules,
+                 Options options) {
+  Result result;
+
+  std::string text = options.convert_kernel_launches
+                         ? convert_launches(cuda_source, result)
+                         : cuda_source;
+
+  std::istringstream in(text);
+  std::ostringstream out;
+  std::string line;
+  bool in_block_comment = false;
+  bool first_line = true;
+
+  while (std::getline(in, line)) {
+    if (!first_line) out << '\n';
+    first_line = false;
+
+    result.replacements += rewrite_includes(line, rules);
+
+    std::string translated;
+    translated.reserve(line.size());
+    std::vector<std::string> unsupported_here;
+
+    std::size_t i = 0;
+    bool in_string = false, in_char = false, in_line_comment = false;
+    while (i < line.size()) {
+      const char c = line[i];
+      if (in_block_comment) {
+        translated += c;
+        if (c == '*' && i + 1 < line.size() && line[i + 1] == '/') {
+          translated += '/';
+          i += 2;
+          in_block_comment = false;
+          continue;
+        }
+        ++i;
+        continue;
+      }
+      if (in_line_comment || in_string || in_char) {
+        translated += c;
+        if (in_string && c == '"' && (i == 0 || line[i - 1] != '\\')) in_string = false;
+        if (in_char && c == '\'' && (i == 0 || line[i - 1] != '\\')) in_char = false;
+        ++i;
+        continue;
+      }
+      if (c == '/' && i + 1 < line.size() && line[i + 1] == '/') {
+        in_line_comment = true;
+        translated += c;
+        ++i;
+        continue;
+      }
+      if (c == '/' && i + 1 < line.size() && line[i + 1] == '*') {
+        in_block_comment = true;
+        translated += "/*";
+        i += 2;
+        continue;
+      }
+      if (c == '"') {
+        in_string = true;
+        translated += c;
+        ++i;
+        continue;
+      }
+      if (c == '\'') {
+        in_char = true;
+        translated += c;
+        ++i;
+        continue;
+      }
+      if (is_ident_start(c)) {
+        std::size_t j = i + 1;
+        while (j < line.size() && is_ident_char(line[j])) ++j;
+        const std::string id = line.substr(i, j - i);
+        if (auto it = rules.identifiers.find(id); it != rules.identifiers.end()) {
+          translated += it->second;
+          if (it->second != id) ++result.replacements;
+        } else if (rules.unsupported.count(id) != 0) {
+          unsupported_here.push_back(id);
+          result.unsupported.push_back(id);
+          translated += id;
+        } else {
+          if (options.warn_unknown && looks_like_cuda_api(id)) {
+            result.warnings.push_back("no hipify rule for '" + id + "'");
+          }
+          translated += id;
+        }
+        i = j;
+        continue;
+      }
+      translated += c;
+      ++i;
+    }
+
+    if (!unsupported_here.empty() && options.error_on_unsupported) {
+      for (const auto& id : unsupported_here) {
+        out << "#error \"hipify-mini: '" << id
+            << "' is not supported in HIP; provide a custom implementation\"\n";
+      }
+    }
+    out << translated;
+  }
+  if (!text.empty() && text.back() == '\n') out << '\n';
+
+  result.text = out.str();
+  return result;
+}
+
+}  // namespace fftmv::hipify

@@ -1,0 +1,281 @@
+#include "hipify/rules.hpp"
+
+namespace fftmv::hipify {
+
+namespace {
+
+struct Pair {
+  const char* cuda;
+  const char* hip;
+};
+
+// --- CUDA runtime API ---------------------------------------------------
+constexpr Pair kRuntime[] = {
+    {"cudaError_t", "hipError_t"},
+    {"cudaError", "hipError_t"},
+    {"cudaSuccess", "hipSuccess"},
+    {"cudaErrorMemoryAllocation", "hipErrorOutOfMemory"},
+    {"cudaErrorInvalidValue", "hipErrorInvalidValue"},
+    {"cudaErrorInvalidDevice", "hipErrorInvalidDevice"},
+    {"cudaErrorNotReady", "hipErrorNotReady"},
+    {"cudaGetLastError", "hipGetLastError"},
+    {"cudaPeekAtLastError", "hipPeekAtLastError"},
+    {"cudaGetErrorString", "hipGetErrorString"},
+    {"cudaGetErrorName", "hipGetErrorName"},
+    {"cudaMalloc", "hipMalloc"},
+    {"cudaMallocHost", "hipHostMalloc"},
+    {"cudaMallocManaged", "hipMallocManaged"},
+    {"cudaMallocPitch", "hipMallocPitch"},
+    {"cudaFree", "hipFree"},
+    {"cudaFreeHost", "hipHostFree"},
+    {"cudaHostAlloc", "hipHostMalloc"},
+    {"cudaHostAllocDefault", "hipHostMallocDefault"},
+    {"cudaHostRegister", "hipHostRegister"},
+    {"cudaHostUnregister", "hipHostUnregister"},
+    {"cudaMemcpy", "hipMemcpy"},
+    {"cudaMemcpyAsync", "hipMemcpyAsync"},
+    {"cudaMemcpy2D", "hipMemcpy2D"},
+    {"cudaMemcpyToSymbol", "hipMemcpyToSymbol"},
+    {"cudaMemcpyFromSymbol", "hipMemcpyFromSymbol"},
+    {"cudaMemcpyKind", "hipMemcpyKind"},
+    {"cudaMemcpyHostToDevice", "hipMemcpyHostToDevice"},
+    {"cudaMemcpyDeviceToHost", "hipMemcpyDeviceToHost"},
+    {"cudaMemcpyDeviceToDevice", "hipMemcpyDeviceToDevice"},
+    {"cudaMemcpyHostToHost", "hipMemcpyHostToHost"},
+    {"cudaMemcpyDefault", "hipMemcpyDefault"},
+    {"cudaMemset", "hipMemset"},
+    {"cudaMemsetAsync", "hipMemsetAsync"},
+    {"cudaMemset2D", "hipMemset2D"},
+    {"cudaMemGetInfo", "hipMemGetInfo"},
+    {"cudaDeviceSynchronize", "hipDeviceSynchronize"},
+    {"cudaThreadSynchronize", "hipDeviceSynchronize"},
+    {"cudaDeviceReset", "hipDeviceReset"},
+    {"cudaSetDevice", "hipSetDevice"},
+    {"cudaGetDevice", "hipGetDevice"},
+    {"cudaGetDeviceCount", "hipGetDeviceCount"},
+    {"cudaGetDeviceProperties", "hipGetDeviceProperties"},
+    {"cudaDeviceProp", "hipDeviceProp_t"},
+    {"cudaDeviceGetAttribute", "hipDeviceGetAttribute"},
+    {"cudaDevAttrComputeCapabilityMajor", "hipDeviceAttributeComputeCapabilityMajor"},
+    {"cudaDevAttrComputeCapabilityMinor", "hipDeviceAttributeComputeCapabilityMinor"},
+    {"cudaDevAttrMultiProcessorCount", "hipDeviceAttributeMultiprocessorCount"},
+    {"cudaDevAttrMaxThreadsPerBlock", "hipDeviceAttributeMaxThreadsPerBlock"},
+    {"cudaDeviceGetStreamPriorityRange", "hipDeviceGetStreamPriorityRange"},
+    {"cudaFuncSetCacheConfig", "hipFuncSetCacheConfig"},
+    {"cudaFuncCachePreferShared", "hipFuncCachePreferShared"},
+    {"cudaFuncCachePreferL1", "hipFuncCachePreferL1"},
+    {"cudaOccupancyMaxPotentialBlockSize", "hipOccupancyMaxPotentialBlockSize"},
+    {"cudaOccupancyMaxActiveBlocksPerMultiprocessor",
+     "hipOccupancyMaxActiveBlocksPerMultiprocessor"},
+    {"cudaLaunchKernel", "hipLaunchKernel"},
+    {"cudaStream_t", "hipStream_t"},
+    {"cudaStreamCreate", "hipStreamCreate"},
+    {"cudaStreamCreateWithFlags", "hipStreamCreateWithFlags"},
+    {"cudaStreamCreateWithPriority", "hipStreamCreateWithPriority"},
+    {"cudaStreamNonBlocking", "hipStreamNonBlocking"},
+    {"cudaStreamDefault", "hipStreamDefault"},
+    {"cudaStreamDestroy", "hipStreamDestroy"},
+    {"cudaStreamSynchronize", "hipStreamSynchronize"},
+    {"cudaStreamWaitEvent", "hipStreamWaitEvent"},
+    {"cudaStreamQuery", "hipStreamQuery"},
+    {"cudaStreamAddCallback", "hipStreamAddCallback"},
+    {"cudaEvent_t", "hipEvent_t"},
+    {"cudaEventCreate", "hipEventCreate"},
+    {"cudaEventCreateWithFlags", "hipEventCreateWithFlags"},
+    {"cudaEventDisableTiming", "hipEventDisableTiming"},
+    {"cudaEventRecord", "hipEventRecord"},
+    {"cudaEventSynchronize", "hipEventSynchronize"},
+    {"cudaEventElapsedTime", "hipEventElapsedTime"},
+    {"cudaEventQuery", "hipEventQuery"},
+    {"cudaEventDestroy", "hipEventDestroy"},
+    {"cudaProfilerStart", "hipProfilerStart"},
+    {"cudaProfilerStop", "hipProfilerStop"},
+    {"cudaIpcGetMemHandle", "hipIpcGetMemHandle"},
+    {"cudaIpcOpenMemHandle", "hipIpcOpenMemHandle"},
+    {"cudaIpcCloseMemHandle", "hipIpcCloseMemHandle"},
+    {"cudaIpcMemHandle_t", "hipIpcMemHandle_t"},
+};
+
+// --- cuBLAS -> hipBLAS ---------------------------------------------------
+constexpr Pair kBlas[] = {
+    {"cublasHandle_t", "hipblasHandle_t"},
+    {"cublasCreate", "hipblasCreate"},
+    {"cublasDestroy", "hipblasDestroy"},
+    {"cublasSetStream", "hipblasSetStream"},
+    {"cublasGetStream", "hipblasGetStream"},
+    {"cublasStatus_t", "hipblasStatus_t"},
+    {"CUBLAS_STATUS_SUCCESS", "HIPBLAS_STATUS_SUCCESS"},
+    {"CUBLAS_STATUS_NOT_INITIALIZED", "HIPBLAS_STATUS_NOT_INITIALIZED"},
+    {"CUBLAS_STATUS_ALLOC_FAILED", "HIPBLAS_STATUS_ALLOC_FAILED"},
+    {"CUBLAS_STATUS_INVALID_VALUE", "HIPBLAS_STATUS_INVALID_VALUE"},
+    {"CUBLAS_STATUS_EXECUTION_FAILED", "HIPBLAS_STATUS_EXECUTION_FAILED"},
+    {"cublasOperation_t", "hipblasOperation_t"},
+    {"CUBLAS_OP_N", "HIPBLAS_OP_N"},
+    {"CUBLAS_OP_T", "HIPBLAS_OP_T"},
+    {"CUBLAS_OP_C", "HIPBLAS_OP_C"},
+    {"cublasSgemv", "hipblasSgemv"},
+    {"cublasDgemv", "hipblasDgemv"},
+    {"cublasCgemv", "hipblasCgemv"},
+    {"cublasZgemv", "hipblasZgemv"},
+    {"cublasSgemvStridedBatched", "hipblasSgemvStridedBatched"},
+    {"cublasDgemvStridedBatched", "hipblasDgemvStridedBatched"},
+    {"cublasCgemvStridedBatched", "hipblasCgemvStridedBatched"},
+    {"cublasZgemvStridedBatched", "hipblasZgemvStridedBatched"},
+    {"cublasSgemm", "hipblasSgemm"},
+    {"cublasDgemm", "hipblasDgemm"},
+    {"cublasCgemm", "hipblasCgemm"},
+    {"cublasZgemm", "hipblasZgemm"},
+    {"cublasSgemmStridedBatched", "hipblasSgemmStridedBatched"},
+    {"cublasDgemmStridedBatched", "hipblasDgemmStridedBatched"},
+    {"cublasSaxpy", "hipblasSaxpy"},
+    {"cublasDaxpy", "hipblasDaxpy"},
+    {"cublasZaxpy", "hipblasZaxpy"},
+    {"cublasSscal", "hipblasSscal"},
+    {"cublasDscal", "hipblasDscal"},
+    {"cublasZdscal", "hipblasZdscal"},
+    {"cublasSdot", "hipblasSdot"},
+    {"cublasDdot", "hipblasDdot"},
+    {"cublasZdotc", "hipblasZdotc"},
+    {"cublasSnrm2", "hipblasSnrm2"},
+    {"cublasDnrm2", "hipblasDnrm2"},
+    {"cublasDznrm2", "hipblasDznrm2"},
+    {"cublasDgeam", "hipblasDgeam"},
+    {"cublasZgeam", "hipblasZgeam"},
+    {"cublasPointerMode_t", "hipblasPointerMode_t"},
+    {"CUBLAS_POINTER_MODE_HOST", "HIPBLAS_POINTER_MODE_HOST"},
+    {"CUBLAS_POINTER_MODE_DEVICE", "HIPBLAS_POINTER_MODE_DEVICE"},
+};
+
+// --- cuFFT -> hipFFT -----------------------------------------------------
+constexpr Pair kFft[] = {
+    {"cufftHandle", "hipfftHandle"},
+    {"cufftResult", "hipfftResult"},
+    {"CUFFT_SUCCESS", "HIPFFT_SUCCESS"},
+    {"CUFFT_ALLOC_FAILED", "HIPFFT_ALLOC_FAILED"},
+    {"CUFFT_INVALID_PLAN", "HIPFFT_INVALID_PLAN"},
+    {"CUFFT_INVALID_VALUE", "HIPFFT_INVALID_VALUE"},
+    {"CUFFT_INTERNAL_ERROR", "HIPFFT_INTERNAL_ERROR"},
+    {"CUFFT_EXEC_FAILED", "HIPFFT_EXEC_FAILED"},
+    {"cufftType", "hipfftType"},
+    {"CUFFT_R2C", "HIPFFT_R2C"},
+    {"CUFFT_C2R", "HIPFFT_C2R"},
+    {"CUFFT_C2C", "HIPFFT_C2C"},
+    {"CUFFT_D2Z", "HIPFFT_D2Z"},
+    {"CUFFT_Z2D", "HIPFFT_Z2D"},
+    {"CUFFT_Z2Z", "HIPFFT_Z2Z"},
+    {"CUFFT_FORWARD", "HIPFFT_FORWARD"},
+    {"CUFFT_INVERSE", "HIPFFT_BACKWARD"},
+    {"cufftPlan1d", "hipfftPlan1d"},
+    {"cufftPlan2d", "hipfftPlan2d"},
+    {"cufftPlan3d", "hipfftPlan3d"},
+    {"cufftPlanMany", "hipfftPlanMany"},
+    {"cufftMakePlanMany", "hipfftMakePlanMany"},
+    {"cufftCreate", "hipfftCreate"},
+    {"cufftDestroy", "hipfftDestroy"},
+    {"cufftSetStream", "hipfftSetStream"},
+    {"cufftSetAutoAllocation", "hipfftSetAutoAllocation"},
+    {"cufftSetWorkArea", "hipfftSetWorkArea"},
+    {"cufftGetSize", "hipfftGetSize"},
+    {"cufftEstimateMany", "hipfftEstimateMany"},
+    {"cufftExecR2C", "hipfftExecR2C"},
+    {"cufftExecC2R", "hipfftExecC2R"},
+    {"cufftExecC2C", "hipfftExecC2C"},
+    {"cufftExecD2Z", "hipfftExecD2Z"},
+    {"cufftExecZ2D", "hipfftExecZ2D"},
+    {"cufftExecZ2Z", "hipfftExecZ2Z"},
+    {"cufftReal", "hipfftReal"},
+    {"cufftDoubleReal", "hipfftDoubleReal"},
+    {"cufftComplex", "hipfftComplex"},
+    {"cufftDoubleComplex", "hipfftDoubleComplex"},
+};
+
+// --- complex, half, rand, sparse, misc -----------------------------------
+constexpr Pair kMisc[] = {
+    {"cuComplex", "hipFloatComplex"},
+    {"cuFloatComplex", "hipFloatComplex"},
+    {"cuDoubleComplex", "hipDoubleComplex"},
+    {"make_cuComplex", "make_hipFloatComplex"},
+    {"make_cuFloatComplex", "make_hipFloatComplex"},
+    {"make_cuDoubleComplex", "make_hipDoubleComplex"},
+    {"cuCreal", "hipCreal"},
+    {"cuCimag", "hipCimag"},
+    {"cuCrealf", "hipCrealf"},
+    {"cuCimagf", "hipCimagf"},
+    {"cuCadd", "hipCadd"},
+    {"cuCmul", "hipCmul"},
+    {"cuCfma", "hipCfma"},
+    {"cuConj", "hipConj"},
+    {"__half", "__half"},
+    {"__half2", "__half2"},
+    {"curandGenerator_t", "hiprandGenerator_t"},
+    {"curandCreateGenerator", "hiprandCreateGenerator"},
+    {"curandDestroyGenerator", "hiprandDestroyGenerator"},
+    {"curandGenerateUniformDouble", "hiprandGenerateUniformDouble"},
+    {"curandGenerateNormalDouble", "hiprandGenerateNormalDouble"},
+    {"curandSetPseudoRandomGeneratorSeed", "hiprandSetPseudoRandomGeneratorSeed"},
+    {"CURAND_RNG_PSEUDO_DEFAULT", "HIPRAND_RNG_PSEUDO_DEFAULT"},
+    {"cusparseHandle_t", "hipsparseHandle_t"},
+    {"cusparseCreate", "hipsparseCreate"},
+    {"cusparseDestroy", "hipsparseDestroy"},
+    {"cudaCpuDeviceId", "hipCpuDeviceId"},
+    // The demo dialect macros (compat headers in this repository).
+    {"FFTMV_CUDA_CHECK", "FFTMV_HIP_CHECK"},
+    {"FFTMV_CUDA_LAUNCH", "FFTMV_HIP_LAUNCH"},
+};
+
+// cuTENSOR (v2) has no hipTensor equivalent for the complex
+// permutation functionality FFTMatvec used (paper §3.1); these are
+// reported as unsupported.
+constexpr const char* kUnsupported[] = {
+    "cutensorHandle_t",   "cutensorCreate",          "cutensorDestroy",
+    "cutensorPermute",    "cutensorCreatePermutation", "cutensorTensorDescriptor_t",
+    "cutensorCreateTensorDescriptor", "cutensorOperationDescriptor_t",
+    "cutensorPlan_t",     "cutensorCreatePlan",      "cutensorElementwiseBinaryExecute",
+};
+
+constexpr Pair kHeaders[] = {
+    {"cuda_runtime.h", "hip/hip_runtime.h"},
+    {"cuda_runtime_api.h", "hip/hip_runtime_api.h"},
+    {"cuda.h", "hip/hip_runtime.h"},
+    {"cuda_fp16.h", "hip/hip_fp16.h"},
+    {"cuComplex.h", "hip/hip_complex.h"},
+    {"cublas_v2.h", "hipblas/hipblas.h"},
+    {"cublas.h", "hipblas/hipblas.h"},
+    {"cufft.h", "hipfft/hipfft.h"},
+    {"curand.h", "hiprand/hiprand.h"},
+    {"cusparse.h", "hipsparse/hipsparse.h"},
+    {"cusolverDn.h", "hipsolver/hipsolver.h"},
+    {"nccl.h", "rccl/rccl.h"},
+    {"cub/cub.cuh", "hipcub/hipcub.hpp"},
+    {"cooperative_groups.h", "hip/hip_cooperative_groups.h"},
+    {"cutensor.h", "cutensor.h"},  // unsupported; flagged separately
+    // The demo dialect headers (this repository's simulated runtime).
+    {"hipify/cuda_compat.hpp", "hipify/hip_compat.hpp"},
+};
+
+RuleSet build_rules() {
+  RuleSet rules;
+  auto add_all = [&rules](const Pair* pairs, std::size_t n) {
+    for (std::size_t i = 0; i < n; ++i) {
+      rules.identifiers.emplace(pairs[i].cuda, pairs[i].hip);
+    }
+  };
+  add_all(kRuntime, std::size(kRuntime));
+  add_all(kBlas, std::size(kBlas));
+  add_all(kFft, std::size(kFft));
+  add_all(kMisc, std::size(kMisc));
+  for (const auto& h : kHeaders) rules.headers.emplace(h.cuda, h.hip);
+  for (const char* u : kUnsupported) rules.unsupported.emplace(u);
+  return rules;
+}
+
+}  // namespace
+
+const RuleSet& RuleSet::builtin() {
+  static const RuleSet rules = build_rules();
+  return rules;
+}
+
+std::size_t builtin_rule_count() { return RuleSet::builtin().identifiers.size(); }
+
+}  // namespace fftmv::hipify

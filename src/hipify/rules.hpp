@@ -1,0 +1,33 @@
+// Translation rule tables for the mini hipify tool.
+//
+// Mirrors the structure of AMD's hipify-perl (paper §3.1): a
+// find-and-replace dictionary of CUDA identifiers, a header-path
+// dictionary, and a list of APIs with no HIP counterpart (the paper's
+// example: cuTENSOR v2 complex permutations), which are reported and
+// — unless the user overrides — turned into "Not Supported" errors.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace fftmv::hipify {
+
+struct RuleSet {
+  /// Identifier -> identifier (word-boundary matched).
+  std::unordered_map<std::string, std::string> identifiers;
+  /// Include path -> include path (matched inside #include lines).
+  std::unordered_map<std::string, std::string> headers;
+  /// Identifiers with no HIP equivalent.
+  std::unordered_set<std::string> unsupported;
+
+  /// The default rules: CUDA runtime, cuBLAS, cuFFT, cuRAND,
+  /// cuSPARSE, NCCL, complex types, and the cuTENSOR unsupported set.
+  static const RuleSet& builtin();
+};
+
+/// Number of identifier rules in the builtin set (exposed for tests).
+std::size_t builtin_rule_count();
+
+}  // namespace fftmv::hipify

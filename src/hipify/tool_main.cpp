@@ -1,0 +1,84 @@
+// hipify-mini: the command-line front end used by the on-the-fly
+// build integration (cmake/FftmvHipify.cmake), mirroring how the
+// paper wires hipify-perl into CMake so that "recompilation
+// automatically triggers re-hipification of the modified source
+// files" (§3.1).
+//
+// Usage: hipify-mini [-o out.hip.cpp] [--keep-unsupported]
+//                    [--no-launch-conversion] input.cu[.cpp]
+// Exit status: 0 on clean translation, 2 when unsupported APIs were
+// found (they are turned into #error lines unless
+// --keep-unsupported), 1 on usage/I-O errors.
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "hipify/hipify.hpp"
+
+namespace {
+
+int usage() {
+  std::cerr << "usage: hipify-mini [-o OUTPUT] [--keep-unsupported]"
+               " [--no-launch-conversion] INPUT\n";
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string input_path, output_path;
+  fftmv::hipify::Options options;
+
+  std::vector<std::string> args(argv + 1, argv + argc);
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& a = args[i];
+    if (a == "-o") {
+      if (i + 1 >= args.size()) return usage();
+      output_path = args[++i];
+    } else if (a == "--keep-unsupported") {
+      options.error_on_unsupported = false;
+    } else if (a == "--no-launch-conversion") {
+      options.convert_kernel_launches = false;
+    } else if (!a.empty() && a[0] == '-') {
+      return usage();
+    } else if (input_path.empty()) {
+      input_path = a;
+    } else {
+      return usage();
+    }
+  }
+  if (input_path.empty()) return usage();
+
+  std::ifstream in(input_path);
+  if (!in) {
+    std::cerr << "hipify-mini: cannot open " << input_path << "\n";
+    return 1;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+
+  const auto result = fftmv::hipify::translate(buf.str(), options);
+
+  for (const auto& w : result.warnings) {
+    std::cerr << "hipify-mini: warning: " << w << "\n";
+  }
+  for (const auto& u : result.unsupported) {
+    std::cerr << "hipify-mini: NOT SUPPORTED: " << u << "\n";
+  }
+
+  if (output_path.empty()) {
+    std::cout << result.text;
+  } else {
+    std::ofstream out(output_path);
+    if (!out) {
+      std::cerr << "hipify-mini: cannot write " << output_path << "\n";
+      return 1;
+    }
+    out << result.text;
+  }
+  std::cerr << "hipify-mini: " << result.replacements << " replacements, "
+            << result.launches_converted << " kernel launches converted\n";
+  return result.clean() ? 0 : 2;
+}

@@ -1,0 +1,88 @@
+// Minimal dense symmetric linear algebra for the small data-space
+// systems of the Bayesian layer: Cholesky factorisation, solves, and
+// log-determinants.  Data-space dimensions are N_d * N_t (small by
+// construction, N_d << N_m), so O(n^3) is acceptable here.
+#pragma once
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace fftmv::inverse {
+
+/// Row-major n x n symmetric positive definite matrix utilities.
+class DenseSpd {
+ public:
+  DenseSpd(index_t n, std::vector<double> data) : n_(n), a_(std::move(data)) {
+    if (static_cast<index_t>(a_.size()) != n * n) {
+      throw std::invalid_argument("DenseSpd: extent mismatch");
+    }
+  }
+
+  index_t size() const { return n_; }
+  double operator()(index_t i, index_t j) const {
+    return a_[static_cast<std::size_t>(i * n_ + j)];
+  }
+
+  /// Lower Cholesky factor; throws std::domain_error when the matrix
+  /// is not positive definite.
+  static std::vector<double> cholesky(index_t n, const std::vector<double>& a) {
+    std::vector<double> l(static_cast<std::size_t>(n * n), 0.0);
+    for (index_t i = 0; i < n; ++i) {
+      for (index_t j = 0; j <= i; ++j) {
+        double sum = a[static_cast<std::size_t>(i * n + j)];
+        for (index_t k = 0; k < j; ++k) {
+          sum -= l[static_cast<std::size_t>(i * n + k)] *
+                 l[static_cast<std::size_t>(j * n + k)];
+        }
+        if (i == j) {
+          if (sum <= 0.0) throw std::domain_error("DenseSpd: not positive definite");
+          l[static_cast<std::size_t>(i * n + j)] = std::sqrt(sum);
+        } else {
+          l[static_cast<std::size_t>(i * n + j)] =
+              sum / l[static_cast<std::size_t>(j * n + j)];
+        }
+      }
+    }
+    return l;
+  }
+
+  /// log det(A) via Cholesky.
+  static double log_det(index_t n, const std::vector<double>& a) {
+    const auto l = cholesky(n, a);
+    double acc = 0.0;
+    for (index_t i = 0; i < n; ++i) {
+      acc += std::log(l[static_cast<std::size_t>(i * n + i)]);
+    }
+    return 2.0 * acc;
+  }
+
+  /// Solve A x = b via Cholesky (b overwritten with x).
+  static void solve(index_t n, const std::vector<double>& a, double* b) {
+    const auto l = cholesky(n, a);
+    // L y = b
+    for (index_t i = 0; i < n; ++i) {
+      double sum = b[i];
+      for (index_t k = 0; k < i; ++k) {
+        sum -= l[static_cast<std::size_t>(i * n + k)] * b[k];
+      }
+      b[i] = sum / l[static_cast<std::size_t>(i * n + i)];
+    }
+    // L^T x = y
+    for (index_t i = n - 1; i >= 0; --i) {
+      double sum = b[i];
+      for (index_t k = i + 1; k < n; ++k) {
+        sum -= l[static_cast<std::size_t>(k * n + i)] * b[k];
+      }
+      b[i] = sum / l[static_cast<std::size_t>(i * n + i)];
+    }
+  }
+
+ private:
+  index_t n_;
+  std::vector<double> a_;
+};
+
+}  // namespace fftmv::inverse

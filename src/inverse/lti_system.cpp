@@ -1,0 +1,125 @@
+#include "inverse/lti_system.hpp"
+
+#include <stdexcept>
+
+namespace fftmv::inverse {
+
+namespace {
+
+/// Bands of M = I - dt*A for A = kappa*D2 - v*D1 (central
+/// differences, homogeneous Dirichlet boundaries).
+void build_stepper_bands(const LtiConfig& c, std::vector<double>& lower,
+                         std::vector<double>& diag, std::vector<double>& upper) {
+  const index_t n = c.n_x;
+  const double h = 1.0 / static_cast<double>(n + 1);
+  const double diffusive = c.diffusion / (h * h);
+  const double advective = c.velocity / (2.0 * h);
+  diag.assign(static_cast<std::size_t>(n), 1.0 + 2.0 * c.dt * diffusive);
+  lower.assign(static_cast<std::size_t>(n - 1), -c.dt * (diffusive + advective));
+  upper.assign(static_cast<std::size_t>(n - 1), -c.dt * (diffusive - advective));
+}
+
+TridiagonalSolver make_stepper(const LtiConfig& c) {
+  std::vector<double> lower, diag, upper;
+  build_stepper_bands(c, lower, diag, upper);
+  return TridiagonalSolver(std::move(lower), std::move(diag), std::move(upper));
+}
+
+}  // namespace
+
+LtiConfig LtiConfig::with_uniform_sensors(index_t n_x, index_t n_t, index_t n_d) {
+  LtiConfig c;
+  c.n_x = n_x;
+  c.n_t = n_t;
+  c.sensors.resize(static_cast<std::size_t>(n_d));
+  for (index_t s = 0; s < n_d; ++s) {
+    c.sensors[static_cast<std::size_t>(s)] = (s + 1) * n_x / (n_d + 1);
+  }
+  return c;
+}
+
+AdvectionDiffusion1D::AdvectionDiffusion1D(LtiConfig config)
+    : config_(std::move(config)),
+      stepper_(make_stepper(config_)),
+      stepper_adjoint_(TridiagonalSolver::transpose_of(stepper_)) {
+  if (config_.n_x < 2 || config_.n_t < 1) {
+    throw std::invalid_argument("AdvectionDiffusion1D: n_x >= 2, n_t >= 1 required");
+  }
+  for (index_t s : config_.sensors) {
+    if (s < 0 || s >= config_.n_x) {
+      throw std::invalid_argument("AdvectionDiffusion1D: sensor index out of range");
+    }
+  }
+  if (config_.sensors.empty()) {
+    throw std::invalid_argument("AdvectionDiffusion1D: at least one sensor required");
+  }
+}
+
+void AdvectionDiffusion1D::apply_p2o(std::span<const double> m,
+                                     std::span<double> d) const {
+  const index_t nx = config_.n_x;
+  const index_t nt = config_.n_t;
+  const index_t nd = config_.n_d();
+  if (static_cast<index_t>(m.size()) != nt * nx ||
+      static_cast<index_t>(d.size()) != nt * nd) {
+    throw std::invalid_argument("apply_p2o: extent mismatch");
+  }
+  std::vector<double> u(static_cast<std::size_t>(nx), 0.0);
+  for (index_t t = 0; t < nt; ++t) {
+    const double* mt = m.data() + t * nx;
+    for (index_t i = 0; i < nx; ++i) u[static_cast<std::size_t>(i)] += config_.dt * mt[i];
+    stepper_.solve(u.data());
+    double* dt_out = d.data() + t * nd;
+    for (index_t s = 0; s < nd; ++s) {
+      dt_out[s] = u[static_cast<std::size_t>(config_.sensors[static_cast<std::size_t>(s)])];
+    }
+  }
+}
+
+void AdvectionDiffusion1D::apply_p2o_adjoint(std::span<const double> d,
+                                             std::span<double> m) const {
+  const index_t nx = config_.n_x;
+  const index_t nt = config_.n_t;
+  const index_t nd = config_.n_d();
+  if (static_cast<index_t>(d.size()) != nt * nd ||
+      static_cast<index_t>(m.size()) != nt * nx) {
+    throw std::invalid_argument("apply_p2o_adjoint: extent mismatch");
+  }
+  std::vector<double> lambda(static_cast<std::size_t>(nx), 0.0);
+  for (index_t t = nt - 1; t >= 0; --t) {
+    const double* dt_in = d.data() + t * nd;
+    for (index_t s = 0; s < nd; ++s) {
+      lambda[static_cast<std::size_t>(config_.sensors[static_cast<std::size_t>(s)])] +=
+          dt_in[s];
+    }
+    stepper_adjoint_.solve(lambda.data());
+    double* mt = m.data() + t * nx;
+    for (index_t i = 0; i < nx; ++i) {
+      mt[i] = config_.dt * lambda[static_cast<std::size_t>(i)];
+    }
+  }
+}
+
+std::vector<double> AdvectionDiffusion1D::first_block_column() const {
+  const index_t nx = config_.n_x;
+  const index_t nt = config_.n_t;
+  const index_t nd = config_.n_d();
+  std::vector<double> col(static_cast<std::size_t>(nt * nd * nx));
+  // One adjoint sweep per sensor: w <- M^{-T} w starting from the
+  // sensor indicator; lag-t block row s is dt * w after t+1 solves.
+  std::vector<double> w(static_cast<std::size_t>(nx));
+  for (index_t s = 0; s < nd; ++s) {
+    std::fill(w.begin(), w.end(), 0.0);
+    w[static_cast<std::size_t>(config_.sensors[static_cast<std::size_t>(s)])] = 1.0;
+    for (index_t t = 0; t < nt; ++t) {
+      stepper_adjoint_.solve(w.data());
+      double* block_row = col.data() + t * nd * nx + s * nx;
+      for (index_t k = 0; k < nx; ++k) {
+        block_row[k] = config_.dt * w[static_cast<std::size_t>(k)];
+      }
+    }
+  }
+  return col;
+}
+
+}  // namespace fftmv::inverse

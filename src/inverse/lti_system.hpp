@@ -1,0 +1,67 @@
+// Linear time-invariant PDE substrate (paper §2.1).
+//
+// A 1-D advection-diffusion equation on [0, 1] with homogeneous
+// Dirichlet boundaries,
+//
+//   du/dt = kappa u_xx - v u_x + m(x, t),    d = B u,
+//
+// discretised by second-order finite differences in space and
+// implicit Euler in time.  The parameter m is the distributed source;
+// B samples the state at the sensor locations.  Because the system is
+// autonomous, the discrete parameter-to-observable map F is block
+// lower-triangular Toeplitz, and its first block column is computed
+// with only N_d *adjoint* time-stepping sweeps (paper §2.4: "it can
+// be computed via only N_d (number of sensors) adjoint PDE
+// solutions").
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "inverse/tridiagonal.hpp"
+#include "util/types.hpp"
+
+namespace fftmv::inverse {
+
+struct LtiConfig {
+  index_t n_x = 128;        ///< spatial grid points (= N_m)
+  index_t n_t = 64;         ///< time steps
+  double diffusion = 5e-3;  ///< kappa
+  double velocity = 0.4;    ///< v
+  double dt = 5e-3;
+  std::vector<index_t> sensors;  ///< grid indices observed by B
+
+  index_t n_m() const { return n_x; }
+  index_t n_d() const { return static_cast<index_t>(sensors.size()); }
+
+  /// n_d sensors spread evenly across the interior.
+  static LtiConfig with_uniform_sensors(index_t n_x, index_t n_t, index_t n_d);
+};
+
+class AdvectionDiffusion1D {
+ public:
+  explicit AdvectionDiffusion1D(LtiConfig config);
+
+  const LtiConfig& config() const { return config_; }
+
+  /// Ground-truth p2o application by time stepping: m is TOSI
+  /// (n_t x n_m), d is TOSI (n_t x n_d).  The state starts at zero;
+  /// observations are taken after each step.
+  void apply_p2o(std::span<const double> m, std::span<double> d) const;
+
+  /// Adjoint p2o application by reverse time stepping (for
+  /// adjoint-consistency tests).
+  void apply_p2o_adjoint(std::span<const double> d, std::span<double> m) const;
+
+  /// First block column of the discrete p2o map, time-outer
+  /// (n_t, n_d, n_m) — the input to BlockToeplitzOperator.  Computed
+  /// with n_d adjoint sweeps.
+  std::vector<double> first_block_column() const;
+
+ private:
+  LtiConfig config_;
+  TridiagonalSolver stepper_;          // (I - dt A)
+  TridiagonalSolver stepper_adjoint_;  // (I - dt A)^T
+};
+
+}  // namespace fftmv::inverse

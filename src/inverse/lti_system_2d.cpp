@@ -1,0 +1,166 @@
+#include "inverse/lti_system_2d.hpp"
+
+#include <stdexcept>
+
+namespace fftmv::inverse {
+
+namespace {
+
+/// (I - dt*(kappa D2 - v D1)) bands for one direction with n interior
+/// points and spacing h.
+TridiagonalSolver make_directional_solver(index_t n, double kappa, double v,
+                                          double dt) {
+  const double h = 1.0 / static_cast<double>(n + 1);
+  const double diff = kappa / (h * h);
+  const double adv = v / (2.0 * h);
+  return TridiagonalSolver(
+      std::vector<double>(static_cast<std::size_t>(n - 1), -dt * (diff + adv)),
+      std::vector<double>(static_cast<std::size_t>(n), 1.0 + 2.0 * dt * diff),
+      std::vector<double>(static_cast<std::size_t>(n - 1), -dt * (diff - adv)));
+}
+
+}  // namespace
+
+Lti2dConfig Lti2dConfig::with_lattice_sensors(index_t n_x, index_t n_y,
+                                              index_t n_t, index_t n_d) {
+  Lti2dConfig c;
+  c.n_x = n_x;
+  c.n_y = n_y;
+  c.n_t = n_t;
+  // Spread sensors on a near-square sub-lattice of the interior.
+  index_t per_side = 1;
+  while (per_side * per_side < n_d) ++per_side;
+  c.sensors.reserve(static_cast<std::size_t>(n_d));
+  for (index_t k = 0; k < n_d; ++k) {
+    const index_t gx = k % per_side;
+    const index_t gy = k / per_side;
+    const index_t ix = (gx + 1) * n_x / (per_side + 1);
+    const index_t iy = (gy + 1) * n_y / (per_side + 1);
+    c.sensors.push_back(iy * n_x + ix);
+  }
+  return c;
+}
+
+AdvectionDiffusion2D::AdvectionDiffusion2D(Lti2dConfig config)
+    : config_(std::move(config)),
+      x_solver_(make_directional_solver(config_.n_x, config_.diffusion,
+                                        config_.velocity_x, config_.dt)),
+      y_solver_(make_directional_solver(config_.n_y, config_.diffusion,
+                                        config_.velocity_y, config_.dt)),
+      x_solver_adj_(TridiagonalSolver::transpose_of(x_solver_)),
+      y_solver_adj_(TridiagonalSolver::transpose_of(y_solver_)),
+      scratch_(static_cast<std::size_t>(std::max(config_.n_x, config_.n_y))) {
+  if (config_.n_x < 2 || config_.n_y < 2 || config_.n_t < 1) {
+    throw std::invalid_argument("AdvectionDiffusion2D: grid too small");
+  }
+  if (config_.sensors.empty()) {
+    throw std::invalid_argument("AdvectionDiffusion2D: at least one sensor required");
+  }
+  for (index_t s : config_.sensors) {
+    if (s < 0 || s >= config_.n_m()) {
+      throw std::invalid_argument("AdvectionDiffusion2D: sensor index out of range");
+    }
+  }
+}
+
+void AdvectionDiffusion2D::step(std::vector<double>& u) const {
+  const index_t nx = config_.n_x, ny = config_.n_y;
+  // x sweeps: one tridiagonal solve per grid row (contiguous).
+  for (index_t iy = 0; iy < ny; ++iy) {
+    x_solver_.solve(u.data() + iy * nx);
+  }
+  // y sweeps: gather a column, solve, scatter back.
+  for (index_t ix = 0; ix < nx; ++ix) {
+    for (index_t iy = 0; iy < ny; ++iy) {
+      scratch_[static_cast<std::size_t>(iy)] = u[static_cast<std::size_t>(iy * nx + ix)];
+    }
+    y_solver_.solve(scratch_.data());
+    for (index_t iy = 0; iy < ny; ++iy) {
+      u[static_cast<std::size_t>(iy * nx + ix)] = scratch_[static_cast<std::size_t>(iy)];
+    }
+  }
+}
+
+void AdvectionDiffusion2D::step_adjoint(std::vector<double>& w) const {
+  const index_t nx = config_.n_x, ny = config_.n_y;
+  // Adjoint reverses the sweep order: y^T first, then x^T.
+  for (index_t ix = 0; ix < nx; ++ix) {
+    for (index_t iy = 0; iy < ny; ++iy) {
+      scratch_[static_cast<std::size_t>(iy)] = w[static_cast<std::size_t>(iy * nx + ix)];
+    }
+    y_solver_adj_.solve(scratch_.data());
+    for (index_t iy = 0; iy < ny; ++iy) {
+      w[static_cast<std::size_t>(iy * nx + ix)] = scratch_[static_cast<std::size_t>(iy)];
+    }
+  }
+  for (index_t iy = 0; iy < ny; ++iy) {
+    x_solver_adj_.solve(w.data() + iy * nx);
+  }
+}
+
+void AdvectionDiffusion2D::apply_p2o(std::span<const double> m,
+                                     std::span<double> d) const {
+  const index_t nm = config_.n_m();
+  const index_t nt = config_.n_t;
+  const index_t nd = config_.n_d();
+  if (static_cast<index_t>(m.size()) != nt * nm ||
+      static_cast<index_t>(d.size()) != nt * nd) {
+    throw std::invalid_argument("apply_p2o: extent mismatch");
+  }
+  std::vector<double> u(static_cast<std::size_t>(nm), 0.0);
+  for (index_t t = 0; t < nt; ++t) {
+    const double* mt = m.data() + t * nm;
+    for (index_t i = 0; i < nm; ++i) u[static_cast<std::size_t>(i)] += config_.dt * mt[i];
+    step(u);
+    double* dt_out = d.data() + t * nd;
+    for (index_t s = 0; s < nd; ++s) {
+      dt_out[s] = u[static_cast<std::size_t>(config_.sensors[static_cast<std::size_t>(s)])];
+    }
+  }
+}
+
+void AdvectionDiffusion2D::apply_p2o_adjoint(std::span<const double> d,
+                                             std::span<double> m) const {
+  const index_t nm = config_.n_m();
+  const index_t nt = config_.n_t;
+  const index_t nd = config_.n_d();
+  if (static_cast<index_t>(d.size()) != nt * nd ||
+      static_cast<index_t>(m.size()) != nt * nm) {
+    throw std::invalid_argument("apply_p2o_adjoint: extent mismatch");
+  }
+  std::vector<double> lambda(static_cast<std::size_t>(nm), 0.0);
+  for (index_t t = nt - 1; t >= 0; --t) {
+    const double* dt_in = d.data() + t * nd;
+    for (index_t s = 0; s < nd; ++s) {
+      lambda[static_cast<std::size_t>(config_.sensors[static_cast<std::size_t>(s)])] +=
+          dt_in[s];
+    }
+    step_adjoint(lambda);
+    double* mt = m.data() + t * nm;
+    for (index_t i = 0; i < nm; ++i) {
+      mt[i] = config_.dt * lambda[static_cast<std::size_t>(i)];
+    }
+  }
+}
+
+std::vector<double> AdvectionDiffusion2D::first_block_column() const {
+  const index_t nm = config_.n_m();
+  const index_t nt = config_.n_t;
+  const index_t nd = config_.n_d();
+  std::vector<double> col(static_cast<std::size_t>(nt * nd * nm));
+  std::vector<double> w(static_cast<std::size_t>(nm));
+  for (index_t s = 0; s < nd; ++s) {
+    std::fill(w.begin(), w.end(), 0.0);
+    w[static_cast<std::size_t>(config_.sensors[static_cast<std::size_t>(s)])] = 1.0;
+    for (index_t t = 0; t < nt; ++t) {
+      step_adjoint(w);
+      double* block_row = col.data() + t * nd * nm + s * nm;
+      for (index_t k = 0; k < nm; ++k) {
+        block_row[k] = config_.dt * w[static_cast<std::size_t>(k)];
+      }
+    }
+  }
+  return col;
+}
+
+}  // namespace fftmv::inverse

@@ -1,0 +1,80 @@
+// Tridiagonal (Thomas) solver used by the 1-D LTI PDE substrate.
+#pragma once
+
+#include <stdexcept>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace fftmv::inverse {
+
+/// Prefactored tridiagonal system A x = b with A given by (lower,
+/// diag, upper) bands.  The factorisation is computed once; solves
+/// are O(n) — the per-time-step cost of the implicit Euler stepper.
+/// For the adjoint stepper construct a second solver with the lower
+/// and upper bands swapped (A^T).
+class TridiagonalSolver {
+ public:
+  TridiagonalSolver(std::vector<double> lower, std::vector<double> diag,
+                    std::vector<double> upper)
+      : lower_(std::move(lower)), diag_(std::move(diag)), upper_(std::move(upper)) {
+    const auto n = static_cast<index_t>(diag_.size());
+    if (static_cast<index_t>(lower_.size()) != n - 1 ||
+        static_cast<index_t>(upper_.size()) != n - 1 || n < 1) {
+      throw std::invalid_argument("TridiagonalSolver: band extents inconsistent");
+    }
+    // Thomas factorisation (no pivoting: the implicit-Euler matrices
+    // are strictly diagonally dominant).
+    cprime_.resize(static_cast<std::size_t>(n > 1 ? n - 1 : 0));
+    dfactor_.resize(static_cast<std::size_t>(n));
+    dfactor_[0] = diag_[0];
+    if (dfactor_[0] == 0.0) throw std::invalid_argument("singular tridiagonal matrix");
+    for (index_t i = 1; i < n; ++i) {
+      const std::size_t si = static_cast<std::size_t>(i);
+      cprime_[si - 1] = upper_[si - 1] / dfactor_[si - 1];
+      dfactor_[si] = diag_[si] - lower_[si - 1] * cprime_[si - 1];
+      if (dfactor_[si] == 0.0) {
+        throw std::invalid_argument("singular tridiagonal matrix");
+      }
+    }
+  }
+
+  /// Convenience: build the solver for A^T.
+  static TridiagonalSolver transpose_of(const TridiagonalSolver& a) {
+    return TridiagonalSolver(a.upper_, a.diag_, a.lower_);
+  }
+
+  index_t size() const { return static_cast<index_t>(diag_.size()); }
+
+  /// Solve A x = b in place (x holds b on entry, the solution on
+  /// exit).
+  void solve(double* x) const {
+    const index_t n = size();
+    x[0] /= dfactor_[0];
+    for (index_t i = 1; i < n; ++i) {
+      const std::size_t si = static_cast<std::size_t>(i);
+      x[i] = (x[i] - lower_[si - 1] * x[i - 1]) / dfactor_[si];
+    }
+    for (index_t i = n - 2; i >= 0; --i) {
+      x[i] -= cprime_[static_cast<std::size_t>(i)] * x[i + 1];
+    }
+  }
+
+  /// y = A x (used by tests to verify the factorisation).
+  void multiply(const double* x, double* y) const {
+    const index_t n = size();
+    for (index_t i = 0; i < n; ++i) {
+      const std::size_t si = static_cast<std::size_t>(i);
+      double acc = diag_[si] * x[i];
+      if (i > 0) acc += lower_[si - 1] * x[i - 1];
+      if (i + 1 < n) acc += upper_[si] * x[i + 1];
+      y[i] = acc;
+    }
+  }
+
+ private:
+  std::vector<double> lower_, diag_, upper_;
+  std::vector<double> cprime_, dfactor_;
+};
+
+}  // namespace fftmv::inverse

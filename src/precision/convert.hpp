@@ -1,0 +1,181 @@
+// Cast kernels and cast-fused memory operations (paper §3.2).
+//
+// "At all possible points, the casting kernels are fused with any
+// nearby memory operations (zero-padding, unpadding, etc.) to reduce
+// kernel launch latencies" — every kernel here reads in the source
+// precision and writes in the destination precision in a single
+// launch, so a precision change never costs an extra pass over
+// memory.  With S == D they degenerate to the plain memory op.
+#pragma once
+
+#include <algorithm>
+#include <complex>
+
+#include "device/stream.hpp"
+#include "util/math.hpp"
+#include "util/types.hpp"
+
+namespace fftmv::precision {
+
+/// static_cast between real scalars or between complex scalars of
+/// different component widths.
+template <class D, class S>
+constexpr D convert_scalar(const S& v) {
+  if constexpr (is_complex_v<S>) {
+    static_assert(is_complex_v<D>, "cannot convert complex to real");
+    using R = real_t<D>;
+    return D(static_cast<R>(v.real()), static_cast<R>(v.imag()));
+  } else {
+    static_assert(!is_complex_v<D>, "cannot convert real to complex");
+    return static_cast<D>(v);
+  }
+}
+
+namespace detail {
+
+template <class S, class D>
+device::KernelFootprint streaming_footprint(double count_in, double count_out) {
+  device::KernelFootprint fp;
+  fp.bytes_read = count_in * sizeof(S);
+  fp.bytes_written = count_out * sizeof(D);
+  // Memory ops run at the width of the wider involved precision for
+  // derate selection; traffic volume already reflects the mix.
+  fp.fp64_path = sizeof(real_t<S>) == 8 || sizeof(real_t<D>) == 8;
+  fp.vector_load_bytes = static_cast<int>(
+      std::min<std::size_t>(std::max(sizeof(S), sizeof(D)), 16));
+  fp.coalescing_efficiency = 0.85;
+  return fp;
+}
+
+inline device::LaunchGeometry grid1d(index_t n) {
+  return {.grid_x = util::ceil_div(n, index_t{4096}),
+          .grid_y = 1,
+          .grid_z = 1,
+          .block_threads = 256};
+}
+
+}  // namespace detail
+
+/// dst[i] = cast(src[i]).  The plain cast, used for the operator
+/// setup copy and the broadcast/output casts.
+template <class D, class S>
+device::KernelTiming convert_array(device::Stream& stream, const S* src, D* dst,
+                                   index_t n) {
+  const auto geom = detail::grid1d(n);
+  auto fp = detail::streaming_footprint<S, D>(static_cast<double>(n),
+                                              static_cast<double>(n));
+  return stream.launch(geom, fp, [=](index_t bx, index_t, index_t) {
+    const index_t begin = bx * 4096;
+    const index_t end = std::min(n, begin + 4096);
+    for (index_t i = begin; i < end; ++i) dst[i] = convert_scalar<D>(src[i]);
+  });
+}
+
+/// Phase-1 fused kernel: TOSI -> SOTI transpose + zero-pad + cast.
+///   src: time-outer (nt x ns) row-major, precision S
+///   dst: space-outer (ns x L) row-major, precision D;
+///        dst[s][t] = src[t][s] for t < nt, 0 for nt <= t < L.
+template <class D, class S>
+device::KernelTiming transpose_pad_cast(device::Stream& stream, const S* src,
+                                        D* dst, index_t nt, index_t ns,
+                                        index_t L) {
+  const index_t rows_per_block = 8;
+  const device::LaunchGeometry geom{.grid_x = util::ceil_div(ns, rows_per_block),
+                                    .grid_y = 1,
+                                    .grid_z = 1,
+                                    .block_threads = 256};
+  auto fp = detail::streaming_footprint<S, D>(
+      static_cast<double>(nt) * static_cast<double>(ns),
+      static_cast<double>(L) * static_cast<double>(ns));
+  return stream.launch(geom, fp, [=](index_t bx, index_t, index_t) {
+    const index_t s0 = bx * rows_per_block;
+    const index_t s1 = std::min(ns, s0 + rows_per_block);
+    for (index_t s = s0; s < s1; ++s) {
+      D* row = dst + s * L;
+      for (index_t t = 0; t < nt; ++t) row[t] = convert_scalar<D>(src[t * ns + s]);
+      for (index_t t = nt; t < L; ++t) row[t] = D{};
+    }
+  });
+}
+
+/// Row-wise zero-pad + cast without transpose: src (ns x nt) ->
+/// dst (ns x L).  Used in operator setup after the permutation
+/// kernel has already made the time sequences contiguous.
+template <class D, class S>
+device::KernelTiming pad_rows_cast(device::Stream& stream, const S* src, D* dst,
+                                   index_t nt, index_t ns, index_t L) {
+  const index_t rows_per_block = 8;
+  const device::LaunchGeometry geom{.grid_x = util::ceil_div(ns, rows_per_block),
+                                    .grid_y = 1,
+                                    .grid_z = 1,
+                                    .block_threads = 256};
+  auto fp = detail::streaming_footprint<S, D>(
+      static_cast<double>(nt) * static_cast<double>(ns),
+      static_cast<double>(L) * static_cast<double>(ns));
+  return stream.launch(geom, fp, [=](index_t bx, index_t, index_t) {
+    const index_t s0 = bx * rows_per_block;
+    const index_t s1 = std::min(ns, s0 + rows_per_block);
+    for (index_t s = s0; s < s1; ++s) {
+      const S* in_row = src + s * nt;
+      D* row = dst + s * L;
+      for (index_t t = 0; t < nt; ++t) row[t] = convert_scalar<D>(in_row[t]);
+      for (index_t t = nt; t < L; ++t) row[t] = D{};
+    }
+  });
+}
+
+/// Phase-5 fused kernel: unpad + SOTI -> TOSI transpose + cast.
+///   src: space-outer (ns x L) row-major, precision S
+///   dst: time-outer (nt x ns) row-major, precision D;
+///        dst[t][s] = src[s][t] for t < nt (padding tail dropped).
+template <class D, class S>
+device::KernelTiming unpad_transpose_cast(device::Stream& stream, const S* src,
+                                          D* dst, index_t nt, index_t ns,
+                                          index_t L) {
+  const index_t rows_per_block = 8;
+  const device::LaunchGeometry geom{.grid_x = util::ceil_div(ns, rows_per_block),
+                                    .grid_y = 1,
+                                    .grid_z = 1,
+                                    .block_threads = 256};
+  auto fp = detail::streaming_footprint<S, D>(
+      static_cast<double>(nt) * static_cast<double>(ns),
+      static_cast<double>(nt) * static_cast<double>(ns));
+  return stream.launch(geom, fp, [=](index_t bx, index_t, index_t) {
+    const index_t s0 = bx * rows_per_block;
+    const index_t s1 = std::min(ns, s0 + rows_per_block);
+    for (index_t s = s0; s < s1; ++s) {
+      const S* row = src + s * L;
+      for (index_t t = 0; t < nt; ++t) dst[t * ns + s] = convert_scalar<D>(row[t]);
+    }
+  });
+}
+
+/// Fourier-space reorder: (rows x cols) -> (cols x rows) transpose
+/// with cast; used for the SOTI<->TOSI moves around the SBGEMV.
+/// "All memory operations ... are performed in the lowest possible
+/// precision among the compute precisions of adjacent phases": the
+/// caller passes S = producer precision, D = consumer precision, and
+/// the traffic is S-read + D-write — no wider intermediate exists.
+template <class D, class S>
+device::KernelTiming transpose_cast(device::Stream& stream, const S* src, D* dst,
+                                    index_t rows, index_t cols) {
+  const index_t tile = 32;
+  const device::LaunchGeometry geom{.grid_x = util::ceil_div(cols, tile),
+                                    .grid_y = util::ceil_div(rows, tile),
+                                    .grid_z = 1,
+                                    .block_threads = 256};
+  auto fp = detail::streaming_footprint<S, D>(
+      static_cast<double>(rows) * static_cast<double>(cols),
+      static_cast<double>(rows) * static_cast<double>(cols));
+  return stream.launch(geom, fp, [=](index_t bx, index_t by, index_t) {
+    const index_t r0 = by * tile, r1 = std::min(rows, r0 + tile);
+    const index_t c0 = bx * tile, c1 = std::min(cols, c0 + tile);
+    for (index_t r = r0; r < r1; ++r) {
+      for (index_t c = c0; c < c1; ++c) {
+        dst[c * rows + r] = convert_scalar<D>(src[r * cols + c]);
+      }
+    }
+  });
+}
+
+}  // namespace fftmv::precision

@@ -1,0 +1,83 @@
+#include "precision/precision.hpp"
+
+#include <stdexcept>
+
+namespace fftmv::precision {
+
+const char* phase_name(int phase) {
+  switch (phase) {
+    case kPhasePad: return "Pad";
+    case kPhaseFft: return "FFT";
+    case kPhaseSbgemv: return "SBGEMV";
+    case kPhaseIfft: return "IFFT";
+    case kPhaseUnpad: return "Unpad";
+    default: return "?";
+  }
+}
+
+PrecisionConfig PrecisionConfig::parse(const std::string& text) {
+  if (text.size() != kNumPhases) {
+    throw std::invalid_argument(
+        "precision config must have exactly 5 characters (e.g. \"dssdd\"), got \"" +
+        text + "\"");
+  }
+  std::array<Precision, kNumPhases> phases{};
+  for (int i = 0; i < kNumPhases; ++i) {
+    const char c = text[static_cast<std::size_t>(i)];
+    if (c == 'd') {
+      phases[static_cast<std::size_t>(i)] = Precision::kDouble;
+    } else if (c == 's') {
+      phases[static_cast<std::size_t>(i)] = Precision::kSingle;
+    } else {
+      throw std::invalid_argument(
+          "precision config characters must be 'd' or 's', got \"" + text + "\"");
+    }
+  }
+  return PrecisionConfig(phases);
+}
+
+std::vector<PrecisionConfig> PrecisionConfig::all_configs() {
+  std::vector<PrecisionConfig> out;
+  out.reserve(32);
+  for (int mask = 0; mask < 32; ++mask) {
+    std::array<Precision, kNumPhases> phases{};
+    for (int i = 0; i < kNumPhases; ++i) {
+      // Bit set -> single; ordering makes "ddddd" first ("d" < "s").
+      phases[static_cast<std::size_t>(i)] =
+          (mask >> (kNumPhases - 1 - i)) & 1 ? Precision::kSingle
+                                             : Precision::kDouble;
+    }
+    out.emplace_back(phases);
+  }
+  return out;
+}
+
+bool PrecisionConfig::all_double() const {
+  for (auto p : phases_) {
+    if (p != Precision::kDouble) return false;
+  }
+  return true;
+}
+
+bool PrecisionConfig::all_single() const {
+  for (auto p : phases_) {
+    if (p != Precision::kSingle) return false;
+  }
+  return true;
+}
+
+int PrecisionConfig::single_count() const {
+  int count = 0;
+  for (auto p : phases_) count += (p == Precision::kSingle) ? 1 : 0;
+  return count;
+}
+
+std::string PrecisionConfig::to_string() const {
+  std::string s(kNumPhases, 'd');
+  for (int i = 0; i < kNumPhases; ++i) {
+    s[static_cast<std::size_t>(i)] = precision_char(phases_[static_cast<std::size_t>(i)]);
+  }
+  return s;
+}
+
+}  // namespace fftmv::precision

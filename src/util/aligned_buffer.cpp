@@ -1,0 +1,25 @@
+#include "util/aligned_buffer.hpp"
+
+#include <cstdlib>
+#include <limits>
+#include <new>
+
+namespace fftmv::util {
+
+void* aligned_alloc_bytes(std::size_t bytes, std::size_t alignment) {
+  if (bytes == 0) return nullptr;
+  // Guard against size computations that overflowed upstream; a
+  // request larger than half the address space is always a bug.
+  if (bytes > std::numeric_limits<std::size_t>::max() / 2) {
+    throw std::bad_alloc();
+  }
+  // std::aligned_alloc requires size to be a multiple of alignment.
+  const std::size_t rounded = (bytes + alignment - 1) / alignment * alignment;
+  void* p = std::aligned_alloc(alignment, rounded);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void aligned_free_bytes(void* p) noexcept { std::free(p); }
+
+}  // namespace fftmv::util

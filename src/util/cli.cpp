@@ -1,0 +1,74 @@
+#include "util/cli.hpp"
+
+#include <stdexcept>
+
+namespace fftmv::util {
+
+namespace {
+
+bool looks_like_flag(const std::string& tok) {
+  if (tok.size() < 2 || tok[0] != '-') return false;
+  // Negative numbers are values, not flags.
+  const char c = tok[1];
+  return !(c >= '0' && c <= '9') && c != '.';
+}
+
+}  // namespace
+
+CliParser::CliParser(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string tok = argv[i];
+    if (!looks_like_flag(tok)) {
+      throw std::invalid_argument("unexpected positional argument: " + tok);
+    }
+    std::string key = tok.substr(tok.find_first_not_of('-'));
+    if (i + 1 < argc && !looks_like_flag(argv[i + 1])) {
+      values_[key] = argv[++i];
+    } else {
+      values_[key] = "";
+    }
+  }
+}
+
+bool CliParser::has(const std::string& key) const {
+  return values_.count(key) != 0;
+}
+
+std::string CliParser::get_string(const std::string& key,
+                                  const std::string& fallback) const {
+  auto it = values_.find(key);
+  return it == values_.end() || it->second.empty() ? fallback : it->second;
+}
+
+index_t CliParser::get_int(const std::string& key, index_t fallback) const {
+  auto it = values_.find(key);
+  if (it == values_.end() || it->second.empty()) return fallback;
+  try {
+    return static_cast<index_t>(std::stoll(it->second));
+  } catch (const std::exception&) {
+    throw std::invalid_argument("flag -" + key + " expects an integer, got '" +
+                                it->second + "'");
+  }
+}
+
+double CliParser::get_double(const std::string& key, double fallback) const {
+  auto it = values_.find(key);
+  if (it == values_.end() || it->second.empty()) return fallback;
+  try {
+    return std::stod(it->second);
+  } catch (const std::exception&) {
+    throw std::invalid_argument("flag -" + key + " expects a number, got '" +
+                                it->second + "'");
+  }
+}
+
+bool CliParser::get_flag(const std::string& key) const { return has(key); }
+
+std::vector<std::string> CliParser::keys() const {
+  std::vector<std::string> out;
+  out.reserve(values_.size());
+  for (const auto& [k, v] : values_) out.push_back(k);
+  return out;
+}
+
+}  // namespace fftmv::util

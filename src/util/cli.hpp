@@ -1,0 +1,37 @@
+// Minimal command-line parser mirroring the FFTMatvec executable's
+// flag style (paper Artifact Description): `-nm 5000 -nd 100 -Nt 1000
+// -prec dssdd -rand -raw`.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace fftmv::util {
+
+class CliParser {
+ public:
+  /// Parses `-key value` pairs and bare `-flag` switches.  A token
+  /// starting with '-' whose next token also starts with '-' (or is
+  /// absent) is treated as a boolean switch.  Unrecognised positional
+  /// tokens throw std::invalid_argument.
+  CliParser(int argc, const char* const* argv);
+
+  bool has(const std::string& key) const;
+
+  std::string get_string(const std::string& key, const std::string& fallback) const;
+  index_t get_int(const std::string& key, index_t fallback) const;
+  double get_double(const std::string& key, double fallback) const;
+  bool get_flag(const std::string& key) const;
+
+  /// Keys seen on the command line (without leading '-').
+  std::vector<std::string> keys() const;
+
+ private:
+  std::map<std::string, std::string> values_;  // "" means bare switch
+};
+
+}  // namespace fftmv::util

@@ -1,0 +1,54 @@
+#include "util/io.hpp"
+
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+
+namespace fftmv::util {
+
+namespace {
+
+constexpr char kMagic[4] = {'F', 'M', 'V', '1'};
+constexpr std::uint32_t kKindF64 = 1;
+
+struct Header {
+  char magic[4];
+  std::uint32_t kind;
+  std::uint64_t count;
+};
+static_assert(sizeof(Header) == 16);
+
+}  // namespace
+
+void save_vector(const std::string& path, const std::vector<double>& data) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("save_vector: cannot open " + path);
+  Header h{};
+  std::memcpy(h.magic, kMagic, 4);
+  h.kind = kKindF64;
+  h.count = data.size();
+  out.write(reinterpret_cast<const char*>(&h), sizeof(h));
+  out.write(reinterpret_cast<const char*>(data.data()),
+            static_cast<std::streamsize>(data.size() * sizeof(double)));
+  if (!out) throw std::runtime_error("save_vector: write failed for " + path);
+}
+
+std::vector<double> load_vector(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("load_vector: cannot open " + path);
+  Header h{};
+  in.read(reinterpret_cast<char*>(&h), sizeof(h));
+  if (!in || std::memcmp(h.magic, kMagic, 4) != 0) {
+    throw std::runtime_error("load_vector: bad header in " + path);
+  }
+  if (h.kind != kKindF64) {
+    throw std::runtime_error("load_vector: unsupported element kind in " + path);
+  }
+  std::vector<double> data(h.count);
+  in.read(reinterpret_cast<char*>(data.data()),
+          static_cast<std::streamsize>(h.count * sizeof(double)));
+  if (!in) throw std::runtime_error("load_vector: truncated payload in " + path);
+  return data;
+}
+
+}  // namespace fftmv::util

@@ -1,0 +1,24 @@
+// Binary vector I/O — the artifact's `-s <directory>` workflow:
+// FFTMatvec saves output vectors so mixed-precision results can be
+// compared offline against the double-precision baseline.
+//
+// Format: 16-byte header (magic "FMV1", element kind, count) followed
+// by raw little-endian payload.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace fftmv::util {
+
+/// Write a double vector; throws std::runtime_error on I/O failure.
+void save_vector(const std::string& path, const std::vector<double>& data);
+
+/// Read a vector written by save_vector; throws std::runtime_error on
+/// missing file, bad magic, or truncated payload.
+std::vector<double> load_vector(const std::string& path);
+
+}  // namespace fftmv::util

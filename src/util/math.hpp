@@ -1,0 +1,55 @@
+// Small integer/math helpers used across modules.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace fftmv::util {
+
+constexpr index_t ceil_div(index_t a, index_t b) {
+  return (a + b - 1) / b;
+}
+
+constexpr bool is_pow2(index_t n) {
+  return n > 0 && (n & (n - 1)) == 0;
+}
+
+/// Smallest power of two >= n (n >= 1).
+constexpr index_t next_pow2(index_t n) {
+  index_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+/// Integer log2 for exact powers of two.
+constexpr int log2_exact(index_t n) {
+  int k = 0;
+  while ((index_t{1} << k) < n) ++k;
+  return k;
+}
+
+/// ceil(log2(n)) for n >= 1; 0 for n == 1.  Used by the collective
+/// cost model (tree depth) and the FFT error model.
+constexpr double log2_ceil(index_t n) {
+  return static_cast<double>(log2_exact(n));
+}
+
+/// All positive divisors of n in increasing order.  Used by the
+/// communication-aware partitioner to enumerate grid shapes.
+inline std::vector<index_t> divisors(index_t n) {
+  if (n <= 0) throw std::invalid_argument("divisors: n must be positive");
+  std::vector<index_t> low, high;
+  for (index_t d = 1; d * d <= n; ++d) {
+    if (n % d == 0) {
+      low.push_back(d);
+      if (d != n / d) high.push_back(n / d);
+    }
+  }
+  for (auto it = high.rbegin(); it != high.rend(); ++it) low.push_back(*it);
+  return low;
+}
+
+}  // namespace fftmv::util

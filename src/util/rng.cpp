@@ -1,0 +1,64 @@
+#include "util/rng.hpp"
+
+#include <bit>
+#include <cmath>
+
+namespace fftmv::util {
+
+std::uint64_t Rng::next_u64() {
+  std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+double Rng::next_double() {
+  // 53 high bits -> [0, 1).
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) {
+  return lo + (hi - lo) * next_double();
+}
+
+double Rng::normal() {
+  // Box-Muller; guard against log(0).
+  double u1 = next_double();
+  while (u1 <= 0.0) u1 = next_double();
+  const double u2 = next_double();
+  return std::sqrt(-2.0 * std::log(u1)) * std::cos(6.283185307179586 * u2);
+}
+
+double fill_low_mantissa(double x) {
+  if (x == 0.0 || !std::isfinite(x)) return x;
+  auto bits = std::bit_cast<std::uint64_t>(x);
+  // Double mantissa: bits [0, 52).  Float keeps the top 23 mantissa
+  // bits, so the low 29 bits are lost on a float cast.  Force the
+  // low field to 0x0FFFFFFF — just under half a float-ULP — so the
+  // cast is maximally lossy (~2^-24 relative error).  Setting *all*
+  // 29 bits would leave the value one double-ULP below the next
+  // float: still "unrepresentable", but the rounding error would be
+  // a negligible 2^-52, silently biasing the Pareto analysis the
+  // other way.
+  bits = (bits & ~((std::uint64_t{1} << 29) - 1)) | ((std::uint64_t{1} << 28) - 1);
+  return std::bit_cast<double>(bits);
+}
+
+void fill_uniform_unrepresentable(Rng& rng, double* dst, index_t n, double lo,
+                                  double hi) {
+  for (index_t i = 0; i < n; ++i) {
+    dst[i] = fill_low_mantissa(rng.uniform(lo, hi));
+  }
+}
+
+void fill_uniform(Rng& rng, double* dst, index_t n, double lo, double hi) {
+  for (index_t i = 0; i < n; ++i) dst[i] = rng.uniform(lo, hi);
+}
+
+void fill_uniform(Rng& rng, float* dst, index_t n, float lo, float hi) {
+  for (index_t i = 0; i < n; ++i) {
+    dst[i] = static_cast<float>(rng.uniform(lo, hi));
+  }
+}
+
+}  // namespace fftmv::util

@@ -1,0 +1,58 @@
+// Deterministic random number generation and the paper's
+// mantissa-filling initialisation.
+//
+// Paper §4.2.1: "we initialized the matrices and vectors with
+// double-precision floating point values that cannot be accurately
+// represented as single-precision floating point numbers.  This was
+// done by setting mantissa bits in positions greater than 23 to one."
+// Without that step, a single-precision broadcast of representable
+// values incurs zero error and biases the Pareto analysis.
+#pragma once
+
+#include <cstdint>
+
+#include "util/types.hpp"
+
+namespace fftmv::util {
+
+/// SplitMix64: tiny, fast, solid statistical quality for test/bench
+/// data generation; fully deterministic across platforms (unlike
+/// std::uniform_real_distribution, whose output is
+/// implementation-defined).
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t next_u64();
+
+  /// Uniform in [0, 1).
+  double next_double();
+
+  /// Uniform in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Standard normal via Box-Muller (deterministic, no cached spare).
+  double normal();
+
+ private:
+  std::uint64_t state_;
+};
+
+/// Force all mantissa bits below single precision (positions > 23,
+/// i.e. the low 29 explicit bits of the double mantissa) to one, so
+/// the value is guaranteed to be unrepresentable in float.  Preserves
+/// sign and exponent; zero and non-finite values pass through.
+double fill_low_mantissa(double x);
+
+/// Fill `n` doubles with uniform values in [lo, hi) whose low mantissa
+/// bits are forced on (see fill_low_mantissa).
+void fill_uniform_unrepresentable(Rng& rng, double* dst, index_t n,
+                                  double lo = -1.0, double hi = 1.0);
+
+/// Plain uniform fill (values may be float-representable).
+void fill_uniform(Rng& rng, double* dst, index_t n, double lo = -1.0,
+                  double hi = 1.0);
+void fill_uniform(Rng& rng, float* dst, index_t n, float lo = -1.0f,
+                  float hi = 1.0f);
+
+}  // namespace fftmv::util

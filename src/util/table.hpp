@@ -1,0 +1,33 @@
+// ASCII table writer used by the benchmark harnesses to print the
+// rows/series behind each paper figure.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace fftmv::util {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Append one row; must match the header count.
+  void add_row(std::vector<std::string> cells);
+
+  /// Helpers for common cell formats.
+  static std::string fmt(double v, int precision = 3);
+  static std::string fmt_pct(double fraction, int precision = 1);
+  static std::string fmt_sci(double v, int precision = 2);
+
+  /// Render with column alignment and a header rule.
+  void print(std::ostream& os) const;
+
+  std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace fftmv::util

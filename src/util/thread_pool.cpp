@@ -1,0 +1,127 @@
+#include "util/thread_pool.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+
+#include "util/math.hpp"
+
+namespace fftmv::util {
+
+ThreadPool::ThreadPool(unsigned num_threads) {
+  if (num_threads == 0) {
+    num_threads = std::max(1u, std::thread::hardware_concurrency());
+  }
+  workers_.reserve(num_threads);
+  for (unsigned i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lock(mutex_);
+    stop_ = true;
+  }
+  cv_work_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::worker_loop() {
+  std::uint64_t seen = 0;
+  for (;;) {
+    Task* task = nullptr;
+    {
+      std::unique_lock lock(mutex_);
+      cv_work_.wait(lock, [&] { return stop_ || (current_ != nullptr && generation_ != seen); });
+      if (stop_) return;
+      seen = generation_;
+      task = current_;
+      // Claimed under the lock, so the submitter cannot observe
+      // in_flight_ == 0 while this worker still holds the task.
+      in_flight_.fetch_add(1, std::memory_order_relaxed);
+    }
+    run_task(*task);
+    {
+      std::lock_guard lock(mutex_);
+      in_flight_.fetch_sub(1, std::memory_order_relaxed);
+    }
+    cv_done_.notify_all();
+  }
+}
+
+void ThreadPool::run_task(Task& task) {
+  for (;;) {
+    const index_t begin = task.next.fetch_add(task.chunk, std::memory_order_relaxed);
+    if (begin >= task.count) break;
+    const index_t end = std::min(task.count, begin + task.chunk);
+    try {
+      (*task.body)(begin, end);
+    } catch (...) {
+      std::lock_guard lock(task.error_mutex);
+      if (!task.error) task.error = std::current_exception();
+    }
+    if (task.remaining.fetch_sub(end - begin, std::memory_order_acq_rel) == end - begin) {
+      // Lock pairs with the submitter's predicate check so the
+      // completion notification cannot be missed.
+      std::lock_guard lock(mutex_);
+      cv_done_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::parallel_for_chunks(index_t count,
+                                     const std::function<void(index_t, index_t)>& body) {
+  if (count <= 0) return;
+  const auto nthreads = static_cast<index_t>(size());
+  // Small counts: run inline, skip synchronisation entirely.
+  if (count == 1 || nthreads <= 1) {
+    body(0, count);
+    return;
+  }
+
+  Task task;
+  task.body = &body;
+  task.count = count;
+  // ~4 chunks per worker balances load without excessive contention
+  // on the shared counter.
+  task.chunk = std::max<index_t>(1, ceil_div(count, nthreads * 4));
+  task.remaining.store(count, std::memory_order_relaxed);
+
+  {
+    std::lock_guard lock(mutex_);
+    current_ = &task;
+    ++generation_;
+  }
+  cv_work_.notify_all();
+
+  // The calling thread participates too.
+  run_task(task);
+
+  {
+    std::unique_lock lock(mutex_);
+    cv_done_.wait(lock, [&] {
+      return task.remaining.load(std::memory_order_acquire) == 0 &&
+             in_flight_.load(std::memory_order_relaxed) == 0;
+    });
+    current_ = nullptr;
+  }
+  if (task.error) std::rethrow_exception(task.error);
+}
+
+void ThreadPool::parallel_for(index_t count, const std::function<void(index_t)>& body) {
+  parallel_for_chunks(count, [&](index_t begin, index_t end) {
+    for (index_t i = begin; i < end; ++i) body(i);
+  });
+}
+
+ThreadPool& ThreadPool::global() {
+  static ThreadPool pool;
+  return pool;
+}
+
+void parallel_for(index_t count, const std::function<void(index_t)>& body) {
+  ThreadPool::global().parallel_for(count, body);
+}
+
+}  // namespace fftmv::util

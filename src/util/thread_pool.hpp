@@ -1,0 +1,77 @@
+// Persistent worker pool with a blocking parallel_for.
+//
+// The simulated GPU runtime (src/device) executes kernel gridblocks
+// on this pool: numerics are computed for real on host threads while
+// the cost model assigns the simulated device time.  The pool is also
+// used directly by host-side batched operations.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace fftmv::util {
+
+class ThreadPool {
+ public:
+  /// `num_threads == 0` selects the hardware concurrency.
+  explicit ThreadPool(unsigned num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  unsigned size() const noexcept { return static_cast<unsigned>(workers_.size()); }
+
+  /// Run `body(i)` for i in [0, count) across the pool and block until
+  /// all iterations complete.  Iterations are distributed in
+  /// contiguous chunks to preserve locality of the strided batched
+  /// kernels.  Exceptions from `body` are captured and the first one
+  /// is rethrown on the calling thread.
+  void parallel_for(index_t count, const std::function<void(index_t)>& body);
+
+  /// Chunked variant: `body(begin, end)` receives contiguous ranges.
+  /// Prefer this for fine-grained iterations.
+  void parallel_for_chunks(index_t count,
+                           const std::function<void(index_t, index_t)>& body);
+
+  /// Process-wide pool, sized to hardware concurrency.  The simulated
+  /// device and the host-side batched helpers share it so the machine
+  /// is never oversubscribed.
+  static ThreadPool& global();
+
+ private:
+  struct Task {
+    const std::function<void(index_t, index_t)>* body = nullptr;
+    index_t count = 0;
+    index_t chunk = 0;
+    std::atomic<index_t> next{0};
+    std::atomic<index_t> remaining{0};
+    std::exception_ptr error;
+    std::mutex error_mutex;
+  };
+
+  void worker_loop();
+  void run_task(Task& task);
+
+  std::vector<std::thread> workers_;
+  std::mutex mutex_;
+  std::condition_variable cv_work_;
+  std::condition_variable cv_done_;
+  Task* current_ = nullptr;
+  std::uint64_t generation_ = 0;
+  /// Workers currently inside run_task(); the submitting thread must
+  /// not destroy the task until this drops to zero.
+  std::atomic<int> in_flight_{0};
+  bool stop_ = false;
+};
+
+/// Convenience wrapper over the global pool.
+void parallel_for(index_t count, const std::function<void(index_t)>& body);
+
+}  // namespace fftmv::util

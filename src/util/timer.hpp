@@ -1,0 +1,65 @@
+// Wall-clock timing and repetition statistics.
+//
+// The FFTMatvec executable reports mean/min/max timings over 100
+// repetitions per phase (paper, Artifact Description); StatAccumulator
+// provides those summaries for both wall-clock and simulated times.
+#pragma once
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+namespace fftmv::util {
+
+class WallTimer {
+ public:
+  WallTimer() : start_(clock::now()) {}
+
+  void restart() { start_ = clock::now(); }
+
+  /// Elapsed seconds since construction/restart.
+  double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+/// Streaming min/max/mean/stddev over an arbitrary number of samples.
+class StatAccumulator {
+ public:
+  void add(double x) {
+    ++n_;
+    sum_ += x;
+    sum_sq_ += x * x;
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+
+  long long count() const { return n_; }
+  double mean() const { return n_ > 0 ? sum_ / static_cast<double>(n_) : 0.0; }
+  double min() const { return n_ > 0 ? min_ : 0.0; }
+  double max() const { return n_ > 0 ? max_ : 0.0; }
+
+  double stddev() const {
+    if (n_ < 2) return 0.0;
+    const double m = mean();
+    const double var = sum_sq_ / static_cast<double>(n_) - m * m;
+    return var > 0.0 ? std::sqrt(var) : 0.0;
+  }
+
+  void reset() { *this = StatAccumulator{}; }
+
+ private:
+  long long n_ = 0;
+  double sum_ = 0.0;
+  double sum_sq_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+}  // namespace fftmv::util

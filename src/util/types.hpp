@@ -1,0 +1,56 @@
+// Common scalar and index types shared by every fftmv module.
+#pragma once
+
+#include <complex>
+#include <cstddef>
+#include <cstdint>
+
+namespace fftmv {
+
+/// Signed index type used for extents and loop counters.  Signed so
+/// that reverse loops and differences are well-defined (Core
+/// Guidelines ES.100-ES.107); wide enough for multi-billion-element
+/// global problem sizes (the paper runs N_m * N_t > 2e10).
+using index_t = std::int64_t;
+
+using cfloat = std::complex<float>;
+using cdouble = std::complex<double>;
+
+/// Machine epsilons used throughout the error analysis (paper §3.2.1).
+inline constexpr double kEpsSingle = 1.1920928955078125e-07;  // 2^-23
+inline constexpr double kEpsDouble = 2.220446049250313e-16;   // 2^-52
+
+/// Traits mapping a (possibly complex) scalar to its real type and
+/// reporting whether it is complex.  Used by kernels templated over
+/// the four datatypes the paper's SBGEMV supports (float, double,
+/// complex float, complex double).
+template <class T>
+struct scalar_traits {
+  using real_type = T;
+  static constexpr bool is_complex = false;
+};
+
+template <class R>
+struct scalar_traits<std::complex<R>> {
+  using real_type = R;
+  static constexpr bool is_complex = true;
+};
+
+template <class T>
+using real_t = typename scalar_traits<T>::real_type;
+
+template <class T>
+inline constexpr bool is_complex_v = scalar_traits<T>::is_complex;
+
+/// conj() that is the identity for real scalars, so kernels can be
+/// written once for the transpose and conjugate-transpose cases.
+template <class T>
+constexpr T conj_if_complex(const T& x) {
+  if constexpr (is_complex_v<T>) {
+    return std::conj(x);
+  } else {
+    return x;
+  }
+}
+
+}  // namespace fftmv

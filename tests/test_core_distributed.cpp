@@ -1,0 +1,312 @@
+// Distributed matvec tests: the threaded multi-rank execution and the
+// sequential lockstep cluster must both reproduce the single-rank
+// result, agree bit-for-bit with each other, and show the Figure-4
+// error behaviour (error growth with grid rows via n_m = N_m / p_c).
+#include <gtest/gtest.h>
+
+#include <map>
+#include <mutex>
+
+#include "blas/vector_ops.hpp"
+#include "comm/communicator.hpp"
+#include "core/block_toeplitz.hpp"
+#include "core/dense_reference.hpp"
+#include "core/lockstep_cluster.hpp"
+#include "core/matvec_plan.hpp"
+#include "core/synthetic.hpp"
+#include "device/device_spec.hpp"
+
+namespace fftmv::core {
+namespace {
+
+using precision::PrecisionConfig;
+
+struct GlobalProblem {
+  ProblemDims dims;
+  std::vector<double> first_col;
+  std::vector<double> m;
+  std::vector<double> d;
+};
+
+GlobalProblem make_global(index_t n_m, index_t n_d, index_t n_t,
+                          std::uint64_t seed) {
+  GlobalProblem p;
+  p.dims = {n_m, n_d, n_t};
+  p.first_col = make_first_block_col(LocalDims::single_rank(p.dims), seed);
+  p.m = make_input_vector(n_t * n_m, seed + 1);
+  p.d = make_input_vector(n_t * n_d, seed + 2);
+  return p;
+}
+
+/// Single-rank ground truth for a given config.
+std::vector<double> single_rank_forward(const GlobalProblem& p,
+                                        const PrecisionConfig& cfg) {
+  device::Device dev(device::make_mi300x());
+  device::Stream stream(dev);
+  const auto local = LocalDims::single_rank(p.dims);
+  BlockToeplitzOperator op(dev, stream, local, p.first_col);
+  FftMatvecPlan plan(dev, stream, local);
+  std::vector<double> d(static_cast<std::size_t>(p.dims.n_t * p.dims.n_d));
+  plan.forward(op, p.m, d, cfg);
+  return d;
+}
+
+std::vector<double> single_rank_adjoint(const GlobalProblem& p,
+                                        const PrecisionConfig& cfg) {
+  device::Device dev(device::make_mi300x());
+  device::Stream stream(dev);
+  const auto local = LocalDims::single_rank(p.dims);
+  BlockToeplitzOperator op(dev, stream, local, p.first_col);
+  FftMatvecPlan plan(dev, stream, local);
+  std::vector<double> m(static_cast<std::size_t>(p.dims.n_t * p.dims.n_m));
+  plan.adjoint(op, p.d, m, cfg);
+  return m;
+}
+
+/// Run the threaded distributed forward matvec on a p_r x p_c grid
+/// and assemble the global output.
+std::vector<double> threaded_forward(const GlobalProblem& p, index_t p_rows,
+                                     index_t p_cols, const PrecisionConfig& cfg) {
+  const comm::ProcessGrid grid(p_rows, p_cols);
+  std::vector<double> d_global(
+      static_cast<std::size_t>(p.dims.n_t * p.dims.n_d), 0.0);
+  std::mutex out_mutex;
+
+  // Each rank thread owns its own device with inline execution so the
+  // global thread pool is not re-entered concurrently.
+  comm::run_on_grid(p_rows, p_cols, [&](comm::RankComms& comms) {
+    static util::ThreadPool inline_pool(1);
+    device::Device dev(device::make_mi300x(), &inline_pool);
+    device::Stream stream(dev);
+    const auto local = LocalDims::for_rank(p.dims, grid, comms.world_rank);
+    const auto col_slice = slice_first_block_col(p.dims, local, p.first_col);
+    BlockToeplitzOperator op(dev, stream, local, col_slice);
+    FftMatvecPlan plan(dev, stream, local);
+
+    // Column root holds the input chunk; other column ranks receive
+    // it through the broadcast.
+    std::vector<double> m_local;
+    if (comms.grid_col.rank() == 0) {
+      m_local = slice_tosi(p.m, p.dims.n_t, p.dims.n_m, local.m_offset,
+                           local.n_m_local);
+    }
+    std::vector<double> d_local;
+    const bool is_row_root = comms.grid_row.rank() == 0;
+    if (is_row_root) {
+      d_local.resize(static_cast<std::size_t>(p.dims.n_t * local.n_d_local));
+    }
+    plan.forward(op, m_local, d_local, cfg, &comms);
+
+    if (is_row_root) {
+      std::lock_guard lock(out_mutex);
+      scatter_tosi(d_local, p.dims.n_t, p.dims.n_d, local.d_offset,
+                   local.n_d_local, d_global);
+    }
+  });
+  return d_global;
+}
+
+/// Threaded distributed adjoint matvec: broadcast of the data chunk
+/// over the grid row, reduction of parameter partials down the grid
+/// column (the mirror roles of §2.4).
+std::vector<double> threaded_adjoint(const GlobalProblem& p, index_t p_rows,
+                                     index_t p_cols, const PrecisionConfig& cfg) {
+  const comm::ProcessGrid grid(p_rows, p_cols);
+  std::vector<double> m_global(
+      static_cast<std::size_t>(p.dims.n_t * p.dims.n_m), 0.0);
+  std::mutex out_mutex;
+
+  comm::run_on_grid(p_rows, p_cols, [&](comm::RankComms& comms) {
+    static util::ThreadPool inline_pool(1);
+    device::Device dev(device::make_mi300x(), &inline_pool);
+    device::Stream stream(dev);
+    const auto local = LocalDims::for_rank(p.dims, grid, comms.world_rank);
+    const auto col_slice = slice_first_block_col(p.dims, local, p.first_col);
+    BlockToeplitzOperator op(dev, stream, local, col_slice);
+    FftMatvecPlan plan(dev, stream, local);
+
+    // The adjoint broadcasts along grid rows: root is column 0.
+    std::vector<double> d_local;
+    if (comms.grid_row.rank() == 0) {
+      d_local = slice_tosi(p.d, p.dims.n_t, p.dims.n_d, local.d_offset,
+                           local.n_d_local);
+    }
+    std::vector<double> m_local;
+    const bool is_col_root = comms.grid_col.rank() == 0;
+    if (is_col_root) {
+      m_local.resize(static_cast<std::size_t>(p.dims.n_t * local.n_m_local));
+    }
+    plan.adjoint(op, d_local, m_local, cfg, &comms);
+
+    if (is_col_root) {
+      std::lock_guard lock(out_mutex);
+      scatter_tosi(m_local, p.dims.n_t, p.dims.n_m, local.m_offset,
+                   local.n_m_local, m_global);
+    }
+  });
+  return m_global;
+}
+
+// ---------------------------------------------------- threaded grids
+class GridShapes
+    : public ::testing::TestWithParam<std::pair<index_t, index_t>> {};
+
+TEST_P(GridShapes, ThreadedForwardMatchesSingleRankInDouble) {
+  const auto [p_rows, p_cols] = GetParam();
+  const auto p = make_global(24, 4, 16, 500);
+  const auto expect = single_rank_forward(p, PrecisionConfig{});
+  const auto got = threaded_forward(p, p_rows, p_cols, PrecisionConfig{});
+  // Double precision: only the reduction order differs.
+  EXPECT_LT(blas::relative_l2_error(static_cast<index_t>(expect.size()),
+                                    got.data(), expect.data()),
+            1e-13)
+      << p_rows << "x" << p_cols;
+}
+
+TEST_P(GridShapes, ThreadedForwardMixedPrecisionStaysAccurate) {
+  const auto [p_rows, p_cols] = GetParam();
+  const auto p = make_global(24, 4, 16, 600);
+  const auto baseline = single_rank_forward(p, PrecisionConfig{});
+  const auto got =
+      threaded_forward(p, p_rows, p_cols, PrecisionConfig::parse("dssdd"));
+  EXPECT_LT(blas::relative_l2_error(static_cast<index_t>(baseline.size()),
+                                    got.data(), baseline.data()),
+            1e-5);
+}
+
+TEST_P(GridShapes, ThreadedAdjointMatchesSingleRank) {
+  const auto [p_rows, p_cols] = GetParam();
+  const auto p = make_global(24, 4, 16, 650);
+  const auto expect = single_rank_adjoint(p, PrecisionConfig{});
+  const auto got = threaded_adjoint(p, p_rows, p_cols, PrecisionConfig{});
+  EXPECT_LT(blas::relative_l2_error(static_cast<index_t>(expect.size()),
+                                    got.data(), expect.data()),
+            1e-13)
+      << p_rows << "x" << p_cols;
+}
+
+TEST_P(GridShapes, ThreadedAdjointMixedPrecisionStaysAccurate) {
+  const auto [p_rows, p_cols] = GetParam();
+  const auto p = make_global(24, 4, 16, 660);
+  const auto baseline = single_rank_adjoint(p, PrecisionConfig{});
+  // The paper's F* optimum: SBGEMV + IFFT (of m) in single.
+  const auto got =
+      threaded_adjoint(p, p_rows, p_cols, PrecisionConfig::parse("ddssd"));
+  EXPECT_LT(blas::relative_l2_error(static_cast<index_t>(baseline.size()),
+                                    got.data(), baseline.data()),
+            1e-5);
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, GridShapes,
+                         ::testing::Values(std::make_pair<index_t, index_t>(1, 2),
+                                           std::make_pair<index_t, index_t>(2, 1),
+                                           std::make_pair<index_t, index_t>(2, 2),
+                                           std::make_pair<index_t, index_t>(1, 4),
+                                           std::make_pair<index_t, index_t>(4, 1)),
+                         [](const auto& info) {
+                           return std::to_string(info.param.first) + "x" +
+                                  std::to_string(info.param.second);
+                         });
+
+// ----------------------------------------------------- lockstep ==
+TEST(Lockstep, BitIdenticalToThreadedBackend) {
+  const auto p = make_global(16, 4, 8, 700);
+  const comm::ProcessGrid grid(2, 2);
+  device::Device dev(device::make_mi300x());
+  device::Stream stream(dev);
+  LockstepCluster cluster(dev, stream, p.dims, grid, p.first_col);
+
+  for (const char* cfg_str : {"ddddd", "dssdd", "sssss", "dssds"}) {
+    const auto cfg = PrecisionConfig::parse(cfg_str);
+    std::vector<double> d_lockstep(
+        static_cast<std::size_t>(p.dims.n_t * p.dims.n_d));
+    cluster.forward(p.m, d_lockstep, cfg);
+    const auto d_threaded = threaded_forward(p, 2, 2, cfg);
+    EXPECT_EQ(d_lockstep, d_threaded) << cfg_str;
+  }
+}
+
+TEST(Lockstep, ForwardMatchesSingleRankDouble) {
+  const auto p = make_global(32, 4, 16, 800);
+  for (auto [pr, pc] : {std::pair<index_t, index_t>{1, 8}, {2, 4}, {4, 2}}) {
+    device::Device dev(device::make_mi300x());
+    device::Stream stream(dev);
+    LockstepCluster cluster(dev, stream, p.dims, comm::ProcessGrid(pr, pc),
+                            p.first_col);
+    std::vector<double> d(static_cast<std::size_t>(p.dims.n_t * p.dims.n_d));
+    cluster.forward(p.m, d, PrecisionConfig{});
+    const auto expect = single_rank_forward(p, PrecisionConfig{});
+    EXPECT_LT(blas::relative_l2_error(static_cast<index_t>(d.size()), d.data(),
+                                      expect.data()),
+              1e-13)
+        << pr << "x" << pc;
+  }
+}
+
+TEST(Lockstep, AdjointMatchesSingleRankDouble) {
+  const auto p = make_global(32, 4, 16, 900);
+  device::Device dev(device::make_mi300x());
+  device::Stream stream(dev);
+  LockstepCluster cluster(dev, stream, p.dims, comm::ProcessGrid(2, 4),
+                          p.first_col);
+  std::vector<double> m(static_cast<std::size_t>(p.dims.n_t * p.dims.n_m));
+  cluster.adjoint(p.d, m, PrecisionConfig{});
+  const auto expect = single_rank_adjoint(p, PrecisionConfig{});
+  EXPECT_LT(blas::relative_l2_error(static_cast<index_t>(m.size()), m.data(),
+                                    expect.data()),
+            1e-13);
+}
+
+TEST(Lockstep, ManyRankSimulationStaysAccurate) {
+  // 32 simulated ranks — beyond what the threaded backend should be
+  // asked to do, exactly the lockstep cluster's purpose.
+  const auto p = make_global(64, 8, 16, 1000);
+  device::Device dev(device::make_mi300x());
+  device::Stream stream(dev);
+  LockstepCluster cluster(dev, stream, p.dims, comm::ProcessGrid(4, 8),
+                          p.first_col);
+  std::vector<double> d(static_cast<std::size_t>(p.dims.n_t * p.dims.n_d));
+  cluster.forward(p.m, d, PrecisionConfig::parse("dssdd"));
+  const auto baseline = single_rank_forward(p, PrecisionConfig{});
+  EXPECT_LT(blas::relative_l2_error(static_cast<index_t>(d.size()), d.data(),
+                                    baseline.data()),
+            1e-5);
+  EXPECT_GT(cluster.max_rank_compute_seconds(), 0.0);
+}
+
+TEST(Lockstep, RejectsUnevenSplits) {
+  const auto p = make_global(10, 3, 8, 1100);
+  device::Device dev(device::make_mi300x());
+  device::Stream stream(dev);
+  EXPECT_THROW(LockstepCluster(dev, stream, p.dims, comm::ProcessGrid(2, 4),
+                               p.first_col),
+               std::invalid_argument);
+}
+
+// --------------------------------------------- Figure-4 error shape
+TEST(Lockstep, ErrorGrowsWhenGridRowsGrow) {
+  // Weak-scaling essence of Figure 4: with p fixed, moving rows into
+  // the grid (p_r: 1 -> 4) grows the local SBGEMV width
+  // n_m = N_m / p_c and with it the dominant error term of Eq. (6).
+  const auto p = make_global(128, 8, 16, 1200);
+  const auto baseline = single_rank_forward(p, PrecisionConfig{});
+  const auto cfg = PrecisionConfig::parse("dssds");
+
+  std::map<index_t, double> err_by_rows;
+  for (index_t pr : {1, 4}) {
+    device::Device dev(device::make_mi300x());
+    device::Stream stream(dev);
+    LockstepCluster cluster(dev, stream, p.dims, comm::ProcessGrid(pr, 8 / pr),
+                            p.first_col);
+    std::vector<double> d(static_cast<std::size_t>(p.dims.n_t * p.dims.n_d));
+    cluster.forward(p.m, d, cfg);
+    err_by_rows[pr] = blas::relative_l2_error(static_cast<index_t>(d.size()),
+                                              d.data(), baseline.data());
+  }
+  EXPECT_GT(err_by_rows[4], err_by_rows[1] * 0.5);
+  EXPECT_LT(err_by_rows[1], 1e-5);
+  EXPECT_LT(err_by_rows[4], 1e-4);
+}
+
+}  // namespace
+}  // namespace fftmv::core

@@ -1,0 +1,387 @@
+// Core matvec tests: the FFT-based pipeline against the dense
+// block-triangular Toeplitz reference, the adjoint identity, all 32
+// mixed-precision configurations, fused-vs-unfused casts, kernel
+// policies, Bluestein vs power-of-two padding, timings, and phantom
+// dry runs.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "blas/vector_ops.hpp"
+#include "core/block_toeplitz.hpp"
+#include "core/dense_reference.hpp"
+#include "core/matvec_plan.hpp"
+#include "core/synthetic.hpp"
+#include "device/device_spec.hpp"
+
+namespace fftmv::core {
+namespace {
+
+using precision::PrecisionConfig;
+
+struct Problem {
+  ProblemDims dims;
+  std::vector<double> first_col;
+  std::vector<double> m;
+  std::vector<double> d;
+};
+
+Problem make_problem(index_t n_m, index_t n_d, index_t n_t, std::uint64_t seed) {
+  Problem p;
+  p.dims = {n_m, n_d, n_t};
+  const auto local = LocalDims::single_rank(p.dims);
+  p.first_col = make_first_block_col(local, seed);
+  p.m = make_input_vector(n_t * n_m, seed + 1);
+  p.d = make_input_vector(n_t * n_d, seed + 2);
+  return p;
+}
+
+class MatvecFixture : public ::testing::Test {
+ protected:
+  device::Device dev_{device::make_mi300x()};
+  device::Stream stream_{dev_};
+};
+
+// ------------------------------------------------- dense agreement
+class MatvecSizes
+    : public ::testing::TestWithParam<std::tuple<index_t, index_t, index_t>> {};
+
+TEST_P(MatvecSizes, ForwardMatchesDenseReference) {
+  const auto [n_m, n_d, n_t] = GetParam();
+  device::Device dev(device::make_mi300x());
+  device::Stream stream(dev);
+  auto p = make_problem(n_m, n_d, n_t, 100);
+  const auto local = LocalDims::single_rank(p.dims);
+
+  BlockToeplitzOperator op(dev, stream, local, p.first_col);
+  FftMatvecPlan plan(dev, stream, local);
+  std::vector<double> d_fft(static_cast<std::size_t>(n_t * n_d));
+  plan.forward(op, p.m, d_fft, PrecisionConfig{});
+
+  std::vector<double> d_dense(d_fft.size());
+  dense_forward(local, p.first_col, p.m, d_dense);
+  EXPECT_LT(blas::relative_l2_error(n_t * n_d, d_fft.data(), d_dense.data()),
+            1e-12)
+      << "n_m=" << n_m << " n_d=" << n_d << " n_t=" << n_t;
+}
+
+TEST_P(MatvecSizes, AdjointMatchesDenseReference) {
+  const auto [n_m, n_d, n_t] = GetParam();
+  device::Device dev(device::make_mi300x());
+  device::Stream stream(dev);
+  auto p = make_problem(n_m, n_d, n_t, 200);
+  const auto local = LocalDims::single_rank(p.dims);
+
+  BlockToeplitzOperator op(dev, stream, local, p.first_col);
+  FftMatvecPlan plan(dev, stream, local);
+  std::vector<double> m_fft(static_cast<std::size_t>(n_t * n_m));
+  plan.adjoint(op, p.d, m_fft, PrecisionConfig{});
+
+  std::vector<double> m_dense(m_fft.size());
+  dense_adjoint(local, p.first_col, p.d, m_dense);
+  EXPECT_LT(blas::relative_l2_error(n_t * n_m, m_fft.data(), m_dense.data()),
+            1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, MatvecSizes,
+    ::testing::Values(
+        std::make_tuple<index_t, index_t, index_t>(1, 1, 1),
+        std::make_tuple<index_t, index_t, index_t>(8, 3, 5),
+        std::make_tuple<index_t, index_t, index_t>(33, 4, 16),
+        std::make_tuple<index_t, index_t, index_t>(50, 2, 25),   // Bluestein
+        std::make_tuple<index_t, index_t, index_t>(64, 8, 32),
+        std::make_tuple<index_t, index_t, index_t>(5, 5, 40),    // n_d == n_m
+        std::make_tuple<index_t, index_t, index_t>(3, 7, 12)),   // n_d > n_m
+    [](const auto& info) {
+      return "m" + std::to_string(std::get<0>(info.param)) + "d" +
+             std::to_string(std::get<1>(info.param)) + "t" +
+             std::to_string(std::get<2>(info.param));
+    });
+
+// -------------------------------------------------- algebraic laws
+TEST_F(MatvecFixture, AdjointIdentity) {
+  // <F m, d> == <m, F* d> up to rounding.
+  auto p = make_problem(40, 6, 24, 7);
+  const auto local = LocalDims::single_rank(p.dims);
+  BlockToeplitzOperator op(dev_, stream_, local, p.first_col);
+  FftMatvecPlan plan(dev_, stream_, local);
+
+  std::vector<double> Fm(static_cast<std::size_t>(24 * 6));
+  std::vector<double> Ftd(static_cast<std::size_t>(24 * 40));
+  plan.forward(op, p.m, Fm, PrecisionConfig{});
+  plan.adjoint(op, p.d, Ftd, PrecisionConfig{});
+
+  const double lhs = blas::dot<double>(24 * 6, Fm.data(), p.d.data());
+  const double rhs = blas::dot<double>(24 * 40, p.m.data(), Ftd.data());
+  EXPECT_NEAR(lhs, rhs, 1e-10 * (std::abs(lhs) + 1.0));
+}
+
+TEST_F(MatvecFixture, Linearity) {
+  auto p = make_problem(20, 3, 16, 9);
+  const auto local = LocalDims::single_rank(p.dims);
+  BlockToeplitzOperator op(dev_, stream_, local, p.first_col);
+  FftMatvecPlan plan(dev_, stream_, local);
+
+  auto m2 = make_input_vector(16 * 20, 77);
+  std::vector<double> combo(m2.size());
+  for (std::size_t i = 0; i < combo.size(); ++i) {
+    combo[i] = 2.0 * p.m[i] - 0.5 * m2[i];
+  }
+  std::vector<double> f1(static_cast<std::size_t>(16 * 3)), f2(f1.size()),
+      fc(f1.size());
+  plan.forward(op, p.m, f1, PrecisionConfig{});
+  plan.forward(op, m2, f2, PrecisionConfig{});
+  plan.forward(op, combo, fc, PrecisionConfig{});
+  for (std::size_t i = 0; i < fc.size(); ++i) {
+    EXPECT_NEAR(fc[i], 2.0 * f1[i] - 0.5 * f2[i],
+                1e-11 * (std::abs(fc[i]) + 1.0));
+  }
+}
+
+TEST_F(MatvecFixture, ZeroInputGivesZeroOutput) {
+  auto p = make_problem(16, 2, 8, 3);
+  const auto local = LocalDims::single_rank(p.dims);
+  BlockToeplitzOperator op(dev_, stream_, local, p.first_col);
+  FftMatvecPlan plan(dev_, stream_, local);
+  std::vector<double> zero(static_cast<std::size_t>(8 * 16), 0.0);
+  std::vector<double> out(static_cast<std::size_t>(8 * 2), 1.0);
+  plan.forward(op, zero, out, PrecisionConfig{});
+  for (double v : out) EXPECT_NEAR(v, 0.0, 1e-13);
+}
+
+TEST_F(MatvecFixture, RepeatApplicationsAreBitIdentical) {
+  auto p = make_problem(24, 4, 20, 15);
+  const auto local = LocalDims::single_rank(p.dims);
+  BlockToeplitzOperator op(dev_, stream_, local, p.first_col);
+  FftMatvecPlan plan(dev_, stream_, local);
+  std::vector<double> a(static_cast<std::size_t>(20 * 4)), b(a.size());
+  const auto cfg = PrecisionConfig::parse("dssdd");
+  plan.forward(op, p.m, a, cfg);
+  plan.forward(op, p.m, b, cfg);
+  EXPECT_EQ(a, b);
+}
+
+// --------------------------------------------- mixed precision (32)
+TEST_F(MatvecFixture, AllThirtyTwoConfigsStayAccurate) {
+  auto p = make_problem(48, 4, 32, 21);
+  const auto local = LocalDims::single_rank(p.dims);
+  BlockToeplitzOperator op(dev_, stream_, local, p.first_col);
+  FftMatvecPlan plan(dev_, stream_, local);
+
+  std::vector<double> baseline(static_cast<std::size_t>(32 * 4));
+  plan.forward(op, p.m, baseline, PrecisionConfig{});
+
+  std::vector<double> out(baseline.size());
+  for (const auto& cfg : PrecisionConfig::all_configs()) {
+    plan.forward(op, p.m, out, cfg);
+    const double err =
+        blas::relative_l2_error(32 * 4, out.data(), baseline.data());
+    if (cfg.all_double()) {
+      EXPECT_EQ(err, 0.0);
+    } else {
+      // Any single-precision phase: error visible but far below the
+      // single-precision cliff.
+      EXPECT_LT(err, 1e-3) << cfg.to_string();
+      EXPECT_GT(err, 1e-12) << cfg.to_string();
+    }
+  }
+}
+
+TEST_F(MatvecFixture, SingleSbgemvDominatesErrorOverSinglePad) {
+  // §3.2.1: the SBGEMV term carries the n_m factor, so "dsdds"-style
+  // configs with single SBGEMV must err more than single-pad-only.
+  auto p = make_problem(64, 4, 32, 33);
+  const auto local = LocalDims::single_rank(p.dims);
+  BlockToeplitzOperator op(dev_, stream_, local, p.first_col);
+  FftMatvecPlan plan(dev_, stream_, local);
+
+  std::vector<double> baseline(static_cast<std::size_t>(32 * 4));
+  plan.forward(op, p.m, baseline, PrecisionConfig{});
+  std::vector<double> out(baseline.size());
+
+  plan.forward(op, p.m, out, PrecisionConfig::parse("sdddd"));
+  const double err_pad =
+      blas::relative_l2_error(32 * 4, out.data(), baseline.data());
+  plan.forward(op, p.m, out, PrecisionConfig::parse("ddsdd"));
+  const double err_gemv =
+      blas::relative_l2_error(32 * 4, out.data(), baseline.data());
+  EXPECT_GT(err_gemv, err_pad);
+}
+
+TEST_F(MatvecFixture, MantissaTrickMakesPadPhaseLossy) {
+  // Without unrepresentable inputs a single-precision broadcast would
+  // be error-free and bias the Pareto analysis (§4.2.1).  Our
+  // synthetic inputs must therefore make "sdddd" differ from "ddddd".
+  auto p = make_problem(16, 2, 8, 41);
+  const auto local = LocalDims::single_rank(p.dims);
+  BlockToeplitzOperator op(dev_, stream_, local, p.first_col);
+  FftMatvecPlan plan(dev_, stream_, local);
+  std::vector<double> a(static_cast<std::size_t>(8 * 2)), b(a.size());
+  plan.forward(op, p.m, a, PrecisionConfig{});
+  plan.forward(op, p.m, b, PrecisionConfig::parse("sdddd"));
+  EXPECT_NE(a, b);
+}
+
+// ------------------------------------------------ options / fusion
+TEST_F(MatvecFixture, UnfusedCastsGiveSameNumbersSlower) {
+  auto p = make_problem(32, 4, 16, 55);
+  const auto local = LocalDims::single_rank(p.dims);
+  BlockToeplitzOperator op(dev_, stream_, local, p.first_col);
+
+  MatvecOptions fused_opt;
+  MatvecOptions unfused_opt;
+  unfused_opt.fuse_casts = false;
+
+  device::Stream s1(dev_), s2(dev_);
+  FftMatvecPlan fused(dev_, s1, local, fused_opt);
+  FftMatvecPlan unfused(dev_, s2, local, unfused_opt);
+
+  const auto cfg = PrecisionConfig::parse("dssdd");
+  std::vector<double> a(static_cast<std::size_t>(16 * 4)), b(a.size());
+  fused.forward(op, p.m, a, cfg);
+  unfused.forward(op, p.m, b, cfg);
+  EXPECT_EQ(a, b);
+  EXPECT_LT(fused.last_timings().compute_total(),
+            unfused.last_timings().compute_total());
+}
+
+TEST_F(MatvecFixture, KernelPoliciesAgreeNumericallyForAdjoint) {
+  auto p = make_problem(40, 5, 20, 66);
+  const auto local = LocalDims::single_rank(p.dims);
+  BlockToeplitzOperator op(dev_, stream_, local, p.first_col);
+
+  MatvecOptions ref_opt;
+  ref_opt.gemv_policy = blas::GemvKernelPolicy::kReference;
+  MatvecOptions opt_opt;
+  opt_opt.gemv_policy = blas::GemvKernelPolicy::kOptimized;
+  FftMatvecPlan ref_plan(dev_, stream_, local, ref_opt);
+  FftMatvecPlan opt_plan(dev_, stream_, local, opt_opt);
+
+  std::vector<double> a(static_cast<std::size_t>(20 * 40)), b(a.size());
+  ref_plan.adjoint(op, p.d, a, PrecisionConfig{});
+  opt_plan.adjoint(op, p.d, b, PrecisionConfig{});
+  EXPECT_LT(blas::relative_l2_error(20 * 40, a.data(), b.data()), 1e-13);
+}
+
+// --------------------------------------------------------- timings
+//
+// Reduced-size problems are launch-overhead-bound on the real specs
+// (microsecond kernels vs the paper's millisecond kernels), so the
+// timing-*ratio* tests use an overhead-free MI300X variant: they
+// assert the phase byte-ratio structure, which is scale-invariant.
+device::DeviceSpec mi300x_no_overhead() {
+  auto spec = device::make_mi300x();
+  spec.launch_overhead_s = 0.0;
+  spec.block_residency_floor_s = 0.0;
+  return spec;
+}
+
+TEST(MatvecTimings, PopulatedAndSbgemvDominates) {
+  // With the paper's aspect ratio (n_d << n_m) the SBGEMV phase
+  // dominates the runtime (~92% in Figure 2).
+  device::Device dev(mi300x_no_overhead());
+  device::Stream stream(dev);
+  auto p = make_problem(256, 16, 64, 77);
+  const auto local = LocalDims::single_rank(p.dims);
+  BlockToeplitzOperator op(dev, stream, local, p.first_col);
+  FftMatvecPlan plan(dev, stream, local);
+  std::vector<double> d(static_cast<std::size_t>(64 * 16));
+  plan.forward(op, p.m, d, PrecisionConfig{});
+  const auto& t = plan.last_timings();
+  EXPECT_GT(t.pad, 0.0);
+  EXPECT_GT(t.fft, 0.0);
+  EXPECT_GT(t.sbgemv, 0.0);
+  EXPECT_GT(t.ifft, 0.0);
+  EXPECT_GT(t.unpad, 0.0);
+  EXPECT_EQ(t.comm, 0.0);  // single rank
+  EXPECT_GT(t.sbgemv / t.compute_total(), 0.6);
+}
+
+TEST(MatvecTimings, MixedPrecisionIsFasterThanDouble) {
+  device::Device dev(mi300x_no_overhead());
+  device::Stream stream(dev);
+  auto p = make_problem(256, 16, 64, 88);
+  const auto local = LocalDims::single_rank(p.dims);
+  BlockToeplitzOperator op(dev, stream, local, p.first_col);
+  FftMatvecPlan plan(dev, stream, local);
+  std::vector<double> d(static_cast<std::size_t>(64 * 16));
+
+  plan.forward(op, p.m, d, PrecisionConfig{});
+  const double t_double = plan.last_timings().compute_total();
+  // Warm the single-precision operator copy, then measure.
+  plan.forward(op, p.m, d, PrecisionConfig::parse("dssdd"));
+  plan.forward(op, p.m, d, PrecisionConfig::parse("dssdd"));
+  const double t_mixed = plan.last_timings().compute_total();
+  EXPECT_LT(t_mixed, t_double);
+  EXPECT_GT(t_double / t_mixed, 1.3);
+}
+
+// --------------------------------------------------------- phantom
+TEST(PhantomMatvec, PaperScaleDryRunMatchesReducedScaleStructure) {
+  // A paper-scale (N_m=5000, N_d=100, N_t=1000) dry run must work on
+  // this machine without allocating, and show the Figure-2 structure.
+  util::ThreadPool& pool = util::ThreadPool::global();
+  device::Device dev(device::make_mi300x(), &pool, /*phantom=*/true);
+  device::Stream stream(dev);
+  const ProblemDims dims{5000, 100, 1000};
+  const auto local = LocalDims::single_rank(dims);
+  BlockToeplitzOperator op(dev, stream, local, {});
+  FftMatvecPlan plan(dev, stream, local);
+  std::vector<double> empty;
+  plan.forward(op, {}, empty, PrecisionConfig{});
+  const auto& t = plan.last_timings();
+  EXPECT_GT(t.sbgemv / t.compute_total(), 0.85);  // ~92% in the paper
+  // Total in the single-digit-millisecond range on MI300X (Fig. 2).
+  EXPECT_GT(t.compute_total(), 5e-4);
+  EXPECT_LT(t.compute_total(), 2e-2);
+}
+
+TEST(PhantomMatvec, DistributedApplyRejected) {
+  util::ThreadPool& pool = util::ThreadPool::global();
+  device::Device dev(device::make_mi300x(), &pool, /*phantom=*/true);
+  device::Stream stream(dev);
+  const ProblemDims dims{64, 4, 16};
+  const auto local = LocalDims::single_rank(dims);
+  BlockToeplitzOperator op(dev, stream, local, {});
+  FftMatvecPlan plan(dev, stream, local);
+  comm::RankComms comms;  // dummy
+  std::vector<double> empty;
+  EXPECT_THROW(plan.forward(op, {}, empty, PrecisionConfig{}, &comms),
+               std::logic_error);
+}
+
+// ------------------------------------------------------ validation
+TEST_F(MatvecFixture, WrongExtentsThrow) {
+  auto p = make_problem(16, 2, 8, 4);
+  const auto local = LocalDims::single_rank(p.dims);
+  BlockToeplitzOperator op(dev_, stream_, local, p.first_col);
+  FftMatvecPlan plan(dev_, stream_, local);
+  std::vector<double> short_in(3), out(static_cast<std::size_t>(8 * 2));
+  EXPECT_THROW(plan.forward(op, short_in, out, PrecisionConfig{}),
+               std::invalid_argument);
+  std::vector<double> short_out(3);
+  EXPECT_THROW(plan.forward(op, p.m, short_out, PrecisionConfig{}),
+               std::invalid_argument);
+}
+
+TEST_F(MatvecFixture, OperatorRejectsWrongColumnExtent) {
+  const ProblemDims dims{16, 2, 8};
+  const auto local = LocalDims::single_rank(dims);
+  std::vector<double> wrong(10);
+  EXPECT_THROW(BlockToeplitzOperator(dev_, stream_, local, wrong),
+               std::invalid_argument);
+}
+
+TEST_F(MatvecFixture, PartialSinkPrecisionMismatchThrows) {
+  auto p = make_problem(16, 2, 8, 4);
+  const auto local = LocalDims::single_rank(p.dims);
+  BlockToeplitzOperator op(dev_, stream_, local, p.first_col);
+  FftMatvecPlan plan(dev_, stream_, local);
+  FftMatvecPlan::PartialSink sink;  // no pointers set
+  EXPECT_THROW(plan.forward_partial(op, p.m, sink, PrecisionConfig{}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace fftmv::core

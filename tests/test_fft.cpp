@@ -1,0 +1,376 @@
+// FFT substrate tests: correctness against the O(N^2) reference DFT,
+// algebraic properties (roundtrip, linearity, Parseval), precision
+// scaling (the c * eps * log2 N behaviour the paper's error analysis
+// depends on), and the batched strided plans on the simulated device.
+#include <gtest/gtest.h>
+
+#include <complex>
+#include <random>
+#include <vector>
+
+#include "device/device.hpp"
+#include "device/stream.hpp"
+#include "fft/complex_engine.hpp"
+#include "fft/dft_reference.hpp"
+#include "fft/plan.hpp"
+#include "fft/real_engine.hpp"
+#include "util/rng.hpp"
+
+namespace fftmv::fft {
+namespace {
+
+template <class Real>
+std::vector<std::complex<Real>> random_complex(index_t n, std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<std::complex<Real>> v(static_cast<std::size_t>(n));
+  for (auto& x : v) {
+    x = {static_cast<Real>(rng.uniform(-1, 1)), static_cast<Real>(rng.uniform(-1, 1))};
+  }
+  return v;
+}
+
+template <class Real>
+std::vector<Real> random_real(index_t n, std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<Real> v(static_cast<std::size_t>(n));
+  for (auto& x : v) x = static_cast<Real>(rng.uniform(-1, 1));
+  return v;
+}
+
+template <class C>
+double rel_err(const std::vector<C>& a, const std::vector<C>& b) {
+  double num = 0, den = 1e-300;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    num += std::norm(std::complex<double>(a[i]) - std::complex<double>(b[i]));
+    den += std::norm(std::complex<double>(b[i]));
+  }
+  return std::sqrt(num / den);
+}
+
+// --------------------------------------------------- parameterized C2C
+class C2CSizes : public ::testing::TestWithParam<index_t> {};
+
+TEST_P(C2CSizes, MatchesReferenceDftDouble) {
+  const index_t n = GetParam();
+  ComplexFftEngine<double> eng(n);
+  FftScratch<double> scratch;
+  const auto x = random_complex<double>(n, 42 + static_cast<std::uint64_t>(n));
+  std::vector<cdouble> y(static_cast<std::size_t>(n));
+  eng.transform(x.data(), y.data(), -1, scratch);
+  EXPECT_LT(rel_err(y, dft_reference(x, -1)), 1e-13) << "n=" << n;
+}
+
+TEST_P(C2CSizes, InverseMatchesReference) {
+  const index_t n = GetParam();
+  ComplexFftEngine<double> eng(n);
+  FftScratch<double> scratch;
+  const auto x = random_complex<double>(n, 7 + static_cast<std::uint64_t>(n));
+  std::vector<cdouble> y(static_cast<std::size_t>(n));
+  eng.transform(x.data(), y.data(), +1, scratch);
+  EXPECT_LT(rel_err(y, dft_reference(x, +1)), 1e-13);
+}
+
+TEST_P(C2CSizes, RoundTripIsIdentity) {
+  const index_t n = GetParam();
+  ComplexFftEngine<double> eng(n);
+  FftScratch<double> scratch;
+  const auto x = random_complex<double>(n, 3);
+  std::vector<cdouble> y(static_cast<std::size_t>(n)), back(static_cast<std::size_t>(n));
+  eng.transform(x.data(), y.data(), -1, scratch);
+  eng.transform(y.data(), back.data(), +1, scratch);
+  for (auto& v : back) v /= static_cast<double>(n);
+  EXPECT_LT(rel_err(back, x), 1e-13);
+}
+
+TEST_P(C2CSizes, Parseval) {
+  const index_t n = GetParam();
+  ComplexFftEngine<double> eng(n);
+  FftScratch<double> scratch;
+  const auto x = random_complex<double>(n, 5);
+  std::vector<cdouble> y(static_cast<std::size_t>(n));
+  eng.transform(x.data(), y.data(), -1, scratch);
+  double ex = 0, ey = 0;
+  for (auto& v : x) ex += std::norm(v);
+  for (auto& v : y) ey += std::norm(v);
+  EXPECT_NEAR(ey, ex * static_cast<double>(n), ex * n * 1e-12);
+}
+
+TEST_P(C2CSizes, Linearity) {
+  const index_t n = GetParam();
+  ComplexFftEngine<double> eng(n);
+  FftScratch<double> scratch;
+  const auto a = random_complex<double>(n, 11);
+  const auto b = random_complex<double>(n, 13);
+  std::vector<cdouble> fa(a.size()), fb(b.size()), fab(a.size());
+  std::vector<cdouble> combo(a.size());
+  const cdouble alpha{0.3, -1.2}, beta{-0.5, 0.25};
+  for (std::size_t i = 0; i < a.size(); ++i) combo[i] = alpha * a[i] + beta * b[i];
+  eng.transform(a.data(), fa.data(), -1, scratch);
+  eng.transform(b.data(), fb.data(), -1, scratch);
+  eng.transform(combo.data(), fab.data(), -1, scratch);
+  std::vector<cdouble> expect(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) expect[i] = alpha * fa[i] + beta * fb[i];
+  EXPECT_LT(rel_err(fab, expect), 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, C2CSizes,
+                         ::testing::Values<index_t>(1, 2, 3, 4, 5, 8, 12, 16,
+                                                    27, 37, 64, 100, 128, 250,
+                                                    256, 441, 1000, 1024, 2000),
+                         [](const auto& info) {
+                           return "n" + std::to_string(info.param);
+                         });
+
+TEST(C2C, BluesteinDispatchesOnNonPow2) {
+  EXPECT_FALSE(ComplexFftEngine<double>(1024).uses_bluestein());
+  ComplexFftEngine<double> e(1000);
+  EXPECT_TRUE(e.uses_bluestein());
+  EXPECT_EQ(e.bluestein_length(), 2048);  // next_pow2(2*1000 - 1)
+}
+
+TEST(C2C, InvalidArguments) {
+  EXPECT_THROW(ComplexFftEngine<double>(0), std::invalid_argument);
+  EXPECT_THROW(ComplexFftEngine<double>(-8), std::invalid_argument);
+  ComplexFftEngine<double> e(8);
+  FftScratch<double> s;
+  std::vector<cdouble> x(8), y(8);
+  EXPECT_THROW(e.transform(x.data(), y.data(), 2, s), std::invalid_argument);
+}
+
+TEST(C2C, ImpulseGivesFlatSpectrum) {
+  ComplexFftEngine<double> e(64);
+  FftScratch<double> s;
+  std::vector<cdouble> x(64, cdouble{}), y(64);
+  x[0] = 1.0;
+  e.transform(x.data(), y.data(), -1, s);
+  for (auto& v : y) EXPECT_NEAR(std::abs(v - cdouble{1.0, 0.0}), 0.0, 1e-14);
+}
+
+// Single-precision error grows like c * eps_s * log2(n) (Van Loan),
+// the scaling the paper's Eq. (6) uses for the FFT phases.
+TEST(C2C, FloatErrorScalesWithLogN) {
+  for (index_t n : {64, 256, 1024, 4096}) {
+    ComplexFftEngine<float> ef(n);
+    FftScratch<float> sf;
+    const auto xf = random_complex<float>(n, 21);
+    std::vector<cfloat> yf(static_cast<std::size_t>(n));
+    ef.transform(xf.data(), yf.data(), -1, sf);
+    std::vector<cdouble> xd(xf.size());
+    for (std::size_t i = 0; i < xf.size(); ++i) xd[i] = cdouble(xf[i]);
+    const auto ref = dft_reference(xd, -1);
+    double num = 0, den = 0;
+    for (std::size_t i = 0; i < ref.size(); ++i) {
+      num += std::norm(cdouble(yf[i]) - ref[i]);
+      den += std::norm(ref[i]);
+    }
+    const double err = std::sqrt(num / den);
+    const double bound = 4.0 * kEpsSingle * util::log2_ceil(n);
+    EXPECT_LT(err, bound) << "n=" << n;
+    EXPECT_GT(err, kEpsSingle * 0.1) << "n=" << n;  // not vacuous
+  }
+}
+
+// --------------------------------------------------- parameterized R2C
+class R2CSizes : public ::testing::TestWithParam<index_t> {};
+
+TEST_P(R2CSizes, MatchesReferenceAndRoundTrips) {
+  const index_t L = GetParam();
+  RealFftEngine<double> eng(L);
+  FftScratch<double> scratch;
+  EXPECT_EQ(eng.spectrum_size(), L / 2 + 1);
+  const auto x = random_real<double>(L, 71 + static_cast<std::uint64_t>(L));
+  std::vector<cdouble> X(static_cast<std::size_t>(eng.spectrum_size()));
+  eng.forward(x.data(), X.data(), scratch);
+  const auto ref = dft_reference_r2c(x);
+  EXPECT_LT(rel_err(X, ref), 1e-13) << "L=" << L;
+
+  std::vector<double> back(static_cast<std::size_t>(L));
+  eng.inverse(X.data(), back.data(), scratch);
+  double err = 0, nrm = 1e-300;
+  for (index_t i = 0; i < L; ++i) {
+    err += (back[static_cast<std::size_t>(i)] - x[static_cast<std::size_t>(i)]) *
+           (back[static_cast<std::size_t>(i)] - x[static_cast<std::size_t>(i)]);
+    nrm += x[static_cast<std::size_t>(i)] * x[static_cast<std::size_t>(i)];
+  }
+  EXPECT_LT(std::sqrt(err / nrm), 1e-13);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, R2CSizes,
+                         ::testing::Values<index_t>(1, 2, 4, 6, 10, 16, 31, 64,
+                                                    100, 129, 256, 500, 2000),
+                         [](const auto& info) {
+                           return "L" + std::to_string(info.param);
+                         });
+
+TEST(R2C, DcAndNyquistAreReal) {
+  RealFftEngine<double> eng(128);
+  FftScratch<double> s;
+  const auto x = random_real<double>(128, 5);
+  std::vector<cdouble> X(65);
+  eng.forward(x.data(), X.data(), s);
+  EXPECT_NEAR(X[0].imag(), 0.0, 1e-14);
+  EXPECT_NEAR(X[64].imag(), 0.0, 1e-14);
+}
+
+TEST(R2C, PaddedLengthTwoNtHasNtPlusOneBins) {
+  // The structural fact behind the SBGEMV batch count (§3.1.1).
+  const index_t nt = 137;
+  RealFftEngine<double> eng(2 * nt);
+  EXPECT_EQ(eng.spectrum_size(), nt + 1);
+}
+
+// ------------------------------------------------------- batched plans
+TEST(BatchedPlan, StridedBatchesMatchSingleTransforms) {
+  const index_t L = 64, batch = 7, in_stride = L + 3, out_stride = L / 2 + 5;
+  BatchedRealFft<double> plan(L, batch);
+  RealFftEngine<double> single(L);
+  FftScratch<double> scratch;
+
+  std::vector<double> in(static_cast<std::size_t>(batch * in_stride), 0.0);
+  util::Rng rng(3);
+  for (auto& v : in) v = rng.uniform(-1, 1);
+  std::vector<cdouble> out(static_cast<std::size_t>(batch * out_stride));
+  plan.forward(in.data(), in_stride, out.data(), out_stride);
+
+  for (index_t b = 0; b < batch; ++b) {
+    std::vector<cdouble> expect(static_cast<std::size_t>(L / 2 + 1));
+    single.forward(in.data() + b * in_stride, expect.data(), scratch);
+    for (index_t k = 0; k <= L / 2; ++k) {
+      EXPECT_NEAR(std::abs(out[static_cast<std::size_t>(b * out_stride + k)] -
+                           expect[static_cast<std::size_t>(k)]),
+                  0.0, 1e-14);
+    }
+  }
+}
+
+TEST(BatchedPlan, DeviceExecutionMatchesHost) {
+  const index_t L = 200, batch = 33;
+  device::Device dev(device::make_mi300x());
+  device::Stream stream(dev);
+  BatchedRealFft<double> plan(L, batch);
+
+  std::vector<double> in(static_cast<std::size_t>(batch * L));
+  util::Rng rng(17);
+  for (auto& v : in) v = rng.uniform(-1, 1);
+  std::vector<cdouble> host_out(static_cast<std::size_t>(batch * (L / 2 + 1)));
+  std::vector<cdouble> dev_out(host_out.size());
+
+  plan.forward(in.data(), L, host_out.data(), L / 2 + 1);
+  const auto timing =
+      plan.forward_on(stream, in.data(), L, dev_out.data(), L / 2 + 1);
+  EXPECT_EQ(host_out, dev_out);  // bit-identical: same code path
+  EXPECT_GT(timing.seconds, 0.0);
+  EXPECT_GT(stream.now(), 0.0);
+}
+
+TEST(BatchedPlan, InverseOnDeviceRoundTrips) {
+  const index_t L = 128, batch = 9;
+  device::Device dev(device::make_mi250x_gcd());
+  device::Stream stream(dev);
+  BatchedRealFft<float> plan(L, batch);
+
+  std::vector<float> in(static_cast<std::size_t>(batch * L));
+  util::Rng rng(29);
+  for (auto& v : in) v = static_cast<float>(rng.uniform(-1, 1));
+  std::vector<cfloat> spec(static_cast<std::size_t>(batch * (L / 2 + 1)));
+  std::vector<float> back(in.size());
+  plan.forward_on(stream, in.data(), L, spec.data(), L / 2 + 1);
+  plan.inverse_on(stream, spec.data(), L / 2 + 1, back.data(), L);
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    EXPECT_NEAR(back[i], in[i], 2e-6);
+  }
+}
+
+TEST(BatchedPlan, InvalidBatchThrows) {
+  EXPECT_THROW(BatchedRealFft<double>(64, 0), std::invalid_argument);
+  EXPECT_THROW(BatchedRealFft<double>(0, 4), std::invalid_argument);
+}
+
+// ---------------------------------------------- transform theorems
+class FftTheorems : public ::testing::TestWithParam<index_t> {};
+
+TEST_P(FftTheorems, CircularConvolutionTheorem) {
+  // FFT(x (*) y) == FFT(x) .* FFT(y) — the identity the whole matvec
+  // pipeline is built on (circulant diagonalisation, §2.4).
+  const index_t n = GetParam();
+  ComplexFftEngine<double> eng(n);
+  FftScratch<double> scratch;
+  const auto x = random_complex<double>(n, 101);
+  const auto y = random_complex<double>(n, 102);
+
+  // Direct circular convolution.
+  std::vector<cdouble> conv(static_cast<std::size_t>(n), cdouble{});
+  for (index_t i = 0; i < n; ++i) {
+    for (index_t j = 0; j < n; ++j) {
+      conv[static_cast<std::size_t>((i + j) % n)] +=
+          x[static_cast<std::size_t>(i)] * y[static_cast<std::size_t>(j)];
+    }
+  }
+  std::vector<cdouble> conv_hat(conv.size());
+  eng.transform(conv.data(), conv_hat.data(), -1, scratch);
+
+  std::vector<cdouble> xh(x.size()), yh(y.size()), prod(x.size());
+  eng.transform(x.data(), xh.data(), -1, scratch);
+  eng.transform(y.data(), yh.data(), -1, scratch);
+  for (std::size_t k = 0; k < prod.size(); ++k) prod[k] = xh[k] * yh[k];
+  EXPECT_LT(rel_err(conv_hat, prod), 1e-11) << "n=" << n;
+}
+
+TEST_P(FftTheorems, TimeShiftTheorem) {
+  // FFT(x shifted by s)[k] == FFT(x)[k] * exp(-2 pi i s k / n).
+  const index_t n = GetParam();
+  const index_t shift = n / 3 + 1;
+  ComplexFftEngine<double> eng(n);
+  FftScratch<double> scratch;
+  const auto x = random_complex<double>(n, 103);
+  std::vector<cdouble> shifted(x.size());
+  for (index_t i = 0; i < n; ++i) {
+    shifted[static_cast<std::size_t>((i + shift) % n)] = x[static_cast<std::size_t>(i)];
+  }
+  std::vector<cdouble> xh(x.size()), sh(x.size()), expect(x.size());
+  eng.transform(x.data(), xh.data(), -1, scratch);
+  eng.transform(shifted.data(), sh.data(), -1, scratch);
+  for (index_t k = 0; k < n; ++k) {
+    const double theta = -2.0 * M_PI * static_cast<double>((shift * k) % n) /
+                         static_cast<double>(n);
+    expect[static_cast<std::size_t>(k)] =
+        xh[static_cast<std::size_t>(k)] * cdouble{std::cos(theta), std::sin(theta)};
+  }
+  EXPECT_LT(rel_err(sh, expect), 1e-12);
+}
+
+TEST_P(FftTheorems, RealInputHasConjugateSymmetricSpectrum) {
+  const index_t n = GetParam();
+  if (n < 2) GTEST_SKIP();
+  ComplexFftEngine<double> eng(n);
+  FftScratch<double> scratch;
+  std::vector<cdouble> x(static_cast<std::size_t>(n));
+  util::Rng rng(104);
+  for (auto& v : x) v = {rng.uniform(-1, 1), 0.0};
+  std::vector<cdouble> xh(x.size());
+  eng.transform(x.data(), xh.data(), -1, scratch);
+  for (index_t k = 1; k < n; ++k) {
+    EXPECT_NEAR(std::abs(xh[static_cast<std::size_t>(k)] -
+                         std::conj(xh[static_cast<std::size_t>(n - k)])),
+                0.0, 1e-12)
+        << "k=" << k;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, FftTheorems,
+                         ::testing::Values<index_t>(8, 12, 37, 64, 100, 256),
+                         [](const auto& info) {
+                           return "n" + std::to_string(info.param);
+                         });
+
+TEST(BatchedPlan, FootprintScalesWithBatchAndLength) {
+  BatchedRealFft<double> small(128, 10), big(128, 100);
+  EXPECT_NEAR(big.footprint().total_bytes() / small.footprint().total_bytes(),
+              10.0, 1e-9);
+  BatchedRealFft<double> longer(4096, 10);
+  EXPECT_GT(longer.footprint().total_bytes(), small.footprint().total_bytes());
+  EXPECT_GT(longer.footprint().flops, small.footprint().flops);
+}
+
+}  // namespace
+}  // namespace fftmv::fft

@@ -1,0 +1,174 @@
+// Tests for the FP16 extension tier: the software binary16 type
+// (exhaustive bit-pattern round-trip, rounding semantics, specials)
+// and the half-storage SBGEMV kernel.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "blas/sbgemv_half.hpp"
+#include "blas/vector_ops.hpp"
+#include "device/device.hpp"
+#include "device/stream.hpp"
+#include "precision/half.hpp"
+#include "util/rng.hpp"
+
+namespace fftmv::precision {
+namespace {
+
+TEST(Half, ExactSmallValues) {
+  for (float v : {0.0f, 1.0f, -1.0f, 0.5f, 2.0f, 1024.0f, -0.25f, 65504.0f}) {
+    EXPECT_EQ(static_cast<float>(half(v)), v) << v;
+  }
+}
+
+TEST(Half, RoundTripAllBitPatterns) {
+  // Every finite half value must survive half -> float -> half
+  // bit-exactly; this exhaustively validates both directions.
+  for (std::uint32_t bits = 0; bits < 0x10000u; ++bits) {
+    const auto h = half::from_bits(static_cast<std::uint16_t>(bits));
+    const float f = static_cast<float>(h);
+    if (std::isnan(f)) continue;  // NaN payloads may legally differ
+    const half back(f);
+    EXPECT_EQ(back.bits(), h.bits()) << "bits=0x" << std::hex << bits;
+  }
+}
+
+TEST(Half, RoundToNearestEven) {
+  // 1 + 2^-11 sits exactly between 1.0 and the next half (1 + 2^-10):
+  // ties round to even (1.0).
+  EXPECT_EQ(static_cast<float>(half(1.0f + 0x1.0p-11f)), 1.0f);
+  // 1 + 3*2^-11 ties between 1+2^-10 and 1+2^-9: rounds to even
+  // (1 + 2^-9).
+  EXPECT_EQ(static_cast<float>(half(1.0f + 3.0f * 0x1.0p-11f)),
+            1.0f + 0x1.0p-9f);
+  // Anything past the midpoint rounds up.
+  EXPECT_EQ(static_cast<float>(half(1.0f + 0x1.2p-11f)), 1.0f + 0x1.0p-10f);
+}
+
+TEST(Half, OverflowToInfinity) {
+  EXPECT_TRUE(std::isinf(static_cast<float>(half(1e6f))));
+  EXPECT_TRUE(std::isinf(static_cast<float>(half(-1e6f))));
+  EXPECT_LT(static_cast<float>(half(-1e6f)), 0.0f);
+  EXPECT_EQ(static_cast<float>(half(65504.0f)), 65504.0f);  // max finite
+}
+
+TEST(Half, SubnormalsAndUnderflow) {
+  // Smallest positive subnormal: 2^-24.
+  const float min_sub = 0x1.0p-24f;
+  EXPECT_EQ(static_cast<float>(half(min_sub)), min_sub);
+  // Smallest normal: 2^-14.
+  EXPECT_EQ(static_cast<float>(half(0x1.0p-14f)), 0x1.0p-14f);
+  // Below half the smallest subnormal: flush to zero, keep the sign.
+  EXPECT_EQ(static_cast<float>(half(1e-9f)), 0.0f);
+  EXPECT_TRUE(std::signbit(static_cast<float>(half(-1e-9f))));
+}
+
+TEST(Half, SpecialsPropagate) {
+  EXPECT_TRUE(std::isnan(static_cast<float>(
+      half(std::numeric_limits<float>::quiet_NaN()))));
+  EXPECT_TRUE(std::isinf(static_cast<float>(
+      half(std::numeric_limits<float>::infinity()))));
+}
+
+TEST(Half, RelativeErrorBoundedByEpsilon) {
+  util::Rng rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    const float v = static_cast<float>(rng.uniform(-100.0, 100.0));
+    const float r = static_cast<float>(half(v));
+    if (v != 0.0f) {
+      EXPECT_LE(std::abs(r - v) / std::abs(v), half::epsilon() * 0.5 + 1e-7)
+          << v;
+    }
+  }
+}
+
+// ----------------------------------------------------- half SBGEMV
+TEST(SbgemvHalf, MatchesFloatReferenceWithinHalfEps) {
+  device::Device dev(device::make_mi300x());
+  device::Stream stream(dev);
+  const index_t m = 48, n = 96, batch = 5;
+  util::Rng rng(7);
+  std::vector<half> a(static_cast<std::size_t>(m * n * batch));
+  std::vector<half> x(static_cast<std::size_t>(m * batch));
+  std::vector<float> af(a.size()), xf(x.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    af[i] = static_cast<float>(rng.uniform(-1, 1));
+    a[i] = half(af[i]);
+    af[i] = static_cast<float>(a[i]);  // quantised reference
+  }
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    xf[i] = static_cast<float>(rng.uniform(-1, 1));
+    x[i] = half(xf[i]);
+    xf[i] = static_cast<float>(x[i]);
+  }
+  std::vector<half> y(static_cast<std::size_t>(n * batch), half(0.0f));
+
+  blas::SbgemvHalfArgs args;
+  args.m = m;
+  args.n = n;
+  args.a = a.data();
+  args.lda = m;
+  args.stride_a = m * n;
+  args.x = x.data();
+  args.stride_x = m;
+  args.y = y.data();
+  args.stride_y = n;
+  args.batch = batch;
+  sbgemv_half_optimized(stream, args);
+
+  // Float reference on the quantised inputs: only the final output
+  // quantisation separates the two (compute is float in both).
+  for (index_t b = 0; b < batch; ++b) {
+    for (index_t j = 0; j < n; ++j) {
+      float acc = 0.0f;
+      for (index_t i = 0; i < m; ++i) {
+        acc += af[static_cast<std::size_t>(b * m * n + j * m + i)] *
+               xf[static_cast<std::size_t>(b * m + i)];
+      }
+      const float got = static_cast<float>(y[static_cast<std::size_t>(b * n + j)]);
+      EXPECT_NEAR(got, acc, std::abs(acc) * half::epsilon() + 1e-3f);
+    }
+  }
+}
+
+TEST(SbgemvHalf, HalvesFloatKernelTraffic) {
+  device::Device dev(device::make_mi300x());
+  device::Stream stream(dev);
+  const index_t m = 100, n = 5000, batch = 101;
+  const auto fp32 = blas::gemv_footprint<float>(
+      blas::GemvKernelKind::kOptimizedT, m, n, batch);
+  // Phantom launch to read the half kernel's modelled time.
+  device::Device phantom(device::make_mi300x(), &util::ThreadPool::global(), true);
+  device::Stream pstream(phantom);
+  blas::SbgemvHalfArgs args;
+  args.m = m;
+  args.n = n;
+  args.lda = m;
+  args.stride_a = m * n;
+  args.stride_x = m;
+  args.stride_y = n;
+  args.batch = batch;
+  const auto timing = blas::sbgemv_half_optimized(pstream, args);
+  const auto f32_time = dev.cost_model().kernel_time(
+      blas::gemv_geometry(blas::GemvKernelKind::kOptimizedT, m, n, batch), fp32);
+  EXPECT_LT(timing.seconds, f32_time.seconds * 0.62);
+  EXPECT_GT(timing.seconds, f32_time.seconds * 0.40);
+}
+
+TEST(SbgemvHalf, Validation) {
+  device::Device dev(device::make_mi300x());
+  device::Stream stream(dev);
+  blas::SbgemvHalfArgs args;
+  args.m = 4;
+  args.n = 4;
+  args.lda = 4;
+  args.stride_a = 16;
+  args.batch = 1;
+  EXPECT_THROW(sbgemv_half_optimized(stream, args), std::invalid_argument);
+  args.op = blas::Op::N;
+  EXPECT_THROW(sbgemv_half_optimized(stream, args), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace fftmv::precision

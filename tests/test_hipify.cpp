@@ -1,0 +1,217 @@
+// Tests for the hipify translation engine (paper §3.1): rule
+// coverage, include rewriting, triple-chevron launch conversion,
+// comment/string safety, the "Not Supported" path for cuTENSOR, and
+// an end-to-end run of the same kernel through both compat dialects.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "hipify/hipify.hpp"
+#include "hipify/rules.hpp"
+
+// The compat headers define threadIdx/blockIdx macros; include them
+// last and exercise them in an isolated namespace.
+#include "hipify/gpusim.hpp"
+
+namespace fftmv::hipify {
+namespace {
+
+TEST(Rules, BuiltinCoverageIsSubstantial) {
+  EXPECT_GE(builtin_rule_count(), 180u);
+  const auto& rules = RuleSet::builtin();
+  EXPECT_GE(rules.headers.size(), 15u);
+  EXPECT_GE(rules.unsupported.size(), 10u);
+}
+
+TEST(Translate, RuntimeApiCalls) {
+  const auto r = translate(
+      "cudaMalloc(&p, n);\n"
+      "cudaMemcpy(d, h, n, cudaMemcpyHostToDevice);\n"
+      "cudaDeviceSynchronize();\n"
+      "cudaFree(p);\n");
+  EXPECT_NE(r.text.find("hipMalloc(&p, n);"), std::string::npos);
+  EXPECT_NE(r.text.find("hipMemcpy(d, h, n, hipMemcpyHostToDevice);"),
+            std::string::npos);
+  EXPECT_NE(r.text.find("hipDeviceSynchronize();"), std::string::npos);
+  EXPECT_NE(r.text.find("hipFree(p);"), std::string::npos);
+  EXPECT_EQ(r.text.find("cuda"), std::string::npos);
+  EXPECT_EQ(r.replacements, 5u);
+  EXPECT_TRUE(r.clean());
+}
+
+TEST(Translate, LibraryCalls) {
+  const auto r = translate(
+      "cublasZgemvStridedBatched(h, CUBLAS_OP_C, m, n, &a, A, lda, sa, x, 1,"
+      " sx, &b, y, 1, sy, batch);\n"
+      "cufftExecD2Z(plan, in, out);\n");
+  EXPECT_NE(r.text.find("hipblasZgemvStridedBatched"), std::string::npos);
+  EXPECT_NE(r.text.find("HIPBLAS_OP_C"), std::string::npos);
+  EXPECT_NE(r.text.find("hipfftExecD2Z"), std::string::npos);
+}
+
+TEST(Translate, IncludeRewrites) {
+  const auto r = translate(
+      "#include <cuda_runtime.h>\n"
+      "#include <cublas_v2.h>\n"
+      "#include <cufft.h>\n"
+      "#include <nccl.h>\n"
+      "#include \"hipify/cuda_compat.hpp\"\n");
+  EXPECT_NE(r.text.find("#include <hip/hip_runtime.h>"), std::string::npos);
+  EXPECT_NE(r.text.find("#include <hipblas/hipblas.h>"), std::string::npos);
+  EXPECT_NE(r.text.find("#include <hipfft/hipfft.h>"), std::string::npos);
+  EXPECT_NE(r.text.find("#include <rccl/rccl.h>"), std::string::npos);
+  EXPECT_NE(r.text.find("#include \"hipify/hip_compat.hpp\""), std::string::npos);
+}
+
+TEST(Translate, TripleChevronTwoArgs) {
+  const auto r = translate("myKernel<<<grid, block>>>(a, b, n);\n");
+  EXPECT_EQ(r.launches_converted, 1u);
+  EXPECT_NE(r.text.find("hipLaunchKernelGGL(myKernel, grid, block, 0, 0, a, b, n);"),
+            std::string::npos);
+}
+
+TEST(Translate, TripleChevronFourArgsAndNoArgs) {
+  const auto r =
+      translate("k1<<<dim3(2,2), 256, shmem, stream>>>(p);\nk2<<<g, b>>>();\n");
+  EXPECT_EQ(r.launches_converted, 2u);
+  EXPECT_NE(r.text.find("hipLaunchKernelGGL(k1, dim3(2,2), 256, shmem, stream, p);"),
+            std::string::npos);
+  EXPECT_NE(r.text.find("hipLaunchKernelGGL(k2, g, b, 0, 0);"), std::string::npos);
+}
+
+TEST(Translate, ShiftOperatorIsNotALaunch) {
+  const std::string src = "x = a <<< 2;\n";  // not valid CUDA anyway
+  const auto r = translate(src);
+  EXPECT_EQ(r.launches_converted, 0u);
+}
+
+TEST(Translate, CommentsAndStringsUntouched) {
+  const auto r = translate(
+      "// cudaMalloc in a comment stays\n"
+      "/* cudaFree(block) too */\n"
+      "const char* s = \"cudaMemcpy literal\";\n"
+      "cudaMalloc(&p, 1);\n");
+  EXPECT_NE(r.text.find("// cudaMalloc in a comment stays"), std::string::npos);
+  EXPECT_NE(r.text.find("/* cudaFree(block) too */"), std::string::npos);
+  EXPECT_NE(r.text.find("\"cudaMemcpy literal\""), std::string::npos);
+  EXPECT_NE(r.text.find("hipMalloc(&p, 1);"), std::string::npos);
+  EXPECT_EQ(r.replacements, 1u);
+}
+
+TEST(Translate, MultiLineBlockComment) {
+  const auto r = translate(
+      "/* start\n"
+      "cudaMalloc(&p, 1);\n"
+      "end */\n"
+      "cudaFree(p);\n");
+  EXPECT_NE(r.text.find("cudaMalloc(&p, 1);"), std::string::npos);  // inside comment
+  EXPECT_NE(r.text.find("hipFree(p);"), std::string::npos);
+}
+
+TEST(Translate, UnsupportedCutensorBecomesError) {
+  // The paper's exact case: cuTENSOR v2 permutations have no HIP
+  // equivalent and must surface as "Not Supported" (§3.1).
+  const auto r = translate("cutensorPermute(handle, plan, &one, in, out, s);\n");
+  ASSERT_EQ(r.unsupported.size(), 1u);
+  EXPECT_EQ(r.unsupported[0], "cutensorPermute");
+  EXPECT_FALSE(r.clean());
+  EXPECT_NE(r.text.find("#error \"hipify-mini: 'cutensorPermute'"),
+            std::string::npos);
+}
+
+TEST(Translate, UnsupportedKeptWithOverride) {
+  Options opt;
+  opt.error_on_unsupported = false;
+  const auto r = translate("cutensorCreate(&h);\n", opt);
+  EXPECT_EQ(r.unsupported.size(), 1u);
+  EXPECT_EQ(r.text.find("#error"), std::string::npos);
+  EXPECT_NE(r.text.find("cutensorCreate(&h);"), std::string::npos);
+}
+
+TEST(Translate, WarnsOnUnknownCudaApi) {
+  const auto r = translate("cudaFrobnicate(x);\n");
+  ASSERT_FALSE(r.warnings.empty());
+  EXPECT_NE(r.warnings[0].find("cudaFrobnicate"), std::string::npos);
+}
+
+TEST(Translate, IdempotentOnHipSource) {
+  const std::string hip = "hipMalloc(&p, n);\nhipFree(p);\n";
+  const auto r = translate(hip);
+  EXPECT_EQ(r.text, hip);
+  EXPECT_EQ(r.replacements, 0u);
+}
+
+TEST(Translate, IdentifierBoundariesRespected) {
+  // Longer identifiers containing a rule name as a prefix/substring
+  // must not be rewritten.
+  const auto r = translate("int cudaMallocCount = 0; my_cudaFree(p);\n");
+  EXPECT_NE(r.text.find("cudaMallocCount"), std::string::npos);
+  EXPECT_NE(r.text.find("my_cudaFree"), std::string::npos);
+}
+
+TEST(Translate, FullKernelSourceEndToEnd) {
+  const std::string cuda = R"(#include <cuda_runtime.h>
+__global__ void saxpy(int n, float a, const float* x, float* y) {
+  int i = blockIdx.x * blockDim.x + threadIdx.x;
+  if (i < n) y[i] = a * x[i] + y[i];
+}
+void run(int n, float a, const float* hx, float* hy) {
+  float *dx, *dy;
+  cudaMalloc(&dx, n * sizeof(float));
+  cudaMalloc(&dy, n * sizeof(float));
+  cudaMemcpy(dx, hx, n * sizeof(float), cudaMemcpyHostToDevice);
+  cudaMemcpy(dy, hy, n * sizeof(float), cudaMemcpyHostToDevice);
+  saxpy<<<(n + 255) / 256, 256>>>(n, a, dx, dy);
+  cudaDeviceSynchronize();
+  cudaMemcpy(hy, dy, n * sizeof(float), cudaMemcpyDeviceToHost);
+  cudaFree(dx);
+  cudaFree(dy);
+}
+)";
+  const auto r = translate(cuda);
+  EXPECT_TRUE(r.clean());
+  EXPECT_EQ(r.launches_converted, 1u);
+  EXPECT_EQ(r.text.find("cuda"), std::string::npos);
+  EXPECT_NE(r.text.find("#include <hip/hip_runtime.h>"), std::string::npos);
+  EXPECT_NE(
+      r.text.find("hipLaunchKernelGGL(saxpy, (n + 255) / 256, 256, 0, 0, n, a, dx, dy);"),
+      std::string::npos);
+}
+
+// ------------------------------------------------------------ gpusim
+void saxpy_kernel(int n, float a, const float* x, float* y) {
+  const auto i = static_cast<int>(gpusim::g_blockIdx.x * gpusim::g_blockDim.x +
+                                  gpusim::g_threadIdx.x);
+  if (i < n) y[i] = a * x[i] + y[i];
+}
+
+TEST(GpuSim, LaunchCoversGrid) {
+  const int n = 1000;
+  std::vector<float> x(static_cast<std::size_t>(n), 2.0f);
+  std::vector<float> y(static_cast<std::size_t>(n), 1.0f);
+  gpusim::sim_launch(saxpy_kernel, gpusim::Dim3((n + 255) / 256), gpusim::Dim3(256),
+                     n, 3.0f, x.data(), y.data());
+  for (float v : y) EXPECT_EQ(v, 7.0f);
+}
+
+TEST(GpuSim, MallocTrackingAndErrors) {
+  const std::size_t before = gpusim::sim_bytes_allocated();
+  void* p = nullptr;
+  ASSERT_EQ(gpusim::sim_malloc(&p, 1024), gpusim::kSuccess);
+  EXPECT_EQ(gpusim::sim_bytes_allocated(), before + 1024);
+  EXPECT_EQ(gpusim::sim_free(p), gpusim::kSuccess);
+  EXPECT_EQ(gpusim::sim_bytes_allocated(), before);
+  // Double free / foreign pointer is an error.
+  EXPECT_EQ(gpusim::sim_free(p), gpusim::kErrorInvalidValue);
+  EXPECT_EQ(gpusim::sim_malloc(nullptr, 8), gpusim::kErrorInvalidValue);
+  EXPECT_EQ(gpusim::sim_free(nullptr), gpusim::kSuccess);
+}
+
+TEST(GpuSim, ErrorStrings) {
+  EXPECT_STREQ(gpusim::sim_error_string(gpusim::kSuccess), "success");
+  EXPECT_STREQ(gpusim::sim_error_string(gpusim::kErrorOutOfMemory),
+               "out of memory");
+}
+
+}  // namespace
+}  // namespace fftmv::hipify

@@ -1,0 +1,120 @@
+// Pareto analysis tests (§3.2, §4.2.1): the non-dominated front, the
+// tolerance-constrained optimum, and an end-to-end 32-configuration
+// sweep on a real (reduced-size) problem where the paper's optimal
+// "dssdd" shape must emerge on the front.
+#include <gtest/gtest.h>
+
+#include "blas/vector_ops.hpp"
+#include "core/block_toeplitz.hpp"
+#include "core/matvec_plan.hpp"
+#include "core/pareto.hpp"
+#include "core/synthetic.hpp"
+#include "device/device_spec.hpp"
+
+namespace fftmv::core {
+namespace {
+
+using precision::PrecisionConfig;
+
+ConfigResult make(const char* cfg, double t, double e) {
+  return {PrecisionConfig::parse(cfg), t, e};
+}
+
+TEST(Pareto, FrontKeepsNonDominatedOnly) {
+  std::vector<ConfigResult> results{
+      make("ddddd", 10.0, 0.0),     // slow, exact: on front
+      make("dssdd", 5.0, 1e-8),     // fast, tiny error: on front
+      make("dsddd", 8.0, 1e-8),     // dominated by dssdd
+      make("sssss", 4.0, 1e-6),     // fastest: on front
+      make("sdddd", 11.0, 1e-9),    // slower than ddddd with error: dominated
+  };
+  const auto front = pareto_front(results);
+  ASSERT_EQ(front.size(), 3u);
+  EXPECT_EQ(front[0].config.to_string(), "sssss");
+  EXPECT_EQ(front[1].config.to_string(), "dssdd");
+  EXPECT_EQ(front[2].config.to_string(), "ddddd");
+  // Front is sorted by time with strictly decreasing error.
+  for (std::size_t i = 1; i < front.size(); ++i) {
+    EXPECT_GT(front[i].time_s, front[i - 1].time_s);
+    EXPECT_LT(front[i].rel_error, front[i - 1].rel_error);
+  }
+}
+
+TEST(Pareto, OptimalRespectsTolerance) {
+  std::vector<ConfigResult> results{
+      make("ddddd", 10.0, 0.0),
+      make("dssdd", 5.0, 1e-8),
+      make("sssss", 4.0, 1e-6),
+  };
+  // §4.2: "for a set error tolerance, choose the configuration with
+  // the greatest performance improvement below that tolerance".
+  EXPECT_EQ(optimal_config(results, 1e-7)->config.to_string(), "dssdd");
+  EXPECT_EQ(optimal_config(results, 1e-5)->config.to_string(), "sssss");
+  EXPECT_EQ(optimal_config(results, 1e-12)->config.to_string(), "ddddd");
+  EXPECT_FALSE(optimal_config({make("sssss", 1.0, 1e-2)}, 1e-7).has_value());
+}
+
+TEST(Pareto, EmptyInput) {
+  EXPECT_TRUE(pareto_front({}).empty());
+  EXPECT_FALSE(optimal_config({}, 1.0).has_value());
+}
+
+// ------------------------------------------------- end-to-end sweep
+TEST(ParetoSweep, RealProblemThirtyTwoConfigs) {
+  // Overhead-free spec: reduced-size kernels are launch-bound on the
+  // real spec, hiding the byte-ratio speedups this test asserts.
+  auto spec = device::make_mi300x();
+  spec.launch_overhead_s = 0.0;
+  spec.block_residency_floor_s = 0.0;
+  device::Device dev(spec);
+  device::Stream stream(dev);
+  // Reduced-size problem with the paper's aspect ratio n_d << n_m.
+  const ProblemDims dims{192, 6, 48};
+  const auto local = LocalDims::single_rank(dims);
+  const auto col = make_first_block_col(local, 11);
+  const auto m = make_input_vector(dims.n_t * dims.n_m, 12);
+
+  BlockToeplitzOperator op(dev, stream, local, col);
+  FftMatvecPlan plan(dev, stream, local);
+  std::vector<double> baseline(static_cast<std::size_t>(dims.n_t * dims.n_d));
+  plan.forward(op, m, baseline, PrecisionConfig{});
+  // Warm the single-precision operator cast so it is not charged to
+  // one arbitrary configuration.
+  std::vector<double> out(baseline.size());
+  plan.forward(op, m, out, PrecisionConfig::parse("sssss"));
+
+  std::vector<ConfigResult> results;
+  for (const auto& cfg : PrecisionConfig::all_configs()) {
+    plan.forward(op, m, out, cfg);
+    results.push_back({cfg, plan.last_timings().compute_total(),
+                       blas::relative_l2_error(dims.n_t * dims.n_d, out.data(),
+                                               baseline.data())});
+  }
+
+  const auto front = pareto_front(results);
+  EXPECT_GE(front.size(), 3u);
+
+  // The exact baseline is always on the front (error 0).
+  bool has_all_double = false;
+  for (const auto& r : front) has_all_double |= r.config.all_double();
+  EXPECT_TRUE(has_all_double);
+
+  // A tight tolerance must select a non-trivial mixed config that
+  // computes the SBGEMV in single precision (the phase worth ~92% of
+  // the runtime) — the structure of the paper's optimum "dssdd".
+  const auto best = optimal_config(results, 1e-5);
+  ASSERT_TRUE(best.has_value());
+  EXPECT_FALSE(best->config.all_double());
+  EXPECT_EQ(best->config.phase(precision::kPhaseSbgemv),
+            precision::Precision::kSingle);
+
+  // And it must actually be faster than the baseline.
+  double t_double = 0;
+  for (const auto& r : results) {
+    if (r.config.all_double()) t_double = r.time_s;
+  }
+  EXPECT_GT(t_double / best->time_s, 1.2);
+}
+
+}  // namespace
+}  // namespace fftmv::core

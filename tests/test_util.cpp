@@ -1,0 +1,303 @@
+// Unit tests for the util module: math helpers, aligned buffers,
+// deterministic RNG (incl. the paper's mantissa-filling trick), CLI
+// parsing, tables, timers and the thread pool.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <bit>
+#include <cstdint>
+#include <set>
+#include <sstream>
+
+#include "util/aligned_buffer.hpp"
+#include "util/cli.hpp"
+#include "util/math.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+#include "util/thread_pool.hpp"
+#include "util/timer.hpp"
+
+namespace fftmv::util {
+namespace {
+
+// ---------------------------------------------------------------- math
+TEST(Math, CeilDiv) {
+  EXPECT_EQ(ceil_div(10, 3), 4);
+  EXPECT_EQ(ceil_div(9, 3), 3);
+  EXPECT_EQ(ceil_div(1, 64), 1);
+  EXPECT_EQ(ceil_div(0, 5), 0);
+}
+
+TEST(Math, IsPow2) {
+  EXPECT_TRUE(is_pow2(1));
+  EXPECT_TRUE(is_pow2(2));
+  EXPECT_TRUE(is_pow2(1024));
+  EXPECT_FALSE(is_pow2(0));
+  EXPECT_FALSE(is_pow2(3));
+  EXPECT_FALSE(is_pow2(-4));
+  EXPECT_FALSE(is_pow2(1000));
+}
+
+TEST(Math, NextPow2) {
+  EXPECT_EQ(next_pow2(1), 1);
+  EXPECT_EQ(next_pow2(2), 2);
+  EXPECT_EQ(next_pow2(3), 4);
+  EXPECT_EQ(next_pow2(1000), 1024);
+  EXPECT_EQ(next_pow2(1025), 2048);
+}
+
+TEST(Math, Log2Exact) {
+  EXPECT_EQ(log2_exact(1), 0);
+  EXPECT_EQ(log2_exact(2), 1);
+  EXPECT_EQ(log2_exact(4096), 12);
+}
+
+TEST(Math, Divisors) {
+  EXPECT_EQ(divisors(1), (std::vector<index_t>{1}));
+  EXPECT_EQ(divisors(12), (std::vector<index_t>{1, 2, 3, 4, 6, 12}));
+  EXPECT_EQ(divisors(16), (std::vector<index_t>{1, 2, 4, 8, 16}));
+  EXPECT_EQ(divisors(7), (std::vector<index_t>{1, 7}));
+  EXPECT_THROW(divisors(0), std::invalid_argument);
+  EXPECT_THROW(divisors(-3), std::invalid_argument);
+}
+
+// ------------------------------------------------------- aligned buffer
+TEST(AlignedBuffer, AllocatesAligned) {
+  AlignedBuffer<double> buf(1000);
+  ASSERT_EQ(buf.size(), 1000);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(buf.data()) % kDefaultAlignment, 0u);
+  buf[0] = 1.5;
+  buf[999] = -2.5;
+  EXPECT_EQ(buf[0], 1.5);
+  EXPECT_EQ(buf[999], -2.5);
+}
+
+TEST(AlignedBuffer, MoveTransfersOwnership) {
+  AlignedBuffer<int> a(16);
+  a[3] = 42;
+  int* p = a.data();
+  AlignedBuffer<int> b(std::move(a));
+  EXPECT_EQ(b.data(), p);
+  EXPECT_EQ(b[3], 42);
+  EXPECT_TRUE(a.empty());
+  EXPECT_EQ(a.data(), nullptr);
+}
+
+TEST(AlignedBuffer, EmptyAndReset) {
+  AlignedBuffer<float> buf;
+  EXPECT_TRUE(buf.empty());
+  buf.reset(8);
+  EXPECT_EQ(buf.size(), 8);
+  buf.reset(0);
+  EXPECT_TRUE(buf.empty());
+}
+
+TEST(AlignedBuffer, HugeAllocationThrows) {
+  EXPECT_THROW(
+      aligned_alloc_bytes(std::numeric_limits<std::size_t>::max() - 63),
+      std::bad_alloc);
+}
+
+// ------------------------------------------------------------------ rng
+TEST(Rng, Deterministic) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, UniformInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.uniform(-2.0, 3.0);
+    EXPECT_GE(v, -2.0);
+    EXPECT_LT(v, 3.0);
+  }
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(99);
+  double sum = 0, sum_sq = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.normal();
+    sum += v;
+    sum_sq += v * v;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.05);
+  EXPECT_NEAR(sum_sq / n, 1.0, 0.05);
+}
+
+// The paper's §4.2.1 initialisation: values must be unrepresentable
+// in single precision so broadcasts in single incur real error.
+TEST(Rng, FillLowMantissaMakesFloatCastLossy) {
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = fill_low_mantissa(rng.uniform(-1.0, 1.0));
+    EXPECT_NE(static_cast<double>(static_cast<float>(v)), v);
+    // The cast error must be *material* — close to half a float ULP
+    // — not merely nonzero (see fill_low_mantissa).
+    const double err = std::abs(static_cast<double>(static_cast<float>(v)) - v);
+    EXPECT_GT(err, 0.2 * std::abs(v) * kEpsSingle);
+  }
+}
+
+TEST(Rng, FillLowMantissaSetsHalfUlpPattern) {
+  const double v = fill_low_mantissa(0.73);
+  const auto bits = std::bit_cast<std::uint64_t>(v);
+  const std::uint64_t low29 = (std::uint64_t{1} << 29) - 1;
+  EXPECT_EQ(bits & low29, (std::uint64_t{1} << 28) - 1);
+  // Sign and magnitude are nearly unchanged (the low bits are worth
+  // at most ~2^-24 relative).
+  EXPECT_NEAR(v, 0.73, 0.73 * 1.3e-7);
+}
+
+TEST(Rng, FillLowMantissaPreservesSpecials) {
+  EXPECT_EQ(fill_low_mantissa(0.0), 0.0);
+  EXPECT_TRUE(std::isinf(fill_low_mantissa(std::numeric_limits<double>::infinity())));
+  EXPECT_TRUE(std::isnan(fill_low_mantissa(std::numeric_limits<double>::quiet_NaN())));
+}
+
+TEST(Rng, FillUniformUnrepresentable) {
+  Rng rng(11);
+  std::vector<double> v(256);
+  fill_uniform_unrepresentable(rng, v.data(), 256);
+  for (double x : v) {
+    EXPECT_NE(static_cast<double>(static_cast<float>(x)), x);
+    EXPECT_GE(x, -1.0);
+    EXPECT_LE(x, 1.0);
+  }
+}
+
+// ------------------------------------------------------------------ cli
+TEST(Cli, ParsesPaperStyleFlags) {
+  const char* argv[] = {"fft_matvec", "-nm", "5000", "-nd", "100",
+                        "-Nt", "1000", "-prec", "dssdd", "-rand", "-raw"};
+  CliParser cli(11, argv);
+  EXPECT_EQ(cli.get_int("nm", 0), 5000);
+  EXPECT_EQ(cli.get_int("nd", 0), 100);
+  EXPECT_EQ(cli.get_int("Nt", 0), 1000);
+  EXPECT_EQ(cli.get_string("prec", ""), "dssdd");
+  EXPECT_TRUE(cli.get_flag("rand"));
+  EXPECT_TRUE(cli.get_flag("raw"));
+  EXPECT_FALSE(cli.get_flag("s"));
+}
+
+TEST(Cli, Defaults) {
+  const char* argv[] = {"prog"};
+  CliParser cli(1, argv);
+  EXPECT_EQ(cli.get_int("nm", 42), 42);
+  EXPECT_EQ(cli.get_double("tol", 1e-7), 1e-7);
+  EXPECT_EQ(cli.get_string("prec", "ddddd"), "ddddd");
+}
+
+TEST(Cli, NegativeNumbersAreValues) {
+  const char* argv[] = {"prog", "-shift", "-3"};
+  CliParser cli(3, argv);
+  EXPECT_EQ(cli.get_int("shift", 0), -3);
+}
+
+TEST(Cli, MalformedValueThrows) {
+  const char* argv[] = {"prog", "-nm", "abc"};
+  CliParser cli(3, argv);
+  EXPECT_THROW(cli.get_int("nm", 0), std::invalid_argument);
+}
+
+TEST(Cli, PositionalArgThrows) {
+  const char* argv[] = {"prog", "stray"};
+  EXPECT_THROW(CliParser(2, argv), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------- table
+TEST(Table, FormatsAlignedColumns) {
+  Table t({"name", "value"});
+  t.add_row({"alpha", "1.0"});
+  t.add_row({"much-longer-name", "2.25"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string s = os.str();
+  EXPECT_NE(s.find("| name"), std::string::npos);
+  EXPECT_NE(s.find("much-longer-name"), std::string::npos);
+  EXPECT_NE(s.find("|---"), std::string::npos);
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(Table, RowArityEnforced) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), std::invalid_argument);
+}
+
+TEST(Table, Formatters) {
+  EXPECT_EQ(Table::fmt(1.23456, 2), "1.23");
+  EXPECT_EQ(Table::fmt_pct(0.701, 1), "70.1%");
+  EXPECT_EQ(Table::fmt_sci(1234.5, 2), "1.23e+03");
+}
+
+// ------------------------------------------------------------ timers
+TEST(Stats, Accumulates) {
+  StatAccumulator s;
+  s.add(1.0);
+  s.add(3.0);
+  s.add(2.0);
+  EXPECT_EQ(s.count(), 3);
+  EXPECT_DOUBLE_EQ(s.mean(), 2.0);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 3.0);
+  EXPECT_NEAR(s.stddev(), std::sqrt(2.0 / 3.0), 1e-12);
+  s.reset();
+  EXPECT_EQ(s.count(), 0);
+}
+
+TEST(WallTimer, MeasuresElapsed) {
+  WallTimer t;
+  volatile double sink = 0;
+  for (int i = 0; i < 100000; ++i) sink = sink + i;
+  EXPECT_GT(t.seconds(), 0.0);
+}
+
+// ------------------------------------------------------------ thread pool
+TEST(ThreadPool, ParallelForCoversAllIndices) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.parallel_for(1000, [&](index_t i) { hits[static_cast<std::size_t>(i)]++; });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ChunksPartitionRange) {
+  ThreadPool pool(3);
+  std::atomic<index_t> total{0};
+  pool.parallel_for_chunks(997, [&](index_t b, index_t e) {
+    EXPECT_LT(b, e);
+    total += e - b;
+  });
+  EXPECT_EQ(total.load(), 997);
+}
+
+TEST(ThreadPool, PropagatesExceptions) {
+  ThreadPool pool(2);
+  EXPECT_THROW(
+      pool.parallel_for(100,
+                        [&](index_t i) {
+                          if (i == 37) throw std::runtime_error("boom");
+                        }),
+      std::runtime_error);
+}
+
+TEST(ThreadPool, ZeroAndOneIterations) {
+  ThreadPool pool(2);
+  int calls = 0;
+  pool.parallel_for(0, [&](index_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  pool.parallel_for(1, [&](index_t) { ++calls; });
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(ThreadPool, ReusableAcrossManyDispatches) {
+  ThreadPool pool(4);
+  for (int round = 0; round < 50; ++round) {
+    std::atomic<index_t> total{0};
+    pool.parallel_for(64, [&](index_t i) { total += i; });
+    EXPECT_EQ(total.load(), 64 * 63 / 2);
+  }
+}
+
+}  // namespace
+}  // namespace fftmv::util
