@@ -55,6 +55,24 @@ inline core::PhaseTimings phantom_phase_times(
   return plan.last_timings();
 }
 
+/// Shared `--quick` flag: CI smoke runs pass it to cap measurement
+/// time.  Removes the flag from argv (so downstream flag parsers never
+/// see it) and returns whether it was present.
+inline bool consume_quick_flag(int& argc, char** argv) {
+  bool quick = false;
+  int out = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--quick" || std::string(argv[i]) == "-quick") {
+      quick = true;
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  argv[out] = nullptr;  // keep the argv[argc] == NULL contract
+  argc = out;
+  return quick;
+}
+
 inline std::string ms(double seconds, int precision = 3) {
   return util::Table::fmt(seconds * 1e3, precision);
 }

@@ -1,0 +1,26 @@
+// Entry point for the google-benchmark micro benchmarks.  Supports the
+// shared `--quick` smoke-test flag (used by CI) by shrinking the
+// per-benchmark measurement time before handing over to the library.
+#include <benchmark/benchmark.h>
+
+#include <cstring>
+#include <vector>
+
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  const bool quick = fftmv::bench::consume_quick_flag(argc, argv);
+  std::vector<char*> args(argv, argv + argc);
+  // Bare seconds (no "s" suffix) so both pre- and post-1.8 benchmark
+  // releases accept the flag.
+  char min_time[] = "--benchmark_min_time=0.005";
+  if (quick) {
+    args.push_back(min_time);
+  }
+  int n = static_cast<int>(args.size());
+  benchmark::Initialize(&n, args.data());
+  if (benchmark::ReportUnrecognizedArguments(n, args.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

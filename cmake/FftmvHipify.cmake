@@ -1,0 +1,15 @@
+# On-the-fly hipification (paper §3.1): the only maintained source is
+# CUDA-dialect; the build re-runs hipify-mini whenever it changes and
+# compiles the translated HIP source against hip_compat.hpp.
+function(fftmv_add_hipified_executable name input)
+  set(hipified ${CMAKE_CURRENT_BINARY_DIR}/${name}.hip.cpp)
+  add_custom_command(
+    OUTPUT ${hipified}
+    COMMAND hipify_tool -o ${hipified} ${CMAKE_CURRENT_SOURCE_DIR}/${input}
+    DEPENDS hipify_tool ${CMAKE_CURRENT_SOURCE_DIR}/${input}
+    COMMENT "Hipifying ${input}"
+    VERBATIM)
+  add_executable(${name} ${hipified})
+  target_link_libraries(${name} PRIVATE fftmv_hipify)
+  target_include_directories(${name} PRIVATE ${CMAKE_CURRENT_SOURCE_DIR})
+endfunction()

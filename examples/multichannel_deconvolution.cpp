@@ -96,7 +96,10 @@ int main(int argc, char** argv) {
     plan.forward(op, in, tmp_d, mixed);
     plan.adjoint(op, tmp_d, tmp_m, mixed);
     matvecs += 2;
-    for (index_t i = 0; i < n; ++i) out[static_cast<std::size_t>(i)] = tmp_m[static_cast<std::size_t>(i)] + lambda * in[static_cast<std::size_t>(i)];
+    for (index_t i = 0; i < n; ++i) {
+      out[static_cast<std::size_t>(i)] =
+          tmp_m[static_cast<std::size_t>(i)] + lambda * in[static_cast<std::size_t>(i)];
+    }
   };
 
   std::vector<double> recovered(static_cast<std::size_t>(n));

@@ -90,7 +90,9 @@ class GroupComm {
     if (rank_ == root) {
       const index_t q = size();
       std::vector<const T*> src(static_cast<std::size_t>(q));
-      for (index_t r = 0; r < q; ++r) src[static_cast<std::size_t>(r)] = static_cast<const T*>(hub_->slot(r));
+      for (index_t r = 0; r < q; ++r) {
+        src[static_cast<std::size_t>(r)] = static_cast<const T*>(hub_->slot(r));
+      }
       tree_reduce(src, recv, count);
     }
     hub_->barrier();

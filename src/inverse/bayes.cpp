@@ -104,7 +104,9 @@ std::vector<double> HessianOperator::map_rhs(std::span<const double> d_obs,
     }
     std::vector<double> pr(static_cast<std::size_t>(parameter_size()));
     prior_.apply_inverse_covariance(op_->dims().n_t(), m_prior, pr);
-    for (index_t i = 0; i < parameter_size(); ++i) rhs[static_cast<std::size_t>(i)] += pr[static_cast<std::size_t>(i)];
+    for (index_t i = 0; i < parameter_size(); ++i) {
+      rhs[static_cast<std::size_t>(i)] += pr[static_cast<std::size_t>(i)];
+    }
   }
   return rhs;
 }
@@ -145,7 +147,10 @@ CgResult conjugate_gradient(
       return result;
     }
     const double beta = rr_new / rr;
-    for (index_t i = 0; i < n; ++i) p[static_cast<std::size_t>(i)] = r[static_cast<std::size_t>(i)] + beta * p[static_cast<std::size_t>(i)];
+    for (index_t i = 0; i < n; ++i) {
+      p[static_cast<std::size_t>(i)] =
+          r[static_cast<std::size_t>(i)] + beta * p[static_cast<std::size_t>(i)];
+    }
     rr = rr_new;
   }
   return result;

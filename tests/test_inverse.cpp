@@ -194,7 +194,9 @@ TEST(Cg, SolvesSmallSpdSystem) {
   std::vector<double> x(5);
   const auto result = conjugate_gradient(
       [](std::span<const double> in, std::span<double> out) {
-        for (int i = 0; i < 5; ++i) out[static_cast<std::size_t>(i)] = (i + 1.0) * in[static_cast<std::size_t>(i)];
+        for (int i = 0; i < 5; ++i) {
+          out[static_cast<std::size_t>(i)] = (i + 1.0) * in[static_cast<std::size_t>(i)];
+        }
       },
       b, x, 1e-12, 50);
   EXPECT_TRUE(result.converged);
