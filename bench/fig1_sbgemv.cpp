@@ -34,7 +34,8 @@ const Shape kShapesComplexDouble[] = {{128, 4096}, {256, 256}, {256, 8192}};
 constexpr index_t kBatch = 100;
 
 template <class T>
-void run_panel(const char* panel, const Shape* shapes, std::size_t count) {
+void run_panel(const char* panel, const Shape* shapes, std::size_t count,
+               fftmv::bench::Artifact& artifact) {
   const auto spec = device::make_mi300x();
   const device::CostModel model(spec);
   const double peak = spec.peak_bandwidth_gbps;
@@ -60,6 +61,7 @@ void run_panel(const char* panel, const Shape* shapes, std::size_t count) {
                    util::Table::fmt(ref.seconds / opt.seconds, 2) + "x"});
   }
   table.print(std::cout);
+  artifact.add(panel, table);
 }
 
 /// Both kernels must agree numerically — the optimization is purely
@@ -116,16 +118,21 @@ void numerics_cross_check() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  fftmv::bench::Artifact artifact("fig1_sbgemv", argc, argv);
+  fftmv::bench::reject_unknown_args(argc, argv);
   std::cout << "Figure 1 — (conjugate) transpose SBGEMV performance, rocBLAS\n"
                "reference kernel vs the paper's optimized short-and-wide\n"
                "kernel, on the simulated MI300X (peak 5.3 TB/s).\n";
-  run_panel<float>("Real Single", kShapesSingle, std::size(kShapesSingle));
-  run_panel<double>("Real Double", kShapesDouble, std::size(kShapesDouble));
+  run_panel<float>("Real Single", kShapesSingle, std::size(kShapesSingle), artifact);
+  run_panel<double>("Real Double", kShapesDouble, std::size(kShapesDouble), artifact);
   run_panel<fftmv::cfloat>("Complex Single", kShapesDouble,
-                           std::size(kShapesDouble));
+                           std::size(kShapesDouble), artifact);
   run_panel<fftmv::cdouble>("Complex Double", kShapesComplexDouble,
-                            std::size(kShapesComplexDouble));
+                            std::size(kShapesComplexDouble), artifact);
+  if (const auto path = artifact.write(); !path.empty()) {
+    std::cout << "wrote artifact " << path << "\n";
+  }
   std::cout << "\n";
   numerics_cross_check<float>();
   numerics_cross_check<double>();

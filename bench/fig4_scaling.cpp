@@ -107,6 +107,7 @@ double measured_error(index_t p, index_t p_rows,
 
 int main(int argc, char** argv) {
   util::CliParser cli(argc, argv);
+  cli.check_known({"max-gpus"});
   // -max-gpus caps the sweep (error measurement is real arithmetic
   // over all simulated ranks; 4,096 takes a couple of minutes).
   const index_t max_gpus = cli.get_int("max-gpus", 4096);

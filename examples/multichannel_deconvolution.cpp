@@ -61,6 +61,7 @@ std::vector<double> make_sources(const core::ProblemDims& dims) {
 
 int main(int argc, char** argv) {
   util::CliParser cli(argc, argv);
+  cli.check_known({"channels", "receivers", "samples"});
   // n_m source channels, n_d receivers, n_t samples.
   const core::ProblemDims dims{cli.get_int("channels", 12),
                                cli.get_int("receivers", 16),

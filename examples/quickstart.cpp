@@ -19,6 +19,7 @@ using namespace fftmv;
 
 int main(int argc, char** argv) {
   util::CliParser cli(argc, argv);
+  cli.check_known({"nm", "nd", "Nt", "prec", "device", "reps"});
   const core::ProblemDims dims{cli.get_int("nm", 400), cli.get_int("nd", 8),
                                cli.get_int("Nt", 80)};
   const auto config =

@@ -26,6 +26,7 @@ using namespace fftmv;
 
 int main(int argc, char** argv) {
   util::CliParser cli(argc, argv);
+  cli.check_known({"nx", "Nt", "nd", "budget"});
   inverse::LtiConfig cfg = inverse::LtiConfig::with_uniform_sensors(
       cli.get_int("nx", 64), cli.get_int("Nt", 24), cli.get_int("nd", 8));
   const index_t budget = cli.get_int("budget", 4);

@@ -1,0 +1,77 @@
+// Serving quickstart: stand up the multi-tenant matvec service,
+// register two tenants, submit a burst of mixed forward/adjoint
+// requests, and read the metrics report — the 60-second tour of
+// src/serve (see the ROADMAP "Serving" section for the model).
+//
+//   serve_quickstart [-requests 64] [-streams 2] [-batch 4]
+#include <future>
+#include <iostream>
+#include <vector>
+
+#include "core/synthetic.hpp"
+#include "example_common.hpp"
+#include "serve/scheduler.hpp"
+#include "util/cli.hpp"
+
+using namespace fftmv;
+
+int main(int argc, char** argv) {
+  util::CliParser cli(argc, argv);
+  cli.check_known({"requests", "streams", "batch"});
+  const index_t requests = cli.get_int("requests", 64);
+
+  // 1. Scheduler: worker lanes (one simulated stream each), a plan
+  //    cache, and a request batcher with a short linger window.
+  serve::ServeOptions opts;
+  opts.num_streams = static_cast<int>(cli.get_int("streams", 2));
+  opts.max_batch = static_cast<int>(cli.get_int("batch", 4));
+  opts.linger_seconds = 200e-6;
+  serve::AsyncScheduler scheduler(examples::example_device(), opts);
+
+  // 2. Tenants register their operator once; setup (the batched FFT
+  //    of the first block column) never recurs on the request path.
+  const core::ProblemDims dims_a{64, 6, 32}, dims_b{96, 4, 48};
+  const auto local_a = core::LocalDims::single_rank(dims_a);
+  const auto local_b = core::LocalDims::single_rank(dims_b);
+  const auto tenant_a = scheduler.add_tenant(dims_a, core::make_first_block_col(local_a, 1));
+  const auto tenant_b = scheduler.add_tenant(dims_b, core::make_first_block_col(local_b, 2));
+  std::cout << "registered tenants " << tenant_a << " (64x6x32) and " << tenant_b
+            << " (96x4x48)\n";
+
+  // 3. Submit a mixed burst; every call returns a future immediately.
+  const auto m_a = core::make_input_vector(dims_a.n_t * dims_a.n_m, 3);
+  const auto m_b = core::make_input_vector(dims_b.n_t * dims_b.n_m, 4);
+  const auto d_b = core::make_input_vector(dims_b.n_t * dims_b.n_d, 5);
+  const auto mixed = precision::PrecisionConfig::parse("dssdd");
+  std::vector<std::future<serve::MatvecResult>> futures;
+  for (index_t r = 0; r < requests; ++r) {
+    switch (r % 3) {
+      case 0:
+        futures.push_back(scheduler.submit(tenant_a, serve::Direction::kForward,
+                                           precision::PrecisionConfig{}, m_a));
+        break;
+      case 1:
+        futures.push_back(
+            scheduler.submit(tenant_b, serve::Direction::kForward, mixed, m_b));
+        break;
+      default:
+        futures.push_back(
+            scheduler.submit(tenant_b, serve::Direction::kAdjoint, mixed, d_b));
+    }
+  }
+
+  // 4. Futures carry the output plus per-request serving telemetry.
+  const auto first = futures.front().get();
+  std::cout << "first request: batch of " << first.batch_size << " on lane "
+            << first.lane << ", queued "
+            << util::Table::fmt(first.queue_seconds * 1e3, 3) << " ms, executed "
+            << util::Table::fmt(first.exec_seconds * 1e3, 3) << " ms\n\n";
+  scheduler.drain();
+  for (auto& f : futures) {
+    if (f.valid()) f.get();
+  }
+
+  // 5. The service-side report.
+  scheduler.metrics().print(std::cout);
+  return 0;
+}

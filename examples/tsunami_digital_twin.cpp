@@ -51,6 +51,7 @@ std::vector<double> true_source(const inverse::LtiConfig& cfg) {
 
 int main(int argc, char** argv) {
   util::CliParser cli(argc, argv);
+  cli.check_known({"nx", "Nt", "nd", "noise"});
   inverse::LtiConfig cfg = inverse::LtiConfig::with_uniform_sensors(
       cli.get_int("nx", 96), cli.get_int("Nt", 48), cli.get_int("nd", 6));
   const double noise_sigma = cli.get_double("noise", 1e-4);

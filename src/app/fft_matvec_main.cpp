@@ -87,6 +87,7 @@ struct RepStats {
 int main(int argc, char** argv) {
   try {
     const util::CliParser cli(argc, argv);
+    cli.check_known({"nm", "nd", "Nt", "prec", "rand", "raw", "reps", "device", "s", "t"});
     if (cli.get_flag("t")) return self_test();
 
     const core::ProblemDims dims{cli.get_int("nm", 512), cli.get_int("nd", 16),

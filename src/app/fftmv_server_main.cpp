@@ -1,0 +1,182 @@
+// fftmv_server — long-lived multi-tenant matvec service driven by a
+// synthetic open-loop load generator.
+//
+//   fftmv_server [-tenants 3] [-requests 400] [-rps 2000] [-streams 2]
+//                [-batch 8] [-linger-ms 0.5] [-cache 24]
+//                [-prec ddddd,dssdd,sssss] [-adjoint-frac 0.3]
+//                [-device mi300x] [-seed 42] [-raw] [--smoke]
+//
+//   -tenants N       distinct tenant models (mixed shapes: each tenant
+//                    scales the base problem differently)
+//   -requests N      total requests issued by the generator
+//   -rps R           open-loop Poisson arrival rate (requests/second);
+//                    inter-arrival gaps are exponential via util::Rng
+//   -streams S       scheduler worker lanes (one device stream each)
+//   -batch B         max requests coalesced per batch
+//   -linger-ms L     max time a request waits for batch companions
+//   -cache C         resident FftMatvecPlan budget (LRU)
+//   -prec a,b,...    precision configs cycled across requests
+//   -adjoint-frac F  fraction of requests that are adjoint (F*) applies
+//   -raw             machine-parseable summary (bare numbers)
+//   --smoke          short fixed-seed CI run; exits nonzero unless all
+//                    requests completed and throughput is nonzero
+//
+// The metrics report (throughput, p50/p95/p99 latency, batch-size
+// histogram, cache hit rate) prints on shutdown.
+#include <future>
+#include <iostream>
+#include <thread>
+#include <vector>
+
+#include "core/synthetic.hpp"
+#include "device/device_spec.hpp"
+#include "serve/scheduler.hpp"
+#include "util/cli.hpp"
+#include "util/rng.hpp"
+
+using namespace fftmv;
+
+namespace {
+
+struct TenantModel {
+  serve::TenantId id = 0;
+  core::ProblemDims dims;
+  std::vector<double> fwd_input;
+  std::vector<double> adj_input;
+};
+
+std::vector<precision::PrecisionConfig> parse_config_list(const std::string& csv) {
+  std::vector<precision::PrecisionConfig> configs;
+  std::size_t start = 0;
+  while (start <= csv.size()) {
+    const std::size_t comma = csv.find(',', start);
+    const std::string item =
+        csv.substr(start, comma == std::string::npos ? std::string::npos : comma - start);
+    if (!item.empty()) configs.push_back(precision::PrecisionConfig::parse(item));
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  if (configs.empty()) {
+    throw std::invalid_argument("-prec: expected a comma-separated config list");
+  }
+  return configs;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const util::CliParser cli(argc, argv);
+    cli.check_known({"tenants", "requests", "rps", "streams", "batch", "linger-ms",
+                     "cache", "prec", "adjoint-frac", "device", "seed", "raw", "smoke"});
+    const bool smoke = cli.get_flag("smoke");
+    const bool raw = cli.get_flag("raw");
+
+    const index_t n_tenants = cli.get_int("tenants", 3);
+    const index_t n_requests = cli.get_int("requests", smoke ? 120 : 400);
+    const double rps = cli.get_double("rps", smoke ? 4000.0 : 2000.0);
+    const double adjoint_frac = cli.get_double("adjoint-frac", 0.3);
+    const auto spec = device::spec_by_name(cli.get_string("device", "mi300x"));
+    const std::uint64_t seed =
+        smoke ? 20260730 : static_cast<std::uint64_t>(cli.get_int("seed", 42));
+    const auto configs = parse_config_list(cli.get_string("prec", "ddddd,dssdd,sssss"));
+
+    serve::ServeOptions opts;
+    opts.num_streams = static_cast<int>(cli.get_int("streams", 2));
+    opts.max_batch = static_cast<int>(cli.get_int("batch", 8));
+    opts.linger_seconds = cli.get_double("linger-ms", 0.5) * 1e-3;
+    // Default sized to the full default workload working set: 3 tenants
+    // x 3 precision configs x 2 lanes = 18 plan keys, with headroom.
+    opts.plan_cache_capacity = static_cast<std::size_t>(cli.get_int("cache", 24));
+
+    if (!raw) {
+      std::cout << "fftmv_server: " << n_tenants << " tenants, " << n_requests
+                << " requests @ " << rps << " req/s (Poisson), " << opts.num_streams
+                << " streams, batch<=" << opts.max_batch << ", linger "
+                << opts.linger_seconds * 1e3 << " ms, plan cache "
+                << opts.plan_cache_capacity << ", device " << spec.name << "\n";
+    }
+
+    serve::AsyncScheduler scheduler(spec, opts);
+
+    // Mixed shapes: tenant t scales the base problem by (1 + t/2) in
+    // parameters and rotates sensor/time extents, so the plan cache
+    // sees genuinely distinct keys.
+    std::vector<TenantModel> tenants;
+    for (index_t t = 0; t < n_tenants; ++t) {
+      TenantModel model;
+      model.dims = core::ProblemDims{48 + 24 * (t % 3), 4 + 2 * (t % 2),
+                                     24 + 8 * (t % 3)};
+      const auto local = core::LocalDims::single_rank(model.dims);
+      const auto col = core::make_first_block_col(local, seed + 17 * t);
+      model.id = scheduler.add_tenant(model.dims, col);
+      model.fwd_input =
+          core::make_input_vector(model.dims.n_t * model.dims.n_m, seed + 17 * t + 1);
+      model.adj_input =
+          core::make_input_vector(model.dims.n_t * model.dims.n_d, seed + 17 * t + 2);
+      tenants.push_back(std::move(model));
+    }
+
+    // Open-loop generator: arrivals are scheduled ahead of time from
+    // the exponential inter-arrival draw and submitted on schedule
+    // regardless of completion (no back-pressure), the standard
+    // closed-vs-open-loop distinction in serving benchmarks.
+    util::Rng rng(seed);
+    std::vector<std::future<serve::MatvecResult>> futures;
+    futures.reserve(static_cast<std::size_t>(n_requests));
+    const auto t0 = std::chrono::steady_clock::now();
+    double arrival = 0.0;
+    for (index_t r = 0; r < n_requests; ++r) {
+      arrival += -std::log(1.0 - rng.next_double()) / rps;
+      std::this_thread::sleep_until(t0 + std::chrono::duration<double>(arrival));
+      const auto& tenant = tenants[static_cast<std::size_t>(rng.next_u64() %
+                                                            tenants.size())];
+      const auto& config = configs[static_cast<std::size_t>(r) % configs.size()];
+      const bool adjoint = rng.next_double() < adjoint_frac;
+      futures.push_back(scheduler.submit(
+          tenant.id, adjoint ? serve::Direction::kAdjoint : serve::Direction::kForward,
+          config, adjoint ? tenant.adj_input : tenant.fwd_input));
+    }
+
+    scheduler.drain();
+    index_t fulfilled = 0, errors = 0;
+    for (auto& f : futures) {
+      try {
+        f.get();
+        ++fulfilled;
+      } catch (const std::exception& e) {
+        ++errors;
+        std::cerr << "request failed: " << e.what() << "\n";
+      }
+    }
+
+    const auto snap = scheduler.metrics();
+    if (raw) {
+      std::cout << snap.completed << "\n"
+                << snap.failed << "\n"
+                << snap.throughput_rps() << "\n"
+                << snap.cache_hit_rate() << "\n";
+    } else {
+      std::cout << "\n";
+      snap.print(std::cout);
+      std::cout << "\nlane sim makespan: " << scheduler.max_lane_sim_seconds() * 1e3
+                << " ms, tenant setup: " << scheduler.setup_sim_seconds() * 1e3
+                << " ms (simulated)\n";
+    }
+
+    if (smoke) {
+      const bool ok = errors == 0 && fulfilled == n_requests &&
+                      snap.failed == 0 && snap.completed == n_requests &&
+                      snap.throughput_rps() > 0.0;
+      std::cout << "smoke: " << fulfilled << "/" << n_requests
+                << " fulfilled, " << errors << " errors, "
+                << util::Table::fmt(snap.throughput_rps(), 0) << " req/s -> "
+                << (ok ? "PASSED" : "FAILED") << "\n";
+      return ok ? 0 : 1;
+    }
+    return errors == 0 ? 0 : 1;
+  } catch (const std::exception& e) {
+    std::cerr << "fftmv_server: " << e.what() << "\n";
+    return 1;
+  }
+}

@@ -42,6 +42,8 @@ struct NetworkSpec {
   double intra_bandwidth_Bps = 100e9;
 
   static NetworkSpec frontier() { return NetworkSpec{}; }
+
+  bool operator==(const NetworkSpec&) const = default;
 };
 
 class CommCostModel {

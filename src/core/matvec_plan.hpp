@@ -63,6 +63,8 @@ struct MatvecOptions {
   /// Network model used to charge communication time in distributed
   /// applies.
   comm::NetworkSpec network = comm::NetworkSpec::frontier();
+
+  bool operator==(const MatvecOptions&) const = default;
 };
 
 class FftMatvecPlan {

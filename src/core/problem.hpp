@@ -29,6 +29,8 @@ struct ProblemDims {
       throw std::invalid_argument("ProblemDims: all dimensions must be positive");
     }
   }
+
+  bool operator==(const ProblemDims&) const = default;
 };
 
 /// The slice of the problem owned by one rank of a p_r x p_c grid:
@@ -49,6 +51,8 @@ struct LocalDims {
     dims.validate();
     return LocalDims{dims, dims.n_m, dims.n_d, 0, 0};
   }
+
+  bool operator==(const LocalDims&) const = default;
 
   static LocalDims for_rank(const ProblemDims& dims, const comm::ProcessGrid& grid,
                             index_t rank) {

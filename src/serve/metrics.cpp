@@ -1,0 +1,158 @@
+#include "serve/metrics.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <ostream>
+
+namespace fftmv::serve {
+
+namespace {
+
+double wall_now() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+LatencySummary summarize(std::vector<double> samples, std::uint64_t population) {
+  LatencySummary s;
+  s.count = static_cast<std::int64_t>(population);
+  if (samples.empty()) return s;
+  std::sort(samples.begin(), samples.end());
+  double sum = 0.0;
+  for (const double v : samples) sum += v;
+  s.mean = sum / static_cast<double>(samples.size());
+  const auto quantile = [&](double q) {
+    const auto idx = static_cast<std::size_t>(
+        q * static_cast<double>(samples.size() - 1) + 0.5);
+    return samples[std::min(idx, samples.size() - 1)];
+  };
+  s.p50 = quantile(0.50);
+  s.p95 = quantile(0.95);
+  s.p99 = quantile(0.99);
+  s.max = samples.back();
+  return s;
+}
+
+std::string ms(double seconds) { return util::Table::fmt(seconds * 1e3, 3); }
+
+}  // namespace
+
+void ServeMetrics::record_submit() {
+  std::lock_guard lock(mutex_);
+  ++counters_.submitted;
+  if (first_submit_wall_ < 0.0) first_submit_wall_ = wall_now();
+}
+
+void ServeMetrics::undo_submit() {
+  std::lock_guard lock(mutex_);
+  --counters_.submitted;
+}
+
+void ServeMetrics::record_request(double queue_seconds, double exec_seconds,
+                                  bool failed) {
+  std::lock_guard lock(mutex_);
+  if (failed) {
+    ++counters_.failed;
+  } else {
+    ++counters_.completed;
+  }
+  ++sample_count_;
+  if (queue_samples_.size() < kMaxSamples) {
+    queue_samples_.push_back(queue_seconds);
+    exec_samples_.push_back(exec_seconds);
+    total_samples_.push_back(queue_seconds + exec_seconds);
+    return;
+  }
+  // Reservoir replacement (Algorithm R): each request survives into
+  // the reservoir with probability kMaxSamples / sample_count_.  The
+  // three populations share one slot draw so a request's queue/exec/
+  // total samples stay aligned.
+  reservoir_rng_ = reservoir_rng_ * 6364136223846793005ULL + 1442695040888963407ULL;
+  const std::uint64_t slot = reservoir_rng_ % sample_count_;
+  if (slot < kMaxSamples) {
+    queue_samples_[slot] = queue_seconds;
+    exec_samples_[slot] = exec_seconds;
+    total_samples_[slot] = queue_seconds + exec_seconds;
+  }
+}
+
+void ServeMetrics::record_batch(int size, double sim_seconds) {
+  std::lock_guard lock(mutex_);
+  ++counters_.batches;
+  ++counters_.batch_histogram[size];
+  counters_.sim_seconds += sim_seconds;
+}
+
+void ServeMetrics::record_cache(std::int64_t hits, std::int64_t misses,
+                                std::int64_t evictions) {
+  std::lock_guard lock(mutex_);
+  counters_.cache_hits = hits;
+  counters_.cache_misses = misses;
+  counters_.cache_evictions = evictions;
+}
+
+MetricsSnapshot ServeMetrics::snapshot() const {
+  MetricsSnapshot snap;
+  std::vector<double> queue_samples, exec_samples, total_samples;
+  std::uint64_t population = 0;
+  {
+    // Copy under the lock; the sorts in summarize() run outside it so
+    // snapshotting never stalls the request hot path.
+    std::lock_guard lock(mutex_);
+    snap = counters_;
+    snap.wall_seconds =
+        first_submit_wall_ >= 0.0 ? wall_now() - first_submit_wall_ : 0.0;
+    queue_samples = queue_samples_;
+    exec_samples = exec_samples_;
+    total_samples = total_samples_;
+    population = sample_count_;
+  }
+  snap.queue_latency = summarize(std::move(queue_samples), population);
+  snap.exec_latency = summarize(std::move(exec_samples), population);
+  snap.total_latency = summarize(std::move(total_samples), population);
+  return snap;
+}
+
+util::Table MetricsSnapshot::summary_table() const {
+  util::Table t({"submitted", "completed", "failed", "batches", "mean batch",
+                 "throughput req/s", "cache hit rate", "sim s"});
+  t.add_row({std::to_string(submitted), std::to_string(completed),
+             std::to_string(failed), std::to_string(batches),
+             util::Table::fmt(mean_batch_size(), 2),
+             util::Table::fmt(throughput_rps(), 0),
+             util::Table::fmt_pct(cache_hit_rate()),
+             util::Table::fmt(sim_seconds, 4)});
+  return t;
+}
+
+util::Table MetricsSnapshot::latency_table() const {
+  util::Table t({"latency ms", "mean", "p50", "p95", "p99", "max"});
+  const auto row = [&](const char* name, const LatencySummary& s) {
+    t.add_row({name, ms(s.mean), ms(s.p50), ms(s.p95), ms(s.p99), ms(s.max)});
+  };
+  row("queueing", queue_latency);
+  row("execution", exec_latency);
+  row("total", total_latency);
+  return t;
+}
+
+util::Table MetricsSnapshot::batch_table() const {
+  util::Table t({"batch size", "dispatches"});
+  for (const auto& [size, count] : batch_histogram) {
+    t.add_row({std::to_string(size), std::to_string(count)});
+  }
+  return t;
+}
+
+void MetricsSnapshot::print(std::ostream& os) const {
+  summary_table().print(os);
+  os << '\n';
+  latency_table().print(os);
+  if (!batch_histogram.empty()) {
+    os << '\n';
+    batch_table().print(os);
+  }
+}
+
+}  // namespace fftmv::serve

@@ -1,0 +1,95 @@
+// Serving-side observability: counters, latency percentiles and the
+// batch-size histogram for the multi-tenant matvec service.
+//
+// The scheduler records one sample per request (queueing and
+// execution wall latency) and one sample per dispatched batch (size,
+// simulated device seconds); a Snapshot is taken under the lock and
+// rendered through util::Table so the server and the throughput bench
+// report the same quantities.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <mutex>
+#include <vector>
+
+#include "util/table.hpp"
+
+namespace fftmv::serve {
+
+/// Order statistics of one latency population (seconds).
+struct LatencySummary {
+  std::int64_t count = 0;
+  double mean = 0.0;
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+  double max = 0.0;
+};
+
+struct MetricsSnapshot {
+  std::int64_t submitted = 0;
+  std::int64_t completed = 0;
+  std::int64_t failed = 0;
+  std::int64_t batches = 0;
+  std::int64_t cache_hits = 0;
+  std::int64_t cache_misses = 0;
+  std::int64_t cache_evictions = 0;
+  double wall_seconds = 0.0;       ///< serving window (first submit -> snapshot)
+  double sim_seconds = 0.0;        ///< total simulated device time across lanes
+  LatencySummary queue_latency;    ///< submit -> batch execution start
+  LatencySummary exec_latency;     ///< execution start -> promise fulfilled
+  LatencySummary total_latency;    ///< submit -> promise fulfilled
+  std::map<int, std::int64_t> batch_histogram;  ///< batch size -> dispatch count
+
+  double cache_hit_rate() const {
+    const std::int64_t n = cache_hits + cache_misses;
+    return n > 0 ? static_cast<double>(cache_hits) / static_cast<double>(n) : 0.0;
+  }
+  double throughput_rps() const {
+    return wall_seconds > 0.0 ? static_cast<double>(completed) / wall_seconds : 0.0;
+  }
+  double mean_batch_size() const {
+    return batches > 0 ? static_cast<double>(completed + failed) / static_cast<double>(batches)
+                       : 0.0;
+  }
+
+  /// Render the report (throughput, latency percentiles, batch-size
+  /// histogram, cache hit rate) as util::Tables.
+  void print(std::ostream& os) const;
+  util::Table summary_table() const;
+  util::Table latency_table() const;
+  util::Table batch_table() const;
+};
+
+/// Thread-safe metrics sink shared by the scheduler's worker lanes.
+/// Latency percentiles come from a bounded reservoir (Algorithm R,
+/// kMaxSamples entries) so a long-lived service neither grows memory
+/// per request nor sorts an unbounded history on snapshot().
+class ServeMetrics {
+ public:
+  void record_submit();
+  /// Roll back a record_submit whose request was never accepted
+  /// (submit raced a shutdown).
+  void undo_submit();
+  void record_request(double queue_seconds, double exec_seconds, bool failed);
+  void record_batch(int size, double sim_seconds);
+  void record_cache(std::int64_t hits, std::int64_t misses, std::int64_t evictions);
+
+  MetricsSnapshot snapshot() const;
+
+  static constexpr std::size_t kMaxSamples = 1 << 16;
+
+ private:
+  mutable std::mutex mutex_;
+  MetricsSnapshot counters_;
+  std::vector<double> queue_samples_;
+  std::vector<double> exec_samples_;
+  std::vector<double> total_samples_;
+  std::uint64_t sample_count_ = 0;  ///< all requests ever recorded
+  std::uint64_t reservoir_rng_ = 0x9e3779b97f4a7c15ULL;
+  double first_submit_wall_ = -1.0;
+};
+
+}  // namespace fftmv::serve

@@ -1,0 +1,81 @@
+#include "serve/plan_cache.hpp"
+
+#include <functional>
+#include <stdexcept>
+
+namespace fftmv::serve {
+
+namespace {
+
+void hash_combine(std::size_t& seed, std::size_t v) {
+  seed ^= v + 0x9e3779b97f4a7c15ULL + (seed << 6) + (seed >> 2);
+}
+
+}  // namespace
+
+std::size_t PlanKeyHash::operator()(const PlanKey& k) const noexcept {
+  std::size_t h = std::hash<std::string>{}(k.precision);
+  hash_combine(h, std::hash<std::string>{}(k.device));
+  hash_combine(h, static_cast<std::size_t>(k.lane));
+  const auto& d = k.dims;
+  for (const index_t v : {d.global.n_m, d.global.n_d, d.global.n_t, d.n_m_local,
+                          d.n_d_local, d.m_offset, d.d_offset}) {
+    hash_combine(h, std::hash<index_t>{}(v));
+  }
+  hash_combine(h, static_cast<std::size_t>(k.options.gemv_policy));
+  hash_combine(h, static_cast<std::size_t>(k.options.fuse_casts));
+  // NetworkSpec participates in equality but not the hash (it is
+  // uniform across a deployment); unequal specs simply collide.
+  return h;
+}
+
+PlanCache::PlanCache(device::Device& dev, std::size_t capacity)
+    : dev_(&dev), capacity_(capacity) {
+  if (capacity_ == 0) {
+    throw std::invalid_argument("PlanCache: capacity must be >= 1");
+  }
+}
+
+std::shared_ptr<core::FftMatvecPlan> PlanCache::acquire(const PlanKey& key,
+                                                        device::Stream& stream) {
+  {
+    std::lock_guard lock(mutex_);
+    if (const auto it = index_.find(key); it != index_.end()) {
+      ++stats_.hits;
+      lru_.splice(lru_.begin(), lru_, it->second);
+      return it->second->second;
+    }
+    ++stats_.misses;
+  }
+  // Built outside the lock so one lane's cold miss never stalls the
+  // other lanes' lookups (keys are lane-scoped in the scheduler, so
+  // concurrent same-key builds do not arise there; if an external
+  // caller races one, the loser's plan is simply dropped below).
+  auto plan =
+      std::make_shared<core::FftMatvecPlan>(*dev_, stream, key.dims, key.options);
+  std::lock_guard lock(mutex_);
+  if (const auto it = index_.find(key); it != index_.end()) {
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return it->second->second;
+  }
+  lru_.emplace_front(key, std::move(plan));
+  index_[key] = lru_.begin();
+  while (lru_.size() > capacity_) {
+    index_.erase(lru_.back().first);
+    lru_.pop_back();
+    ++stats_.evictions;
+  }
+  return lru_.front().second;
+}
+
+std::size_t PlanCache::size() const {
+  std::lock_guard lock(mutex_);
+  return lru_.size();
+}
+
+PlanCacheStats PlanCache::stats() const {
+  std::lock_guard lock(mutex_);
+  return stats_;
+}
+
+}  // namespace fftmv::serve

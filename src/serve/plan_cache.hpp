@@ -1,0 +1,79 @@
+// LRU cache of FftMatvecPlan instances for the serving layer.
+//
+// Plan setup (FFT sub-plan twiddle tables, pipeline buffer
+// allocation) is a per-shape cost the one-shot executables re-pay on
+// every run; a long-lived service amortises it by keying plans on
+// (LocalDims, MatvecOptions, PrecisionConfig, device, stream lane)
+// and reusing them across requests (ISSUE motivation; cf. the
+// Hessian-action workloads of Venkat et al., which apply the same
+// operator thousands of times).  A plan is bound to the stream it
+// was created on (as with cuFFT/hipFFT plans), so the lane index is
+// part of the key and each scheduler lane only ever touches its own
+// entries — a cached plan is never driven from two threads at once.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "core/matvec_plan.hpp"
+#include "core/problem.hpp"
+#include "device/device.hpp"
+#include "device/stream.hpp"
+
+namespace fftmv::serve {
+
+struct PlanKey {
+  core::LocalDims dims;
+  core::MatvecOptions options;
+  /// PrecisionConfig::to_string() of the request ("dssdd" style).
+  std::string precision;
+  /// DeviceSpec name the plan was built for.
+  std::string device;
+  /// Scheduler stream lane the plan is bound to.
+  int lane = 0;
+
+  bool operator==(const PlanKey&) const = default;
+};
+
+struct PlanKeyHash {
+  std::size_t operator()(const PlanKey& k) const noexcept;
+};
+
+struct PlanCacheStats {
+  std::int64_t hits = 0;
+  std::int64_t misses = 0;
+  std::int64_t evictions = 0;
+};
+
+class PlanCache {
+ public:
+  /// `capacity` is the maximum number of resident plans (>= 1).
+  PlanCache(device::Device& dev, std::size_t capacity);
+
+  /// Return the cached plan for `key`, creating it on `stream` on a
+  /// miss and evicting the least-recently-used entry beyond capacity.
+  /// The returned shared_ptr keeps an evicted plan alive until its
+  /// current user releases it.  Thread-safe.
+  std::shared_ptr<core::FftMatvecPlan> acquire(const PlanKey& key,
+                                               device::Stream& stream);
+
+  std::size_t size() const;
+  std::size_t capacity() const { return capacity_; }
+  PlanCacheStats stats() const;
+
+ private:
+  using Entry = std::pair<PlanKey, std::shared_ptr<core::FftMatvecPlan>>;
+
+  device::Device* dev_;
+  std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::list<Entry> lru_;  ///< front = most recently used
+  std::unordered_map<PlanKey, std::list<Entry>::iterator, PlanKeyHash> index_;
+  PlanCacheStats stats_;
+};
+
+}  // namespace fftmv::serve

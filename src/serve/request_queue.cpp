@@ -1,0 +1,102 @@
+#include "serve/request_queue.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace fftmv::serve {
+
+RequestQueue::RequestQueue(int max_batch, double linger_seconds)
+    : max_batch_(max_batch), linger_seconds_(linger_seconds) {
+  if (max_batch_ < 1) {
+    throw std::invalid_argument("RequestQueue: max_batch must be >= 1");
+  }
+  if (linger_seconds_ < 0.0) {
+    throw std::invalid_argument("RequestQueue: linger must be >= 0");
+  }
+}
+
+bool RequestQueue::push(const BatchKey& key, PendingRequest request) {
+  {
+    std::lock_guard lock(mutex_);
+    if (closed_) return false;
+    auto [it, inserted] = queues_.try_emplace(key);
+    if (it->second.empty()) rotation_.push_back(key);
+    it->second.push_back(std::move(request));
+    ++total_pending_;
+  }
+  // Wake every consumer: one takes the batch when it fills, the rest
+  // re-evaluate their linger deadlines.
+  cv_.notify_all();
+  return true;
+}
+
+std::optional<Batch> RequestQueue::pop_batch() {
+  std::unique_lock lock(mutex_);
+  for (;;) {
+    if (rotation_.empty()) {
+      if (closed_) return std::nullopt;
+      cv_.wait(lock);
+      continue;
+    }
+    // Scan the rotation in service order for the first ready key, so
+    // a full (or expired) batch is never head-of-line blocked behind
+    // another key still inside its linger window; among ready keys,
+    // rotation order preserves round-robin fairness.
+    const auto now = std::chrono::steady_clock::now();
+    const auto linger = std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+        std::chrono::duration<double>(linger_seconds_));
+    auto ready = rotation_.end();
+    auto earliest_deadline = std::chrono::steady_clock::time_point::max();
+    for (auto it = rotation_.begin(); it != rotation_.end(); ++it) {
+      const auto& q = queues_.at(*it);
+      const auto deadline = q.front().enqueued + linger;
+      if (closed_ || static_cast<int>(q.size()) >= max_batch_ || now >= deadline) {
+        ready = it;
+        break;
+      }
+      earliest_deadline = std::min(earliest_deadline, deadline);
+    }
+    if (ready == rotation_.end()) {
+      // Every key is still gathering company: sleep until the first
+      // linger deadline or a new arrival re-evaluates the predicate.
+      cv_.wait_until(lock, earliest_deadline);
+      continue;
+    }
+
+    const BatchKey key = *ready;
+    auto& q = queues_.at(key);
+    Batch batch;
+    batch.key = key;
+    const auto take = std::min<std::size_t>(q.size(), static_cast<std::size_t>(max_batch_));
+    batch.requests.reserve(take);
+    for (std::size_t i = 0; i < take; ++i) {
+      batch.requests.push_back(std::move(q.front()));
+      q.pop_front();
+    }
+    total_pending_ -= take;
+    rotation_.erase(ready);
+    if (q.empty()) {
+      queues_.erase(key);
+    } else {
+      // Round-robin: leftover work goes to the back of the rotation
+      // so other tenants get the next lane.
+      rotation_.push_back(key);
+    }
+    return batch;
+  }
+}
+
+void RequestQueue::close() {
+  {
+    std::lock_guard lock(mutex_);
+    closed_ = true;
+  }
+  cv_.notify_all();
+}
+
+std::size_t RequestQueue::pending() const {
+  std::lock_guard lock(mutex_);
+  return total_pending_;
+}
+
+}  // namespace fftmv::serve

@@ -1,0 +1,110 @@
+// Request coalescing for the matvec service: a multi-producer,
+// multi-consumer queue that groups same-key requests into batches.
+//
+// Requests that share a BatchKey (tenant, direction, precision
+// config) apply the same operator through the same cached plan, so
+// executing them back-to-back amortises plan/cache lookup and keeps
+// one lane's stream on one shape — the tcFFT observation that batched
+// same-shape transforms are where GPU throughput comes from.  A batch
+// is released when it reaches `max_batch` requests or when its oldest
+// request has lingered `linger_seconds` (so a lone request is never
+// parked indefinitely waiting for company).  Keys are served
+// round-robin: after a key is dispatched it moves to the back of the
+// rotation, giving per-tenant fairness under skewed load.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <future>
+#include <list>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace fftmv::serve {
+
+using TenantId = std::uint64_t;
+
+enum class Direction : unsigned char { kForward, kAdjoint };
+
+inline const char* direction_name(Direction d) {
+  return d == Direction::kForward ? "F" : "F*";
+}
+
+/// Completed request payload delivered through the future.
+struct MatvecResult {
+  std::vector<double> output;
+  double queue_seconds = 0.0;  ///< submit -> batch execution start (wall)
+  double exec_seconds = 0.0;   ///< execution start -> completion (wall)
+  double sim_seconds = 0.0;    ///< simulated device seconds of this apply
+  int batch_size = 0;          ///< size of the batch this request rode in
+  int lane = -1;               ///< stream lane that executed it
+};
+
+/// Coalescing key: requests batch together iff all three match.
+struct BatchKey {
+  TenantId tenant = 0;
+  Direction direction = Direction::kForward;
+  std::string precision;  ///< PrecisionConfig::to_string()
+
+  bool operator==(const BatchKey&) const = default;
+  /// Ordering for the std::map of per-key queues.
+  bool operator<(const BatchKey& o) const {
+    if (tenant != o.tenant) return tenant < o.tenant;
+    if (direction != o.direction) return direction < o.direction;
+    return precision < o.precision;
+  }
+};
+
+struct PendingRequest {
+  std::vector<double> input;
+  std::promise<MatvecResult> promise;
+  std::chrono::steady_clock::time_point enqueued;
+};
+
+struct Batch {
+  BatchKey key;
+  std::vector<PendingRequest> requests;
+};
+
+class RequestQueue {
+ public:
+  RequestQueue(int max_batch, double linger_seconds);
+
+  /// Enqueue one request (any thread).  Returns false after close():
+  /// the caller keeps the request and must fail its promise itself.
+  bool push(const BatchKey& key, PendingRequest request);
+
+  /// Block until a batch is ready (or the queue is closed and empty,
+  /// returning nullopt).  Multiple consumers may pop concurrently;
+  /// each call serves the next key in the round-robin rotation.
+  std::optional<Batch> pop_batch();
+
+  /// Stop accepting pushes and wake consumers.  Already-queued
+  /// requests still drain through pop_batch (graceful shutdown).
+  void close();
+
+  std::size_t pending() const;
+  int max_batch() const { return max_batch_; }
+  double linger_seconds() const { return linger_seconds_; }
+
+ private:
+  int max_batch_;
+  double linger_seconds_;
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::map<BatchKey, std::deque<PendingRequest>> queues_;
+  /// Keys with pending requests, in service order (front is next).
+  std::list<BatchKey> rotation_;
+  std::size_t total_pending_ = 0;
+  bool closed_ = false;
+};
+
+}  // namespace fftmv::serve

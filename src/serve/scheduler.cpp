@@ -1,0 +1,230 @@
+#include "serve/scheduler.hpp"
+
+#include <chrono>
+#include <stdexcept>
+
+namespace fftmv::serve {
+
+namespace {
+
+using clock = std::chrono::steady_clock;
+
+double seconds_between(clock::time_point a, clock::time_point b) {
+  return std::chrono::duration<double>(b - a).count();
+}
+
+}  // namespace
+
+AsyncScheduler::AsyncScheduler(const device::DeviceSpec& spec, ServeOptions options)
+    : options_(options),
+      dev_(spec),
+      setup_stream_(dev_),
+      cache_(dev_, options.plan_cache_capacity),
+      queue_(options.max_batch, options.linger_seconds) {
+  if (options_.num_streams < 1) {
+    throw std::invalid_argument("AsyncScheduler: num_streams must be >= 1");
+  }
+  lanes_.resize(static_cast<std::size_t>(options_.num_streams));
+  for (std::size_t i = 0; i < lanes_.size(); ++i) {
+    lanes_[i].stream = std::make_unique<device::Stream>(dev_);
+  }
+  // Streams first, then workers: a worker may touch any lane state
+  // only through its own index.
+  for (std::size_t i = 0; i < lanes_.size(); ++i) {
+    lanes_[i].worker = std::thread([this, i] { worker_loop(static_cast<int>(i)); });
+  }
+}
+
+AsyncScheduler::~AsyncScheduler() { shutdown(); }
+
+TenantId AsyncScheduler::add_tenant(const core::ProblemDims& dims,
+                                    std::span<const double> first_block_col) {
+  const auto local = core::LocalDims::single_rank(dims);
+  // The expensive setup (batched FFT of the block column, fp32
+  // spectrum warm — the latter so the lazily-cast copy is never raced
+  // later) runs before the tenants lock is taken: registration must
+  // not stall data-plane lanes looking up other tenants.  Its own
+  // mutex serialises concurrent registrations on the setup stream.
+  std::shared_ptr<core::BlockToeplitzOperator> op;
+  {
+    std::lock_guard setup_lock(setup_mutex_);
+    op = std::make_shared<core::BlockToeplitzOperator>(dev_, setup_stream_, local,
+                                                       first_block_col);
+    op->spectrum_f(setup_stream_);
+  }
+  std::lock_guard lock(tenants_mutex_);
+  const TenantId id = next_tenant_++;
+  tenants_.emplace(id, Tenant{local, std::move(op)});
+  return id;
+}
+
+std::future<MatvecResult> AsyncScheduler::submit(TenantId tenant, Direction direction,
+                                                 const precision::PrecisionConfig& config,
+                                                 std::vector<double> input) {
+  core::LocalDims dims;
+  {
+    std::lock_guard lock(tenants_mutex_);
+    const auto it = tenants_.find(tenant);
+    if (it == tenants_.end()) {
+      throw std::invalid_argument("AsyncScheduler::submit: unknown tenant " +
+                                  std::to_string(tenant));
+    }
+    dims = it->second.dims;
+  }
+  const index_t expect = direction == Direction::kForward
+                             ? dims.n_t() * dims.n_m_local
+                             : dims.n_t() * dims.n_d_local;
+  if (static_cast<index_t>(input.size()) != expect) {
+    throw std::invalid_argument(
+        "AsyncScheduler::submit: input extent " + std::to_string(input.size()) +
+        ", expected " + std::to_string(expect));
+  }
+
+  PendingRequest req;
+  req.input = std::move(input);
+  req.enqueued = clock::now();
+  std::future<MatvecResult> future = req.promise.get_future();
+
+  {
+    std::lock_guard lock(state_mutex_);
+    if (!accepting_) {
+      throw std::runtime_error("AsyncScheduler::submit: scheduler is shut down");
+    }
+    ++in_flight_;
+  }
+  // Counted (and the serving wall clock started) before the push: a
+  // lane may pop and finish the request before this thread resumes,
+  // and completed must never exceed submitted in a metrics() snapshot.
+  metrics_.record_submit();
+
+  const BatchKey key{tenant, direction, config.to_string()};
+  if (!queue_.push(key, std::move(req))) {
+    // close() raced with the accepting_ check; undo the accept.
+    metrics_.undo_submit();
+    std::lock_guard lock(state_mutex_);
+    --in_flight_;
+    cv_drained_.notify_all();
+    throw std::runtime_error("AsyncScheduler::submit: scheduler is shut down");
+  }
+  return future;
+}
+
+void AsyncScheduler::worker_loop(int lane) {
+  while (auto batch = queue_.pop_batch()) {
+    execute_batch(lane, *batch);
+  }
+}
+
+void AsyncScheduler::execute_batch(int lane, Batch& batch) {
+  const auto exec_start = clock::now();
+  device::Stream& stream = *lanes_[static_cast<std::size_t>(lane)].stream;
+  const double sim_start = stream.now();
+
+  std::shared_ptr<core::BlockToeplitzOperator> op;
+  core::LocalDims dims;
+  std::shared_ptr<core::FftMatvecPlan> plan;
+  precision::PrecisionConfig config;
+  std::exception_ptr batch_error;
+  try {
+    {
+      std::lock_guard lock(tenants_mutex_);
+      const Tenant& t = tenants_.at(batch.key.tenant);
+      op = t.op;
+      dims = t.dims;
+    }
+    config = precision::PrecisionConfig::parse(batch.key.precision);
+    plan = cache_.acquire(
+        PlanKey{dims, options_.matvec, batch.key.precision, dev_.spec().name, lane},
+        stream);
+  } catch (...) {
+    batch_error = std::current_exception();
+  }
+
+  const int batch_size = static_cast<int>(batch.requests.size());
+  std::int64_t done = 0;
+  for (auto& req : batch.requests) {
+    const double queue_s = seconds_between(req.enqueued, exec_start);
+    bool failed = false;
+    if (batch_error) {
+      req.promise.set_exception(batch_error);
+      failed = true;
+    } else {
+      try {
+        MatvecResult result;
+        const double apply_sim0 = stream.now();
+        if (batch.key.direction == Direction::kForward) {
+          result.output.resize(static_cast<std::size_t>(dims.n_t() * dims.n_d_local));
+          plan->forward(*op, req.input, result.output, config);
+        } else {
+          result.output.resize(static_cast<std::size_t>(dims.n_t() * dims.n_m_local));
+          plan->adjoint(*op, req.input, result.output, config);
+        }
+        result.sim_seconds = stream.now() - apply_sim0;
+        result.queue_seconds = queue_s;
+        result.exec_seconds = seconds_between(exec_start, clock::now());
+        result.batch_size = batch_size;
+        result.lane = lane;
+        req.promise.set_value(std::move(result));
+      } catch (...) {
+        req.promise.set_exception(std::current_exception());
+        failed = true;
+      }
+    }
+    metrics_.record_request(queue_s, seconds_between(exec_start, clock::now()), failed);
+    ++done;
+  }
+  metrics_.record_batch(batch_size, stream.now() - sim_start);
+
+  const auto cache_stats = cache_.stats();
+  metrics_.record_cache(cache_stats.hits, cache_stats.misses, cache_stats.evictions);
+
+  {
+    std::lock_guard lock(state_mutex_);
+    in_flight_ -= done;
+    if (in_flight_ == 0) cv_drained_.notify_all();
+  }
+}
+
+void AsyncScheduler::drain() {
+  std::unique_lock lock(state_mutex_);
+  cv_drained_.wait(lock, [&] { return in_flight_ == 0; });
+}
+
+void AsyncScheduler::shutdown() {
+  {
+    std::lock_guard lock(state_mutex_);
+    accepting_ = false;
+  }
+  // Workers drain everything already queued before pop_batch returns
+  // nullopt, so accepted futures are all fulfilled.
+  queue_.close();
+  bool join = false;
+  {
+    std::lock_guard lock(state_mutex_);
+    if (!workers_stopped_) {
+      workers_stopped_ = true;
+      join = true;
+    }
+  }
+  if (join) {
+    for (auto& lane : lanes_) {
+      if (lane.worker.joinable()) lane.worker.join();
+    }
+  }
+  drain();
+}
+
+MetricsSnapshot AsyncScheduler::metrics() const {
+  // Refresh cache counters even before the first batch executes.
+  const auto cache_stats = cache_.stats();
+  metrics_.record_cache(cache_stats.hits, cache_stats.misses, cache_stats.evictions);
+  return metrics_.snapshot();
+}
+
+double AsyncScheduler::max_lane_sim_seconds() const {
+  double m = 0.0;
+  for (const auto& lane : lanes_) m = std::max(m, lane.stream->now());
+  return m;
+}
+
+}  // namespace fftmv::serve

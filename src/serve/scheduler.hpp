@@ -1,0 +1,132 @@
+// Async multi-stream scheduler: the long-lived matvec service.
+//
+// Tenants register a block-triangular Toeplitz operator once
+// (setup — the batched FFT of the first block column — is paid at
+// registration, never on the request path).  Clients then submit
+// forward/adjoint applies and receive std::futures.  A RequestQueue
+// coalesces same-(tenant, direction, precision) requests into
+// batches served round-robin across keys, and a pool of worker
+// lanes — one device::Stream per worker — executes batches through
+// the shared LRU PlanCache, so concurrent tenants reuse plan setup
+// while their work overlaps across streams.  Shutdown is graceful:
+// accepted requests drain before the workers exit, and every future
+// is always fulfilled (value or exception).
+#pragma once
+
+#include <future>
+#include <memory>
+#include <span>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "core/block_toeplitz.hpp"
+#include "core/matvec_plan.hpp"
+#include "core/problem.hpp"
+#include "device/device.hpp"
+#include "device/device_spec.hpp"
+#include "device/stream.hpp"
+#include "precision/precision.hpp"
+#include "serve/metrics.hpp"
+#include "serve/plan_cache.hpp"
+#include "serve/request_queue.hpp"
+
+namespace fftmv::serve {
+
+struct ServeOptions {
+  /// Worker lanes; each owns one device::Stream.
+  int num_streams = 2;
+  /// Maximum requests coalesced into one batch.
+  int max_batch = 8;
+  /// Maximum time a request may wait for batch companions.
+  double linger_seconds = 500e-6;
+  /// Resident FftMatvecPlan budget across all lanes.  Size it to
+  /// hold the working set: distinct (dims, options, precision) keys
+  /// x num_streams (precision is part of the key per the cache
+  /// contract, so each config a tenant uses costs one entry per
+  /// lane); an undersized cache thrashes and re-pays plan setup on
+  /// the request path.
+  std::size_t plan_cache_capacity = 32;
+  /// Matvec execution options shared by all tenants.
+  core::MatvecOptions matvec;
+};
+
+class AsyncScheduler {
+ public:
+  explicit AsyncScheduler(const device::DeviceSpec& spec, ServeOptions options = {});
+  ~AsyncScheduler();
+
+  AsyncScheduler(const AsyncScheduler&) = delete;
+  AsyncScheduler& operator=(const AsyncScheduler&) = delete;
+
+  /// Register a tenant model.  Builds the BlockToeplitzOperator (and
+  /// warms its single-precision spectrum, so the lazily-cast copy is
+  /// never raced on the request path) on the setup stream.
+  TenantId add_tenant(const core::ProblemDims& dims,
+                      std::span<const double> first_block_col);
+
+  /// Enqueue one matvec.  `input` is TOSI (n_t x n_m for forward,
+  /// n_t x n_d for adjoint).  Throws std::invalid_argument for an
+  /// unknown tenant or wrong extent, std::runtime_error after
+  /// shutdown.  The returned future is always eventually fulfilled.
+  std::future<MatvecResult> submit(TenantId tenant, Direction direction,
+                                   const precision::PrecisionConfig& config,
+                                   std::vector<double> input);
+
+  /// Block until every accepted request has completed.
+  void drain();
+
+  /// Drain, then stop the workers.  Idempotent; submit() refuses new
+  /// work afterwards.  Called by the destructor.
+  void shutdown();
+
+  MetricsSnapshot metrics() const;
+  const PlanCache& plan_cache() const { return cache_; }
+  device::Device& device() { return dev_; }
+  const ServeOptions& options() const { return options_; }
+  int num_lanes() const { return static_cast<int>(lanes_.size()); }
+
+  /// Simulated seconds of the busiest lane stream (the service's
+  /// simulated makespan, excluding tenant setup).  Stream clocks are
+  /// unsynchronised plain doubles: call only when the service is
+  /// quiescent (after drain() or shutdown()).
+  double max_lane_sim_seconds() const;
+  /// Simulated seconds spent on the setup stream by add_tenant.
+  double setup_sim_seconds() const { return setup_stream_.now(); }
+
+ private:
+  struct Tenant {
+    core::LocalDims dims;
+    std::shared_ptr<core::BlockToeplitzOperator> op;
+  };
+  struct Lane {
+    std::unique_ptr<device::Stream> stream;
+    std::thread worker;
+  };
+
+  void worker_loop(int lane);
+  void execute_batch(int lane, Batch& batch);
+
+  ServeOptions options_;
+  device::Device dev_;
+  std::mutex setup_mutex_;  ///< serialises registrations on the setup stream
+  device::Stream setup_stream_;
+  PlanCache cache_;
+  RequestQueue queue_;
+  mutable ServeMetrics metrics_;  ///< internally synchronised sink
+
+  mutable std::mutex tenants_mutex_;
+  std::unordered_map<TenantId, Tenant> tenants_;
+  TenantId next_tenant_ = 1;
+
+  mutable std::mutex state_mutex_;
+  std::condition_variable cv_drained_;
+  std::int64_t in_flight_ = 0;  ///< accepted but not yet fulfilled
+  bool accepting_ = true;
+  bool workers_stopped_ = false;
+
+  std::vector<Lane> lanes_;
+};
+
+}  // namespace fftmv::serve

@@ -1,5 +1,7 @@
 #include "util/cli.hpp"
 
+#include <algorithm>
+#include <limits>
 #include <stdexcept>
 
 namespace fftmv::util {
@@ -63,6 +65,48 @@ double CliParser::get_double(const std::string& key, double fallback) const {
 }
 
 bool CliParser::get_flag(const std::string& key) const { return has(key); }
+
+void CliParser::check_known(const std::vector<std::string>& known) const {
+  for (const auto& [key, value] : values_) {
+    bool found = false;
+    for (const auto& k : known) {
+      if (k == key) {
+        found = true;
+        break;
+      }
+    }
+    if (found) continue;
+    std::string nearest;
+    std::size_t best = std::numeric_limits<std::size_t>::max();
+    for (const auto& k : known) {
+      const std::size_t d = edit_distance(key, k);
+      if (d < best) {
+        best = d;
+        nearest = k;
+      }
+    }
+    std::string msg = "unknown flag -" + key;
+    if (!nearest.empty()) msg += " (did you mean -" + nearest + "?)";
+    throw std::invalid_argument(msg);
+  }
+}
+
+std::size_t edit_distance(const std::string& a, const std::string& b) {
+  // One-row dynamic program; flags are a handful of characters, so
+  // quadratic time is irrelevant.
+  std::vector<std::size_t> row(b.size() + 1);
+  for (std::size_t j = 0; j <= b.size(); ++j) row[j] = j;
+  for (std::size_t i = 1; i <= a.size(); ++i) {
+    std::size_t diag = row[0];
+    row[0] = i;
+    for (std::size_t j = 1; j <= b.size(); ++j) {
+      const std::size_t sub = diag + (a[i - 1] == b[j - 1] ? 0 : 1);
+      diag = row[j];
+      row[j] = std::min({row[j] + 1, row[j - 1] + 1, sub});
+    }
+  }
+  return row[b.size()];
+}
 
 std::vector<std::string> CliParser::keys() const {
   std::vector<std::string> out;

@@ -30,8 +30,19 @@ class CliParser {
   /// Keys seen on the command line (without leading '-').
   std::vector<std::string> keys() const;
 
+  /// Reject flags outside `known`: throws std::invalid_argument naming
+  /// the offending flag and the nearest known flag (edit distance), so
+  /// typos like `-perc` for `-prec` fail loudly instead of being
+  /// silently absorbed.  Call once after construction with the
+  /// executable's full flag set.
+  void check_known(const std::vector<std::string>& known) const;
+
  private:
   std::map<std::string, std::string> values_;  // "" means bare switch
 };
+
+/// Levenshtein edit distance (insert/delete/substitute, unit costs);
+/// used for the unknown-flag suggestions.
+std::size_t edit_distance(const std::string& a, const std::string& b);
 
 }  // namespace fftmv::util

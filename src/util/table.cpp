@@ -57,4 +57,46 @@ void Table::print(std::ostream& os) const {
   for (const auto& row : rows_) print_row(row);
 }
 
+std::string Table::json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          std::ostringstream os;
+          os << "\\u" << std::hex << std::setw(4) << std::setfill('0')
+             << static_cast<int>(static_cast<unsigned char>(c));
+          out += os.str();
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void Table::print_json(std::ostream& os) const {
+  auto print_cells = [&](const std::vector<std::string>& cells) {
+    os << '[';
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      os << (c ? ", " : "") << '"' << json_escape(cells[c]) << '"';
+    }
+    os << ']';
+  };
+  os << "{\"headers\": ";
+  print_cells(headers_);
+  os << ", \"rows\": [";
+  for (std::size_t r = 0; r < rows_.size(); ++r) {
+    if (r) os << ", ";
+    print_cells(rows_[r]);
+  }
+  os << "]}";
+}
+
 }  // namespace fftmv::util

@@ -23,6 +23,14 @@ class Table {
   /// Render with column alignment and a header rule.
   void print(std::ostream& os) const;
 
+  /// Render as a JSON object: {"headers": [...], "rows": [[...]]}.
+  /// Cells stay strings (they already carry units/format); consumers
+  /// of the CI perf artifact parse the numeric columns they track.
+  void print_json(std::ostream& os) const;
+
+  /// JSON string escaping (quotes, backslashes, control chars).
+  static std::string json_escape(const std::string& s);
+
   std::size_t rows() const { return rows_.size(); }
 
  private:

@@ -28,32 +28,45 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::worker_loop() {
-  std::uint64_t seen = 0;
+  std::unique_lock lock(mutex_);
   for (;;) {
-    Task* task = nullptr;
-    {
-      std::unique_lock lock(mutex_);
-      cv_work_.wait(lock, [&] { return stop_ || (current_ != nullptr && generation_ != seen); });
-      if (stop_) return;
-      seen = generation_;
-      task = current_;
-      // Claimed under the lock, so the submitter cannot observe
-      // in_flight_ == 0 while this worker still holds the task.
-      in_flight_.fetch_add(1, std::memory_order_relaxed);
-    }
+    cv_work_.wait(lock, [&] { return stop_ || !queue_.empty(); });
+    if (stop_) return;
+    Task* task = queue_.front();
+    // Claimed under the lock, so a submitter whose wait predicate
+    // (checked under this mutex) observes active == 0 can never race
+    // with this worker still holding the pointer.
+    task->active.fetch_add(1, std::memory_order_relaxed);
+    lock.unlock();
     run_task(*task);
-    {
-      std::lock_guard lock(mutex_);
-      in_flight_.fetch_sub(1, std::memory_order_relaxed);
-    }
+    lock.lock();
+    task->active.fetch_sub(1, std::memory_order_relaxed);
     cv_done_.notify_all();
+  }
+}
+
+void ThreadPool::dequeue(Task& task) {
+  std::lock_guard lock(mutex_);
+  if (!task.queued) return;
+  task.queued = false;
+  for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+    if (*it == &task) {
+      queue_.erase(it);
+      break;
+    }
   }
 }
 
 void ThreadPool::run_task(Task& task) {
   for (;;) {
     const index_t begin = task.next.fetch_add(task.chunk, std::memory_order_relaxed);
-    if (begin >= task.count) break;
+    if (begin >= task.count) {
+      // Chunks exhausted: unlink so idle workers stop picking the
+      // task up (every participant passes through here, so the last
+      // claimer always removes it).
+      dequeue(task);
+      break;
+    }
     const index_t end = std::min(task.count, begin + task.chunk);
     try {
       (*task.body)(begin, end);
@@ -90,21 +103,22 @@ void ThreadPool::parallel_for_chunks(index_t count,
 
   {
     std::lock_guard lock(mutex_);
-    current_ = &task;
-    ++generation_;
+    task.queued = true;
+    queue_.push_back(&task);
   }
   cv_work_.notify_all();
 
-  // The calling thread participates too.
+  // The calling thread participates too (and fully completes the task
+  // by itself if every worker is busy elsewhere — this is what makes
+  // nested submission from inside a task body deadlock-free).
   run_task(task);
 
   {
     std::unique_lock lock(mutex_);
     cv_done_.wait(lock, [&] {
       return task.remaining.load(std::memory_order_acquire) == 0 &&
-             in_flight_.load(std::memory_order_relaxed) == 0;
+             task.active.load(std::memory_order_relaxed) == 0;
     });
-    current_ = nullptr;
   }
   if (task.error) std::rethrow_exception(task.error);
 }

@@ -4,10 +4,20 @@
 // on this pool: numerics are computed for real on host threads while
 // the cost model assigns the simulated device time.  The pool is also
 // used directly by host-side batched operations.
+//
+// Submission is safe from any thread, including from inside a task
+// body running on this pool (nested use) and from several submitter
+// threads at once — the serving scheduler (src/serve) dispatches
+// batches from its own worker threads, each of which drives kernels
+// through the shared global pool.  Pending tasks queue FIFO; every
+// participant (workers and the submitting thread, which always joins
+// in) claims contiguous chunks until the task is exhausted, and each
+// submitter blocks only on its own task's completion.
 #pragma once
 
 #include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <mutex>
 #include <thread>
@@ -52,22 +62,27 @@ class ThreadPool {
     index_t chunk = 0;
     std::atomic<index_t> next{0};
     std::atomic<index_t> remaining{0};
+    /// Workers currently inside run_task() for this task; the
+    /// submitter must not destroy the task until this drops to zero.
+    std::atomic<int> active{0};
+    /// Still linked in queue_ (cleared by whoever exhausts the chunk
+    /// counter).
+    bool queued = false;
     std::exception_ptr error;
     std::mutex error_mutex;
   };
 
   void worker_loop();
   void run_task(Task& task);
+  void dequeue(Task& task);
 
   std::vector<std::thread> workers_;
   std::mutex mutex_;
   std::condition_variable cv_work_;
   std::condition_variable cv_done_;
-  Task* current_ = nullptr;
-  std::uint64_t generation_ = 0;
-  /// Workers currently inside run_task(); the submitting thread must
-  /// not destroy the task until this drops to zero.
-  std::atomic<int> in_flight_{0};
+  /// Tasks with unclaimed chunks, FIFO.  Tasks live on their
+  /// submitter's stack; per-task `active`/`remaining` gate teardown.
+  std::deque<Task*> queue_;
   bool stop_ = false;
 };
 

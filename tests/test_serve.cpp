@@ -1,0 +1,412 @@
+// Unit tests for the serving layer (src/serve): plan cache reuse and
+// LRU eviction, request batching and round-robin fairness, batched
+// correctness against the unbatched plan path and the dense
+// reference, concurrent submission, and drain/shutdown semantics.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <future>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "blas/vector_ops.hpp"
+#include "core/dense_reference.hpp"
+#include "core/synthetic.hpp"
+#include "device/device_spec.hpp"
+#include "serve/plan_cache.hpp"
+#include "serve/request_queue.hpp"
+#include "serve/scheduler.hpp"
+
+namespace fftmv::serve {
+namespace {
+
+core::ProblemDims small_dims() { return {32, 4, 16}; }
+
+PlanKey key_for(const core::ProblemDims& dims, const std::string& prec, int lane = 0) {
+  return PlanKey{core::LocalDims::single_rank(dims), core::MatvecOptions{}, prec,
+                 "mi300x", lane};
+}
+
+PendingRequest make_request(std::vector<double> input = {}) {
+  PendingRequest req;
+  req.input = std::move(input);
+  req.enqueued = std::chrono::steady_clock::now();
+  return req;
+}
+
+// ------------------------------------------------------------ PlanCache
+TEST(PlanCache, ReusesPlansAcrossAcquires) {
+  device::Device dev(device::make_mi300x());
+  device::Stream stream(dev);
+  PlanCache cache(dev, 4);
+  const auto key = key_for(small_dims(), "ddddd");
+  const auto p1 = cache.acquire(key, stream);
+  const auto p2 = cache.acquire(key, stream);
+  EXPECT_EQ(p1.get(), p2.get());
+  const auto stats = cache.stats();
+  EXPECT_EQ(stats.hits, 1);
+  EXPECT_EQ(stats.misses, 1);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(PlanCache, EvictsLeastRecentlyUsed) {
+  device::Device dev(device::make_mi300x());
+  device::Stream stream(dev);
+  PlanCache cache(dev, 2);
+  const auto ka = key_for(small_dims(), "ddddd");
+  const auto kb = key_for(small_dims(), "dssdd");
+  const auto kc = key_for(small_dims(), "sssss");
+  cache.acquire(ka, stream);
+  cache.acquire(kb, stream);
+  cache.acquire(ka, stream);  // A most recent; LRU order: A, B
+  cache.acquire(kc, stream);  // evicts B
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.stats().evictions, 1);
+  cache.acquire(ka, stream);  // still resident
+  EXPECT_EQ(cache.stats().hits, 2);
+  cache.acquire(kb, stream);  // was evicted: a fresh miss
+  EXPECT_EQ(cache.stats().misses, 4);
+}
+
+TEST(PlanCache, EvictedPlanStaysAliveWhileHeld) {
+  device::Device dev(device::make_mi300x());
+  device::Stream stream(dev);
+  PlanCache cache(dev, 1);
+  const auto held = cache.acquire(key_for(small_dims(), "ddddd"), stream);
+  cache.acquire(key_for(small_dims(), "sssss"), stream);  // evicts the held plan
+  EXPECT_EQ(cache.size(), 1u);
+  ASSERT_NE(held, nullptr);  // shared_ptr keeps the evicted plan usable
+  EXPECT_EQ(held->dims().global, small_dims());
+}
+
+TEST(PlanCache, DistinctKeysGetDistinctPlans) {
+  device::Device dev(device::make_mi300x());
+  device::Stream stream(dev);
+  PlanCache cache(dev, 8);
+  const auto base = cache.acquire(key_for(small_dims(), "ddddd", 0), stream);
+  EXPECT_NE(base.get(), cache.acquire(key_for(small_dims(), "dssdd", 0), stream).get());
+  EXPECT_NE(base.get(), cache.acquire(key_for(small_dims(), "ddddd", 1), stream).get());
+  auto opts_key = key_for(small_dims(), "ddddd", 0);
+  opts_key.options.fuse_casts = false;
+  EXPECT_NE(base.get(), cache.acquire(opts_key, stream).get());
+  EXPECT_EQ(cache.stats().misses, 4);
+}
+
+TEST(PlanCache, RejectsZeroCapacity) {
+  device::Device dev(device::make_mi300x());
+  EXPECT_THROW(PlanCache(dev, 0), std::invalid_argument);
+}
+
+// --------------------------------------------------------- RequestQueue
+TEST(RequestQueue, SplitsKeyIntoMaxBatchChunks) {
+  RequestQueue q(3, 0.0);
+  const BatchKey key{1, Direction::kForward, "ddddd"};
+  for (int i = 0; i < 5; ++i) EXPECT_TRUE(q.push(key, make_request()));
+  auto b1 = q.pop_batch();
+  ASSERT_TRUE(b1.has_value());
+  EXPECT_EQ(b1->requests.size(), 3u);
+  auto b2 = q.pop_batch();
+  ASSERT_TRUE(b2.has_value());
+  EXPECT_EQ(b2->requests.size(), 2u);
+  EXPECT_EQ(q.pending(), 0u);
+}
+
+TEST(RequestQueue, RoundRobinAcrossKeys) {
+  RequestQueue q(2, 0.0);
+  const BatchKey ka{1, Direction::kForward, "ddddd"};
+  const BatchKey kb{2, Direction::kForward, "ddddd"};
+  for (int i = 0; i < 3; ++i) q.push(ka, make_request());
+  for (int i = 0; i < 2; ++i) q.push(kb, make_request());
+  // Tenant A arrived first but must not starve tenant B: after A's
+  // first batch the rotation moves A behind B.
+  const auto b1 = q.pop_batch();
+  const auto b2 = q.pop_batch();
+  const auto b3 = q.pop_batch();
+  ASSERT_TRUE(b1 && b2 && b3);
+  EXPECT_EQ(b1->key.tenant, 1u);
+  EXPECT_EQ(b2->key.tenant, 2u);
+  EXPECT_EQ(b3->key.tenant, 1u);
+  EXPECT_EQ(b3->requests.size(), 1u);
+}
+
+TEST(RequestQueue, DirectionAndPrecisionSplitKeys) {
+  RequestQueue q(8, 0.0);
+  q.push({1, Direction::kForward, "ddddd"}, make_request());
+  q.push({1, Direction::kAdjoint, "ddddd"}, make_request());
+  q.push({1, Direction::kForward, "dssdd"}, make_request());
+  // Three distinct coalescing keys -> three singleton batches.
+  for (int i = 0; i < 3; ++i) {
+    const auto b = q.pop_batch();
+    ASSERT_TRUE(b.has_value());
+    EXPECT_EQ(b->requests.size(), 1u);
+  }
+}
+
+TEST(RequestQueue, LingerCoalescesLateArrivals) {
+  RequestQueue q(8, 0.25);  // generous linger so slow CI cannot flake it
+  const BatchKey key{1, Direction::kForward, "ddddd"};
+  q.push(key, make_request());
+  std::thread late([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    q.push(key, make_request());
+    q.push(key, make_request());
+  });
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto batch = q.pop_batch();
+  const double waited = std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - t0)
+                            .count();
+  late.join();
+  ASSERT_TRUE(batch.has_value());
+  // The late arrivals rode the lingering batch instead of forming
+  // their own, and the batch was held back for the linger window.
+  EXPECT_EQ(batch->requests.size(), 3u);
+  EXPECT_GE(waited, 0.2);
+}
+
+TEST(RequestQueue, FullBatchReleasesBeforeLinger) {
+  RequestQueue q(2, 10.0);  // linger long enough to hang the test if used
+  const BatchKey key{1, Direction::kForward, "ddddd"};
+  q.push(key, make_request());
+  q.push(key, make_request());
+  const auto batch = q.pop_batch();
+  ASSERT_TRUE(batch.has_value());
+  EXPECT_EQ(batch->requests.size(), 2u);
+}
+
+TEST(RequestQueue, CloseDrainsThenStops) {
+  RequestQueue q(8, 10.0);
+  const BatchKey key{1, Direction::kForward, "ddddd"};
+  q.push(key, make_request());
+  q.push(key, make_request());
+  q.close();
+  EXPECT_FALSE(q.push(key, make_request()));  // no new work after close
+  const auto batch = q.pop_batch();           // queued work still drains
+  ASSERT_TRUE(batch.has_value());
+  EXPECT_EQ(batch->requests.size(), 2u);
+  EXPECT_FALSE(q.pop_batch().has_value());  // then consumers are released
+}
+
+// ------------------------------------------------------ AsyncScheduler
+struct ServedCase {
+  core::ProblemDims dims;
+  std::vector<double> col;
+  TenantId tenant = 0;
+};
+
+ServedCase register_tenant(AsyncScheduler& s, const core::ProblemDims& dims,
+                           std::uint64_t seed) {
+  ServedCase c;
+  c.dims = dims;
+  c.col = core::make_first_block_col(core::LocalDims::single_rank(dims), seed);
+  c.tenant = s.add_tenant(dims, c.col);
+  return c;
+}
+
+TEST(AsyncScheduler, BatchedResultsMatchUnbatchedPlanAndDenseReference) {
+  ServeOptions opts;
+  opts.num_streams = 2;
+  opts.max_batch = 4;
+  opts.linger_seconds = 0.0;
+  AsyncScheduler sched(device::make_mi300x(), opts);
+  const auto tenant = register_tenant(sched, small_dims(), 7);
+  const auto local = core::LocalDims::single_rank(tenant.dims);
+
+  for (const char* prec : {"ddddd", "dssdd"}) {
+    const auto config = precision::PrecisionConfig::parse(prec);
+    std::vector<std::vector<double>> inputs;
+    std::vector<std::future<MatvecResult>> futures;
+    for (std::uint64_t r = 0; r < 6; ++r) {
+      inputs.push_back(
+          core::make_input_vector(tenant.dims.n_t * tenant.dims.n_m, 50 + r));
+      futures.push_back(
+          sched.submit(tenant.tenant, Direction::kForward, config, inputs.back()));
+    }
+
+    // Unbatched reference: a private device/stream/plan, same config.
+    device::Device dev(device::make_mi300x());
+    device::Stream stream(dev);
+    core::BlockToeplitzOperator op(dev, stream, local, tenant.col);
+    core::FftMatvecPlan plan(dev, stream, local);
+    for (std::size_t r = 0; r < inputs.size(); ++r) {
+      const auto served = futures[r].get();
+      std::vector<double> unbatched(served.output.size());
+      plan.forward(op, inputs[r], unbatched, config);
+      // The served path must be numerically identical to the
+      // unbatched plan path (same kernels, same order)...
+      for (std::size_t i = 0; i < unbatched.size(); ++i) {
+        EXPECT_EQ(served.output[i], unbatched[i]) << prec << " element " << i;
+      }
+      // ...and both match the dense reference within the precision
+      // config's tolerance.
+      std::vector<double> dense(served.output.size());
+      core::dense_forward(local, tenant.col, inputs[r], dense);
+      const double err = blas::relative_l2_error(
+          static_cast<index_t>(dense.size()), served.output.data(), dense.data());
+      EXPECT_LT(err, config.all_double() ? 1e-12 : 1e-5) << prec;
+    }
+  }
+}
+
+TEST(AsyncScheduler, AdjointServedMatchesDense) {
+  AsyncScheduler sched(device::make_mi300x());
+  const auto tenant = register_tenant(sched, small_dims(), 9);
+  const auto local = core::LocalDims::single_rank(tenant.dims);
+  const auto d_in = core::make_input_vector(tenant.dims.n_t * tenant.dims.n_d, 11);
+  auto future = sched.submit(tenant.tenant, Direction::kAdjoint,
+                             precision::PrecisionConfig{}, d_in);
+  const auto served = future.get();
+  std::vector<double> dense(served.output.size());
+  core::dense_adjoint(local, tenant.col, d_in, dense);
+  EXPECT_LT(blas::relative_l2_error(static_cast<index_t>(dense.size()),
+                                    served.output.data(), dense.data()),
+            1e-12);
+}
+
+TEST(AsyncScheduler, CacheHitRatePositiveOnRepeatedKeys) {
+  ServeOptions opts;
+  opts.num_streams = 1;  // one lane -> repeated keys must hit its cache entry
+  AsyncScheduler sched(device::make_mi300x(), opts);
+  const auto tenant = register_tenant(sched, small_dims(), 13);
+  const auto input = core::make_input_vector(tenant.dims.n_t * tenant.dims.n_m, 14);
+  std::vector<std::future<MatvecResult>> futures;
+  for (int r = 0; r < 12; ++r) {
+    futures.push_back(sched.submit(tenant.tenant, Direction::kForward,
+                                   precision::PrecisionConfig{}, input));
+  }
+  sched.drain();
+  for (auto& f : futures) f.get();
+  const auto snap = sched.metrics();
+  EXPECT_EQ(snap.completed, 12);
+  EXPECT_GT(snap.cache_hit_rate(), 0.0);
+  EXPECT_GT(snap.batches, 0);
+}
+
+TEST(AsyncScheduler, ConcurrentSubmittersDrainCleanly) {
+  ServeOptions opts;
+  opts.num_streams = 3;
+  opts.max_batch = 4;
+  opts.linger_seconds = 100e-6;
+  AsyncScheduler sched(device::make_mi300x(), opts);
+  const auto ta = register_tenant(sched, small_dims(), 21);
+  const auto tb = register_tenant(sched, core::ProblemDims{24, 3, 12}, 22);
+
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 25;
+  std::vector<std::vector<std::future<MatvecResult>>> futures(kThreads);
+  std::vector<std::thread> submitters;
+  std::atomic<int> submit_errors{0};
+  for (int t = 0; t < kThreads; ++t) {
+    submitters.emplace_back([&, t] {
+      for (int r = 0; r < kPerThread; ++r) {
+        const bool use_a = (t + r) % 2 == 0;
+        const auto& tenant = use_a ? ta : tb;
+        const bool adjoint = r % 5 == 0;
+        const auto config = precision::PrecisionConfig::parse(
+            r % 3 == 0 ? "dssdd" : "ddddd");
+        const index_t n = adjoint ? tenant.dims.n_t * tenant.dims.n_d
+                                  : tenant.dims.n_t * tenant.dims.n_m;
+        try {
+          futures[static_cast<std::size_t>(t)].push_back(sched.submit(
+              tenant.tenant, adjoint ? Direction::kAdjoint : Direction::kForward,
+              config,
+              core::make_input_vector(n, static_cast<std::uint64_t>(t * 100 + r))));
+        } catch (const std::exception&) {
+          ++submit_errors;
+        }
+      }
+    });
+  }
+  for (auto& s : submitters) s.join();
+  EXPECT_EQ(submit_errors.load(), 0);
+
+  sched.drain();
+  int fulfilled = 0;
+  for (auto& per_thread : futures) {
+    for (auto& f : per_thread) {
+      ASSERT_TRUE(f.valid());
+      EXPECT_NO_THROW(f.get());
+      ++fulfilled;
+    }
+  }
+  EXPECT_EQ(fulfilled, kThreads * kPerThread);
+  const auto snap = sched.metrics();
+  EXPECT_EQ(snap.submitted, kThreads * kPerThread);
+  EXPECT_EQ(snap.completed, kThreads * kPerThread);
+  EXPECT_EQ(snap.failed, 0);
+  EXPECT_GT(snap.cache_hit_rate(), 0.0);
+}
+
+TEST(AsyncScheduler, DrainLeavesNothingInFlight) {
+  AsyncScheduler sched(device::make_mi300x());
+  const auto tenant = register_tenant(sched, small_dims(), 31);
+  const auto input = core::make_input_vector(tenant.dims.n_t * tenant.dims.n_m, 32);
+  std::vector<std::future<MatvecResult>> futures;
+  for (int r = 0; r < 8; ++r) {
+    futures.push_back(sched.submit(tenant.tenant, Direction::kForward,
+                                   precision::PrecisionConfig{}, input));
+  }
+  sched.drain();
+  using namespace std::chrono_literals;
+  for (auto& f : futures) {
+    // After drain() every accepted future is already fulfilled.
+    ASSERT_EQ(f.wait_for(0s), std::future_status::ready);
+    f.get();
+  }
+}
+
+TEST(AsyncScheduler, ShutdownIsGracefulAndRefusesNewWork) {
+  AsyncScheduler sched(device::make_mi300x());
+  const auto tenant = register_tenant(sched, small_dims(), 41);
+  const auto input = core::make_input_vector(tenant.dims.n_t * tenant.dims.n_m, 42);
+  std::vector<std::future<MatvecResult>> futures;
+  for (int r = 0; r < 5; ++r) {
+    futures.push_back(sched.submit(tenant.tenant, Direction::kForward,
+                                   precision::PrecisionConfig{}, input));
+  }
+  sched.shutdown();
+  for (auto& f : futures) EXPECT_NO_THROW(f.get());  // accepted work drained
+  EXPECT_THROW(sched.submit(tenant.tenant, Direction::kForward,
+                            precision::PrecisionConfig{}, input),
+               std::runtime_error);
+  sched.shutdown();  // idempotent
+}
+
+TEST(AsyncScheduler, SubmitValidatesTenantAndExtent) {
+  AsyncScheduler sched(device::make_mi300x());
+  const auto tenant = register_tenant(sched, small_dims(), 51);
+  EXPECT_THROW(sched.submit(999, Direction::kForward, precision::PrecisionConfig{},
+                            std::vector<double>(16)),
+               std::invalid_argument);
+  EXPECT_THROW(sched.submit(tenant.tenant, Direction::kForward,
+                            precision::PrecisionConfig{}, std::vector<double>(3)),
+               std::invalid_argument);
+  // Adjoint expects n_t x n_d, not n_t x n_m.
+  EXPECT_THROW(
+      sched.submit(tenant.tenant, Direction::kAdjoint, precision::PrecisionConfig{},
+                   std::vector<double>(static_cast<std::size_t>(
+                       small_dims().n_t * small_dims().n_m))),
+      std::invalid_argument);
+}
+
+TEST(AsyncScheduler, MetricsTablesRender) {
+  AsyncScheduler sched(device::make_mi300x());
+  const auto tenant = register_tenant(sched, small_dims(), 61);
+  const auto input = core::make_input_vector(tenant.dims.n_t * tenant.dims.n_m, 62);
+  sched
+      .submit(tenant.tenant, Direction::kForward, precision::PrecisionConfig{},
+              input)
+      .get();
+  sched.drain();
+  std::ostringstream os;
+  sched.metrics().print(os);
+  const std::string s = os.str();
+  EXPECT_NE(s.find("throughput req/s"), std::string::npos);
+  EXPECT_NE(s.find("p99"), std::string::npos);
+  EXPECT_NE(s.find("batch size"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace fftmv::serve

@@ -8,6 +8,8 @@
 #include <cstdint>
 #include <set>
 #include <sstream>
+#include <thread>
+#include <vector>
 
 #include "util/aligned_buffer.hpp"
 #include "util/cli.hpp"
@@ -206,6 +208,44 @@ TEST(Cli, PositionalArgThrows) {
   EXPECT_THROW(CliParser(2, argv), std::invalid_argument);
 }
 
+TEST(Cli, CheckKnownAcceptsKnownFlags) {
+  const char* argv[] = {"prog", "-nm", "100", "-rand"};
+  CliParser cli(4, argv);
+  EXPECT_NO_THROW(cli.check_known({"nm", "nd", "rand", "prec"}));
+}
+
+// The motivating typo: `-perc` for `-prec` used to be silently
+// absorbed (the run proceeded with the default config); now it fails
+// loudly, naming the nearest known flag.
+TEST(Cli, CheckKnownRejectsUnknownFlagAndSuggestsNearest) {
+  const char* argv[] = {"prog", "-perc", "dssdd"};
+  CliParser cli(3, argv);
+  try {
+    cli.check_known({"nm", "nd", "Nt", "prec", "rand"});
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("unknown flag -perc"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("did you mean -prec?"), std::string::npos) << msg;
+  }
+}
+
+TEST(Cli, CheckKnownOnEmptyCommandLine) {
+  const char* argv[] = {"prog"};
+  CliParser cli(1, argv);
+  EXPECT_NO_THROW(cli.check_known({}));
+  EXPECT_NO_THROW(cli.check_known({"nm"}));
+}
+
+TEST(Cli, EditDistance) {
+  EXPECT_EQ(edit_distance("", ""), 0u);
+  EXPECT_EQ(edit_distance("prec", "prec"), 0u);
+  EXPECT_EQ(edit_distance("perc", "prec"), 2u);   // transpose = 2 unit edits
+  EXPECT_EQ(edit_distance("nm", "nd"), 1u);
+  EXPECT_EQ(edit_distance("", "abc"), 3u);
+  EXPECT_EQ(edit_distance("linger", "ms"), 6u);
+}
+
 // ---------------------------------------------------------------- table
 TEST(Table, FormatsAlignedColumns) {
   Table t({"name", "value"});
@@ -297,6 +337,87 @@ TEST(ThreadPool, ReusableAcrossManyDispatches) {
     pool.parallel_for(64, [&](index_t i) { total += i; });
     EXPECT_EQ(total.load(), 64 * 63 / 2);
   }
+}
+
+// Serving-style load (src/serve): several scheduler lanes drive
+// kernels through the one shared pool at once, so parallel_for must
+// be safe — and correct — under concurrent submission from multiple
+// threads.
+TEST(ThreadPool, ConcurrentSubmittersFromManyThreads) {
+  ThreadPool pool(4);
+  constexpr int kSubmitters = 4;
+  constexpr int kRounds = 25;
+  std::vector<std::thread> submitters;
+  std::atomic<int> failures{0};
+  for (int s = 0; s < kSubmitters; ++s) {
+    submitters.emplace_back([&, s] {
+      for (int round = 0; round < kRounds; ++round) {
+        const index_t count = 64 + 16 * s + round;
+        std::atomic<index_t> total{0};
+        pool.parallel_for(count, [&](index_t i) { total += i; });
+        if (total.load() != count * (count - 1) / 2) ++failures;
+      }
+    });
+  }
+  for (auto& t : submitters) t.join();
+  EXPECT_EQ(failures.load(), 0);
+}
+
+// A task body may itself fan work out over the same pool (the
+// scheduler's batch execution calls kernels that parallel_for over
+// gridblocks).  Nested submission must complete without deadlock and
+// cover every inner index exactly once.
+TEST(ThreadPool, NestedParallelForCompletes) {
+  ThreadPool pool(4);
+  constexpr index_t kOuter = 8, kInner = 37;
+  std::vector<std::atomic<int>> hits(kOuter * kInner);
+  pool.parallel_for(kOuter, [&](index_t o) {
+    pool.parallel_for(kInner, [&](index_t i) {
+      hits[static_cast<std::size_t>(o * kInner + i)]++;
+    });
+  });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, NestedExceptionPropagatesToOuterSubmitter) {
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      pool.parallel_for(8,
+                        [&](index_t o) {
+                          pool.parallel_for(16, [&](index_t i) {
+                            if (o == 3 && i == 7) {
+                              throw std::runtime_error("inner boom");
+                            }
+                          });
+                        }),
+      std::runtime_error);
+  // The pool must still be fully usable afterwards.
+  std::atomic<index_t> total{0};
+  pool.parallel_for(100, [&](index_t i) { total += i; });
+  EXPECT_EQ(total.load(), 100 * 99 / 2);
+}
+
+TEST(ThreadPool, ConcurrentSubmittersWithExceptions) {
+  ThreadPool pool(3);
+  std::vector<std::thread> submitters;
+  std::atomic<int> caught{0};
+  for (int s = 0; s < 3; ++s) {
+    submitters.emplace_back([&, s] {
+      for (int round = 0; round < 10; ++round) {
+        try {
+          pool.parallel_for(50, [&](index_t i) {
+            if (i == 25 && s == 1) throw std::runtime_error("boom");
+          });
+        } catch (const std::runtime_error&) {
+          ++caught;
+        }
+      }
+    });
+  }
+  for (auto& t : submitters) t.join();
+  // Exactly the throwing submitter's rounds observed the exception;
+  // the other submitters' loops were unaffected.
+  EXPECT_EQ(caught.load(), 10);
 }
 
 }  // namespace
