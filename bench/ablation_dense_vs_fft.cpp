@@ -14,7 +14,9 @@
 
 using namespace fftmv;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Artifact artifact("ablation_dense_vs_fft", argc, argv);
+  bench::reject_unknown_args(argc, argv);
   std::cout << "Dense (traditional) vs FFT-based block-triangular Toeplitz\n"
                "matvec, host wall-clock, N_m=128, N_d=4, growing N_t.\n";
 
@@ -55,6 +57,10 @@ int main() {
                        d_dense.data()))});
   }
   table.print(std::cout);
+  artifact.add("dense vs fft", table);
+  if (const auto path = artifact.write(); !path.empty()) {
+    std::cout << "wrote artifact " << path << "\n";
+  }
 
   // Paper scale: flop-count comparison (the dense operator itself —
   // N_d N_t x N_m N_t doubles = 4 PB — cannot be formed).

@@ -13,11 +13,12 @@ using namespace fftmv;
 namespace {
 
 template <class T>
-void sweep(const char* label, index_t n) {
+void sweep(const char* label, index_t n, fftmv::bench::Artifact& artifact) {
   const auto spec = device::make_mi300x();
   const device::CostModel model(spec);
-  bench::print_header(std::string("transpose SBGEMV, ") + label +
-                      ", n = " + std::to_string(n) + ", batch 100, MI300X");
+  const std::string title = std::string("transpose SBGEMV, ") + label +
+                            ", n = " + std::to_string(n) + ", batch 100, MI300X";
+  bench::print_header(title);
   util::Table table({"m", "reference GB/s", "optimized GB/s", "opt/ref",
                      "dispatcher picks"});
   for (index_t m : {32, 64, 128, 256, 512, 1024, 2048, 4096, 8192}) {
@@ -34,17 +35,23 @@ void sweep(const char* label, index_t n) {
          blas::use_optimized_transpose(m, n) ? "optimized" : "reference"});
   }
   table.print(std::cout);
+  artifact.add(title, table);
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Artifact artifact("ablation_dispatch", argc, argv);
+  bench::reject_unknown_args(argc, argv);
   std::cout << "Dispatcher transition-point ablation: the optimized kernel\n"
                "wins for short-and-wide shapes; the reference kernel catches\n"
                "up once each of its blocks has enough work (m large).\n";
-  sweep<float>("real single", 4096);
-  sweep<double>("real double", 4096);
-  sweep<cdouble>("complex double", 4096);
-  sweep<cdouble>("complex double", 512);
+  sweep<float>("real single", 4096, artifact);
+  sweep<double>("real double", 4096, artifact);
+  sweep<cdouble>("complex double", 4096, artifact);
+  sweep<cdouble>("complex double", 512, artifact);
+  if (const auto path = artifact.write(); !path.empty()) {
+    std::cout << "wrote artifact " << path << "\n";
+  }
   return 0;
 }

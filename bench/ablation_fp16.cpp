@@ -14,7 +14,9 @@
 
 using namespace fftmv;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Artifact artifact("ablation_fp16", argc, argv);
+  bench::reject_unknown_args(argc, argv);
   const auto spec = device::make_mi300x();
   const device::CostModel model(spec);
   const index_t m = 100, n = 5000, batch = 1001;  // the Phase-3 shape
@@ -42,6 +44,10 @@ int main() {
                  util::Table::fmt(fp16.total_bytes() / 1e9, 2) + " GB",
                  bench::ms(t16), util::Table::fmt(t64 / t16, 2) + "x"});
   table.print(std::cout);
+  artifact.add("modelled storage precisions", table);
+  if (const auto path = artifact.write(); !path.empty()) {
+    std::cout << "wrote artifact " << path << "\n";
+  }
 
   // Accuracy of the real-datatype half-storage kernel that exists
   // today, against a float-storage run of the same kernel.

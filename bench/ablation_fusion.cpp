@@ -9,7 +9,9 @@
 
 using namespace fftmv;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Artifact artifact("ablation_fusion", argc, argv);
+  bench::reject_unknown_args(argc, argv);
   const auto dims = bench::paper_dims();
   std::cout << "Cast-fusion ablation (F matvec, N_m=" << dims.n_m
             << " N_d=" << dims.n_d << " N_t=" << dims.n_t << ").\n"
@@ -33,6 +35,10 @@ int main() {
                                           1.0)});
     }
     table.print(std::cout);
+    artifact.add(std::string("config ") + cfg_str, table);
+  }
+  if (const auto path = artifact.write(); !path.empty()) {
+    std::cout << "wrote artifact " << path << "\n";
   }
   std::cout << "\nFusion saves one full pass over every casted buffer plus a\n"
                "kernel launch per precision change; numerics are identical\n"

@@ -19,7 +19,9 @@
 
 using namespace fftmv;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Artifact artifact("ablation_overlap", argc, argv);
+  bench::reject_unknown_args(argc, argv);
   const core::ProblemDims dims = bench::reduced_dims();
   std::cout << "Matvec/host-I/O overlap ablation: " << 24
             << "-matvec sequence (Hessian-column style), N_m=" << dims.n_m
@@ -56,6 +58,10 @@ int main() {
                    util::Table::fmt(report.overlap_speedup(), 2) + "x"});
   }
   table.print(std::cout);
+  artifact.add("overlap schedules", table);
+  if (const auto path = artifact.write(); !path.empty()) {
+    std::cout << "wrote artifact " << path << "\n";
+  }
 
   std::filesystem::remove_all(out_dir);
   std::cout << "\nOverlap hides whichever resource is cheaper; Phases 2-4\n"

@@ -10,7 +10,9 @@
 
 using namespace fftmv;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Artifact artifact("ablation_partition", argc, argv);
+  bench::reject_unknown_args(argc, argv);
   const comm::CommCostModel net(comm::NetworkSpec::frontier());
   std::cout << "Communication-aware partitioning ablation (weak scaling,\n"
                "N_m = 5,000 p, N_d = 100, N_t = 1,000, Frontier network\n"
@@ -35,6 +37,7 @@ int main() {
                        std::to_string(p / paper_rows)});
   }
   table.print(std::cout);
+  artifact.add("partitioner vs naive", table);
 
   bench::print_header("full shape enumeration at p = 4096");
   util::Table detail({"grid", "F comm ms", "F* comm ms", "dup FFT ms",
@@ -51,6 +54,10 @@ int main() {
                     bench::ms(cand.total(), 2)});
   }
   detail.print(std::cout);
+  artifact.add("enumeration at 4096", detail);
+  if (const auto path = artifact.write(); !path.empty()) {
+    std::cout << "wrote artifact " << path << "\n";
+  }
   std::cout << "\nPaper reference: communication-aware partitioning gave >3x\n"
                "at 4,096 GPUs (1 row <=512, 8 rows at 1,024-2,048, 16 at\n"
                "4,096 on Frontier).\n";

@@ -1,0 +1,191 @@
+// Batching curve of FftMatvecPlan::apply_batch: b same-shape
+// right-hand sides through ONE fused pipeline (widened phase-2/4 FFT
+// batches, one multi-RHS SBGEMV) vs b sequential forward() calls.
+//
+// Two sweeps over b = 1..32:
+//   measured - backed device at a reduced shape; real arithmetic, and
+//              the batched outputs are verified bit-identical to the
+//              sequential path before any timing is reported.
+//   modelled - phantom dry runs at the paper's shape (N_m=5,000,
+//              N_d=100, N_t=1,000), where the SBGEMV phase dominates
+//              and batching pays the operator's matrix traffic once
+//              per frequency block instead of once per request.
+//
+// `--quick` caps the sweep at b = 8 for the CI smoke step; `--json
+// <path>` writes the tracked perf artifact.  Self-checking: exits
+// nonzero unless b = 8 beats b = 1 on per-RHS simulated time in the
+// measured sweep, so a regressed batched pipeline fails CI even
+// before the perf-diff gate runs.
+#include <iostream>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "util/thread_pool.hpp"
+
+using namespace fftmv;
+
+namespace {
+
+struct SweepPoint {
+  index_t b = 0;
+  double batched_per_rhs_s = 0.0;
+  double sequential_per_rhs_s = 0.0;
+};
+
+/// Per-RHS simulated seconds of one apply_batch with b RHS vs b
+/// sequential applies, on the given (possibly phantom) device.
+SweepPoint sweep_point(device::Device& dev, const core::ProblemDims& dims,
+                       const precision::PrecisionConfig& config, index_t b,
+                       bool verify) {
+  const auto local = core::LocalDims::single_rank(dims);
+  device::Stream stream(dev);
+  const bool phantom = dev.phantom();
+
+  // Operator and inputs are materialised only on a backed device; a
+  // phantom run charges the identical simulated time with empty spans.
+  std::vector<double> col;
+  if (!phantom) col = core::make_first_block_col(local, 1234);
+  core::BlockToeplitzOperator op(dev, stream, local, col);
+  if (config.phase(precision::kPhaseSbgemv) == precision::Precision::kSingle) {
+    op.spectrum_f(stream);  // warm the one-time cast
+  }
+
+  std::vector<std::vector<double>> inputs, outputs, sequential;
+  std::vector<core::ConstVectorView> in_views(static_cast<std::size_t>(b));
+  std::vector<core::VectorView> out_views(static_cast<std::size_t>(b));
+  if (!phantom) {
+    for (index_t r = 0; r < b; ++r) {
+      inputs.push_back(core::make_input_vector(
+          dims.n_t * dims.n_m, 100 + static_cast<std::uint64_t>(r)));
+      outputs.emplace_back(static_cast<std::size_t>(dims.n_t * dims.n_d));
+      sequential.emplace_back(static_cast<std::size_t>(dims.n_t * dims.n_d));
+    }
+    for (index_t r = 0; r < b; ++r) {
+      in_views[static_cast<std::size_t>(r)] = inputs[static_cast<std::size_t>(r)];
+      out_views[static_cast<std::size_t>(r)] = outputs[static_cast<std::size_t>(r)];
+    }
+  }
+
+  core::FftMatvecPlan plan(dev, stream, local);
+  // Warm the plan's FFT sub-plans and buffers so neither path pays
+  // first-touch setup inside the measured region.
+  std::vector<double> warm_out(phantom ? 0 : outputs[0].size());
+  plan.forward(op, phantom ? std::span<const double>{} : inputs[0], warm_out,
+               config);
+
+  SweepPoint p;
+  p.b = b;
+  double t0 = stream.now();
+  plan.apply_batch(op, core::ApplyDirection::kForward, config, in_views,
+                   out_views);
+  p.batched_per_rhs_s = (stream.now() - t0) / static_cast<double>(b);
+
+  t0 = stream.now();
+  for (index_t r = 0; r < b; ++r) {
+    plan.forward(op,
+                 phantom ? std::span<const double>{}
+                         : std::span<const double>{inputs[static_cast<std::size_t>(r)]},
+                 phantom ? std::span<double>{}
+                         : std::span<double>{sequential[static_cast<std::size_t>(r)]},
+                 config);
+  }
+  p.sequential_per_rhs_s = (stream.now() - t0) / static_cast<double>(b);
+
+  if (verify && !dev.phantom()) {
+    for (index_t r = 0; r < b; ++r) {
+      if (outputs[static_cast<std::size_t>(r)] !=
+          sequential[static_cast<std::size_t>(r)]) {
+        std::cerr << "batch_sweep: batched output diverged from sequential at b="
+                  << b << " rhs " << r << "\n";
+        std::exit(1);
+      }
+    }
+  }
+  return p;
+}
+
+struct SweepResult {
+  util::Table table{{"b", "batched/RHS ms", "sequential/RHS ms",
+                     "vs sequential", "vs b=1"}};
+  double per_rhs_b1 = 0.0;  ///< the self-check endpoints
+  double per_rhs_b8 = 0.0;
+};
+
+SweepResult run_sweep(device::Device& dev, const core::ProblemDims& dims,
+                      const precision::PrecisionConfig& config,
+                      const std::vector<index_t>& bs, bool verify) {
+  SweepResult r;
+  for (const index_t b : bs) {
+    const auto p = sweep_point(dev, dims, config, b, verify);
+    if (b == 1) r.per_rhs_b1 = p.batched_per_rhs_s;
+    if (b == 8) r.per_rhs_b8 = p.batched_per_rhs_s;
+    r.table.add_row({std::to_string(b), bench::ms(p.batched_per_rhs_s),
+                     bench::ms(p.sequential_per_rhs_s),
+                     util::Table::fmt(p.sequential_per_rhs_s / p.batched_per_rhs_s, 2) + "x",
+                     util::Table::fmt(r.per_rhs_b1 / p.batched_per_rhs_s, 2) + "x"});
+  }
+  return r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool quick = bench::consume_quick_flag(argc, argv);
+  bench::Artifact artifact("batch_sweep", argc, argv);
+  bench::reject_unknown_args(argc, argv);
+
+  const std::vector<index_t> bs =
+      quick ? std::vector<index_t>{1, 2, 4, 8}
+            : std::vector<index_t>{1, 2, 4, 8, 16, 32};
+  const auto spec = device::make_mi300x();
+  const core::ProblemDims measured_dims{192, 12, 96};
+
+  std::cout << "Multi-RHS batching curve — apply_batch (fused FFT+SBGEMV\n"
+               "pipeline) vs sequential per-request applies, " << spec.name
+            << ".\n";
+
+  SweepResult gate;  // ddddd measured sweep drives the self-check
+  {
+    device::Device dev(spec);
+    bench::print_header("measured (backed), N_m=" +
+                        std::to_string(measured_dims.n_m) + " N_d=" +
+                        std::to_string(measured_dims.n_d) + " N_t=" +
+                        std::to_string(measured_dims.n_t) + ", config ddddd");
+    gate = run_sweep(dev, measured_dims, precision::PrecisionConfig{}, bs,
+                     /*verify=*/true);
+    gate.table.print(std::cout);
+    artifact.add("measured ddddd", gate.table);
+  }
+  {
+    device::Device dev(spec);
+    bench::print_header("measured (backed), config dssdd");
+    const auto r = run_sweep(dev, measured_dims,
+                             precision::PrecisionConfig::parse("dssdd"), bs,
+                             /*verify=*/true);
+    r.table.print(std::cout);
+    artifact.add("measured dssdd", r.table);
+  }
+  if (!quick) {
+    device::Device dev(spec, &util::ThreadPool::global(), /*phantom=*/true);
+    bench::print_header("modelled (phantom), paper scale N_m=5000 N_d=100 N_t=1000");
+    const auto r = run_sweep(dev, bench::paper_dims(),
+                             precision::PrecisionConfig::parse("dssdd"), bs,
+                             /*verify=*/false);
+    r.table.print(std::cout);
+    artifact.add("modelled paper dssdd", r.table);
+  }
+
+  if (const auto path = artifact.write(); !path.empty()) {
+    std::cout << "\nwrote artifact " << path << "\n";
+  }
+
+  // Self-check: the tentpole speedup cannot silently rot — b = 8 must
+  // beat b = 1 on per-RHS simulated time.
+  const bool ok = gate.per_rhs_b8 > 0.0 && gate.per_rhs_b1 > 0.0 &&
+                  gate.per_rhs_b8 < gate.per_rhs_b1;
+  std::cout << "\nb=8 per-RHS " << bench::ms(gate.per_rhs_b8) << " ms vs b=1 "
+            << bench::ms(gate.per_rhs_b1) << " ms ("
+            << util::Table::fmt(gate.per_rhs_b1 / gate.per_rhs_b8, 2) << "x) -> "
+            << (ok ? "PASSED" : "FAILED") << "\n";
+  return ok ? 0 : 1;
+}

@@ -2,12 +2,8 @@
 #pragma once
 
 #include <cstdlib>
-#include <fstream>
 #include <iostream>
-#include <sstream>
-#include <stdexcept>
 #include <string>
-#include <utility>
 #include <vector>
 
 #include "core/block_toeplitz.hpp"
@@ -15,10 +11,16 @@
 #include "core/problem.hpp"
 #include "core/synthetic.hpp"
 #include "device/device_spec.hpp"
+#include "util/artifact.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
 
 namespace fftmv::bench {
+
+/// The JSON perf-artifact facility lives in util/artifact.hpp so the
+/// server app can stamp artifacts without reaching into bench/; the
+/// harnesses keep using it under the bench:: name.
+using Artifact = util::Artifact;
 
 /// The paper's single-GPU problem size (§4.1.2): N_m = 5,000,
 /// N_d = 100, N_t = 1,000.
@@ -60,36 +62,7 @@ inline core::PhaseTimings phantom_phase_times(
   return plan.last_timings();
 }
 
-/// Remove every occurrence of the flag spelled `name` or `alt` from
-/// argv (so downstream flag parsers never see it) and return whether
-/// it was present.  With `value != nullptr` the token following the
-/// flag is consumed into it; a flag requiring a value but given none
-/// fails loudly.  Keeps the argv[argc] == NULL contract.
-inline bool consume_flag(int& argc, char** argv, const std::string& name,
-                         const std::string& alt, std::string* value = nullptr) {
-  bool seen = false;
-  int out = 1;
-  for (int i = 1; i < argc; ++i) {
-    const std::string tok = argv[i];
-    if (tok != name && tok != alt) {
-      argv[out++] = argv[i];
-      continue;
-    }
-    seen = true;
-    if (value != nullptr) {
-      if (i + 1 >= argc) {
-        // Fail at the point of the mistake rather than silently
-        // running without the flag's effect.
-        std::cerr << "bench: " << tok << " requires a value\n";
-        std::exit(1);
-      }
-      *value = argv[++i];
-    }
-  }
-  argv[out] = nullptr;
-  argc = out;
-  return seen;
-}
+using util::consume_flag;
 
 /// Shared `--quick` flag: CI smoke runs pass it to cap measurement
 /// time.
@@ -111,55 +84,6 @@ inline void reject_unknown_args(int argc, char** argv) {
 inline std::string ms(double seconds, int precision = 3) {
   return util::Table::fmt(seconds * 1e3, precision);
 }
-
-/// Tracked JSON artifact of a harness run (the CI perf-regression
-/// baseline): pass `--json <path>` and every table registered through
-/// add() is written as
-///   {"bench": "<name>", "tables": [{"name": ..., "headers": [...],
-///    "rows": [[...]]}]}
-/// The flag is consumed from argv like --quick so downstream flag
-/// parsers never see it; without it add() is a no-op.
-class Artifact {
- public:
-  Artifact(std::string bench_name, int& argc, char** argv)
-      : bench_name_(std::move(bench_name)) {
-    consume_flag(argc, argv, "--json", "-json", &path_);
-  }
-
-  bool enabled() const { return !path_.empty(); }
-
-  void add(const std::string& table_name, const util::Table& table) {
-    if (!enabled()) return;
-    std::ostringstream os;
-    os << "{\"name\": \"" << util::Table::json_escape(table_name) << "\", ";
-    std::ostringstream body;
-    table.print_json(body);
-    // Splice the table's {"headers": ..., "rows": ...} members into
-    // this entry's object.
-    os << body.str().substr(1);
-    entries_.push_back(os.str());
-  }
-
-  /// Write the artifact (no-op when --json was absent).  Returns the
-  /// path written, empty if disabled.
-  std::string write() const {
-    if (!enabled()) return {};
-    std::ofstream out(path_);
-    if (!out) throw std::runtime_error("Artifact: cannot open " + path_);
-    out << "{\"bench\": \"" << util::Table::json_escape(bench_name_)
-        << "\", \"tables\": [";
-    for (std::size_t i = 0; i < entries_.size(); ++i) {
-      out << (i ? ", " : "") << entries_[i];
-    }
-    out << "]}\n";
-    return path_;
-  }
-
- private:
-  std::string bench_name_;
-  std::string path_;
-  std::vector<std::string> entries_;
-};
 
 inline void print_header(const std::string& title) {
   std::cout << "\n=== " << title << " ===\n";

@@ -14,7 +14,9 @@
 
 using namespace fftmv;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Artifact artifact("fig2_breakdown", argc, argv);
+  bench::reject_unknown_args(argc, argv);
   const auto dims = bench::paper_dims();
   std::cout << "Figure 2 — runtime breakdown of the F and F* matvecs,\n"
             << "N_m=" << dims.n_m << " N_d=" << dims.n_d << " N_t=" << dims.n_t
@@ -36,6 +38,7 @@ int main() {
                      util::Table::fmt_pct(t.sbgemv / t.compute_total())});
     }
     table.print(std::cout);
+    artifact.add(spec.name, table);
   }
 
   // Numerics sanity at reduced scale: the same pipeline, backed.
@@ -58,6 +61,9 @@ int main() {
               << util::Table::fmt_sci(blas::relative_l2_error(
                      static_cast<index_t>(d.size()), d.data(), d_dense.data()))
               << "\n";
+  }
+  if (const auto path = artifact.write(); !path.empty()) {
+    std::cout << "wrote artifact " << path << "\n";
   }
   return 0;
 }

@@ -49,7 +49,9 @@ std::map<std::string, double> measure_errors() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Artifact artifact("fig3_mixed", argc, argv);
+  bench::reject_unknown_args(argc, argv);
   const auto dims = bench::paper_dims();
   const auto rdims = bench::reduced_dims();
   // The paper's tolerance (1e-7) reflects its application's error
@@ -105,8 +107,12 @@ int main() {
                                         t_best.compute_total(), 2) + "x",
                    util::Table::fmt_sci(best->rel_error)});
     table.print(std::cout);
+    artifact.add(spec.name, table);
   }
 
+  if (const auto path = artifact.write(); !path.empty()) {
+    std::cout << "\nwrote artifact " << path << "\n";
+  }
   std::cout << "\nPaper reference: optimal config dssdd; speedups 70-95% on\n"
                "MI250X/MI300X and ~40% on MI355X (untuned CDNA4 FP32 path).\n";
   return 0;

@@ -106,6 +106,7 @@ double measured_error(index_t p, index_t p_rows,
 }  // namespace
 
 int main(int argc, char** argv) {
+  bench::Artifact artifact("fig4_scaling", argc, argv);
   util::CliParser cli(argc, argv);
   cli.check_known({"max-gpus"});
   // -max-gpus caps the sweep (error measurement is real arithmetic
@@ -137,6 +138,10 @@ int main(int argc, char** argv) {
                    util::Table::fmt_sci(err)});
   }
   table.print(std::cout);
+  artifact.add("weak scaling", table);
+  if (const auto path = artifact.write(); !path.empty()) {
+    std::cout << "wrote artifact " << path << "\n";
+  }
 
   if (t4096 > 0.0) {
     const double params = 5000.0 * 4096 * 1000;

@@ -12,7 +12,9 @@
 
 using namespace fftmv;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Artifact artifact("pareto_sweep", argc, argv);
+  bench::reject_unknown_args(argc, argv);
   const auto dims = bench::paper_dims();
   const auto rdims = bench::reduced_dims();
   const auto spec = device::make_mi300x();
@@ -54,6 +56,7 @@ int main() {
                           gbase.data()))});
     }
     growth.print(std::cout);
+    artifact.add("dssdd error growth", growth);
   }
 
   // Measured errors at reduced scale.
@@ -93,6 +96,10 @@ int main() {
                    on_front(r.config) ? "*" : ""});
   }
   table.print(std::cout);
+  artifact.add("config sweep", table);
+  if (const auto path = artifact.write(); !path.empty()) {
+    std::cout << "wrote artifact " << path << "\n";
+  }
 
   const auto best = core::optimal_config(results, tolerance,
                                          /*time_slack=*/0.01);

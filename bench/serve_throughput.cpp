@@ -116,7 +116,11 @@ int main(int argc, char** argv) {
   serve::ServeOptions opts;
   opts.num_streams = streams;
   opts.max_batch = max_batch;
-  opts.linger_seconds = 200e-6;
+  // Generous linger: the whole trace is submitted well inside the
+  // first linger window, so batch composition — and with it the gated
+  // "speedup sim" metric — is near-deterministic run to run instead
+  // of racing the submission loop against the worker lanes.
+  opts.linger_seconds = 5e-3;
   opts.plan_cache_capacity = 24;
   serve::AsyncScheduler scheduler(spec, opts);
   std::vector<serve::TenantId> ids;

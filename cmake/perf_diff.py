@@ -1,0 +1,182 @@
+#!/usr/bin/env python3
+"""CI perf-regression gate over the BENCH_*.json artifacts.
+
+Compares the fresh artifacts of this run against the previous
+successful run's downloaded artifacts and fails (exit 1) on a >15%
+throughput regression in any gated metric.  Stdlib only.
+
+Gated metrics (higher is better):
+  serve_throughput  table "throughput", row "served (batch+cache)",
+                    column "speedup sim" — the serving layer's edge
+                    over the naive per-request loop on simulated time.
+                    Batch composition retains some wall-clock
+                    sensitivity, so this gate carries a wider 30%
+                    threshold.
+  fig1_sbgemv       every panel row's "optimized GB/s" — the paper's
+                    optimized SBGEMV kernel bandwidth (deterministic
+                    cost-model output).
+  batch_sweep       table "measured ddddd", every row's
+                    "vs sequential" — the multi-RHS apply_batch edge
+                    over sequential applies (deterministic).
+
+Rows are matched by (bench, table, first cell).  A gated row present
+in the baseline but missing from the current run FAILS the gate (a
+renamed metric must not silently un-gate itself), as does a gated
+bench that matches zero metrics against an existing baseline; rows
+new in the current run are informational.  A gated bench whose
+baseline file is missing runs in report-only mode for that bench
+(first-run bootstrap).  --report-only never exits nonzero.
+
+Usage:
+  perf_diff.py --current DIR --baseline DIR [--threshold 0.15]
+               [--report-only]
+"""
+import argparse
+import json
+import os
+import sys
+
+GATES = [
+    # (bench, table match ('*' = every table), row match ('*' = every
+    #  row), column header, threshold override or None)
+    ("serve_throughput", "throughput", "served (batch+cache)", "speedup sim",
+     0.30),
+    ("fig1_sbgemv", "*", "*", "optimized GB/s", None),
+    ("batch_sweep", "measured ddddd", "*", "vs sequential", None),
+]
+
+
+def parse_number(cell):
+    """Parse a table cell like '2.25x', '63.3%', '123', '1.2e-03'."""
+    s = cell.strip().rstrip("x%").strip()
+    try:
+        return float(s)
+    except ValueError:
+        return None
+
+
+def load_artifact(directory, bench):
+    path = os.path.join(directory, f"BENCH_{bench}.json")
+    if not os.path.exists(path):
+        return None
+    with open(path) as f:
+        return json.load(f)
+
+
+def indexed_rows(artifact, table_match, column):
+    """Yield ((table, row_key), value) for every gated cell."""
+    out = {}
+    for table in artifact.get("tables", []):
+        name = table.get("name", "")
+        if table_match != "*" and name != table_match:
+            continue
+        headers = table.get("headers", [])
+        if column not in headers:
+            continue
+        col = headers.index(column)
+        for row in table.get("rows", []):
+            if not row:
+                continue
+            value = parse_number(row[col])
+            if value is not None:
+                out[(name, row[0])] = value
+    return out
+
+
+def provenance(artifact):
+    if artifact is None:
+        return "missing"
+    return "{} ({})".format(artifact.get("git_sha", "unknown"),
+                            artifact.get("build_type", "unknown"))
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--current", required=True, help="fresh BENCH_*.json dir")
+    ap.add_argument("--baseline", required=True,
+                    help="previous run's BENCH_*.json dir (may be empty)")
+    ap.add_argument("--threshold", type=float, default=0.15,
+                    help="relative regression that fails the gate")
+    ap.add_argument("--report-only", action="store_true",
+                    help="report but never fail (bootstrap mode)")
+    args = ap.parse_args()
+
+    regressions = []
+    compared = 0
+    print(f"perf_diff: threshold {args.threshold:.0%}, "
+          f"current={args.current}, baseline={args.baseline}")
+
+    for bench, table_match, row_match, column, override in GATES:
+        threshold = override if override is not None else args.threshold
+        current = load_artifact(args.current, bench)
+        if current is None:
+            print(f"  ERROR {bench}: current artifact missing "
+                  f"(CI should have produced it)")
+            regressions.append((bench, "current artifact missing"))
+            continue
+        baseline = load_artifact(args.baseline, bench)
+        if baseline is None:
+            print(f"  {bench}: no baseline artifact — report-only "
+                  f"(current {provenance(current)})")
+            continue
+        print(f"  {bench}: {provenance(baseline)} -> {provenance(current)} "
+              f"(threshold {threshold:.0%})")
+
+        cur_rows = indexed_rows(current, table_match, column)
+        base_rows = indexed_rows(baseline, table_match, column)
+        bench_compared = 0
+        for key, base_value in sorted(base_rows.items()):
+            table, row = key
+            label = f"{bench}/{table}/{row} [{column}]"
+            if row_match != "*" and row != row_match:
+                continue
+            if key not in cur_rows:
+                # A gated metric must not silently un-gate itself via a
+                # rename or a dropped table/row.
+                print(f"    {label}: GATED ROW MISSING from current run")
+                regressions.append((label, "gated row missing from current run"))
+                continue
+            cur_value = cur_rows[key]
+            compared += 1
+            bench_compared += 1
+            if base_value <= 0:
+                print(f"    {label}: baseline {base_value} not positive — skipped")
+                continue
+            change = cur_value / base_value - 1.0
+            verdict = "ok"
+            if change < -threshold:
+                verdict = "REGRESSION"
+                regressions.append(
+                    (label, f"{base_value:g} -> {cur_value:g} ({change:+.1%})"))
+            print(f"    {label}: {base_value:g} -> {cur_value:g} "
+                  f"({change:+.1%}) {verdict}")
+        new_rows = 0
+        for key in sorted(set(cur_rows) - set(base_rows)):
+            if row_match != "*" and key[1] != row_match:
+                continue
+            new_rows += 1
+            print(f"    {bench}/{key[0]}/{key[1]}: new row — no baseline, skipped")
+        if bench_compared == 0 and new_rows == 0:
+            # Neither side matched the gate spec: the spec and the
+            # artifact's table/row/column names have diverged.  (An
+            # older baseline that merely predates a new metric still
+            # shows the current rows as "new" above and bootstraps on
+            # the next run.)
+            print(f"  ERROR {bench}: no gated metric matched either side — "
+                  f"gate spec and artifact have diverged")
+            regressions.append((bench, "gate spec matches no artifact rows"))
+
+    print(f"perf_diff: {compared} metrics compared, "
+          f"{len(regressions)} regression(s)")
+    if regressions:
+        for label, detail in regressions:
+            print(f"  FAIL {label}: {detail}")
+        if args.report_only:
+            print("perf_diff: report-only mode — not failing the build")
+            return 0
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -18,6 +18,9 @@
 //   -prec a,b,...    precision configs cycled across requests
 //   -adjoint-frac F  fraction of requests that are adjoint (F*) applies
 //   -raw             machine-parseable summary (bare numbers)
+//   -json PATH       write the metrics tables as a bench::Artifact
+//                    (headers carry the git SHA and build type, so CI
+//                    perf diffs are attributable)
 //   --smoke          short fixed-seed CI run; exits nonzero unless all
 //                    requests completed and throughput is nonzero
 //
@@ -31,6 +34,7 @@
 #include "core/synthetic.hpp"
 #include "device/device_spec.hpp"
 #include "serve/scheduler.hpp"
+#include "util/artifact.hpp"
 #include "util/cli.hpp"
 #include "util/rng.hpp"
 
@@ -66,6 +70,8 @@ std::vector<precision::PrecisionConfig> parse_config_list(const std::string& csv
 
 int main(int argc, char** argv) {
   try {
+    // Consumes --json/-json <path> from argv before the flag parser.
+    util::Artifact artifact("fftmv_server", argc, argv);
     const util::CliParser cli(argc, argv);
     cli.check_known({"tenants", "requests", "rps", "streams", "batch", "linger-ms",
                      "cache", "prec", "adjoint-frac", "device", "seed", "raw", "smoke"});
@@ -151,6 +157,12 @@ int main(int argc, char** argv) {
     }
 
     const auto snap = scheduler.metrics();
+    artifact.add("summary", snap.summary_table());
+    artifact.add("latency", snap.latency_table());
+    artifact.add("batch histogram", snap.batch_table());
+    if (const auto path = artifact.write(); !path.empty() && !raw) {
+      std::cout << "wrote artifact " << path << "\n";
+    }
     if (raw) {
       std::cout << snap.completed << "\n"
                 << snap.failed << "\n"

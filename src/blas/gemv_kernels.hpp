@@ -114,6 +114,31 @@ device::KernelFootprint gemv_footprint(GemvKernelKind kind, index_t m,
   return fp;
 }
 
+/// Resource footprint of the multi-RHS variant: the matrix is read
+/// ONCE per batch entry (each column tile stays resident while all
+/// nrhs vectors stream through it) while vector traffic and flops
+/// scale with nrhs.  The reference transpose kernel's serial
+/// dependency chain grows nrhs-fold per block, so its residency
+/// weight scales accordingly.
+template <class T>
+device::KernelFootprint gemv_multi_footprint(GemvKernelKind kind, index_t m,
+                                             index_t n, index_t batch,
+                                             index_t nrhs) {
+  device::KernelFootprint fp = gemv_footprint<T>(kind, m, n, batch);
+  const double es = static_cast<double>(sizeof(T));
+  const double b = static_cast<double>(batch);
+  const double extra = static_cast<double>(nrhs - 1);
+  const double xlen = static_cast<double>(kind == GemvKernelKind::kReferenceN ? n : m);
+  const double ylen = static_cast<double>(kind == GemvKernelKind::kReferenceN ? m : n);
+  fp.bytes_read += extra * b * xlen * es;
+  fp.bytes_written += extra * b * ylen * es;
+  fp.flops *= static_cast<double>(nrhs);
+  if (kind == GemvKernelKind::kReferenceT) {
+    fp.residency_weight *= static_cast<double>(nrhs);
+  }
+  return fp;
+}
+
 namespace detail {
 
 template <class T>
@@ -123,68 +148,108 @@ T conj_if_complex_dispatch(const T& v, bool conj) {
 
 }  // namespace detail
 
-/// Reference non-transpose kernel body for gridblock (bx, ., bz).
+/// Multi-RHS reference non-transpose body: each 64-row chunk streams
+/// its matrix rows once; every RHS consumes a row before the next row
+/// is touched.  Per-(row, RHS) arithmetic matches the single-RHS
+/// kernel exactly.
 template <class T>
-void gemv_n_reference_block(const SbgemvArgs<T>& a, index_t bx, index_t bz) {
+void gemv_n_reference_multi_block(const SbgemvMultiArgs<T>& ma, index_t bx,
+                                  index_t bz) {
+  const SbgemvArgs<T>& a = ma.base;
   const T* A = a.a + bz * a.stride_a;
-  const T* x = a.x + bz * a.stride_x;
-  T* y = a.y + bz * a.stride_y;
   const index_t row_begin = bx * kRefRowsPerBlock;
   const index_t row_end = std::min(a.m, row_begin + kRefRowsPerBlock);
   for (index_t i = row_begin; i < row_end; ++i) {
-    T acc{};
-    for (index_t j = 0; j < a.n; ++j) {
-      acc += A[i + j * a.lda] * x[j];
+    for (index_t r = 0; r < ma.nrhs; ++r) {
+      const T* x = a.x + bz * a.stride_x + r * ma.rhs_stride_x;
+      T* y = a.y + bz * a.stride_y + r * ma.rhs_stride_y;
+      T acc{};
+      for (index_t j = 0; j < a.n; ++j) {
+        acc += A[i + j * a.lda] * x[j];
+      }
+      y[i] = a.alpha * acc + (a.beta == T(0) ? T(0) : a.beta * y[i]);
     }
-    y[i] = a.alpha * acc + (a.beta == T(0) ? T(0) : a.beta * y[i]);
   }
+}
+
+/// Multi-RHS reference transpose body: gridblock bx's column is read
+/// once and dotted against every RHS in turn (nrhs serial dot
+/// products per block — the residency weight scales to match).
+template <class T>
+void gemv_t_reference_multi_block(const SbgemvMultiArgs<T>& ma, index_t bx,
+                                  index_t bz) {
+  const SbgemvArgs<T>& a = ma.base;
+  const T* col = a.a + bz * a.stride_a + bx * a.lda;
+  const bool conj = a.op == Op::C;
+  for (index_t r = 0; r < ma.nrhs; ++r) {
+    const T* x = a.x + bz * a.stride_x + r * ma.rhs_stride_x;
+    T* y = a.y + bz * a.stride_y + r * ma.rhs_stride_y;
+    T acc{};
+    for (index_t i = 0; i < a.m; ++i) {
+      acc += detail::conj_if_complex_dispatch(col[i], conj) * x[i];
+    }
+    y[bx] = a.alpha * acc + (a.beta == T(0) ? T(0) : a.beta * y[bx]);
+  }
+}
+
+/// Multi-RHS optimized transpose body: column-outer, RHS-inner, so a
+/// column tile is loaded once and reused by all nrhs vectors; each
+/// (column, RHS) pair runs the identical lane-strided accumulation
+/// and wavefront tree reduction of the single-RHS kernel.
+template <class T>
+void gemv_t_optimized_multi_block(const SbgemvMultiArgs<T>& ma, index_t bx,
+                                  index_t bz) {
+  const SbgemvArgs<T>& a = ma.base;
+  const T* A = a.a + bz * a.stride_a;
+  const bool conj = a.op == Op::C;
+  const index_t col_begin = bx * kOptTileCols;
+  const index_t col_end = std::min(a.n, col_begin + kOptTileCols);
+  T lanes[kWavefront];
+  for (index_t j = col_begin; j < col_end; ++j) {
+    const T* col = A + j * a.lda;
+    for (index_t r = 0; r < ma.nrhs; ++r) {
+      const T* x = a.x + bz * a.stride_x + r * ma.rhs_stride_x;
+      T* y = a.y + bz * a.stride_y + r * ma.rhs_stride_y;
+      for (index_t l = 0; l < kWavefront; ++l) {
+        T acc{};
+        for (index_t i = l; i < a.m; i += kWavefront) {
+          acc += detail::conj_if_complex_dispatch(col[i], conj) * x[i];
+        }
+        lanes[l] = acc;
+      }
+      for (index_t off = kWavefront / 2; off > 0; off /= 2) {
+        for (index_t l = 0; l < off; ++l) lanes[l] += lanes[l + off];
+      }
+      y[j] = a.alpha * lanes[0] + (a.beta == T(0) ? T(0) : a.beta * y[j]);
+    }
+  }
+}
+
+// The single-RHS kernel bodies are the nrhs = 1 degenerate case of
+// the multi bodies above — one definition per kernel keeps the
+// summation order (and thus the bit-exactness contract between
+// sbgemv and sbgemv_multi) in exactly one place.
+
+/// Reference non-transpose kernel body for gridblock (bx, ., bz).
+template <class T>
+void gemv_n_reference_block(const SbgemvArgs<T>& a, index_t bx, index_t bz) {
+  gemv_n_reference_multi_block<T>({a, 1, 0, 0}, bx, bz);
 }
 
 /// Reference transpose kernel body: gridblock bx computes output
 /// element bx of batch entry bz as one sequential dot product.
 template <class T>
 void gemv_t_reference_block(const SbgemvArgs<T>& a, index_t bx, index_t bz) {
-  const T* A = a.a + bz * a.stride_a;
-  const T* x = a.x + bz * a.stride_x;
-  T* y = a.y + bz * a.stride_y;
-  const T* col = A + bx * a.lda;
-  const bool conj = a.op == Op::C;
-  T acc{};
-  for (index_t i = 0; i < a.m; ++i) {
-    acc += detail::conj_if_complex_dispatch(col[i], conj) * x[i];
-  }
-  y[bx] = a.alpha * acc + (a.beta == T(0) ? T(0) : a.beta * y[bx]);
+  gemv_t_reference_multi_block<T>({a, 1, 0, 0}, bx, bz);
 }
 
 /// Optimized transpose kernel body: gridblock bx owns columns
 /// [bx*TILE, ...); each column's dot is computed with 64 striding
-/// lanes followed by a shuffle-style tree reduction.
+/// lanes (coalesced loads) followed by a shuffle-style tree reduction
+/// (6 halving steps).
 template <class T>
 void gemv_t_optimized_block(const SbgemvArgs<T>& a, index_t bx, index_t bz) {
-  const T* A = a.a + bz * a.stride_a;
-  const T* x = a.x + bz * a.stride_x;
-  T* y = a.y + bz * a.stride_y;
-  const bool conj = a.op == Op::C;
-
-  const index_t col_begin = bx * kOptTileCols;
-  const index_t col_end = std::min(a.n, col_begin + kOptTileCols);
-  T lanes[kWavefront];
-  for (index_t j = col_begin; j < col_end; ++j) {
-    const T* col = A + j * a.lda;
-    // Lane l accumulates rows l, l+64, l+128, ... (coalesced loads).
-    for (index_t l = 0; l < kWavefront; ++l) {
-      T acc{};
-      for (index_t i = l; i < a.m; i += kWavefront) {
-        acc += detail::conj_if_complex_dispatch(col[i], conj) * x[i];
-      }
-      lanes[l] = acc;
-    }
-    // Wavefront shuffle tree reduction (6 halving steps).
-    for (index_t off = kWavefront / 2; off > 0; off /= 2) {
-      for (index_t l = 0; l < off; ++l) lanes[l] += lanes[l + off];
-    }
-    y[j] = a.alpha * lanes[0] + (a.beta == T(0) ? T(0) : a.beta * y[j]);
-  }
+  gemv_t_optimized_multi_block<T>({a, 1, 0, 0}, bx, bz);
 }
 
 }  // namespace fftmv::blas

@@ -71,4 +71,50 @@ struct SbgemvArgs {
   }
 };
 
+/// Shared multi-RHS y-write aliasing rule (used by SbgemvMultiArgs
+/// and the half-storage path): the output vectors are separated iff
+/// one of the two orderings — RHS-inner (batch stride spans all RHS)
+/// or batch-inner (RHS stride spans the whole batch) — holds.
+/// Overlapping x reads are legal (shared inputs).
+inline bool multi_rhs_y_strides_alias(index_t stride_y, index_t rhs_stride_y,
+                                      index_t y_len, index_t batch,
+                                      index_t nrhs) {
+  const bool rhs_inner = stride_y >= (nrhs - 1) * rhs_stride_y + y_len;
+  const bool batch_inner = rhs_stride_y >= (batch - 1) * stride_y + y_len;
+  return batch > 1 && nrhs > 1 && !rhs_inner && !batch_inner;
+}
+
+/// Multi-RHS extension of the strided batched GEMV: every batch
+/// entry's matrix A_b is applied to `nrhs` right-hand sides,
+///   x_{b,r} = x + b*stride_x + r*rhs_stride_x,
+///   y_{b,r} = y + b*stride_y + r*rhs_stride_y,
+/// with arithmetic per (b, r) identical to the single-RHS kernels
+/// (bit-exact vs nrhs independent sbgemv calls).  The kernels load
+/// each matrix tile once and stream all nrhs vectors through it, so
+/// the dominant matrix traffic is paid once per batch entry instead
+/// of once per RHS — the batched-execution amortisation the FFT
+/// matvec's apply_batch builds on.
+template <class T>
+struct SbgemvMultiArgs {
+  SbgemvArgs<T> base;
+  index_t nrhs = 1;
+  index_t rhs_stride_x = 0;
+  index_t rhs_stride_y = 0;
+
+  void validate(bool allow_null = false) const {
+    base.validate(allow_null);
+    if (nrhs <= 0) throw std::invalid_argument("sbgemv_multi: nrhs must be >= 1");
+    if (nrhs > 1) {
+      if (rhs_stride_x < base.x_len() || rhs_stride_y < base.y_len()) {
+        throw std::invalid_argument("sbgemv_multi: RHS strides overlap the vectors");
+      }
+      if (multi_rhs_y_strides_alias(base.stride_y, rhs_stride_y, base.y_len(),
+                                    base.batch, nrhs)) {
+        throw std::invalid_argument(
+            "sbgemv_multi: y strides alias across batch entries");
+      }
+    }
+  }
+};
+
 }  // namespace fftmv::blas

@@ -63,6 +63,39 @@ device::KernelTiming sbgemv(device::Stream& stream, const SbgemvArgs<T>& args,
   return {};
 }
 
+/// Multi-RHS strided batched GEMV: apply each batch entry's matrix to
+/// `args.nrhs` right-hand sides in one launch.  Kernel selection
+/// reuses the single-RHS policies/transition points (the shape per
+/// dot product is unchanged); per-(batch, RHS) arithmetic is
+/// bit-identical to nrhs independent sbgemv() calls, while the
+/// modelled footprint pays the matrix traffic once per batch entry —
+/// the GEMM-style amortisation batched applies are built on.
+template <class T>
+device::KernelTiming sbgemv_multi(device::Stream& stream,
+                                  const SbgemvMultiArgs<T>& args,
+                                  GemvKernelPolicy policy = GemvKernelPolicy::kAuto) {
+  args.validate(/*allow_null=*/stream.device().phantom());
+  const SbgemvArgs<T>& base = args.base;
+  const GemvKernelKind kind = select_kernel(base, policy);
+  const auto geom = gemv_geometry(kind, base.m, base.n, base.batch);
+  const auto fp = gemv_multi_footprint<T>(kind, base.m, base.n, base.batch, args.nrhs);
+  switch (kind) {
+    case GemvKernelKind::kReferenceN:
+      return stream.launch(geom, fp, [args](index_t bx, index_t, index_t bz) {
+        gemv_n_reference_multi_block(args, bx, bz);
+      });
+    case GemvKernelKind::kReferenceT:
+      return stream.launch(geom, fp, [args](index_t bx, index_t, index_t bz) {
+        gemv_t_reference_multi_block(args, bx, bz);
+      });
+    case GemvKernelKind::kOptimizedT:
+      return stream.launch(geom, fp, [args](index_t bx, index_t, index_t bz) {
+        gemv_t_optimized_multi_block(args, bx, bz);
+      });
+  }
+  return {};
+}
+
 /// Plain single-threaded host GEMV used as the correctness reference
 /// in tests; accumulates in (complex) double regardless of T.
 template <class T>

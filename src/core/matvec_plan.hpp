@@ -23,6 +23,7 @@
 // runs at the lowest adjacent width.
 #pragma once
 
+#include <cstdint>
 #include <optional>
 #include <span>
 
@@ -54,6 +55,15 @@ struct PhaseTimings {
   PhaseTimings& operator+=(const PhaseTimings& o);
   PhaseTimings& operator*=(double s);
 };
+
+/// Direction selector for the batched entry point (forward() /
+/// adjoint() remain the single-RHS spellings).
+enum class ApplyDirection : unsigned char { kForward, kAdjoint };
+
+/// Mutable / immutable views of one right-hand side or output vector
+/// in an apply_batch call.
+using VectorView = std::span<double>;
+using ConstVectorView = std::span<const double>;
 
 struct MatvecOptions {
   blas::GemvKernelPolicy gemv_policy = blas::GemvKernelPolicy::kAuto;
@@ -89,6 +99,21 @@ class FftMatvecPlan {
                std::span<double> m, const precision::PrecisionConfig& config,
                comm::RankComms* comms = nullptr);
 
+  /// Execute b same-shape right-hand sides as ONE fused pipeline
+  /// (single-rank only): the phase-1/5 transposes loop over the RHS
+  /// dimension, the phase-2/4 real FFTs run the cached plan with a
+  /// runtime batch multiplier (b * n_s sequences in one launch), and
+  /// phase 3 is a single multi-RHS strided batched GEMV that pays the
+  /// operator's matrix traffic once per frequency block instead of
+  /// once per request.  Results are bit-identical to b independent
+  /// forward()/adjoint() calls for every precision config; b == 1 is
+  /// the degenerate case.  last_timings() afterwards holds the totals
+  /// for the whole batch (callers attribute per-RHS shares).
+  void apply_batch(const BlockToeplitzOperator& op, ApplyDirection direction,
+                   const precision::PrecisionConfig& config,
+                   std::span<const ConstVectorView> inputs,
+                   std::span<const VectorView> outputs);
+
   /// Receives the un-reduced phase-5 partial output in the phase-5
   /// precision (exactly one pointer must be set, matching the
   /// config's phase-5 precision).  Used by the sequential
@@ -110,8 +135,15 @@ class FftMatvecPlan {
                        std::span<const double> d, const PartialSink& sink,
                        const precision::PrecisionConfig& config);
 
-  /// Timings of the most recent apply.
+  /// Timings of the most recent apply (an apply_batch reports the
+  /// whole batch's totals).
   const PhaseTimings& last_timings() const { return timings_; }
+
+  /// Pipeline executions so far: +1 per forward/adjoint/partial apply
+  /// and +1 per apply_batch REGARDLESS of its RHS count.  The serving
+  /// layer's tests hook this to assert a coalesced batch costs one
+  /// plan execution.
+  std::int64_t executions() const { return executions_; }
 
  private:
   struct DualReal {
@@ -141,6 +173,7 @@ class FftMatvecPlan {
   LocalDims dims_;
   MatvecOptions options_;
   PhaseTimings timings_;
+  std::int64_t executions_ = 0;
 
   // FFT plans per (precision, batch-role); built lazily.
   std::optional<fft::BatchedRealFft<double>> fft_m_d_, fft_d_d_;

@@ -5,6 +5,12 @@
 // executions are launched on a device Stream (one gridblock per
 // sequence) so that each call is charged simulated time by the cost
 // model, or run host-side for plain numerics.
+//
+// Executions additionally accept a runtime `batch_multiplier`: the
+// same cached plan transforms `batch() * multiplier` contiguous
+// sequences in one launch.  Multi-RHS pipeline applies use this to
+// grow the phase-2/4 batch from n_s to b * n_s without re-planning
+// (twiddle tables and geometry depend only on the length).
 #pragma once
 
 #include <complex>
@@ -31,16 +37,18 @@ class BatchedRealFft {
 
   /// Host execution: sequence b reads in + b*in_stride (length L
   /// reals) and writes out + b*out_stride (L/2+1 bins).
-  void forward(const Real* in, index_t in_stride, C* out, index_t out_stride) const {
+  void forward(const Real* in, index_t in_stride, C* out, index_t out_stride,
+               index_t batch_multiplier = 1) const {
     FftScratch<Real>& s = FftScratch<Real>::local();
-    for (index_t b = 0; b < batch_; ++b) {
+    for (index_t b = 0; b < effective_batch(batch_multiplier); ++b) {
       engine_.forward(in + b * in_stride, out + b * out_stride, s);
     }
   }
 
-  void inverse(const C* in, index_t in_stride, Real* out, index_t out_stride) const {
+  void inverse(const C* in, index_t in_stride, Real* out, index_t out_stride,
+               index_t batch_multiplier = 1) const {
     FftScratch<Real>& s = FftScratch<Real>::local();
-    for (index_t b = 0; b < batch_; ++b) {
+    for (index_t b = 0; b < effective_batch(batch_multiplier); ++b) {
       engine_.inverse(in + b * in_stride, out + b * out_stride, s);
     }
   }
@@ -48,41 +56,47 @@ class BatchedRealFft {
   /// Device execution: one gridblock per sequence, parallel over the
   /// pool, simulated time charged to `stream`.
   device::KernelTiming forward_on(device::Stream& stream, const Real* in,
-                                  index_t in_stride, C* out,
-                                  index_t out_stride) const {
-    return stream.launch(geometry(), footprint(), [=, this](index_t bx, index_t, index_t) {
+                                  index_t in_stride, C* out, index_t out_stride,
+                                  index_t batch_multiplier = 1) const {
+    return stream.launch(geometry(batch_multiplier), footprint(batch_multiplier),
+                         [=, this](index_t bx, index_t, index_t) {
       engine_.forward(in + bx * in_stride, out + bx * out_stride,
                       FftScratch<Real>::local());
     });
   }
 
   device::KernelTiming inverse_on(device::Stream& stream, const C* in,
-                                  index_t in_stride, Real* out,
-                                  index_t out_stride) const {
-    return stream.launch(geometry(), footprint(), [=, this](index_t bx, index_t, index_t) {
+                                  index_t in_stride, Real* out, index_t out_stride,
+                                  index_t batch_multiplier = 1) const {
+    return stream.launch(geometry(batch_multiplier), footprint(batch_multiplier),
+                         [=, this](index_t bx, index_t, index_t) {
       engine_.inverse(in + bx * in_stride, out + bx * out_stride,
                       FftScratch<Real>::local());
     });
   }
 
-  device::LaunchGeometry geometry() const {
-    return {.grid_x = batch_, .grid_y = 1, .grid_z = 1, .block_threads = 256};
+  device::LaunchGeometry geometry(index_t batch_multiplier = 1) const {
+    return {.grid_x = effective_batch(batch_multiplier),
+            .grid_y = 1,
+            .grid_z = 1,
+            .block_threads = 256};
   }
 
   /// Resource footprint of one batched execution.  GPU FFTs stage
   /// radix passes through LDS, touching global memory once per
   /// fused-pass group (~radix-256 per pass); we model
   /// ceil(log2(L) / 8) round trips over the complex working set.
-  device::KernelFootprint footprint() const {
+  device::KernelFootprint footprint(index_t batch_multiplier = 1) const {
     const double L = static_cast<double>(engine_.length());
     const double passes =
         std::max(1.0, std::ceil(util::log2_ceil(util::next_pow2(engine_.length())) / 8.0));
-    const double working_set =
-        static_cast<double>(batch_) * L * static_cast<double>(sizeof(Real));
+    const double working_set = static_cast<double>(effective_batch(batch_multiplier)) *
+                               L * static_cast<double>(sizeof(Real));
     device::KernelFootprint fp;
     fp.bytes_read = passes * working_set;
     fp.bytes_written = passes * working_set;
-    fp.flops = static_cast<double>(batch_) * engine_.flops_per_transform();
+    fp.flops = static_cast<double>(effective_batch(batch_multiplier)) *
+               engine_.flops_per_transform();
     fp.fp64_path = sizeof(Real) == 8;
     fp.vector_load_bytes = 16;
     fp.coalescing_efficiency = 0.9;
@@ -92,6 +106,13 @@ class BatchedRealFft {
   const RealFftEngine<Real>& engine() const { return engine_; }
 
  private:
+  index_t effective_batch(index_t multiplier) const {
+    if (multiplier <= 0) {
+      throw std::invalid_argument("BatchedRealFft: batch multiplier must be >= 1");
+    }
+    return batch_ * multiplier;
+  }
+
   RealFftEngine<Real> engine_;
   index_t batch_;
 };

@@ -3,6 +3,10 @@
 // Engines are immutable after construction and safe to share across
 // the gridblock workers of the simulated device; all mutable state
 // lives in an FftScratch instance owned by the calling thread.
+// Capacity is keyed on the transform length only — never the batch
+// count — which is what lets one cached BatchedRealFft execute with a
+// runtime batch multiplier (b * n_s sequences) without re-planning or
+// extra scratch: every sequence reuses the same per-thread buffers.
 #pragma once
 
 #include <complex>

@@ -68,6 +68,12 @@ std::shared_ptr<core::FftMatvecPlan> PlanCache::acquire(const PlanKey& key,
   return lru_.front().second;
 }
 
+std::shared_ptr<core::FftMatvecPlan> PlanCache::peek(const PlanKey& key) const {
+  std::lock_guard lock(mutex_);
+  const auto it = index_.find(key);
+  return it == index_.end() ? nullptr : it->second->second;
+}
+
 std::size_t PlanCache::size() const {
   std::lock_guard lock(mutex_);
   return lru_.size();

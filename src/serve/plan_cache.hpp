@@ -61,6 +61,11 @@ class PlanCache {
   std::shared_ptr<core::FftMatvecPlan> acquire(const PlanKey& key,
                                                device::Stream& stream);
 
+  /// Look up `key` without creating, counting a hit/miss, or touching
+  /// LRU order; nullptr when absent.  For tests and introspection
+  /// (e.g. asserting a coalesced batch cost one plan execution).
+  std::shared_ptr<core::FftMatvecPlan> peek(const PlanKey& key) const;
+
   std::size_t size() const;
   std::size_t capacity() const { return capacity_; }
   PlanCacheStats stats() const;

@@ -26,6 +26,7 @@
 #include <string>
 #include <vector>
 
+#include "core/matvec_plan.hpp"
 #include "util/types.hpp"
 
 namespace fftmv::serve {
@@ -44,6 +45,10 @@ struct MatvecResult {
   double queue_seconds = 0.0;  ///< submit -> batch execution start (wall)
   double exec_seconds = 0.0;   ///< execution start -> completion (wall)
   double sim_seconds = 0.0;    ///< simulated device seconds of this apply
+  /// This request's share of the batch's per-phase simulated times: a
+  /// coalesced batch runs as ONE fused apply_batch, so the batch
+  /// totals are attributed evenly across its members.
+  core::PhaseTimings timings;
   int batch_size = 0;          ///< size of the batch this request rode in
   int lane = -1;               ///< stream lane that executed it
 };

@@ -6,9 +6,11 @@
 // forward/adjoint applies and receive std::futures.  A RequestQueue
 // coalesces same-(tenant, direction, precision) requests into
 // batches served round-robin across keys, and a pool of worker
-// lanes — one device::Stream per worker — executes batches through
-// the shared LRU PlanCache, so concurrent tenants reuse plan setup
-// while their work overlaps across streams.  Shutdown is graceful:
+// lanes — one device::Stream per worker — executes each batch as ONE
+// fused FftMatvecPlan::apply_batch through the shared LRU PlanCache:
+// the batch's b right-hand sides ride a single widened FFT +
+// multi-RHS SBGEMV pipeline, so batching buys real per-request
+// speedup, not just amortised setup.  Shutdown is graceful:
 // accepted requests drain before the workers exit, and every future
 // is always fulfilled (value or exception).
 #pragma once

@@ -1,0 +1,109 @@
+// Tracked JSON artifact of a harness or server run — the CI
+// perf-regression baseline (cmake/perf_diff.py diffs these between
+// runs).  Pass `--json <path>` (consumed from argv before any other
+// flag parser sees it) and every util::Table registered through add()
+// is written as
+//   {"bench": "<name>", "git_sha": ..., "build_type": ...,
+//    "tables": [{"name": ..., "headers": [...], "rows": [[...]]}]}
+// The git SHA and build type header fields make perf diffs
+// attributable; they come from the build system (fftmv_build_info in
+// the top-level CMakeLists), with fallbacks so out-of-tree compiles
+// keep working.  Without `--json` add() is a no-op.
+#pragma once
+
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/table.hpp"
+
+#ifndef FFTMV_GIT_SHA
+#define FFTMV_GIT_SHA "unknown"
+#endif
+#ifndef FFTMV_BUILD_TYPE
+#define FFTMV_BUILD_TYPE "unknown"
+#endif
+
+namespace fftmv::util {
+
+/// Remove every occurrence of the flag spelled `name` or `alt` from
+/// argv (so downstream flag parsers never see it) and return whether
+/// it was present.  With `value != nullptr` the token following the
+/// flag is consumed into it; a flag requiring a value but given none
+/// fails loudly.  Keeps the argv[argc] == NULL contract.
+inline bool consume_flag(int& argc, char** argv, const std::string& name,
+                         const std::string& alt, std::string* value = nullptr) {
+  bool seen = false;
+  int out = 1;
+  for (int i = 1; i < argc; ++i) {
+    const std::string tok = argv[i];
+    if (tok != name && tok != alt) {
+      argv[out++] = argv[i];
+      continue;
+    }
+    seen = true;
+    if (value != nullptr) {
+      if (i + 1 >= argc) {
+        // Fail at the point of the mistake rather than silently
+        // running without the flag's effect.
+        std::cerr << "cli: " << tok << " requires a value\n";
+        std::exit(1);
+      }
+      *value = argv[++i];
+    }
+  }
+  argv[out] = nullptr;
+  argc = out;
+  return seen;
+}
+
+class Artifact {
+ public:
+  Artifact(std::string bench_name, int& argc, char** argv)
+      : bench_name_(std::move(bench_name)) {
+    consume_flag(argc, argv, "--json", "-json", &path_);
+  }
+
+  bool enabled() const { return !path_.empty(); }
+
+  void add(const std::string& table_name, const Table& table) {
+    if (!enabled()) return;
+    std::ostringstream os;
+    os << "{\"name\": \"" << Table::json_escape(table_name) << "\", ";
+    std::ostringstream body;
+    table.print_json(body);
+    // Splice the table's {"headers": ..., "rows": ...} members into
+    // this entry's object.
+    os << body.str().substr(1);
+    entries_.push_back(os.str());
+  }
+
+  /// Write the artifact (no-op when --json was absent).  Returns the
+  /// path written, empty if disabled.
+  std::string write() const {
+    if (!enabled()) return {};
+    std::ofstream out(path_);
+    if (!out) throw std::runtime_error("Artifact: cannot open " + path_);
+    out << "{\"bench\": \"" << Table::json_escape(bench_name_)
+        << "\", \"git_sha\": \"" << Table::json_escape(FFTMV_GIT_SHA)
+        << "\", \"build_type\": \"" << Table::json_escape(FFTMV_BUILD_TYPE)
+        << "\", \"tables\": [";
+    for (std::size_t i = 0; i < entries_.size(); ++i) {
+      out << (i ? ", " : "") << entries_[i];
+    }
+    out << "]}\n";
+    return path_;
+  }
+
+ private:
+  std::string bench_name_;
+  std::string path_;
+  std::vector<std::string> entries_;
+};
+
+}  // namespace fftmv::util

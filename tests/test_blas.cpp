@@ -11,7 +11,9 @@
 #include "blas/gemv_kernels.hpp"
 #include "blas/permute.hpp"
 #include "blas/sbgemv.hpp"
+#include "blas/sbgemv_half.hpp"
 #include "blas/vector_ops.hpp"
+#include "precision/half.hpp"
 #include "device/device.hpp"
 #include "device/stream.hpp"
 #include "util/rng.hpp"
@@ -166,6 +168,164 @@ TEST(Gemv, RealTransposeEqualsConjTranspose) {
   args.y = y_c.data();
   sbgemv(stream, args, GemvKernelPolicy::kOptimized);
   EXPECT_EQ(y_t, y_c);
+}
+
+// ----------------------------------------------------- multi-RHS GEMV
+/// sbgemv_multi must be bit-identical to nrhs independent sbgemv
+/// calls: same kernel bodies, same per-(batch, RHS) summation order.
+template <class T>
+void check_multi_matches_independent(Op op, GemvKernelPolicy policy) {
+  device::Device dev(device::make_mi300x());
+  device::Stream stream(dev);
+  const index_t m = 24, n = 96, batch = 5, nrhs = 3;
+  const index_t xlen = op == Op::N ? n : m;
+  const index_t ylen = op == Op::N ? m : n;
+
+  const auto a = random_vec<T>(m * n * batch, 31);
+  const auto x = random_vec<T>(batch * nrhs * xlen, 37);
+  auto y_multi = random_vec<T>(batch * nrhs * ylen, 41);
+  auto y_indep = y_multi;
+
+  SbgemvMultiArgs<T> ma;
+  ma.base.op = op;
+  ma.base.m = m;
+  ma.base.n = n;
+  ma.base.a = a.data();
+  ma.base.lda = m;
+  ma.base.stride_a = m * n;
+  ma.base.x = x.data();
+  ma.base.stride_x = nrhs * xlen;
+  ma.base.y = y_multi.data();
+  ma.base.stride_y = nrhs * ylen;
+  ma.base.batch = batch;
+  util::Rng rng(43);
+  ma.base.alpha = random_scalar<T>(rng);
+  ma.base.beta = random_scalar<T>(rng);
+  ma.nrhs = nrhs;
+  ma.rhs_stride_x = xlen;
+  ma.rhs_stride_y = ylen;
+  sbgemv_multi(stream, ma, policy);
+
+  for (index_t r = 0; r < nrhs; ++r) {
+    SbgemvArgs<T> args = ma.base;
+    args.x = x.data() + r * xlen;
+    args.y = y_indep.data() + r * ylen;
+    sbgemv(stream, args, policy);
+  }
+  EXPECT_EQ(y_multi, y_indep) << "op=" << op_name(op);
+}
+
+TEST(GemvMulti, MatchesIndependentCallsAllKernels) {
+  for (auto policy : {GemvKernelPolicy::kReference, GemvKernelPolicy::kOptimized}) {
+    check_multi_matches_independent<double>(Op::T, policy);
+    check_multi_matches_independent<cdouble>(Op::C, policy);
+    check_multi_matches_independent<cfloat>(Op::C, policy);
+  }
+  check_multi_matches_independent<double>(Op::N, GemvKernelPolicy::kAuto);
+  check_multi_matches_independent<cfloat>(Op::N, GemvKernelPolicy::kAuto);
+}
+
+TEST(GemvMulti, SingleRhsDegeneratesToSbgemv) {
+  check_multi_matches_independent<double>(Op::T, GemvKernelPolicy::kAuto);
+}
+
+TEST(GemvMulti, AmortisesMatrixTrafficInTheModel) {
+  // The multi footprint pays the matrix once per batch entry: for a
+  // memory-bound shape the modelled time of nrhs=8 must be far below
+  // 8x the single-RHS time.
+  const index_t m = 100, n = 5000, batch = 100, nrhs = 8;
+  const device::CostModel model(device::make_mi300x());
+  const auto geom = gemv_geometry(GemvKernelKind::kOptimizedT, m, n, batch);
+  const double t1 =
+      model.kernel_time(geom, gemv_footprint<cfloat>(GemvKernelKind::kOptimizedT,
+                                                     m, n, batch)).seconds;
+  const double t8 =
+      model
+          .kernel_time(geom, gemv_multi_footprint<cfloat>(
+                                 GemvKernelKind::kOptimizedT, m, n, batch, nrhs))
+          .seconds;
+  EXPECT_LT(t8, 2.0 * t1);  // ~1x matrix + 8x vectors, not 8x total
+  EXPECT_GT(t8, t1);        // but strictly more than one RHS
+}
+
+TEST(GemvMulti, ValidationErrors) {
+  device::Device dev(device::make_mi300x());
+  device::Stream stream(dev);
+  std::vector<double> a(64), x(64), y(64);
+  SbgemvMultiArgs<double> ma;
+  ma.base.op = Op::T;
+  ma.base.m = 4;
+  ma.base.n = 4;
+  ma.base.a = a.data();
+  ma.base.lda = 4;
+  ma.base.stride_a = 16;
+  ma.base.x = x.data();
+  ma.base.stride_x = 8;
+  ma.base.y = y.data();
+  ma.base.stride_y = 8;
+  ma.base.batch = 2;
+  ma.nrhs = 0;
+  EXPECT_THROW(sbgemv_multi(stream, ma), std::invalid_argument);
+  ma.nrhs = 2;
+  ma.rhs_stride_x = 2;  // < x_len
+  ma.rhs_stride_y = 4;
+  EXPECT_THROW(sbgemv_multi(stream, ma), std::invalid_argument);
+  // Cross-batch aliasing: batch entry 0's RHS 1 would share memory
+  // with entry 1's RHS 0 (stride_y sized for a single RHS).
+  ma.rhs_stride_x = 4;
+  ma.rhs_stride_y = 4;
+  ma.base.stride_x = 4;
+  ma.base.stride_y = 4;
+  EXPECT_THROW(sbgemv_multi(stream, ma), std::invalid_argument);
+  // Batch-inner layouts (rhs stride spans the whole batch) are legal.
+  ma.base.stride_y = 4;
+  ma.rhs_stride_y = 2 * 4;  // (batch-1)*stride_y + y_len
+  ma.base.stride_x = 4;
+  ma.rhs_stride_x = 2 * 4;
+  EXPECT_NO_THROW(sbgemv_multi(stream, ma));
+}
+
+TEST(GemvHalfMulti, MatchesIndependentHalfCalls) {
+  device::Device dev(device::make_mi300x());
+  device::Stream stream(dev);
+  const index_t m = 32, n = 48, batch = 3, nrhs = 4;
+  util::Rng rng(53);
+  std::vector<precision::half> a(static_cast<std::size_t>(m * n * batch));
+  std::vector<precision::half> x(static_cast<std::size_t>(batch * nrhs * m));
+  for (auto& v : a) v = precision::half(static_cast<float>(rng.uniform(-1, 1)));
+  for (auto& v : x) v = precision::half(static_cast<float>(rng.uniform(-1, 1)));
+  std::vector<precision::half> y_multi(static_cast<std::size_t>(batch * nrhs * n),
+                                       precision::half(0.0f));
+  auto y_indep = y_multi;
+
+  SbgemvHalfArgs ha;
+  ha.m = m;
+  ha.n = n;
+  ha.a = a.data();
+  ha.lda = m;
+  ha.stride_a = m * n;
+  ha.x = x.data();
+  ha.stride_x = nrhs * m;
+  ha.y = y_multi.data();
+  ha.stride_y = nrhs * n;
+  ha.batch = batch;
+  ha.nrhs = nrhs;
+  ha.rhs_stride_x = m;
+  ha.rhs_stride_y = n;
+  sbgemv_half_optimized(stream, ha);
+
+  for (index_t r = 0; r < nrhs; ++r) {
+    SbgemvHalfArgs single = ha;
+    single.nrhs = 1;
+    single.rhs_stride_x = 0;
+    single.rhs_stride_y = 0;
+    single.x = x.data() + r * m;
+    single.y = y_indep.data() + r * n;
+    sbgemv_half_optimized(stream, single);
+  }
+  for (std::size_t i = 0; i < y_multi.size(); ++i) {
+    EXPECT_EQ(static_cast<float>(y_multi[i]), static_cast<float>(y_indep[i]));
+  }
 }
 
 TEST(Gemv, ValidationErrors) {

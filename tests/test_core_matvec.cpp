@@ -383,5 +383,171 @@ TEST_F(MatvecFixture, PartialSinkPrecisionMismatchThrows) {
                std::invalid_argument);
 }
 
+// --------------------------------------------------- batched applies
+struct BatchCase {
+  std::vector<std::vector<double>> inputs;
+  std::vector<std::vector<double>> batched;
+  std::vector<std::vector<double>> independent;
+};
+
+/// Run b RHS through one apply_batch and through b independent
+/// forward()/adjoint() calls on an identically-constructed plan.
+BatchCase run_batch_vs_independent(device::Device& dev, device::Stream& stream,
+                                   const Problem& p, index_t b, bool adjoint,
+                                   const PrecisionConfig& config) {
+  const auto local = LocalDims::single_rank(p.dims);
+  const index_t in_len = p.dims.n_t * (adjoint ? p.dims.n_d : p.dims.n_m);
+  const index_t out_len = p.dims.n_t * (adjoint ? p.dims.n_m : p.dims.n_d);
+
+  BatchCase c;
+  for (index_t r = 0; r < b; ++r) {
+    c.inputs.push_back(make_input_vector(in_len, 900 + static_cast<std::uint64_t>(r)));
+  }
+  c.batched.assign(static_cast<std::size_t>(b),
+                   std::vector<double>(static_cast<std::size_t>(out_len)));
+  c.independent = c.batched;
+
+  BlockToeplitzOperator op(dev, stream, local, p.first_col);
+  {
+    FftMatvecPlan plan(dev, stream, local);
+    std::vector<ConstVectorView> in_views(c.inputs.begin(), c.inputs.end());
+    std::vector<VectorView> out_views(c.batched.begin(), c.batched.end());
+    plan.apply_batch(op,
+                     adjoint ? ApplyDirection::kAdjoint : ApplyDirection::kForward,
+                     config, in_views, out_views);
+  }
+  {
+    FftMatvecPlan plan(dev, stream, local);
+    for (index_t r = 0; r < b; ++r) {
+      auto& out = c.independent[static_cast<std::size_t>(r)];
+      if (adjoint) {
+        plan.adjoint(op, c.inputs[static_cast<std::size_t>(r)], out, config);
+      } else {
+        plan.forward(op, c.inputs[static_cast<std::size_t>(r)], out, config);
+      }
+    }
+  }
+  return c;
+}
+
+TEST_F(MatvecFixture, ApplyBatchBitIdenticalToIndependentAppliesDouble) {
+  auto p = make_problem(40, 6, 24, 71);
+  for (bool adjoint : {false, true}) {
+    const auto c = run_batch_vs_independent(dev_, stream_, p, 4, adjoint,
+                                            PrecisionConfig{});
+    for (std::size_t r = 0; r < c.batched.size(); ++r) {
+      EXPECT_EQ(c.batched[r], c.independent[r])
+          << (adjoint ? "adjoint" : "forward") << " rhs " << r;
+    }
+  }
+}
+
+TEST_F(MatvecFixture, ApplyBatchMixedConfigsMatchDenseReference) {
+  auto p = make_problem(32, 4, 20, 73);
+  const auto local = LocalDims::single_rank(p.dims);
+  for (const char* cfg_str : {"ddddd", "dssdd", "sssss"}) {
+    const auto cfg = PrecisionConfig::parse(cfg_str);
+    const auto c = run_batch_vs_independent(dev_, stream_, p, 3, false, cfg);
+    for (std::size_t r = 0; r < c.batched.size(); ++r) {
+      // Bit-identical to the single-RHS path in every config...
+      EXPECT_EQ(c.batched[r], c.independent[r]) << cfg_str << " rhs " << r;
+      // ...and within the config's tolerance of the dense reference.
+      std::vector<double> dense(c.batched[r].size());
+      dense_forward(local, p.first_col, c.inputs[r], dense);
+      const double err = blas::relative_l2_error(
+          static_cast<index_t>(dense.size()), c.batched[r].data(), dense.data());
+      EXPECT_LT(err, cfg.all_double() ? 1e-12 : 1e-5) << cfg_str << " rhs " << r;
+    }
+  }
+}
+
+TEST_F(MatvecFixture, ApplyBatchSingleRhsDegeneratesToForward) {
+  auto p = make_problem(24, 3, 16, 77);
+  const auto c = run_batch_vs_independent(dev_, stream_, p, 1, false,
+                                          PrecisionConfig::parse("dssdd"));
+  EXPECT_EQ(c.batched[0], c.independent[0]);
+}
+
+TEST_F(MatvecFixture, ApplyBatchOddRhsCountsWork) {
+  // Non-power-of-two b (a ragged final serving batch lands here).
+  auto p = make_problem(20, 3, 12, 79);
+  for (index_t b : {3, 5}) {
+    const auto c =
+        run_batch_vs_independent(dev_, stream_, p, b, true, PrecisionConfig{});
+    for (std::size_t r = 0; r < c.batched.size(); ++r) {
+      EXPECT_EQ(c.batched[r], c.independent[r]) << "b=" << b << " rhs " << r;
+    }
+  }
+}
+
+TEST_F(MatvecFixture, ApplyBatchCountsOneExecutionAndBeatsIndependentSimTime) {
+  auto p = make_problem(48, 6, 32, 81);
+  const auto local = LocalDims::single_rank(p.dims);
+  const index_t b = 8;
+  BlockToeplitzOperator op(dev_, stream_, local, p.first_col);
+
+  std::vector<std::vector<double>> inputs, outputs(
+      static_cast<std::size_t>(b),
+      std::vector<double>(static_cast<std::size_t>(p.dims.n_t * p.dims.n_d)));
+  for (index_t r = 0; r < b; ++r) {
+    inputs.push_back(make_input_vector(p.dims.n_t * p.dims.n_m,
+                                       500 + static_cast<std::uint64_t>(r)));
+  }
+  std::vector<ConstVectorView> in_views(inputs.begin(), inputs.end());
+  std::vector<VectorView> out_views(outputs.begin(), outputs.end());
+
+  FftMatvecPlan plan(dev_, stream_, local);
+  EXPECT_EQ(plan.executions(), 0);
+  const double sim0 = stream_.now();
+  plan.apply_batch(op, ApplyDirection::kForward, PrecisionConfig{}, in_views,
+                   out_views);
+  const double batched_sim = stream_.now() - sim0;
+  // One pipeline execution for the whole batch, with populated
+  // per-phase timings.
+  EXPECT_EQ(plan.executions(), 1);
+  EXPECT_NEAR(plan.last_timings().compute_total(), batched_sim, 1e-12);
+  EXPECT_GT(plan.last_timings().sbgemv, 0.0);
+
+  // The fused pipeline must beat b sequential applies on simulated
+  // time — the whole point of batching (launch amortisation + matrix
+  // traffic paid once per frequency block).
+  double independent_sim = 0.0;
+  std::vector<double> out(outputs[0].size());
+  for (index_t r = 0; r < b; ++r) {
+    plan.forward(op, inputs[static_cast<std::size_t>(r)], out, PrecisionConfig{});
+    independent_sim += plan.last_timings().compute_total();
+  }
+  EXPECT_EQ(plan.executions(), 1 + b);
+  EXPECT_LT(batched_sim, independent_sim);
+}
+
+TEST_F(MatvecFixture, ApplyBatchValidatesSpans) {
+  auto p = make_problem(16, 2, 8, 83);
+  const auto local = LocalDims::single_rank(p.dims);
+  BlockToeplitzOperator op(dev_, stream_, local, p.first_col);
+  FftMatvecPlan plan(dev_, stream_, local);
+
+  std::vector<double> good_in(static_cast<std::size_t>(8 * 16));
+  std::vector<double> good_out(static_cast<std::size_t>(8 * 2));
+  std::vector<double> bad(3);
+
+  const ConstVectorView in_views[] = {good_in};
+  VectorView out_views[] = {good_out};
+  EXPECT_THROW(plan.apply_batch(op, ApplyDirection::kForward, PrecisionConfig{},
+                                {}, {}),
+               std::invalid_argument);
+  EXPECT_THROW(plan.apply_batch(op, ApplyDirection::kForward, PrecisionConfig{},
+                                in_views, {}),
+               std::invalid_argument);
+  const ConstVectorView bad_in[] = {bad};
+  EXPECT_THROW(plan.apply_batch(op, ApplyDirection::kForward, PrecisionConfig{},
+                                bad_in, out_views),
+               std::invalid_argument);
+  VectorView bad_out[] = {bad};
+  EXPECT_THROW(plan.apply_batch(op, ApplyDirection::kForward, PrecisionConfig{},
+                                in_views, bad_out),
+               std::invalid_argument);
+}
+
 }  // namespace
 }  // namespace fftmv::core

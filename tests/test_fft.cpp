@@ -286,6 +286,68 @@ TEST(BatchedPlan, InvalidBatchThrows) {
   EXPECT_THROW(BatchedRealFft<double>(0, 4), std::invalid_argument);
 }
 
+TEST(BatchedPlan, RuntimeMultiplierMatchesWiderPlan) {
+  // One cached plan executing batch * mult sequences must equal a
+  // plan created at the wider batch — numerics, geometry, footprint
+  // and simulated time — so batched applies never re-plan.
+  const index_t L = 96, batch = 4, mult = 3;
+  device::Device dev(device::make_mi300x());
+  device::Stream narrow_stream(dev), wide_stream(dev);
+  BatchedRealFft<double> narrow(L, batch);
+  BatchedRealFft<double> wide(L, batch * mult);
+
+  std::vector<double> in(static_cast<std::size_t>(batch * mult * L));
+  util::Rng rng(37);
+  for (auto& v : in) v = rng.uniform(-1, 1);
+  const index_t nf = L / 2 + 1;
+  std::vector<cdouble> spec_n(static_cast<std::size_t>(batch * mult * nf));
+  std::vector<cdouble> spec_w(spec_n.size());
+
+  narrow.forward_on(narrow_stream, in.data(), L, spec_n.data(), nf, mult);
+  wide.forward_on(wide_stream, in.data(), L, spec_w.data(), nf);
+  EXPECT_EQ(spec_n, spec_w);
+  EXPECT_DOUBLE_EQ(narrow_stream.now(), wide_stream.now());
+
+  EXPECT_EQ(narrow.geometry(mult).grid_x, wide.geometry().grid_x);
+  EXPECT_DOUBLE_EQ(narrow.footprint(mult).total_bytes(),
+                   wide.footprint().total_bytes());
+  EXPECT_DOUBLE_EQ(narrow.footprint(mult).flops, wide.footprint().flops);
+
+  // Inverse round-trips through the multiplied path too.
+  std::vector<double> back(in.size());
+  narrow.inverse_on(narrow_stream, spec_n.data(), nf, back.data(), L, mult);
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    EXPECT_NEAR(back[i], in[i], 1e-12);
+  }
+}
+
+TEST(BatchedPlan, HostMultiplierMatchesDevice) {
+  const index_t L = 64, batch = 3, mult = 2;
+  device::Device dev(device::make_mi300x());
+  device::Stream stream(dev);
+  BatchedRealFft<float> plan(L, batch);
+  std::vector<float> in(static_cast<std::size_t>(batch * mult * L));
+  util::Rng rng(41);
+  for (auto& v : in) v = static_cast<float>(rng.uniform(-1, 1));
+  const index_t nf = L / 2 + 1;
+  std::vector<cfloat> host_out(static_cast<std::size_t>(batch * mult * nf));
+  std::vector<cfloat> dev_out(host_out.size());
+  plan.forward(in.data(), L, host_out.data(), nf, mult);
+  plan.forward_on(stream, in.data(), L, dev_out.data(), nf, mult);
+  EXPECT_EQ(host_out, dev_out);
+}
+
+TEST(BatchedPlan, InvalidMultiplierThrows) {
+  device::Device dev(device::make_mi300x());
+  device::Stream stream(dev);
+  BatchedRealFft<double> plan(32, 2);
+  std::vector<double> in(64);
+  std::vector<cdouble> out(static_cast<std::size_t>(2 * 17));
+  EXPECT_THROW(plan.forward_on(stream, in.data(), 32, out.data(), 17, 0),
+               std::invalid_argument);
+  EXPECT_THROW(plan.geometry(-1), std::invalid_argument);
+}
+
 // ---------------------------------------------- transform theorems
 class FftTheorems : public ::testing::TestWithParam<index_t> {};
 
