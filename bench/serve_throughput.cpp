@@ -1,5 +1,6 @@
 // Serving-layer throughput: batching + plan caching + multi-stream
-// scheduling vs the naive one-plan-per-request loop.
+// scheduling vs the naive one-plan-per-request loop, plus the
+// cross-tenant batching ablation on a many-tenant skewed workload.
 //
 // A mixed-key workload (several tenant shapes x precision configs x
 // forward/adjoint) is replayed two ways:
@@ -11,10 +12,24 @@
 //            coalesced into batches and dispatched across streams.
 // Reported: wall seconds, simulated device seconds (naive: its single
 // stream; served: busiest-lane makespan + one-time tenant setup), and
-// the speedups.  `--quick` shrinks the workload for the CI smoke
-// step; `--json <path>` writes the tracked perf artifact.  Exits
-// nonzero if the served path fails to beat naive on simulated time —
-// the deterministic metric — so CI catches a regressed serving layer.
+// the speedups.
+//
+// The skew section then replays one zipf-skewed trace over many
+// same-shape tenants (few in-flight requests per tenant — the regime
+// where same-tenant-only coalescing collapses to batch size ~1)
+// through the scheduler twice: cross_tenant_batching off (the PR 3
+// behaviour) and on (shape-keyed coalescing + grouped dispatch).
+// Outputs must be bit-identical between the modes — per-RHS
+// arithmetic is independent of batch composition — and grouped
+// cross-tenant batching must beat same-tenant-only coalescing by
+// >= 1.5x on simulated lane makespan.
+//
+// `--quick` shrinks the workloads for the CI smoke step; `--json
+// <path>` writes the tracked perf artifact.  Exits nonzero if the
+// served path fails to beat naive on simulated time, or the skew
+// self-check fails — both deterministic metrics — so CI catches a
+// regressed serving layer.
+#include <cmath>
 #include <future>
 #include <iostream>
 #include <vector>
@@ -22,6 +37,7 @@
 #include "bench_common.hpp"
 #include "core/dense_reference.hpp"
 #include "serve/scheduler.hpp"
+#include "util/rng.hpp"
 #include "util/timer.hpp"
 
 using namespace fftmv;
@@ -171,14 +187,115 @@ int main(int argc, char** argv) {
   artifact.add("served latency", latency);
   artifact.add("served batch histogram", batches);
 
+  // -------------------------------------------- cross-tenant skew
+  // One deterministic zipf^0.7 trace over many same-shape tenants,
+  // served with cross-tenant batching off (same-tenant-only, the PR 3
+  // batcher) and on (shape-keyed coalescing, grouped dispatch).  The
+  // single worker lane and generous linger make batch composition —
+  // and with it the gated simulated-time ratio — reproducible.
+  const index_t skew_tenants = 128;
+  const index_t skew_requests = quick ? 64 : 128;
+  const core::ProblemDims skew_dims{96, 6, 40};
+  const auto skew_local = core::LocalDims::single_rank(skew_dims);
+  bench::print_header("cross-tenant skew — " + std::to_string(skew_requests) +
+                      " requests over " + std::to_string(skew_tenants) +
+                      " same-shape tenants (zipf)");
+
+  std::vector<double> zipf_cum;
+  double zipf_h = 0.0;
+  for (index_t t = 0; t < skew_tenants; ++t) {
+    zipf_h += std::pow(static_cast<double>(t + 1), -0.7);
+    zipf_cum.push_back(zipf_h);
+  }
+  util::Rng skew_rng(7);
+  std::vector<std::size_t> skew_trace;
+  for (index_t r = 0; r < skew_requests; ++r) {
+    const double u = skew_rng.next_double() * zipf_h;
+    std::size_t t = 0;
+    while (zipf_cum[t] < u) ++t;
+    skew_trace.push_back(t);
+  }
+  std::vector<std::vector<double>> skew_cols;
+  for (index_t t = 0; t < skew_tenants; ++t) {
+    skew_cols.push_back(core::make_first_block_col(
+        skew_local, 900 + static_cast<std::uint64_t>(t)));
+  }
+  std::vector<std::vector<double>> skew_inputs;
+  for (index_t r = 0; r < skew_requests; ++r) {
+    skew_inputs.push_back(core::make_input_vector(
+        skew_dims.n_t * skew_dims.n_m, 1300 + static_cast<std::uint64_t>(r)));
+  }
+
+  double skew_sim[2] = {0.0, 0.0};
+  double skew_mean_batch[2] = {0.0, 0.0};
+  int skew_max_batch = 0;
+  index_t skew_failed = 0;
+  std::vector<std::vector<std::vector<double>>> skew_outputs(2);
+  for (int mode = 0; mode < 2; ++mode) {
+    serve::ServeOptions sopts;
+    sopts.num_streams = 1;
+    sopts.max_batch = 0;  // adaptive: the knee of the modelled curve
+    // Generous linger: the whole trace must land inside the first
+    // linger window even on a stalled CI runner, or partial batches
+    // would erode the gated (and hard-checked) speedup.
+    sopts.linger_seconds = 50e-3;
+    sopts.plan_cache_capacity = 4;
+    sopts.cross_tenant_batching = mode == 1;
+    serve::AsyncScheduler sched(spec, sopts);
+    skew_max_batch = sched.options().max_batch;
+    std::vector<serve::TenantId> tids;
+    for (index_t t = 0; t < skew_tenants; ++t) {
+      tids.push_back(
+          sched.add_tenant(skew_dims, skew_cols[static_cast<std::size_t>(t)]));
+    }
+    std::vector<std::future<serve::MatvecResult>> skew_futures;
+    for (index_t r = 0; r < skew_requests; ++r) {
+      skew_futures.push_back(
+          sched.submit(tids[skew_trace[static_cast<std::size_t>(r)]],
+                       serve::Direction::kForward, configs[0],
+                       skew_inputs[static_cast<std::size_t>(r)]));
+    }
+    sched.drain();
+    for (auto& f : skew_futures) {
+      try {
+        skew_outputs[mode].push_back(f.get().output);
+      } catch (const std::exception&) {
+        ++skew_failed;
+        skew_outputs[mode].emplace_back();
+      }
+    }
+    skew_sim[mode] = sched.max_lane_sim_seconds();
+    skew_mean_batch[mode] = sched.metrics().mean_batch_size();
+  }
+  const bool skew_identical = skew_outputs[0] == skew_outputs[1];
+  const double skew_speedup = skew_sim[0] / skew_sim[1];
+
+  util::Table skew_table({"coalescing", "sim ms", "mean batch", "vs same-tenant"});
+  skew_table.add_row({"same-tenant only", bench::ms(skew_sim[0]),
+                      util::Table::fmt(skew_mean_batch[0], 2), "1.00x"});
+  skew_table.add_row({"grouped cross-tenant", bench::ms(skew_sim[1]),
+                      util::Table::fmt(skew_mean_batch[1], 2),
+                      util::Table::fmt(skew_speedup, 2) + "x"});
+  skew_table.print(std::cout);
+  std::cout << "adaptive max_batch " << skew_max_batch
+            << ", outputs across modes "
+            << (skew_identical ? "bit-identical" : "DIVERGED") << "\n";
+  artifact.add("cross-tenant skew", skew_table);
+
   if (const auto path = artifact.write(); !path.empty()) {
     std::cout << "\nwrote artifact " << path << "\n";
   }
 
-  const bool ok = failed == 0 && naive_sim / served_sim > 1.0;
+  // Self-checks: served must beat naive on simulated time, and on the
+  // skewed workload grouped cross-tenant batching must beat
+  // same-tenant-only coalescing by >= 1.5x with bit-identical
+  // outputs.
+  const bool ok = failed == 0 && naive_sim / served_sim > 1.0 &&
+                  skew_failed == 0 && skew_identical && skew_speedup >= 1.5;
   std::cout << "\nserved vs naive: " << util::Table::fmt(naive_sim / served_sim, 2)
             << "x simulated, " << util::Table::fmt(naive_wall / served_wall, 2)
-            << "x wall, " << failed << " failed -> " << (ok ? "PASSED" : "FAILED")
-            << "\n";
+            << "x wall, " << failed << " failed; cross-tenant skew "
+            << util::Table::fmt(skew_speedup, 2) << "x (need >= 1.5x), "
+            << skew_failed << " failed -> " << (ok ? "PASSED" : "FAILED") << "\n";
   return ok ? 0 : 1;
 }

@@ -8,16 +8,24 @@ throughput regression in any gated metric.  Stdlib only.
 Gated metrics (higher is better):
   serve_throughput  table "throughput", row "served (batch+cache)",
                     column "speedup sim" — the serving layer's edge
-                    over the naive per-request loop on simulated time.
+                    over the naive per-request loop on simulated time
+                    — and table "cross-tenant skew", row "grouped
+                    cross-tenant", column "vs same-tenant" — grouped
+                    shape-keyed batching's edge over same-tenant-only
+                    coalescing on the skewed many-tenant workload.
                     Batch composition retains some wall-clock
-                    sensitivity, so this gate carries a wider 30%
+                    sensitivity, so these gates carry a wider 30%
                     threshold.
   fig1_sbgemv       every panel row's "optimized GB/s" — the paper's
                     optimized SBGEMV kernel bandwidth (deterministic
                     cost-model output).
   batch_sweep       table "measured ddddd", every row's
                     "vs sequential" — the multi-RHS apply_batch edge
-                    over sequential applies (deterministic).
+                    over sequential applies — and table "cross-tenant
+                    grouped ddddd", every row's "grouped vs
+                    per-tenant" — the grouped multi-operator dispatch
+                    edge over per-tenant dispatch of the same mix
+                    (both deterministic).
 
 Rows are matched by (bench, table, first cell).  A gated row present
 in the baseline but missing from the current run FAILS the gate (a
@@ -41,8 +49,12 @@ GATES = [
     #  row), column header, threshold override or None)
     ("serve_throughput", "throughput", "served (batch+cache)", "speedup sim",
      0.30),
+    ("serve_throughput", "cross-tenant skew", "grouped cross-tenant",
+     "vs same-tenant", 0.30),
     ("fig1_sbgemv", "*", "*", "optimized GB/s", None),
     ("batch_sweep", "measured ddddd", "*", "vs sequential", None),
+    ("batch_sweep", "cross-tenant grouped ddddd", "*", "grouped vs per-tenant",
+     None),
 ]
 
 

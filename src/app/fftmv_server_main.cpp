@@ -2,7 +2,7 @@
 // synthetic open-loop load generator.
 //
 //   fftmv_server [-tenants 3] [-requests 400] [-rps 2000] [-streams 2]
-//                [-batch 8] [-linger-ms 0.5] [-cache 24]
+//                [-batch 0] [-linger-ms 0.5] [-cache 24]
 //                [-prec ddddd,dssdd,sssss] [-adjoint-frac 0.3]
 //                [-device mi300x] [-seed 42] [-raw] [--smoke]
 //
@@ -12,7 +12,9 @@
 //   -rps R           open-loop Poisson arrival rate (requests/second);
 //                    inter-arrival gaps are exponential via util::Rng
 //   -streams S       scheduler worker lanes (one device stream each)
-//   -batch B         max requests coalesced per batch
+//   -batch B         max requests coalesced per batch; 0 (default)
+//                    sizes it adaptively at the knee of the modelled
+//                    batching curve for the device
 //   -linger-ms L     max time a request waits for batch companions
 //   -cache C         resident FftMatvecPlan budget (LRU)
 //   -prec a,b,...    precision configs cycled across requests
@@ -89,21 +91,25 @@ int main(int argc, char** argv) {
 
     serve::ServeOptions opts;
     opts.num_streams = static_cast<int>(cli.get_int("streams", 2));
-    opts.max_batch = static_cast<int>(cli.get_int("batch", 8));
+    // 0 = adaptive: the scheduler resolves the knee of the modelled
+    // batching curve for the device; -batch N overrides it.
+    opts.max_batch = static_cast<int>(cli.get_int("batch", 0));
     opts.linger_seconds = cli.get_double("linger-ms", 0.5) * 1e-3;
-    // Default sized to the full default workload working set: 3 tenants
-    // x 3 precision configs x 2 lanes = 18 plan keys, with headroom.
+    // Default sized to the full default workload working set: plans
+    // are precision-agnostic, so 3 tenant shapes x 2 lanes = 6 plan
+    // keys; the headroom absorbs -tenants/-streams overrides.
     opts.plan_cache_capacity = static_cast<std::size_t>(cli.get_int("cache", 24));
+
+    serve::AsyncScheduler scheduler(spec, opts);
 
     if (!raw) {
       std::cout << "fftmv_server: " << n_tenants << " tenants, " << n_requests
                 << " requests @ " << rps << " req/s (Poisson), " << opts.num_streams
-                << " streams, batch<=" << opts.max_batch << ", linger "
+                << " streams, batch<=" << scheduler.options().max_batch
+                << (opts.max_batch == 0 ? " (adaptive)" : "") << ", linger "
                 << opts.linger_seconds * 1e3 << " ms, plan cache "
                 << opts.plan_cache_capacity << ", device " << spec.name << "\n";
     }
-
-    serve::AsyncScheduler scheduler(spec, opts);
 
     // Mixed shapes: tenant t scales the base problem by (1 + t/2) in
     // parameters and rotates sensor/time extents, so the plan cache

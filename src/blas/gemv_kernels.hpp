@@ -139,6 +139,26 @@ device::KernelFootprint gemv_multi_footprint(GemvKernelKind kind, index_t m,
   return fp;
 }
 
+/// Resource footprint of the grouped variant: each of the
+/// `num_groups` operator matrices is read once per batch entry (the
+/// column tile is re-staged when the group — and with it the matrix —
+/// changes), while vector traffic and flops scale with the total RHS
+/// count exactly as in the flat multi-RHS kernel.  num_groups == 1
+/// reproduces gemv_multi_footprint bit for bit, so the same-operator
+/// case keeps its modelled cost.
+template <class T>
+device::KernelFootprint gemv_grouped_footprint(GemvKernelKind kind, index_t m,
+                                               index_t n, index_t batch,
+                                               index_t num_groups,
+                                               index_t total_nrhs) {
+  device::KernelFootprint fp =
+      gemv_multi_footprint<T>(kind, m, n, batch, total_nrhs);
+  fp.bytes_read += static_cast<double>(num_groups - 1) *
+                   static_cast<double>(batch) * static_cast<double>(m) *
+                   static_cast<double>(n) * static_cast<double>(sizeof(T));
+  return fp;
+}
+
 namespace detail {
 
 template <class T>
@@ -147,6 +167,20 @@ T conj_if_complex_dispatch(const T& v, bool conj) {
 }
 
 }  // namespace detail
+
+/// Grouped kernel bodies: gridblock (bx, bz) walks the RHS groups in
+/// order and runs the matching multi-RHS body on each group's matrix,
+/// so per-(group, RHS) arithmetic — summation order included — is
+/// bit-identical to one sbgemv_multi call per group.
+template <class T>
+void gemv_n_reference_grouped_block(const SbgemvGroupedArgs<T>& ga, index_t bx,
+                                    index_t bz);
+template <class T>
+void gemv_t_reference_grouped_block(const SbgemvGroupedArgs<T>& ga, index_t bx,
+                                    index_t bz);
+template <class T>
+void gemv_t_optimized_grouped_block(const SbgemvGroupedArgs<T>& ga, index_t bx,
+                                    index_t bz);
 
 /// Multi-RHS reference non-transpose body: each 64-row chunk streams
 /// its matrix rows once; every RHS consumes a row before the next row
@@ -222,6 +256,36 @@ void gemv_t_optimized_multi_block(const SbgemvMultiArgs<T>& ma, index_t bx,
       }
       y[j] = a.alpha * lanes[0] + (a.beta == T(0) ? T(0) : a.beta * y[j]);
     }
+  }
+}
+
+template <class T>
+void gemv_n_reference_grouped_block(const SbgemvGroupedArgs<T>& ga, index_t bx,
+                                    index_t bz) {
+  index_t r0 = 0;
+  for (const auto& g : ga.groups) {
+    gemv_n_reference_multi_block(ga.group_slice(g.a, r0, g.nrhs), bx, bz);
+    r0 += g.nrhs;
+  }
+}
+
+template <class T>
+void gemv_t_reference_grouped_block(const SbgemvGroupedArgs<T>& ga, index_t bx,
+                                    index_t bz) {
+  index_t r0 = 0;
+  for (const auto& g : ga.groups) {
+    gemv_t_reference_multi_block(ga.group_slice(g.a, r0, g.nrhs), bx, bz);
+    r0 += g.nrhs;
+  }
+}
+
+template <class T>
+void gemv_t_optimized_grouped_block(const SbgemvGroupedArgs<T>& ga, index_t bx,
+                                    index_t bz) {
+  index_t r0 = 0;
+  for (const auto& g : ga.groups) {
+    gemv_t_optimized_multi_block(ga.group_slice(g.a, r0, g.nrhs), bx, bz);
+    r0 += g.nrhs;
   }
 }
 

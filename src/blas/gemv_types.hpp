@@ -1,6 +1,7 @@
 // Shared argument and policy types for the strided batched GEMV.
 #pragma once
 
+#include <span>
 #include <stdexcept>
 #include <string>
 
@@ -114,6 +115,71 @@ struct SbgemvMultiArgs {
             "sbgemv_multi: y strides alias across batch entries");
       }
     }
+  }
+};
+
+/// One operator group of a grouped multi-RHS GEMV: `nrhs` contiguous
+/// right-hand sides sharing one matrix base pointer.  Batch entry b
+/// of the group reads a + b*stride_a, exactly like SbgemvArgs::a.
+template <class T>
+struct SbgemvGroup {
+  const T* a = nullptr;
+  index_t nrhs = 0;
+};
+
+/// Grouped extension of the multi-RHS strided batched GEMV (the
+/// cuBLAS grouped-batched-GEMM idea applied to SBGEMV): the RHS
+/// dimension is partitioned into contiguous groups, each carrying its
+/// own matrix base pointer, so one launch serves several operators.
+/// The vector layout is exactly SbgemvMultiArgs with
+/// nrhs = total_nrhs() — RHS r of group g lives at global index
+/// (sum of earlier groups' nrhs) + r — and per-(batch, group, RHS)
+/// arithmetic is bit-identical to one sbgemv_multi call per group.
+/// base.a is ignored; each group's matrix is (re)read once per batch
+/// entry, so the modelled matrix traffic scales with the group count
+/// while vector traffic scales with the total RHS count.
+template <class T>
+struct SbgemvGroupedArgs {
+  SbgemvArgs<T> base;
+  index_t rhs_stride_x = 0;
+  index_t rhs_stride_y = 0;
+  std::span<const SbgemvGroup<T>> groups;
+
+  index_t total_nrhs() const {
+    index_t total = 0;
+    for (const auto& g : groups) total += g.nrhs;
+    return total;
+  }
+
+  /// The SbgemvMultiArgs equivalent of one group: matrix `a`, RHS
+  /// range [r0, r0 + nrhs).  The kernels and the single-group fast
+  /// path both run through this, which is what makes the grouped call
+  /// bit-identical to per-group sbgemv_multi calls.
+  SbgemvMultiArgs<T> group_slice(const T* a, index_t r0, index_t nrhs) const {
+    SbgemvMultiArgs<T> ma{base, nrhs, rhs_stride_x, rhs_stride_y};
+    ma.base.a = a;
+    ma.base.x = base.x == nullptr ? nullptr : base.x + r0 * rhs_stride_x;
+    ma.base.y = base.y == nullptr ? nullptr : base.y + r0 * rhs_stride_y;
+    return ma;
+  }
+
+  void validate(bool allow_null = false) const {
+    if (groups.empty()) {
+      throw std::invalid_argument("sbgemv_grouped: need at least one group");
+    }
+    for (const auto& g : groups) {
+      if (g.nrhs <= 0) {
+        throw std::invalid_argument("sbgemv_grouped: group nrhs must be >= 1");
+      }
+      if (!allow_null && g.a == nullptr) {
+        throw std::invalid_argument("sbgemv_grouped: null group matrix");
+      }
+    }
+    // The strided layout rules are those of the equivalent flat
+    // multi-RHS call spanning every group.
+    SbgemvMultiArgs<T> flat{base, total_nrhs(), rhs_stride_x, rhs_stride_y};
+    flat.base.a = groups.front().a;
+    flat.validate(allow_null);
   }
 };
 

@@ -96,6 +96,48 @@ device::KernelTiming sbgemv_multi(device::Stream& stream,
   return {};
 }
 
+/// Grouped multi-operator multi-RHS batched GEMV: one launch applies
+/// several operators' matrices, each to its own contiguous RHS group
+/// (the cuBLAS grouped-batched interface idea — per-group matrix
+/// pointers cost little over strided access).  Kernel selection
+/// reuses the single-RHS policies (the per-dot-product shape is
+/// unchanged); per-(batch, group, RHS) arithmetic is bit-identical to
+/// one sbgemv_multi call per group, and a single group IS a
+/// sbgemv_multi call — the same-operator case stays on that fast path
+/// with an identical modelled footprint.
+template <class T>
+device::KernelTiming sbgemv_grouped(device::Stream& stream,
+                                    const SbgemvGroupedArgs<T>& args,
+                                    GemvKernelPolicy policy = GemvKernelPolicy::kAuto) {
+  args.validate(/*allow_null=*/stream.device().phantom());
+  if (args.groups.size() == 1) {
+    return sbgemv_multi(
+        stream, args.group_slice(args.groups[0].a, 0, args.groups[0].nrhs),
+        policy);
+  }
+  const SbgemvArgs<T>& base = args.base;
+  const GemvKernelKind kind = select_kernel(base, policy);
+  const auto geom = gemv_geometry(kind, base.m, base.n, base.batch);
+  const auto fp = gemv_grouped_footprint<T>(
+      kind, base.m, base.n, base.batch,
+      static_cast<index_t>(args.groups.size()), args.total_nrhs());
+  switch (kind) {
+    case GemvKernelKind::kReferenceN:
+      return stream.launch(geom, fp, [args](index_t bx, index_t, index_t bz) {
+        gemv_n_reference_grouped_block(args, bx, bz);
+      });
+    case GemvKernelKind::kReferenceT:
+      return stream.launch(geom, fp, [args](index_t bx, index_t, index_t bz) {
+        gemv_t_reference_grouped_block(args, bx, bz);
+      });
+    case GemvKernelKind::kOptimizedT:
+      return stream.launch(geom, fp, [args](index_t bx, index_t, index_t bz) {
+        gemv_t_optimized_grouped_block(args, bx, bz);
+      });
+  }
+  return {};
+}
+
 /// Plain single-threaded host GEMV used as the correctness reference
 /// in tests; accumulates in (complex) double regardless of T.
 template <class T>

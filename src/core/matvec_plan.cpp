@@ -175,6 +175,7 @@ void FftMatvecPlan::apply(const BlockToeplitzOperator& op,
   }
 
   timings_ = PhaseTimings{};
+  rhs_timings_.clear();
   ++executions_;
   const bool fuse = options_.fuse_casts;
 
@@ -394,6 +395,15 @@ void FftMatvecPlan::apply_batch(const BlockToeplitzOperator& op,
                                 const PrecisionConfig& config,
                                 std::span<const ConstVectorView> inputs,
                                 std::span<const VectorView> outputs) {
+  const OperatorGroup group{&op, static_cast<index_t>(inputs.size())};
+  apply_batch({&group, 1}, direction, config, inputs, outputs);
+}
+
+void FftMatvecPlan::apply_batch(std::span<const OperatorGroup> groups,
+                                ApplyDirection direction,
+                                const PrecisionConfig& config,
+                                std::span<const ConstVectorView> inputs,
+                                std::span<const VectorView> outputs) {
   const bool adjoint = direction == ApplyDirection::kAdjoint;
   const index_t b = static_cast<index_t>(inputs.size());
   if (b < 1) {
@@ -401,6 +411,25 @@ void FftMatvecPlan::apply_batch(const BlockToeplitzOperator& op,
   }
   if (outputs.size() != inputs.size()) {
     throw std::invalid_argument("apply_batch: inputs/outputs count mismatch");
+  }
+  if (groups.empty()) {
+    throw std::invalid_argument("apply_batch: need at least one operator group");
+  }
+  index_t grouped_rhs = 0;
+  for (const auto& g : groups) {
+    if (g.op == nullptr || g.rhs_count < 1) {
+      throw std::invalid_argument(
+          "apply_batch: every group needs an operator and >= 1 RHS");
+    }
+    if (!(g.op->dims() == dims_)) {
+      throw std::invalid_argument(
+          "apply_batch: group operator dims do not match the plan");
+    }
+    grouped_rhs += g.rhs_count;
+  }
+  if (grouped_rhs != b) {
+    throw std::invalid_argument(
+        "apply_batch: group RHS counts do not sum to the input count");
   }
 
   const Precision p1 = config.phase(precision::kPhasePad);
@@ -427,6 +456,7 @@ void FftMatvecPlan::apply_batch(const BlockToeplitzOperator& op,
   }
 
   timings_ = PhaseTimings{};
+  rhs_timings_.clear();
   ++executions_;
   const bool fuse = options_.fuse_casts;
 
@@ -506,18 +536,28 @@ void FftMatvecPlan::apply_batch(const BlockToeplitzOperator& op,
       precision::convert_array(*stream_, tmp, spec_t, nf * b * ns_in);
     }
   });
+  const double gemv_t0 = stream_->now();
   dispatch1(p3, [&](auto tag3) {
     using C3 = std::complex<decltype(tag3)>;
-    blas::SbgemvMultiArgs<C3> args;
+    // Per-group operator-spectrum base pointers: nothing else in the
+    // pipeline is operator-specific, so this is the only phase that
+    // distinguishes a grouped (cross-tenant) batch from a flat one.
+    std::vector<blas::SbgemvGroup<C3>> gemv_groups;
+    gemv_groups.reserve(groups.size());
+    for (const auto& g : groups) {
+      const C3* spectrum;
+      if constexpr (std::is_same_v<C3, cdouble>) {
+        spectrum = g.op->spectrum_d();
+      } else {
+        spectrum = g.op->spectrum_f(*stream_);
+      }
+      gemv_groups.push_back({spectrum, g.rhs_count});
+    }
+    blas::SbgemvGroupedArgs<C3> args;
     args.base.op = adjoint ? blas::Op::C : blas::Op::N;
     args.base.m = dims_.n_d_local;
     args.base.n = dims_.n_m_local;
     args.base.alpha = C3(1);
-    if constexpr (std::is_same_v<C3, cdouble>) {
-      args.base.a = op.spectrum_d();
-    } else {
-      args.base.a = op.spectrum_f(*stream_);
-    }
     args.base.lda = dims_.n_d_local;
     args.base.stride_a = dims_.n_d_local * dims_.n_m_local;
     args.base.x = spec_t_.get<C3>(*dev_, nf * b * ns_in);
@@ -526,11 +566,12 @@ void FftMatvecPlan::apply_batch(const BlockToeplitzOperator& op,
     args.base.y = ospec_t_.get<C3>(*dev_, nf * b * ns_out);
     args.base.stride_y = b * ns_out;
     args.base.batch = nf;
-    args.nrhs = b;
     args.rhs_stride_x = ns_in;
     args.rhs_stride_y = ns_out;
-    blas::sbgemv_multi(*stream_, args, options_.gemv_policy);
+    args.groups = gemv_groups;
+    blas::sbgemv_grouped(*stream_, args, options_.gemv_policy);
   });
+  const double gemv_seconds = stream_->now() - gemv_t0;
   dispatch2(p3, p4, [&](auto tag3, auto tag4) {
     using C3 = std::complex<decltype(tag3)>;
     using C4 = std::complex<decltype(tag4)>;
@@ -600,6 +641,38 @@ void FftMatvecPlan::apply_batch(const BlockToeplitzOperator& op,
     });
   }
   timings_.unpad += stream_->now() - t0;
+
+  // ---- Per-RHS attribution (last_batch_timings).  Phases 1/2/4/5
+  // and the phase-3 reorders do identical work per RHS (one shape per
+  // batch) and split evenly; the GEMV launch splits across groups in
+  // proportion to each group's modelled traffic — one n_d x n_m
+  // matrix read per group plus the group's (ns_in + ns_out) vector
+  // elements per RHS, the nf and element-size factors cancelling —
+  // then evenly within a group.  A singleton group therefore carries
+  // its full matrix read while a b-wide group amortises its own over
+  // b requests; with one group this reduces to the even split.
+  const double db = static_cast<double>(b);
+  const double mat_w = static_cast<double>(dims_.n_d_local) *
+                       static_cast<double>(dims_.n_m_local);
+  const double vec_w = static_cast<double>(ns_in + ns_out);
+  double total_w = 0.0;
+  for (const auto& g : groups) {
+    total_w += mat_w + static_cast<double>(g.rhs_count) * vec_w;
+  }
+  PhaseTimings even = timings_;
+  even.sbgemv = timings_.sbgemv - gemv_seconds;  // the two reorders
+  even *= 1.0 / db;
+  rhs_timings_.assign(static_cast<std::size_t>(b), even);
+  std::size_t r0 = 0;
+  for (const auto& g : groups) {
+    const double group_w = mat_w + static_cast<double>(g.rhs_count) * vec_w;
+    const double gemv_share =
+        gemv_seconds * (group_w / total_w) / static_cast<double>(g.rhs_count);
+    for (index_t r = 0; r < g.rhs_count; ++r) {
+      rhs_timings_[r0 + static_cast<std::size_t>(r)].sbgemv += gemv_share;
+    }
+    r0 += static_cast<std::size_t>(g.rhs_count);
+  }
 }
 
 }  // namespace fftmv::core

@@ -26,6 +26,7 @@
 #include <cstdint>
 #include <optional>
 #include <span>
+#include <vector>
 
 #include "blas/sbgemv.hpp"
 #include "comm/communicator.hpp"
@@ -108,8 +109,34 @@ class FftMatvecPlan {
   /// once per request.  Results are bit-identical to b independent
   /// forward()/adjoint() calls for every precision config; b == 1 is
   /// the degenerate case.  last_timings() afterwards holds the totals
-  /// for the whole batch (callers attribute per-RHS shares).
+  /// for the whole batch and last_batch_timings() the per-RHS shares.
   void apply_batch(const BlockToeplitzOperator& op, ApplyDirection direction,
+                   const precision::PrecisionConfig& config,
+                   std::span<const ConstVectorView> inputs,
+                   std::span<const VectorView> outputs);
+
+  /// One operator's contiguous slice of a grouped batch: `rhs_count`
+  /// right-hand sides applied through `op`.  Every group's operator
+  /// must share this plan's LocalDims (same-shape requests from
+  /// different tenants).
+  struct OperatorGroup {
+    const BlockToeplitzOperator* op = nullptr;
+    index_t rhs_count = 0;
+  };
+
+  /// Grouped batched apply: b right-hand sides spanning several
+  /// same-shape operators run as ONE fused pipeline.  Phases 1/2/4/5
+  /// are operator-agnostic and execute exactly as in the single-
+  /// operator apply_batch; only phase 3 switches to the grouped
+  /// multi-operator SBGEMV (blas::sbgemv_grouped), whose per-group
+  /// arithmetic — and, for a single group, modelled cost — is
+  /// identical to the flat multi-RHS kernel.  Inputs/outputs are
+  /// ordered group by group: group g's RHS r sits at global index
+  /// (sum of earlier groups' rhs_count) + r.  Results are
+  /// bit-identical to per-operator apply_batch calls (and therefore
+  /// to b independent applies) in every precision config.
+  void apply_batch(std::span<const OperatorGroup> groups,
+                   ApplyDirection direction,
                    const precision::PrecisionConfig& config,
                    std::span<const ConstVectorView> inputs,
                    std::span<const VectorView> outputs);
@@ -138,6 +165,20 @@ class FftMatvecPlan {
   /// Timings of the most recent apply (an apply_batch reports the
   /// whole batch's totals).
   const PhaseTimings& last_timings() const { return timings_; }
+
+  /// Per-RHS attribution of the most recent apply_batch's totals
+  /// (size = the batch's RHS count; valid until the next apply).
+  /// Phases 1/2/4/5 split evenly — every RHS is the same shape — but
+  /// the SBGEMV phase splits by modelled work: the GEMV launch's time
+  /// is shared across groups in proportion to each group's share of
+  /// the modelled traffic (one matrix read per group + the group's
+  /// vector traffic), then evenly within a group, so an RHS riding a
+  /// large group is correctly attributed less matrix traffic than a
+  /// singleton.  The shares always sum to last_timings().  With one
+  /// group the split is exactly even.
+  const std::vector<PhaseTimings>& last_batch_timings() const {
+    return rhs_timings_;
+  }
 
   /// Pipeline executions so far: +1 per forward/adjoint/partial apply
   /// and +1 per apply_batch REGARDLESS of its RHS count.  The serving
@@ -173,6 +214,7 @@ class FftMatvecPlan {
   LocalDims dims_;
   MatvecOptions options_;
   PhaseTimings timings_;
+  std::vector<PhaseTimings> rhs_timings_;
   std::int64_t executions_ = 0;
 
   // FFT plans per (precision, batch-role); built lazily.

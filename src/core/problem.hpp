@@ -2,6 +2,7 @@
 #pragma once
 
 #include <algorithm>
+#include <compare>
 #include <stdexcept>
 
 #include "comm/process_grid.hpp"
@@ -30,7 +31,10 @@ struct ProblemDims {
     }
   }
 
-  bool operator==(const ProblemDims&) const = default;
+  /// Lexicographic over (n_m, n_d, n_t); keeps shape-keyed
+  /// containers (e.g. the serving batcher) in sync with equality by
+  /// construction.
+  auto operator<=>(const ProblemDims&) const = default;
 };
 
 /// The slice of the problem owned by one rank of a p_r x p_c grid:
@@ -52,7 +56,7 @@ struct LocalDims {
     return LocalDims{dims, dims.n_m, dims.n_d, 0, 0};
   }
 
-  bool operator==(const LocalDims&) const = default;
+  auto operator<=>(const LocalDims&) const = default;
 
   static LocalDims for_rank(const ProblemDims& dims, const comm::ProcessGrid& grid,
                             index_t rank) {

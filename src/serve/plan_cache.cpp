@@ -14,8 +14,7 @@ void hash_combine(std::size_t& seed, std::size_t v) {
 }  // namespace
 
 std::size_t PlanKeyHash::operator()(const PlanKey& k) const noexcept {
-  std::size_t h = std::hash<std::string>{}(k.precision);
-  hash_combine(h, std::hash<std::string>{}(k.device));
+  std::size_t h = std::hash<std::string>{}(k.device);
   hash_combine(h, static_cast<std::size_t>(k.lane));
   const auto& d = k.dims;
   for (const index_t v : {d.global.n_m, d.global.n_d, d.global.n_t, d.n_m_local,

@@ -1,16 +1,27 @@
 // Request coalescing for the matvec service: a multi-producer,
 // multi-consumer queue that groups same-key requests into batches.
 //
-// Requests that share a BatchKey (tenant, direction, precision
-// config) apply the same operator through the same cached plan, so
-// executing them back-to-back amortises plan/cache lookup and keeps
-// one lane's stream on one shape — the tcFFT observation that batched
-// same-shape transforms are where GPU throughput comes from.  A batch
-// is released when it reaches `max_batch` requests or when its oldest
-// request has lingered `linger_seconds` (so a lone request is never
-// parked indefinitely waiting for company).  Keys are served
+// Shape-keyed coalescing rules: requests batch together iff their
+// plan-relevant shape (LocalDims), direction and precision config all
+// match — tenant identity deliberately does NOT split keys.  Nothing
+// in pipeline phases 1/2/4/5 is tenant-specific, and the phase-3
+// grouped SBGEMV (blas::sbgemv_grouped) takes a per-group operator
+// pointer, so one fused apply_batch can serve several tenants'
+// same-shape requests; the scheduler sorts a popped batch by tenant
+// into operator groups before dispatch.  Under realistic multi-tenant
+// skew (many tenants, few in-flight requests each) this is the
+// difference between effective batch sizes of ~1 and ~max_batch.  The
+// `tenant` field exists only for the same-tenant-only ablation
+// (ServeOptions::cross_tenant_batching == false, the PR 3 behaviour);
+// the production path always leaves it 0.
+//
+// A batch is released when it reaches `max_batch` requests or when
+// its oldest request has lingered `linger_seconds` (so a lone request
+// is never parked indefinitely waiting for company).  Keys are served
 // round-robin: after a key is dispatched it moves to the back of the
-// rotation, giving per-tenant fairness under skewed load.
+// rotation, giving per-shape fairness under skewed load (per-tenant
+// fairness within a shared key degenerates to FIFO, which cannot
+// starve: every coalesced companion rides the same dispatch).
 #pragma once
 
 #include <chrono>
@@ -22,6 +33,7 @@
 #include <list>
 #include <map>
 #include <mutex>
+#include <compare>
 #include <optional>
 #include <string>
 #include <vector>
@@ -46,29 +58,32 @@ struct MatvecResult {
   double exec_seconds = 0.0;   ///< execution start -> completion (wall)
   double sim_seconds = 0.0;    ///< simulated device seconds of this apply
   /// This request's share of the batch's per-phase simulated times: a
-  /// coalesced batch runs as ONE fused apply_batch, so the batch
-  /// totals are attributed evenly across its members.
+  /// coalesced batch runs as ONE fused apply_batch, and the batch
+  /// totals are attributed by each request's share of the modelled
+  /// phase work (FftMatvecPlan::last_batch_timings) — even for the
+  /// tenant-agnostic phases, weighted by operator-group size for the
+  /// grouped SBGEMV.
   core::PhaseTimings timings;
   int batch_size = 0;          ///< size of the batch this request rode in
   int lane = -1;               ///< stream lane that executed it
 };
 
-/// Coalescing key: requests batch together iff all three match.
+/// Coalescing key: requests batch together iff shape (LocalDims),
+/// direction and precision config match (see the header comment).
+/// `tenant` stays 0 except in the same-tenant-only ablation mode.
+/// The defaulted ordering (for the std::map of per-key queues) stays
+/// in sync with equality by construction, however LocalDims evolves.
 struct BatchKey {
-  TenantId tenant = 0;
+  core::LocalDims dims;
   Direction direction = Direction::kForward;
   std::string precision;  ///< PrecisionConfig::to_string()
+  TenantId tenant = 0;    ///< 0 unless cross-tenant batching is disabled
 
-  bool operator==(const BatchKey&) const = default;
-  /// Ordering for the std::map of per-key queues.
-  bool operator<(const BatchKey& o) const {
-    if (tenant != o.tenant) return tenant < o.tenant;
-    if (direction != o.direction) return direction < o.direction;
-    return precision < o.precision;
-  }
+  auto operator<=>(const BatchKey&) const = default;
 };
 
 struct PendingRequest {
+  TenantId tenant = 0;  ///< submitting tenant (selects the operator)
   std::vector<double> input;
   std::promise<MatvecResult> promise;
   std::chrono::steady_clock::time_point enqueued;

@@ -1,7 +1,10 @@
 #include "serve/scheduler.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <stdexcept>
+
+#include "util/thread_pool.hpp"
 
 namespace fftmv::serve {
 
@@ -13,14 +16,48 @@ double seconds_between(clock::time_point a, clock::time_point b) {
   return std::chrono::duration<double>(b - a).count();
 }
 
+ServeOptions resolve_options(ServeOptions options, const device::DeviceSpec& spec) {
+  if (options.max_batch == 0) options.max_batch = adaptive_max_batch(spec);
+  return options;
+}
+
 }  // namespace
 
+int adaptive_max_batch(const device::DeviceSpec& spec) {
+  // Phantom dry runs are pure cost-model arithmetic — deterministic
+  // per DeviceSpec, no buffers, no kernels — at the shape
+  // bench/batch_sweep measures its curve on.
+  // Stop when doubling the batch buys < 7% per-RHS: on MI300X at the
+  // serve shape the marginal gains run 8.8% (8 -> 16) and 5.1%
+  // (16 -> 32), so this resolves to 16 — the measured curve's knee —
+  // with margin on both sides.
+  constexpr double kKneeGain = 0.07;
+  constexpr int kCeiling = 64;
+  device::Device dev(spec, &util::ThreadPool::global(), /*phantom=*/true);
+  device::Stream stream(dev);
+  const auto local = core::LocalDims::single_rank(kBatchCurveShape);
+  core::BlockToeplitzOperator op(dev, stream, local, {});
+  core::FftMatvecPlan plan(dev, stream, local);
+  double prev_per_rhs = 0.0;
+  for (int b = 1;; b *= 2) {
+    const std::vector<core::ConstVectorView> ins(static_cast<std::size_t>(b));
+    const std::vector<core::VectorView> outs(static_cast<std::size_t>(b));
+    const double t0 = stream.now();
+    plan.apply_batch(op, core::ApplyDirection::kForward,
+                     precision::PrecisionConfig{}, ins, outs);
+    const double per_rhs = (stream.now() - t0) / static_cast<double>(b);
+    if (b > 1 && per_rhs > prev_per_rhs * (1.0 - kKneeGain)) return b / 2;
+    if (b >= kCeiling) return kCeiling;
+    prev_per_rhs = per_rhs;
+  }
+}
+
 AsyncScheduler::AsyncScheduler(const device::DeviceSpec& spec, ServeOptions options)
-    : options_(options),
+    : options_(resolve_options(options, spec)),
       dev_(spec),
       setup_stream_(dev_),
-      cache_(dev_, options.plan_cache_capacity),
-      queue_(options.max_batch, options.linger_seconds) {
+      cache_(dev_, options_.plan_cache_capacity),
+      queue_(options_.max_batch, options_.linger_seconds) {
   if (options_.num_streams < 1) {
     throw std::invalid_argument("AsyncScheduler: num_streams must be >= 1");
   }
@@ -81,6 +118,7 @@ std::future<MatvecResult> AsyncScheduler::submit(TenantId tenant, Direction dire
   }
 
   PendingRequest req;
+  req.tenant = tenant;
   req.input = std::move(input);
   req.enqueued = clock::now();
   std::future<MatvecResult> future = req.promise.get_future();
@@ -97,7 +135,10 @@ std::future<MatvecResult> AsyncScheduler::submit(TenantId tenant, Direction dire
   // and completed must never exceed submitted in a metrics() snapshot.
   metrics_.record_submit();
 
-  const BatchKey key{tenant, direction, config.to_string()};
+  // Shape-keyed coalescing: tenant splits keys only in the
+  // same-tenant-only ablation mode.
+  const BatchKey key{dims, direction, config.to_string(),
+                     options_.cross_tenant_batching ? TenantId{0} : tenant};
   if (!queue_.push(key, std::move(req))) {
     // close() raced with the accepting_ check; undo the accept.
     metrics_.undo_submit();
@@ -120,38 +161,55 @@ void AsyncScheduler::execute_batch(int lane, Batch& batch) {
   device::Stream& stream = *lanes_[static_cast<std::size_t>(lane)].stream;
   const double sim_start = stream.now();
 
-  std::shared_ptr<core::BlockToeplitzOperator> op;
-  core::LocalDims dims;
+  const std::size_t b = batch.requests.size();
+  const int batch_size = static_cast<int>(b);
+
+  // A shape-keyed batch may span several tenants: stable-sort by
+  // tenant (FIFO order preserved within a tenant) so each tenant's
+  // requests form one contiguous operator group.
+  std::stable_sort(batch.requests.begin(), batch.requests.end(),
+                   [](const PendingRequest& a, const PendingRequest& o) {
+                     return a.tenant < o.tenant;
+                   });
+
+  const core::LocalDims dims = batch.key.dims;
   std::shared_ptr<core::FftMatvecPlan> plan;
   precision::PrecisionConfig config;
+  // The shared_ptrs keep every group's operator alive across the
+  // apply even if its tenant is concurrently deregistered.
+  std::vector<std::shared_ptr<core::BlockToeplitzOperator>> ops;
+  std::vector<core::FftMatvecPlan::OperatorGroup> groups;
   std::exception_ptr batch_error;
   try {
     {
       std::lock_guard lock(tenants_mutex_);
-      const Tenant& t = tenants_.at(batch.key.tenant);
-      op = t.op;
-      dims = t.dims;
+      for (std::size_t r = 0; r < b; ++r) {
+        const TenantId tenant = batch.requests[r].tenant;
+        if (r > 0 && tenant == batch.requests[r - 1].tenant) {
+          ++groups.back().rhs_count;
+        } else {
+          ops.push_back(tenants_.at(tenant).op);
+          groups.push_back({ops.back().get(), 1});
+        }
+      }
     }
     config = precision::PrecisionConfig::parse(batch.key.precision);
-    plan = cache_.acquire(
-        PlanKey{dims, options_.matvec, batch.key.precision, dev_.spec().name, lane},
-        stream);
+    plan = cache_.acquire(PlanKey{dims, options_.matvec, dev_.spec().name, lane},
+                          stream);
   } catch (...) {
     batch_error = std::current_exception();
   }
 
-  const int batch_size = static_cast<int>(batch.requests.size());
-  const std::size_t b = batch.requests.size();
-
   // The whole coalesced batch executes as ONE fused apply_batch: the
   // cached plan's phase-2/4 FFTs run b * n_s sequences in one launch
-  // and phase 3 is a single multi-RHS SBGEMV, so the operator's
-  // matrix traffic is paid once per batch instead of once per
-  // request.  The batch's simulated time and PhaseTimings are
-  // attributed evenly across its members.
+  // and phase 3 is a single grouped multi-RHS SBGEMV carrying one
+  // operator-spectrum pointer per tenant group, so matrix traffic is
+  // paid once per (frequency, tenant) instead of once per request.
+  // The batch's simulated time and PhaseTimings are attributed by
+  // each request's share of the modelled phase work
+  // (plan->last_batch_timings()).
   std::vector<MatvecResult> results(b);
-  core::PhaseTimings share;
-  double sim_share = 0.0;
+  std::vector<core::PhaseTimings> shares;
   if (!batch_error) {
     try {
       const bool forward = batch.key.direction == Direction::kForward;
@@ -164,14 +222,11 @@ void AsyncScheduler::execute_batch(int lane, Batch& batch) {
         inputs[r] = batch.requests[r].input;
         outputs[r] = results[r].output;
       }
-      const double apply_sim0 = stream.now();
-      plan->apply_batch(*op,
+      plan->apply_batch(groups,
                         forward ? core::ApplyDirection::kForward
                                 : core::ApplyDirection::kAdjoint,
                         config, inputs, outputs);
-      sim_share = (stream.now() - apply_sim0) / static_cast<double>(b);
-      share = plan->last_timings();
-      share *= 1.0 / static_cast<double>(b);
+      shares = plan->last_batch_timings();
     } catch (...) {
       batch_error = std::current_exception();
     }
@@ -187,8 +242,8 @@ void AsyncScheduler::execute_batch(int lane, Batch& batch) {
       failed = true;
     } else {
       MatvecResult result = std::move(results[r]);
-      result.sim_seconds = sim_share;
-      result.timings = share;
+      result.timings = shares[r];
+      result.sim_seconds = shares[r].compute_total();
       result.queue_seconds = queue_s;
       result.exec_seconds = seconds_between(exec_start, clock::now());
       result.batch_size = batch_size;

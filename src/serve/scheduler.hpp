@@ -4,15 +4,17 @@
 // (setup — the batched FFT of the first block column — is paid at
 // registration, never on the request path).  Clients then submit
 // forward/adjoint applies and receive std::futures.  A RequestQueue
-// coalesces same-(tenant, direction, precision) requests into
-// batches served round-robin across keys, and a pool of worker
-// lanes — one device::Stream per worker — executes each batch as ONE
-// fused FftMatvecPlan::apply_batch through the shared LRU PlanCache:
-// the batch's b right-hand sides ride a single widened FFT +
-// multi-RHS SBGEMV pipeline, so batching buys real per-request
-// speedup, not just amortised setup.  Shutdown is graceful:
-// accepted requests drain before the workers exit, and every future
-// is always fulfilled (value or exception).
+// coalesces same-(shape, direction, precision) requests — across
+// tenants — into batches served round-robin across keys, and a pool
+// of worker lanes — one device::Stream per worker — executes each
+// batch as ONE fused FftMatvecPlan::apply_batch through the shared
+// LRU PlanCache: the popped batch is sorted by tenant into operator
+// groups and the batch's b right-hand sides ride a single widened
+// FFT + grouped multi-RHS SBGEMV pipeline, so batching buys real
+// per-request speedup even under multi-tenant skew where no single
+// tenant has companions in flight.  Shutdown is graceful: accepted
+// requests drain before the workers exit, and every future is always
+// fulfilled (value or exception).
 #pragma once
 
 #include <future>
@@ -39,20 +41,44 @@ namespace fftmv::serve {
 struct ServeOptions {
   /// Worker lanes; each owns one device::Stream.
   int num_streams = 2;
-  /// Maximum requests coalesced into one batch.
-  int max_batch = 8;
+  /// Maximum requests coalesced into one batch.  0 (the default)
+  /// resolves adaptively to the knee of the modelled batching curve
+  /// for the device (adaptive_max_batch): batch_sweep shows
+  /// diminishing per-RHS returns past b ~ 16 at serve shapes, so
+  /// batches beyond the knee only add linger-window latency.  The
+  /// resolved value is visible through options().max_batch.
+  int max_batch = 0;
   /// Maximum time a request may wait for batch companions.
   double linger_seconds = 500e-6;
   /// Resident FftMatvecPlan budget across all lanes.  Size it to
-  /// hold the working set: distinct (dims, options, precision) keys
-  /// x num_streams (precision is part of the key per the cache
-  /// contract, so each config a tenant uses costs one entry per
-  /// lane); an undersized cache thrashes and re-pays plan setup on
-  /// the request path.
+  /// hold the working set: distinct (dims, options) keys x
+  /// num_streams (plans are precision-agnostic, so a tenant's whole
+  /// config mix shares one entry per lane); an undersized cache
+  /// thrashes and re-pays plan setup on the request path.
   std::size_t plan_cache_capacity = 32;
+  /// Coalesce same-shape requests across tenants into grouped
+  /// batches dispatched as one grouped apply_batch (the production
+  /// default).  false restores the PR 3 same-tenant-only coalescing;
+  /// kept for the serve_throughput ablation and A/B debugging.
+  bool cross_tenant_batching = true;
   /// Matvec execution options shared by all tenants.
   core::MatvecOptions matvec;
 };
+
+/// The shape serve::adaptive_max_batch probes its batching curve on —
+/// the same shape bench/batch_sweep measures, so the resolved knee is
+/// the knee of the published curve.  Retune them together.
+inline constexpr core::ProblemDims kBatchCurveShape{192, 12, 96};
+
+/// The knee of the modelled batching curve on `spec`: the largest
+/// power-of-two batch size whose doubling still improved modelled
+/// per-RHS pipeline time by at least 7% (phantom dry runs of
+/// apply_batch at kBatchCurveShape, driven by the deterministic cost
+/// model; resolves to 16 on MI300X).  Used to resolve
+/// ServeOptions::max_batch == 0.  The probe is ~10 phantom pipeline
+/// evaluations — pure cost-model arithmetic, well under a
+/// millisecond — so it simply reruns per scheduler construction.
+int adaptive_max_batch(const device::DeviceSpec& spec);
 
 class AsyncScheduler {
  public:

@@ -285,6 +285,229 @@ TEST(GemvMulti, ValidationErrors) {
   EXPECT_NO_THROW(sbgemv_multi(stream, ma));
 }
 
+// --------------------------------------------------- grouped GEMV
+/// sbgemv_grouped must be bit-identical to one sbgemv_multi call per
+/// group: same kernel bodies, same per-(batch, group, RHS) summation
+/// order.  Groups are ragged (3 + 1 + 2) and each carries its own
+/// matrix.
+template <class T>
+void check_grouped_matches_per_group_multi(Op op, GemvKernelPolicy policy) {
+  device::Device dev(device::make_mi300x());
+  device::Stream stream(dev);
+  const index_t m = 24, n = 96, batch = 5;
+  const std::vector<index_t> group_sizes{3, 1, 2};
+  const index_t nrhs = 6;
+  const index_t xlen = op == Op::N ? n : m;
+  const index_t ylen = op == Op::N ? m : n;
+
+  std::vector<std::vector<T>> mats;
+  for (std::size_t g = 0; g < group_sizes.size(); ++g) {
+    mats.push_back(random_vec<T>(m * n * batch, 61 + static_cast<std::uint64_t>(g)));
+  }
+  const auto x = random_vec<T>(batch * nrhs * xlen, 67);
+  auto y_grouped = random_vec<T>(batch * nrhs * ylen, 71);
+  auto y_per_group = y_grouped;
+
+  SbgemvGroupedArgs<T> ga;
+  ga.base.op = op;
+  ga.base.m = m;
+  ga.base.n = n;
+  ga.base.lda = m;
+  ga.base.stride_a = m * n;
+  ga.base.x = x.data();
+  ga.base.stride_x = nrhs * xlen;
+  ga.base.y = y_grouped.data();
+  ga.base.stride_y = nrhs * ylen;
+  ga.base.batch = batch;
+  util::Rng rng(73);
+  ga.base.alpha = random_scalar<T>(rng);
+  ga.base.beta = random_scalar<T>(rng);
+  ga.rhs_stride_x = xlen;
+  ga.rhs_stride_y = ylen;
+  std::vector<SbgemvGroup<T>> groups;
+  for (std::size_t g = 0; g < group_sizes.size(); ++g) {
+    groups.push_back({mats[g].data(), group_sizes[g]});
+  }
+  ga.groups = groups;
+  sbgemv_grouped(stream, ga, policy);
+
+  index_t r0 = 0;
+  for (std::size_t g = 0; g < group_sizes.size(); ++g) {
+    SbgemvMultiArgs<T> ma = ga.group_slice(mats[g].data(), r0, group_sizes[g]);
+    ma.base.y = y_per_group.data() + r0 * ylen;
+    sbgemv_multi(stream, ma, policy);
+    r0 += group_sizes[g];
+  }
+  EXPECT_EQ(y_grouped, y_per_group) << "op=" << op_name(op);
+}
+
+TEST(GemvGrouped, MatchesPerGroupMultiCallsAllKernels) {
+  for (auto policy : {GemvKernelPolicy::kReference, GemvKernelPolicy::kOptimized}) {
+    check_grouped_matches_per_group_multi<double>(Op::T, policy);
+    check_grouped_matches_per_group_multi<cdouble>(Op::C, policy);
+    check_grouped_matches_per_group_multi<cfloat>(Op::C, policy);
+  }
+  check_grouped_matches_per_group_multi<double>(Op::N, GemvKernelPolicy::kAuto);
+  check_grouped_matches_per_group_multi<cfloat>(Op::N, GemvKernelPolicy::kAuto);
+}
+
+TEST(GemvGrouped, SingleGroupIsExactlySbgemvMulti) {
+  // One group must take the sbgemv_multi fast path: identical result
+  // bits AND identical modelled kernel time.
+  device::Device dev(device::make_mi300x());
+  device::Stream stream(dev);
+  const index_t m = 32, n = 64, batch = 4, nrhs = 3;
+  const auto a = random_vec<cfloat>(m * n * batch, 81);
+  const auto x = random_vec<cfloat>(batch * nrhs * m, 83);
+  std::vector<cfloat> y_grouped(static_cast<std::size_t>(batch * nrhs * n));
+  auto y_multi = y_grouped;
+
+  SbgemvMultiArgs<cfloat> ma;
+  ma.base.op = Op::C;
+  ma.base.m = m;
+  ma.base.n = n;
+  ma.base.a = a.data();
+  ma.base.lda = m;
+  ma.base.stride_a = m * n;
+  ma.base.x = x.data();
+  ma.base.stride_x = nrhs * m;
+  ma.base.y = y_multi.data();
+  ma.base.stride_y = nrhs * n;
+  ma.base.batch = batch;
+  ma.nrhs = nrhs;
+  ma.rhs_stride_x = m;
+  ma.rhs_stride_y = n;
+  const auto t_multi = sbgemv_multi(stream, ma);
+
+  SbgemvGroupedArgs<cfloat> ga;
+  ga.base = ma.base;
+  ga.base.a = nullptr;  // ignored: the group carries the matrix
+  ga.base.y = y_grouped.data();
+  ga.rhs_stride_x = m;
+  ga.rhs_stride_y = n;
+  const SbgemvGroup<cfloat> one[] = {{a.data(), nrhs}};
+  ga.groups = one;
+  const auto t_grouped = sbgemv_grouped(stream, ga);
+
+  EXPECT_EQ(y_grouped, y_multi);
+  EXPECT_DOUBLE_EQ(t_grouped.seconds, t_multi.seconds);
+}
+
+TEST(GemvGrouped, GroupedLaunchBeatsPerGroupLaunchesInTheModel) {
+  // One grouped launch pays every group's matrix once but the launch
+  // overhead once total: its modelled time must sit strictly between
+  // the single-operator multi call (less matrix traffic) and the sum
+  // of per-group multi calls (same traffic, G launch overheads).
+  const index_t m = 100, n = 5000, batch = 100, nrhs = 8, groups = 4;
+  const device::CostModel model(device::make_mi300x());
+  const auto geom = gemv_geometry(GemvKernelKind::kOptimizedT, m, n, batch);
+  const double t_single_op =
+      model.kernel_time(geom, gemv_multi_footprint<cfloat>(
+                                  GemvKernelKind::kOptimizedT, m, n, batch, nrhs))
+          .seconds;
+  const double t_grouped =
+      model.kernel_time(geom, gemv_grouped_footprint<cfloat>(
+                                  GemvKernelKind::kOptimizedT, m, n, batch,
+                                  groups, nrhs))
+          .seconds;
+  const double t_per_group =
+      static_cast<double>(groups) *
+      model.kernel_time(geom, gemv_multi_footprint<cfloat>(
+                                  GemvKernelKind::kOptimizedT, m, n, batch,
+                                  nrhs / groups))
+          .seconds;
+  EXPECT_GT(t_grouped, t_single_op);
+  EXPECT_LT(t_grouped, t_per_group);
+}
+
+TEST(GemvGrouped, ValidationErrors) {
+  device::Device dev(device::make_mi300x());
+  device::Stream stream(dev);
+  std::vector<double> a(64), x(64), y(64);
+  SbgemvGroupedArgs<double> ga;
+  ga.base.op = Op::T;
+  ga.base.m = 4;
+  ga.base.n = 4;
+  ga.base.lda = 4;
+  ga.base.stride_a = 16;
+  ga.base.x = x.data();
+  ga.base.stride_x = 8;
+  ga.base.y = y.data();
+  ga.base.stride_y = 8;
+  ga.base.batch = 2;
+  ga.rhs_stride_x = 4;
+  ga.rhs_stride_y = 4;
+  // No groups.
+  EXPECT_THROW(sbgemv_grouped(stream, ga), std::invalid_argument);
+  // Null group matrix.
+  const SbgemvGroup<double> null_mat[] = {{nullptr, 2}};
+  ga.groups = null_mat;
+  EXPECT_THROW(sbgemv_grouped(stream, ga), std::invalid_argument);
+  // Non-positive group count.
+  const SbgemvGroup<double> zero[] = {{a.data(), 0}};
+  ga.groups = zero;
+  EXPECT_THROW(sbgemv_grouped(stream, ga), std::invalid_argument);
+  // The flat multi-RHS stride rules still apply across groups.
+  const SbgemvGroup<double> two[] = {{a.data(), 1}, {a.data(), 1}};
+  ga.groups = two;
+  ga.rhs_stride_y = 2;  // < y_len
+  EXPECT_THROW(sbgemv_grouped(stream, ga), std::invalid_argument);
+  ga.rhs_stride_y = 4;
+  EXPECT_NO_THROW(sbgemv_grouped(stream, ga));
+}
+
+TEST(GemvHalfGrouped, MatchesPerGroupHalfCalls) {
+  device::Device dev(device::make_mi300x());
+  device::Stream stream(dev);
+  const index_t m = 32, n = 48, batch = 3;
+  const std::vector<index_t> group_sizes{2, 1, 3};
+  const index_t nrhs = 6;
+  util::Rng rng(91);
+  std::vector<std::vector<precision::half>> mats;
+  for (std::size_t g = 0; g < group_sizes.size(); ++g) {
+    std::vector<precision::half> mat(static_cast<std::size_t>(m * n * batch));
+    for (auto& v : mat) v = precision::half(static_cast<float>(rng.uniform(-1, 1)));
+    mats.push_back(std::move(mat));
+  }
+  std::vector<precision::half> x(static_cast<std::size_t>(batch * nrhs * m));
+  for (auto& v : x) v = precision::half(static_cast<float>(rng.uniform(-1, 1)));
+  std::vector<precision::half> y_grouped(static_cast<std::size_t>(batch * nrhs * n),
+                                         precision::half(0.0f));
+  auto y_per_group = y_grouped;
+
+  SbgemvHalfArgs ha;
+  ha.m = m;
+  ha.n = n;
+  ha.lda = m;
+  ha.stride_a = m * n;
+  ha.x = x.data();
+  ha.stride_x = nrhs * m;
+  ha.y = y_grouped.data();
+  ha.stride_y = nrhs * n;
+  ha.batch = batch;
+  ha.rhs_stride_x = m;
+  ha.rhs_stride_y = n;
+  std::vector<SbgemvHalfGroup> groups;
+  for (std::size_t g = 0; g < group_sizes.size(); ++g) {
+    groups.push_back({mats[g].data(), group_sizes[g]});
+  }
+  sbgemv_half_grouped(stream, ha, groups);
+
+  index_t r0 = 0;
+  for (std::size_t g = 0; g < group_sizes.size(); ++g) {
+    SbgemvHalfArgs single = ha;
+    single.a = mats[g].data();
+    single.nrhs = group_sizes[g];
+    single.x = x.data() + r0 * m;
+    single.y = y_per_group.data() + r0 * n;
+    sbgemv_half_optimized(stream, single);
+    r0 += group_sizes[g];
+  }
+  for (std::size_t i = 0; i < y_grouped.size(); ++i) {
+    EXPECT_EQ(static_cast<float>(y_grouped[i]), static_cast<float>(y_per_group[i]));
+  }
+}
+
 TEST(GemvHalfMulti, MatchesIndependentHalfCalls) {
   device::Device dev(device::make_mi300x());
   device::Stream stream(dev);

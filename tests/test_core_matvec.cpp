@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <memory>
 
 #include "blas/vector_ops.hpp"
 #include "core/block_toeplitz.hpp"
@@ -519,6 +520,212 @@ TEST_F(MatvecFixture, ApplyBatchCountsOneExecutionAndBeatsIndependentSimTime) {
   }
   EXPECT_EQ(plan.executions(), 1 + b);
   EXPECT_LT(batched_sim, independent_sim);
+}
+
+// ------------------------------------------- grouped batched applies
+/// Run the given per-group RHS counts through ONE grouped apply_batch
+/// (distinct operators, seeds 600+g) and through per-operator
+/// apply_batch calls on an identically-constructed plan; both output
+/// sets are returned for bit-compare.
+struct GroupedCase {
+  std::vector<std::vector<double>> inputs;
+  std::vector<std::vector<double>> grouped;
+  std::vector<std::vector<double>> per_tenant;
+};
+
+GroupedCase run_grouped_vs_per_tenant(device::Device& dev, device::Stream& stream,
+                                      const ProblemDims& dims,
+                                      const std::vector<index_t>& rhs_counts,
+                                      bool adjoint,
+                                      const PrecisionConfig& config) {
+  const auto local = LocalDims::single_rank(dims);
+  const index_t in_len = dims.n_t * (adjoint ? dims.n_d : dims.n_m);
+  const index_t out_len = dims.n_t * (adjoint ? dims.n_m : dims.n_d);
+  const auto direction =
+      adjoint ? ApplyDirection::kAdjoint : ApplyDirection::kForward;
+
+  std::vector<std::unique_ptr<BlockToeplitzOperator>> ops;
+  std::vector<FftMatvecPlan::OperatorGroup> groups;
+  GroupedCase c;
+  index_t b = 0;
+  for (std::size_t g = 0; g < rhs_counts.size(); ++g) {
+    const auto col =
+        make_first_block_col(local, 600 + static_cast<std::uint64_t>(g));
+    ops.push_back(std::make_unique<BlockToeplitzOperator>(dev, stream, local, col));
+    groups.push_back({ops.back().get(), rhs_counts[g]});
+    for (index_t r = 0; r < rhs_counts[g]; ++r) {
+      c.inputs.push_back(
+          make_input_vector(in_len, 700 + static_cast<std::uint64_t>(b + r)));
+    }
+    b += rhs_counts[g];
+  }
+  c.grouped.assign(static_cast<std::size_t>(b),
+                   std::vector<double>(static_cast<std::size_t>(out_len)));
+  c.per_tenant = c.grouped;
+
+  std::vector<ConstVectorView> in_views(c.inputs.begin(), c.inputs.end());
+  {
+    FftMatvecPlan plan(dev, stream, local);
+    std::vector<VectorView> out_views(c.grouped.begin(), c.grouped.end());
+    plan.apply_batch(groups, direction, config, in_views, out_views);
+  }
+  {
+    FftMatvecPlan plan(dev, stream, local);
+    std::vector<VectorView> out_views(c.per_tenant.begin(), c.per_tenant.end());
+    std::size_t r0 = 0;
+    for (const auto& g : groups) {
+      const auto n = static_cast<std::size_t>(g.rhs_count);
+      plan.apply_batch(*g.op, direction, config, {in_views.data() + r0, n},
+                       {out_views.data() + r0, n});
+      r0 += n;
+    }
+  }
+  return c;
+}
+
+TEST_F(MatvecFixture, GroupedApplyBatchBitIdenticalToPerTenantApplies) {
+  // Ragged groups (3 + 2 + 1), forward and adjoint, every precision
+  // mix: the grouped dispatch must agree bit for bit with per-tenant
+  // apply_batch calls (which are themselves bit-identical to
+  // independent applies — the tested PR 3 contract).
+  const auto dims = ProblemDims{32, 4, 20};
+  for (const char* cfg_str : {"ddddd", "dssdd", "sssss"}) {
+    const auto cfg = PrecisionConfig::parse(cfg_str);
+    for (bool adjoint : {false, true}) {
+      const auto c = run_grouped_vs_per_tenant(dev_, stream_, dims, {3, 2, 1},
+                                               adjoint, cfg);
+      for (std::size_t r = 0; r < c.grouped.size(); ++r) {
+        EXPECT_EQ(c.grouped[r], c.per_tenant[r])
+            << cfg_str << (adjoint ? " adjoint" : " forward") << " rhs " << r;
+      }
+    }
+  }
+}
+
+TEST_F(MatvecFixture, GroupedApplyBatchSingleGroupDegeneratesToApplyBatch) {
+  const auto c = run_grouped_vs_per_tenant(dev_, stream_, ProblemDims{24, 3, 16},
+                                           {4}, false, PrecisionConfig{});
+  for (std::size_t r = 0; r < c.grouped.size(); ++r) {
+    EXPECT_EQ(c.grouped[r], c.per_tenant[r]) << "rhs " << r;
+  }
+}
+
+TEST_F(MatvecFixture, GroupedApplyBatchMatchesDenseReferencePerOperator) {
+  // Each RHS must be applied through ITS OWN group's operator — a
+  // pointer mix-up would still pass grouped-vs-grouped comparisons,
+  // but not the per-operator dense reference.
+  const auto dims = ProblemDims{28, 4, 16};
+  const auto local = LocalDims::single_rank(dims);
+  device::Stream stream(dev_);
+  std::vector<std::vector<double>> cols;
+  std::vector<std::unique_ptr<BlockToeplitzOperator>> ops;
+  std::vector<FftMatvecPlan::OperatorGroup> groups;
+  for (std::size_t g = 0; g < 2; ++g) {
+    cols.push_back(make_first_block_col(local, 810 + static_cast<std::uint64_t>(g)));
+    ops.push_back(std::make_unique<BlockToeplitzOperator>(dev_, stream, local,
+                                                          cols.back()));
+    groups.push_back({ops.back().get(), 2});
+  }
+  std::vector<std::vector<double>> inputs, outputs(
+      4, std::vector<double>(static_cast<std::size_t>(dims.n_t * dims.n_d)));
+  for (std::uint64_t r = 0; r < 4; ++r) {
+    inputs.push_back(make_input_vector(dims.n_t * dims.n_m, 820 + r));
+  }
+  std::vector<ConstVectorView> in_views(inputs.begin(), inputs.end());
+  std::vector<VectorView> out_views(outputs.begin(), outputs.end());
+  FftMatvecPlan plan(dev_, stream, local);
+  plan.apply_batch(groups, ApplyDirection::kForward, PrecisionConfig{}, in_views,
+                   out_views);
+  for (std::size_t r = 0; r < 4; ++r) {
+    std::vector<double> dense(outputs[r].size());
+    dense_forward(local, cols[r / 2], inputs[r], dense);
+    EXPECT_LT(blas::relative_l2_error(static_cast<index_t>(dense.size()),
+                                      outputs[r].data(), dense.data()),
+              1e-12)
+        << "rhs " << r;
+  }
+}
+
+TEST_F(MatvecFixture, GroupedApplyBatchCountsOneExecutionAndAttributesTimings) {
+  const auto dims = ProblemDims{32, 4, 20};
+  const auto local = LocalDims::single_rank(dims);
+  device::Stream stream(dev_);
+  const auto col_a = make_first_block_col(local, 830);
+  const auto col_b = make_first_block_col(local, 831);
+  BlockToeplitzOperator op_a(dev_, stream, local, col_a);
+  BlockToeplitzOperator op_b(dev_, stream, local, col_b);
+  // A singleton group next to a 5-wide group.
+  const FftMatvecPlan::OperatorGroup groups[] = {{&op_a, 1}, {&op_b, 5}};
+
+  std::vector<std::vector<double>> inputs, outputs(
+      6, std::vector<double>(static_cast<std::size_t>(dims.n_t * dims.n_d)));
+  for (std::uint64_t r = 0; r < 6; ++r) {
+    inputs.push_back(make_input_vector(dims.n_t * dims.n_m, 840 + r));
+  }
+  std::vector<ConstVectorView> in_views(inputs.begin(), inputs.end());
+  std::vector<VectorView> out_views(outputs.begin(), outputs.end());
+  FftMatvecPlan plan(dev_, stream, local);
+  const double sim0 = stream.now();
+  plan.apply_batch(groups, ApplyDirection::kForward, PrecisionConfig{}, in_views,
+                   out_views);
+  const double sim = stream.now() - sim0;
+  EXPECT_EQ(plan.executions(), 1);
+
+  // The per-RHS attribution covers the whole batch exactly...
+  const auto& shares = plan.last_batch_timings();
+  ASSERT_EQ(shares.size(), 6u);
+  PhaseTimings sum;
+  for (const auto& s : shares) sum += s;
+  EXPECT_NEAR(sum.compute_total(), plan.last_timings().compute_total(), 1e-12);
+  EXPECT_NEAR(sum.sbgemv, plan.last_timings().sbgemv, 1e-12);
+  EXPECT_NEAR(plan.last_timings().compute_total(), sim, 1e-12);
+  // ...splits the tenant-agnostic phases evenly...
+  EXPECT_DOUBLE_EQ(shares[0].fft, shares[5].fft);
+  EXPECT_DOUBLE_EQ(shares[0].unpad, shares[5].unpad);
+  // ...and charges the singleton more SBGEMV than a 5-wide member
+  // (its matrix read amortises over one request, not five).
+  EXPECT_GT(shares[0].sbgemv, shares[1].sbgemv);
+}
+
+TEST_F(MatvecFixture, GroupedApplyBatchValidates) {
+  const auto dims = ProblemDims{16, 2, 8};
+  const auto local = LocalDims::single_rank(dims);
+  const auto col = make_first_block_col(local, 850);
+  BlockToeplitzOperator op(dev_, stream_, local, col);
+  BlockToeplitzOperator other_op(
+      dev_, stream_, LocalDims::single_rank(ProblemDims{12, 2, 8}),
+      make_first_block_col(LocalDims::single_rank(ProblemDims{12, 2, 8}), 851));
+  FftMatvecPlan plan(dev_, stream_, local);
+
+  std::vector<double> in(static_cast<std::size_t>(8 * 16));
+  std::vector<double> out(static_cast<std::size_t>(8 * 2));
+  const ConstVectorView in_views[] = {in};
+  VectorView out_views[] = {out};
+
+  // No groups at all.
+  EXPECT_THROW(plan.apply_batch(std::span<const FftMatvecPlan::OperatorGroup>{},
+                                ApplyDirection::kForward, PrecisionConfig{},
+                                in_views, out_views),
+               std::invalid_argument);
+  // Group RHS counts must sum to the input count.
+  const FftMatvecPlan::OperatorGroup wrong_sum[] = {{&op, 2}};
+  EXPECT_THROW(plan.apply_batch(wrong_sum, ApplyDirection::kForward,
+                                PrecisionConfig{}, in_views, out_views),
+               std::invalid_argument);
+  // Null operator and non-positive counts are rejected.
+  const FftMatvecPlan::OperatorGroup null_op[] = {{nullptr, 1}};
+  EXPECT_THROW(plan.apply_batch(null_op, ApplyDirection::kForward,
+                                PrecisionConfig{}, in_views, out_views),
+               std::invalid_argument);
+  const FftMatvecPlan::OperatorGroup zero_rhs[] = {{&op, 0}, {&op, 1}};
+  EXPECT_THROW(plan.apply_batch(zero_rhs, ApplyDirection::kForward,
+                                PrecisionConfig{}, in_views, out_views),
+               std::invalid_argument);
+  // Every group's operator must match the plan's shape.
+  const FftMatvecPlan::OperatorGroup wrong_dims[] = {{&other_op, 1}};
+  EXPECT_THROW(plan.apply_batch(wrong_dims, ApplyDirection::kForward,
+                                PrecisionConfig{}, in_views, out_views),
+               std::invalid_argument);
 }
 
 TEST_F(MatvecFixture, ApplyBatchValidatesSpans) {

@@ -23,14 +23,23 @@ namespace fftmv::serve {
 namespace {
 
 core::ProblemDims small_dims() { return {32, 4, 16}; }
+core::ProblemDims other_dims() { return {24, 3, 12}; }
 
-PlanKey key_for(const core::ProblemDims& dims, const std::string& prec, int lane = 0) {
-  return PlanKey{core::LocalDims::single_rank(dims), core::MatvecOptions{}, prec,
+PlanKey key_for(const core::ProblemDims& dims, int lane = 0) {
+  return PlanKey{core::LocalDims::single_rank(dims), core::MatvecOptions{},
                  "mi300x", lane};
 }
 
-PendingRequest make_request(std::vector<double> input = {}) {
+BatchKey batch_key(const core::ProblemDims& dims,
+                   Direction direction = Direction::kForward,
+                   std::string prec = "ddddd", TenantId tenant = 0) {
+  return BatchKey{core::LocalDims::single_rank(dims), direction,
+                  std::move(prec), tenant};
+}
+
+PendingRequest make_request(std::vector<double> input = {}, TenantId tenant = 0) {
   PendingRequest req;
+  req.tenant = tenant;
   req.input = std::move(input);
   req.enqueued = std::chrono::steady_clock::now();
   return req;
@@ -41,7 +50,7 @@ TEST(PlanCache, ReusesPlansAcrossAcquires) {
   device::Device dev(device::make_mi300x());
   device::Stream stream(dev);
   PlanCache cache(dev, 4);
-  const auto key = key_for(small_dims(), "ddddd");
+  const auto key = key_for(small_dims());
   const auto p1 = cache.acquire(key, stream);
   const auto p2 = cache.acquire(key, stream);
   EXPECT_EQ(p1.get(), p2.get());
@@ -55,9 +64,9 @@ TEST(PlanCache, EvictsLeastRecentlyUsed) {
   device::Device dev(device::make_mi300x());
   device::Stream stream(dev);
   PlanCache cache(dev, 2);
-  const auto ka = key_for(small_dims(), "ddddd");
-  const auto kb = key_for(small_dims(), "dssdd");
-  const auto kc = key_for(small_dims(), "sssss");
+  const auto ka = key_for(small_dims());
+  const auto kb = key_for(other_dims());
+  const auto kc = key_for(core::ProblemDims{16, 2, 8});
   cache.acquire(ka, stream);
   cache.acquire(kb, stream);
   cache.acquire(ka, stream);  // A most recent; LRU order: A, B
@@ -74,8 +83,8 @@ TEST(PlanCache, EvictedPlanStaysAliveWhileHeld) {
   device::Device dev(device::make_mi300x());
   device::Stream stream(dev);
   PlanCache cache(dev, 1);
-  const auto held = cache.acquire(key_for(small_dims(), "ddddd"), stream);
-  cache.acquire(key_for(small_dims(), "sssss"), stream);  // evicts the held plan
+  const auto held = cache.acquire(key_for(small_dims()), stream);
+  cache.acquire(key_for(other_dims()), stream);  // evicts the held plan
   EXPECT_EQ(cache.size(), 1u);
   ASSERT_NE(held, nullptr);  // shared_ptr keeps the evicted plan usable
   EXPECT_EQ(held->dims().global, small_dims());
@@ -85,14 +94,15 @@ TEST(PlanCache, DistinctKeysGetDistinctPlans) {
   device::Device dev(device::make_mi300x());
   device::Stream stream(dev);
   PlanCache cache(dev, 8);
-  const auto base = cache.acquire(key_for(small_dims(), "ddddd", 0), stream);
-  EXPECT_NE(base.get(), cache.acquire(key_for(small_dims(), "dssdd", 0), stream).get());
-  EXPECT_NE(base.get(), cache.acquire(key_for(small_dims(), "ddddd", 1), stream).get());
-  auto opts_key = key_for(small_dims(), "ddddd", 0);
+  const auto base = cache.acquire(key_for(small_dims(), 0), stream);
+  EXPECT_NE(base.get(), cache.acquire(key_for(other_dims(), 0), stream).get());
+  EXPECT_NE(base.get(), cache.acquire(key_for(small_dims(), 1), stream).get());
+  auto opts_key = key_for(small_dims(), 0);
   opts_key.options.fuse_casts = false;
   EXPECT_NE(base.get(), cache.acquire(opts_key, stream).get());
   EXPECT_EQ(cache.stats().misses, 4);
 }
+
 
 TEST(PlanCache, RejectsZeroCapacity) {
   device::Device dev(device::make_mi300x());
@@ -102,7 +112,7 @@ TEST(PlanCache, RejectsZeroCapacity) {
 // --------------------------------------------------------- RequestQueue
 TEST(RequestQueue, SplitsKeyIntoMaxBatchChunks) {
   RequestQueue q(3, 0.0);
-  const BatchKey key{1, Direction::kForward, "ddddd"};
+  const BatchKey key = batch_key(small_dims());
   for (int i = 0; i < 5; ++i) EXPECT_TRUE(q.push(key, make_request()));
   auto b1 = q.pop_batch();
   ASSERT_TRUE(b1.has_value());
@@ -113,31 +123,61 @@ TEST(RequestQueue, SplitsKeyIntoMaxBatchChunks) {
   EXPECT_EQ(q.pending(), 0u);
 }
 
-TEST(RequestQueue, RoundRobinAcrossKeys) {
+TEST(RequestQueue, RoundRobinAcrossKeysUnderSkew) {
   RequestQueue q(2, 0.0);
-  const BatchKey ka{1, Direction::kForward, "ddddd"};
-  const BatchKey kb{2, Direction::kForward, "ddddd"};
+  const BatchKey ka = batch_key(small_dims());
+  const BatchKey kb = batch_key(other_dims());
+  // Shape A floods the queue before shape B's lone request arrives,
+  // but must not starve it: after A's first batch the rotation moves
+  // A behind B.
   for (int i = 0; i < 3; ++i) q.push(ka, make_request());
   for (int i = 0; i < 2; ++i) q.push(kb, make_request());
-  // Tenant A arrived first but must not starve tenant B: after A's
-  // first batch the rotation moves A behind B.
   const auto b1 = q.pop_batch();
   const auto b2 = q.pop_batch();
   const auto b3 = q.pop_batch();
   ASSERT_TRUE(b1 && b2 && b3);
-  EXPECT_EQ(b1->key.tenant, 1u);
-  EXPECT_EQ(b2->key.tenant, 2u);
-  EXPECT_EQ(b3->key.tenant, 1u);
+  EXPECT_EQ(b1->key, ka);
+  EXPECT_EQ(b2->key, kb);
+  EXPECT_EQ(b3->key, ka);
   EXPECT_EQ(b3->requests.size(), 1u);
 }
 
-TEST(RequestQueue, DirectionAndPrecisionSplitKeys) {
+TEST(RequestQueue, CrossTenantRequestsShareShapeKeys) {
+  // The coalescing key is (shape, direction, precision): requests
+  // from different tenants with the same shape key coalesce into one
+  // batch (the grouped-dispatch premise), while shape, direction and
+  // precision all split keys.
   RequestQueue q(8, 0.0);
-  q.push({1, Direction::kForward, "ddddd"}, make_request());
-  q.push({1, Direction::kAdjoint, "ddddd"}, make_request());
-  q.push({1, Direction::kForward, "dssdd"}, make_request());
-  // Three distinct coalescing keys -> three singleton batches.
-  for (int i = 0; i < 3; ++i) {
+  q.push(batch_key(small_dims()), make_request({}, /*tenant=*/1));
+  q.push(batch_key(small_dims()), make_request({}, /*tenant=*/2));
+  q.push(batch_key(small_dims()), make_request({}, /*tenant=*/3));
+  const auto coalesced = q.pop_batch();
+  ASSERT_TRUE(coalesced.has_value());
+  EXPECT_EQ(coalesced->requests.size(), 3u);
+  EXPECT_EQ(coalesced->requests[0].tenant, 1u);
+  EXPECT_EQ(coalesced->requests[2].tenant, 3u);
+
+  q.push(batch_key(small_dims()), make_request());
+  q.push(batch_key(other_dims()), make_request());
+  q.push(batch_key(small_dims(), Direction::kAdjoint), make_request());
+  q.push(batch_key(small_dims(), Direction::kForward, "dssdd"), make_request());
+  // Four distinct coalescing keys -> four singleton batches.
+  for (int i = 0; i < 4; ++i) {
+    const auto b = q.pop_batch();
+    ASSERT_TRUE(b.has_value());
+    EXPECT_EQ(b->requests.size(), 1u);
+  }
+}
+
+TEST(RequestQueue, TenantFieldSplitsKeysInSameTenantOnlyMode) {
+  // The ablation mode (cross_tenant_batching == false) sets the
+  // tenant field, restoring PR 3's same-tenant-only coalescing.
+  RequestQueue q(8, 0.0);
+  q.push(batch_key(small_dims(), Direction::kForward, "ddddd", 1),
+         make_request({}, 1));
+  q.push(batch_key(small_dims(), Direction::kForward, "ddddd", 2),
+         make_request({}, 2));
+  for (int i = 0; i < 2; ++i) {
     const auto b = q.pop_batch();
     ASSERT_TRUE(b.has_value());
     EXPECT_EQ(b->requests.size(), 1u);
@@ -146,7 +186,7 @@ TEST(RequestQueue, DirectionAndPrecisionSplitKeys) {
 
 TEST(RequestQueue, LingerCoalescesLateArrivals) {
   RequestQueue q(8, 0.25);  // generous linger so slow CI cannot flake it
-  const BatchKey key{1, Direction::kForward, "ddddd"};
+  const BatchKey key = batch_key(small_dims());
   q.push(key, make_request());
   std::thread late([&] {
     std::this_thread::sleep_for(std::chrono::milliseconds(20));
@@ -168,7 +208,7 @@ TEST(RequestQueue, LingerCoalescesLateArrivals) {
 
 TEST(RequestQueue, FullBatchReleasesBeforeLinger) {
   RequestQueue q(2, 10.0);  // linger long enough to hang the test if used
-  const BatchKey key{1, Direction::kForward, "ddddd"};
+  const BatchKey key = batch_key(small_dims());
   q.push(key, make_request());
   q.push(key, make_request());
   const auto batch = q.pop_batch();
@@ -178,7 +218,7 @@ TEST(RequestQueue, FullBatchReleasesBeforeLinger) {
 
 TEST(RequestQueue, CloseDrainsThenStops) {
   RequestQueue q(8, 10.0);
-  const BatchKey key{1, Direction::kForward, "ddddd"};
+  const BatchKey key = batch_key(small_dims());
   q.push(key, make_request());
   q.push(key, make_request());
   q.close();
@@ -268,6 +308,7 @@ TEST(AsyncScheduler, AdjointServedMatchesDense) {
 TEST(AsyncScheduler, CacheHitRatePositiveOnRepeatedKeys) {
   ServeOptions opts;
   opts.num_streams = 1;  // one lane -> repeated keys must hit its cache entry
+  opts.max_batch = 4;    // several batches, so acquires repeat
   AsyncScheduler sched(device::make_mi300x(), opts);
   const auto tenant = register_tenant(sched, small_dims(), 13);
   const auto input = core::make_input_vector(tenant.dims.n_t * tenant.dims.n_m, 14);
@@ -418,7 +459,7 @@ TEST(AsyncScheduler, CoalescedBatchExecutesPlanExactlyOnce) {
   // exact even if a heavily loaded runner splits the six submits
   // across the linger window.
   const auto plan = sched.plan_cache().peek(
-      PlanKey{local, sched.options().matvec, "ddddd", "MI300X", 0});
+      PlanKey{local, sched.options().matvec, "MI300X", 0});
   ASSERT_NE(plan, nullptr);
   EXPECT_EQ(plan->executions(), snap.batches);
   EXPECT_LE(snap.batches, 6);
@@ -440,6 +481,163 @@ TEST(AsyncScheduler, CoalescedBatchExecutesPlanExactlyOnce) {
     EXPECT_NEAR(results[0].sim_seconds * 6.0,
                 plan->last_timings().compute_total(), 1e-12);
   }
+}
+
+TEST(AsyncScheduler, CrossTenantRequestsCoalesceIntoOneGroupedExecution) {
+  // Two tenants with the SAME shape: their requests share a
+  // coalescing key and a generous linger gathers all six into ONE
+  // grouped apply_batch — the tentpole behaviour.  Each tenant's
+  // results must still come from its own operator (checked against
+  // the dense reference of its own first block column).
+  ServeOptions opts;
+  opts.num_streams = 1;
+  opts.max_batch = 8;
+  opts.linger_seconds = 0.25;
+  AsyncScheduler sched(device::make_mi300x(), opts);
+  const auto ta = register_tenant(sched, small_dims(), 101);
+  const auto tb = register_tenant(sched, small_dims(), 102);
+  const auto local = core::LocalDims::single_rank(small_dims());
+
+  std::vector<std::vector<double>> inputs;
+  std::vector<std::future<MatvecResult>> futures;
+  std::vector<const ServedCase*> owners;
+  for (std::uint64_t r = 0; r < 6; ++r) {
+    const auto& tenant = (r % 2 == 0) ? ta : tb;  // interleaved arrivals
+    inputs.push_back(
+        core::make_input_vector(small_dims().n_t * small_dims().n_m, 110 + r));
+    owners.push_back(&tenant);
+    futures.push_back(sched.submit(tenant.tenant, Direction::kForward,
+                                   precision::PrecisionConfig{}, inputs.back()));
+  }
+  sched.drain();
+
+  std::vector<MatvecResult> results;
+  for (auto& f : futures) results.push_back(f.get());
+  const auto snap = sched.metrics();
+
+  // One plan execution per dispatched batch even though two tenants
+  // are interleaved — the cross-tenant requests coalesced instead of
+  // splitting into per-tenant singletons.
+  const auto plan = sched.plan_cache().peek(
+      PlanKey{local, sched.options().matvec, "MI300X", 0});
+  ASSERT_NE(plan, nullptr);
+  EXPECT_EQ(plan->executions(), snap.batches);
+  EXPECT_EQ(sched.plan_cache().size(), 1u);  // one shape -> one plan
+  if (snap.batches == 1) {
+    for (const auto& r : results) EXPECT_EQ(r.batch_size, 6);
+  }
+
+  for (std::size_t r = 0; r < results.size(); ++r) {
+    std::vector<double> dense(results[r].output.size());
+    core::dense_forward(local, owners[r]->col, inputs[r], dense);
+    EXPECT_LT(blas::relative_l2_error(static_cast<index_t>(dense.size()),
+                                      results[r].output.data(), dense.data()),
+              1e-12)
+        << "request " << r;
+  }
+}
+
+TEST(AsyncScheduler, SameTenantOnlyModeKeepsTenantsApart) {
+  // The ablation flag restores PR 3 coalescing: same-shape requests
+  // from different tenants never share a batch.
+  ServeOptions opts;
+  opts.num_streams = 1;
+  opts.max_batch = 8;
+  opts.linger_seconds = 0.05;
+  opts.cross_tenant_batching = false;
+  AsyncScheduler sched(device::make_mi300x(), opts);
+  const auto ta = register_tenant(sched, small_dims(), 111);
+  const auto tb = register_tenant(sched, small_dims(), 112);
+  std::vector<std::future<MatvecResult>> futures;
+  for (std::uint64_t r = 0; r < 4; ++r) {
+    const auto& tenant = (r % 2 == 0) ? ta : tb;
+    futures.push_back(sched.submit(
+        tenant.tenant, Direction::kForward, precision::PrecisionConfig{},
+        core::make_input_vector(small_dims().n_t * small_dims().n_m, 120 + r)));
+  }
+  sched.drain();
+  for (auto& f : futures) EXPECT_LE(f.get().batch_size, 2);
+  EXPECT_GE(sched.metrics().batches, 2);
+}
+
+TEST(AsyncScheduler, ConfigsShareOneCachedPlan) {
+  // Plans are precision-agnostic, so two configs through one tenant
+  // shape must warm exactly one cache entry (the PlanKey precision
+  // drop) — and the second config's batch is a cache hit.
+  ServeOptions opts;
+  opts.num_streams = 1;
+  opts.linger_seconds = 0.0;
+  AsyncScheduler sched(device::make_mi300x(), opts);
+  const auto tenant = register_tenant(sched, small_dims(), 121);
+  const auto input = core::make_input_vector(small_dims().n_t * small_dims().n_m, 122);
+  sched.submit(tenant.tenant, Direction::kForward,
+               precision::PrecisionConfig::parse("ddddd"), input)
+      .get();
+  sched.submit(tenant.tenant, Direction::kForward,
+               precision::PrecisionConfig::parse("dssdd"), input)
+      .get();
+  sched.drain();
+  EXPECT_EQ(sched.plan_cache().size(), 1u);
+  EXPECT_EQ(sched.plan_cache().stats().misses, 1);
+  EXPECT_GE(sched.plan_cache().stats().hits, 1);
+}
+
+TEST(AsyncScheduler, AdaptiveMaxBatchResolvesAtTheCurveKnee) {
+  // max_batch == 0 resolves deterministically at the knee of the
+  // modelled batching curve (16 on MI300X: doubling past it buys
+  // < 7% per-RHS).
+  const int knee = adaptive_max_batch(device::make_mi300x());
+  EXPECT_EQ(knee, 16);
+  EXPECT_EQ(adaptive_max_batch(device::make_mi300x()), knee);  // deterministic
+  AsyncScheduler sched(device::make_mi300x());  // default opts: adaptive
+  EXPECT_EQ(sched.options().max_batch, knee);
+  ServeOptions fixed;
+  fixed.max_batch = 4;  // explicit override wins
+  AsyncScheduler sched_fixed(device::make_mi300x(), fixed);
+  EXPECT_EQ(sched_fixed.options().max_batch, 4);
+}
+
+TEST(AsyncScheduler, GroupedTimingsWeightSbgemvByGroupShare) {
+  // A 1 + 3 grouped batch: the singleton's RHS carries its whole
+  // matrix read in the SBGEMV share while the 3-wide group amortises
+  // its own, so the singleton's sbgemv attribution must be strictly
+  // larger; the per-request shares still sum to the batch totals.
+  ServeOptions opts;
+  opts.num_streams = 1;
+  opts.max_batch = 8;
+  opts.linger_seconds = 0.25;
+  AsyncScheduler sched(device::make_mi300x(), opts);
+  const auto ta = register_tenant(sched, small_dims(), 131);
+  const auto tb = register_tenant(sched, small_dims(), 132);
+
+  std::vector<std::future<MatvecResult>> futures;
+  futures.push_back(sched.submit(
+      ta.tenant, Direction::kForward, precision::PrecisionConfig{},
+      core::make_input_vector(small_dims().n_t * small_dims().n_m, 140)));
+  for (std::uint64_t r = 0; r < 3; ++r) {
+    futures.push_back(sched.submit(
+        tb.tenant, Direction::kForward, precision::PrecisionConfig{},
+        core::make_input_vector(small_dims().n_t * small_dims().n_m, 141 + r)));
+  }
+  sched.drain();
+  std::vector<MatvecResult> results;
+  for (auto& f : futures) results.push_back(f.get());
+  if (sched.metrics().batches != 1) GTEST_SKIP() << "batch split by slow runner";
+
+  const auto& singleton = results[0];
+  for (std::size_t r = 1; r < results.size(); ++r) {
+    EXPECT_GT(singleton.timings.sbgemv, results[r].timings.sbgemv);
+    // The tenant-agnostic phases split evenly.
+    EXPECT_DOUBLE_EQ(singleton.timings.fft, results[r].timings.fft);
+    EXPECT_DOUBLE_EQ(singleton.timings.pad, results[r].timings.pad);
+  }
+  double total = 0.0;
+  for (const auto& r : results) total += r.sim_seconds;
+  const auto plan = sched.plan_cache().peek(PlanKey{
+      core::LocalDims::single_rank(small_dims()), sched.options().matvec,
+      "MI300X", 0});
+  ASSERT_NE(plan, nullptr);
+  EXPECT_NEAR(total, plan->last_timings().compute_total(), 1e-12);
 }
 
 TEST(AsyncScheduler, RaggedFinalBatchStaysCorrect) {
