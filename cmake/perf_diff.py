@@ -21,11 +21,19 @@ Gated metrics (higher is better):
                     cost-model output).
   batch_sweep       table "measured ddddd", every row's
                     "vs sequential" — the multi-RHS apply_batch edge
-                    over sequential applies — and table "cross-tenant
+                    over sequential applies — table "cross-tenant
                     grouped ddddd", every row's "grouped vs
                     per-tenant" — the grouped multi-operator dispatch
-                    edge over per-tenant dispatch of the same mix
-                    (both deterministic).
+                    edge over per-tenant dispatch of the same mix —
+                    and every row's "pipelined vs serial" — the
+                    chunked dual-stream pipelined apply's edge at the
+                    auto-resolved chunk count (all deterministic).
+  pipeline_sweep    table "paper-scale phantom dssdd", every row's
+                    "vs serial" — the phase-pipelined apply_batch's
+                    modelled-makespan edge over the serial batch per
+                    chunk count at the paper-scale Hessian-assembly
+                    shape (deterministic cost-model output; the
+                    harness additionally hard-fails below 1.2x).
 
 Rows are matched by (bench, table, first cell).  A gated row present
 in the baseline but missing from the current run FAILS the gate (a
@@ -55,6 +63,8 @@ GATES = [
     ("batch_sweep", "measured ddddd", "*", "vs sequential", None),
     ("batch_sweep", "cross-tenant grouped ddddd", "*", "grouped vs per-tenant",
      None),
+    ("batch_sweep", "measured ddddd", "*", "pipelined vs serial", None),
+    ("pipeline_sweep", "paper-scale phantom dssdd", "*", "vs serial", None),
 ]
 
 

@@ -15,6 +15,13 @@
 //   -batch B         max requests coalesced per batch; 0 (default)
 //                    sizes it adaptively at the knee of the modelled
 //                    batching curve for the device
+//   -pipeline-chunks C  RHS chunks per pipelined apply_batch (batches
+//                    software-pipeline over each lane's stream pair);
+//                    0 (default) resolves per tenant shape from the
+//                    modelled phase ratio — the resolved values are
+//                    printed per shape and written to the artifact,
+//                    mirroring how -batch reports the adaptive knee —
+//                    1 forces serial execution
 //   -linger-ms L     max time a request waits for batch companions
 //   -cache C         resident FftMatvecPlan budget (LRU)
 //   -prec a,b,...    precision configs cycled across requests
@@ -28,6 +35,7 @@
 //
 // The metrics report (throughput, p50/p95/p99 latency, batch-size
 // histogram, cache hit rate) prints on shutdown.
+#include <algorithm>
 #include <future>
 #include <iostream>
 #include <thread>
@@ -75,8 +83,9 @@ int main(int argc, char** argv) {
     // Consumes --json/-json <path> from argv before the flag parser.
     util::Artifact artifact("fftmv_server", argc, argv);
     const util::CliParser cli(argc, argv);
-    cli.check_known({"tenants", "requests", "rps", "streams", "batch", "linger-ms",
-                     "cache", "prec", "adjoint-frac", "device", "seed", "raw", "smoke"});
+    cli.check_known({"tenants", "requests", "rps", "streams", "batch",
+                     "pipeline-chunks", "linger-ms", "cache", "prec",
+                     "adjoint-frac", "device", "seed", "raw", "smoke"});
     const bool smoke = cli.get_flag("smoke");
     const bool raw = cli.get_flag("raw");
 
@@ -94,6 +103,9 @@ int main(int argc, char** argv) {
     // 0 = adaptive: the scheduler resolves the knee of the modelled
     // batching curve for the device; -batch N overrides it.
     opts.max_batch = static_cast<int>(cli.get_int("batch", 0));
+    // 0 = auto: pipeline chunk counts resolve per tenant shape from
+    // the modelled phase ratio; -pipeline-chunks N overrides.
+    opts.pipeline_chunks = static_cast<int>(cli.get_int("pipeline-chunks", 0));
     opts.linger_seconds = cli.get_double("linger-ms", 0.5) * 1e-3;
     // Default sized to the full default workload working set: plans
     // are precision-agnostic, so 3 tenant shapes x 2 lanes = 6 plan
@@ -106,8 +118,11 @@ int main(int argc, char** argv) {
       std::cout << "fftmv_server: " << n_tenants << " tenants, " << n_requests
                 << " requests @ " << rps << " req/s (Poisson), " << opts.num_streams
                 << " streams, batch<=" << scheduler.options().max_batch
-                << (opts.max_batch == 0 ? " (adaptive)" : "") << ", linger "
-                << opts.linger_seconds * 1e3 << " ms, plan cache "
+                << (opts.max_batch == 0 ? " (adaptive)" : "") << ", pipeline "
+                << (opts.pipeline_chunks == 0
+                        ? std::string("auto")
+                        : std::to_string(opts.pipeline_chunks) + " chunks")
+                << ", linger " << opts.linger_seconds * 1e3 << " ms, plan cache "
                 << opts.plan_cache_capacity << ", device " << spec.name << "\n";
     }
 
@@ -127,6 +142,30 @@ int main(int argc, char** argv) {
       model.adj_input =
           core::make_input_vector(model.dims.n_t * model.dims.n_d, seed + 17 * t + 2);
       tenants.push_back(std::move(model));
+    }
+
+    // Resolved pipeline chunk counts per distinct tenant shape
+    // (deterministic cost-model resolutions in auto mode): printed
+    // and written to the artifact so the effective execution mode is
+    // attributable, mirroring the adaptive -batch report above.
+    util::Table pipeline_table({"shape (n_m x n_d x n_t)", "pipeline chunks"});
+    {
+      std::vector<std::string> seen;
+      for (const auto& tenant : tenants) {
+        const std::string shape = std::to_string(tenant.dims.n_m) + " x " +
+                                  std::to_string(tenant.dims.n_d) + " x " +
+                                  std::to_string(tenant.dims.n_t);
+        if (std::find(seen.begin(), seen.end(), shape) != seen.end()) continue;
+        seen.push_back(shape);
+        pipeline_table.add_row(
+            {shape,
+             std::to_string(scheduler.resolved_pipeline_chunks(tenant.dims))});
+      }
+    }
+    if (!raw) {
+      std::cout << "resolved pipeline chunks"
+                << (opts.pipeline_chunks == 0 ? " (auto)" : "") << ":\n";
+      pipeline_table.print(std::cout);
     }
 
     // Open-loop generator: arrivals are scheduled ahead of time from
@@ -166,6 +205,7 @@ int main(int argc, char** argv) {
     artifact.add("summary", snap.summary_table());
     artifact.add("latency", snap.latency_table());
     artifact.add("batch histogram", snap.batch_table());
+    artifact.add("pipeline chunks", pipeline_table);
     if (const auto path = artifact.write(); !path.empty() && !raw) {
       std::cout << "wrote artifact " << path << "\n";
     }

@@ -16,6 +16,7 @@ PhaseTimings& PhaseTimings::operator+=(const PhaseTimings& o) {
   ifft += o.ifft;
   unpad += o.unpad;
   comm += o.comm;
+  makespan += o.makespan;
   return *this;
 }
 
@@ -26,6 +27,7 @@ PhaseTimings& PhaseTimings::operator*=(double s) {
   ifft *= s;
   unpad *= s;
   comm *= s;
+  makespan *= s;
   return *this;
 }
 
@@ -356,6 +358,7 @@ void FftMatvecPlan::apply(const BlockToeplitzOperator& op,
       stream_->copy(olocal_.get<S5>(*dev_, nt * ns_out), dst, nt * ns_out);
     });
     timings_.unpad += stream_->now() - t0;
+    timings_.makespan = timings_.total();  // serial: nothing overlapped
     return;
   }
 
@@ -388,22 +391,25 @@ void FftMatvecPlan::apply(const BlockToeplitzOperator& op,
     }
   });
   timings_.unpad += stream_->now() - t0 - (timings_.comm - comm_before_reduce);
+  timings_.makespan = timings_.total();  // serial: nothing overlapped
 }
 
 void FftMatvecPlan::apply_batch(const BlockToeplitzOperator& op,
                                 ApplyDirection direction,
                                 const PrecisionConfig& config,
                                 std::span<const ConstVectorView> inputs,
-                                std::span<const VectorView> outputs) {
+                                std::span<const VectorView> outputs,
+                                const BatchPipeline& pipeline) {
   const OperatorGroup group{&op, static_cast<index_t>(inputs.size())};
-  apply_batch({&group, 1}, direction, config, inputs, outputs);
+  apply_batch({&group, 1}, direction, config, inputs, outputs, pipeline);
 }
 
 void FftMatvecPlan::apply_batch(std::span<const OperatorGroup> groups,
                                 ApplyDirection direction,
                                 const PrecisionConfig& config,
                                 std::span<const ConstVectorView> inputs,
-                                std::span<const VectorView> outputs) {
+                                std::span<const VectorView> outputs,
+                                const BatchPipeline& pipeline) {
   const bool adjoint = direction == ApplyDirection::kAdjoint;
   const index_t b = static_cast<index_t>(inputs.size());
   if (b < 1) {
@@ -455,196 +461,272 @@ void FftMatvecPlan::apply_batch(std::span<const OperatorGroup> groups,
     }
   }
 
+  // Pipeline-argument validation (before any state mutation, like
+  // the span checks above: a throwing call must not perturb
+  // executions() or the previous apply's timings).
+  const index_t chunks =
+      std::min<index_t>(std::max<index_t>(pipeline.chunks, 1), b);
+  if (chunks > 1 && pipeline.aux != nullptr &&
+      &pipeline.aux->device() != dev_) {
+    throw std::invalid_argument(
+        "apply_batch: pipeline aux stream is bound to a different device");
+  }
+
   timings_ = PhaseTimings{};
   rhs_timings_.clear();
   ++executions_;
   const bool fuse = options_.fuse_casts;
 
-  // ---- Phase 1: per-RHS staging cast + fused transpose/pad into the
-  // RHS-outer padded buffer (b x ns_in x L).  Same kernels in the
-  // same per-RHS order as b independent applies, so numerics match
-  // bit for bit; the batching win starts at phase 2.
-  double t0 = stream_->now();
-  dispatch2(p1, p2, [&](auto tag1, auto tag2) {
-    using S1 = decltype(tag1);
-    using S2 = decltype(tag2);
-    S2* dst_all = padded_.get<S2>(*dev_, b * ns_in * L);
-    for (index_t r = 0; r < b; ++r) {
-      const double* in = inputs[r].data();
-      const S1* src;
-      if constexpr (std::is_same_v<S1, double>) {
-        src = in;
-      } else {
-        float* bc = bcast_.get<float>(*dev_, nt * ns_in);
-        if (in != nullptr || dev_->phantom()) {
-          precision::convert_array(*stream_, in, bc, nt * ns_in);
-        }
-        src = bc;
-      }
-      S2* dst = dst_all + r * ns_in * L;
-      if (fuse || std::is_same_v<S1, S2>) {
-        precision::transpose_pad_cast<S2>(*stream_, src, dst, nt, ns_in, L);
-      } else {
-        S1* tmp = padded_.get<S1>(*dev_, ns_in * L);
-        precision::transpose_pad_cast<S1>(*stream_, src, tmp, nt, ns_in, L);
-        precision::convert_array(*stream_, tmp, dst, ns_in * L);
-      }
-    }
-  });
-  timings_.pad += stream_->now() - t0;
-
-  // ---- Phase 2: ONE batched real FFT over b * ns_in sequences; the
-  // cached per-shape plan executes with a runtime batch multiplier.
-  t0 = stream_->now();
-  dispatch1(p2, [&](auto tag2) {
-    using S2 = decltype(tag2);
-    using C2 = std::complex<S2>;
-    auto& plan = [&]() -> fft::BatchedRealFft<S2>& {
-      if constexpr (std::is_same_v<S2, double>) {
-        auto& slot = adjoint ? fft_d_d_ : fft_m_d_;
-        if (!slot || slot->batch() != ns_in) slot.emplace(L, ns_in);
-        return *slot;
-      } else {
-        auto& slot = adjoint ? fft_d_f_ : fft_m_f_;
-        if (!slot || slot->batch() != ns_in) slot.emplace(L, ns_in);
-        return *slot;
-      }
-    }();
-    const S2* padded = padded_.get<S2>(*dev_, b * ns_in * L);
-    C2* spec = spec_.get<C2>(*dev_, b * ns_in * nf);
-    plan.forward_on(*stream_, padded, L, spec, nf, /*batch_multiplier=*/b);
-  });
-  timings_.fft += stream_->now() - t0;
-
-  // ---- Phase 3: one reorder pair around ONE multi-RHS SBGEMV.  The
-  // (b * ns_in x nf) spectrum transposes to frequency-outer
-  // (nf x b x ns_in), so each frequency block's b vectors are
-  // contiguous and the GEMV streams them through the matrix while it
-  // is resident — matrix traffic is paid once per frequency, not once
-  // per request.
-  t0 = stream_->now();
-  dispatch2(p2, p3, [&](auto tag2, auto tag3) {
-    using C2 = std::complex<decltype(tag2)>;
-    using C3 = std::complex<decltype(tag3)>;
-    const C2* spec = spec_.get<C2>(*dev_, b * ns_in * nf);
-    C3* spec_t = spec_t_.get<C3>(*dev_, nf * b * ns_in);
-    if (fuse || std::is_same_v<C2, C3>) {
-      precision::transpose_cast<C3>(*stream_, spec, spec_t, b * ns_in, nf);
+  // ---- Chunked executor.  The batch's b RHS are split into `chunks`
+  // contiguous chunks (serial execution is the chunks == 1 degenerate
+  // case running every stage on the plan's own stream).  Per chunk,
+  // three stages:
+  //   stage 1 (stream A): per-RHS staging cast + fused transpose/pad
+  //     into the RHS-outer padded buffer, then ONE batched real FFT
+  //     over cb * ns_in sequences (runtime batch multiplier);
+  //   stage 2 (stream B): Fourier reorder, grouped multi-RHS SBGEMV,
+  //     reorder back — the dominant phase at paper scale;
+  //   stage 3 (stream A): ONE batched inverse FFT + per-RHS fused
+  //     unpad/transpose into the caller's output views.
+  // Issue order software-pipelines the chunks — stage2(i) on B, then
+  // stage1(i+1) on A, then stage3(i) on A — so chunk i's SBGEMV
+  // overlaps chunk i+1's pad+FFT.  Cross-stream dependencies are
+  // events: stage2(i) waits for stage1(i)'s FFT, stage3(i) waits for
+  // stage2(i); the spectrum workspaces ping-pong on chunk parity so
+  // stage1(i+1) never overwrites the set stage2(i) still reads, and
+  // the remaining reuse hazards (set parity recurs at i+2) are
+  // already ordered by stage3(i)'s wait on stream A.  Numerics are
+  // bit-identical to the serial batch: chunks partition the RHS
+  // dimension, every kernel's per-RHS arithmetic is unchanged, and
+  // host execution order per buffer is dependency-ordered.
+  device::Stream& sa = *stream_;
+  device::Stream* sb = &sa;
+  if (chunks > 1) {
+    if (pipeline.aux != nullptr) {
+      sb = pipeline.aux;
     } else {
-      C2* tmp = spec_t_.get<C2>(*dev_, nf * b * ns_in);
-      precision::transpose_cast<C2>(*stream_, spec, tmp, b * ns_in, nf);
-      precision::convert_array(*stream_, tmp, spec_t, nf * b * ns_in);
+      if (!owned_aux_) owned_aux_.emplace(*dev_);
+      sb = &*owned_aux_;
     }
-  });
-  const double gemv_t0 = stream_->now();
-  dispatch1(p3, [&](auto tag3) {
-    using C3 = std::complex<decltype(tag3)>;
-    // Per-group operator-spectrum base pointers: nothing else in the
-    // pipeline is operator-specific, so this is the only phase that
-    // distinguishes a grouped (cross-tenant) batch from a flat one.
-    std::vector<blas::SbgemvGroup<C3>> gemv_groups;
-    gemv_groups.reserve(groups.size());
-    for (const auto& g : groups) {
-      const C3* spectrum;
-      if constexpr (std::is_same_v<C3, cdouble>) {
-        spectrum = g.op->spectrum_d();
-      } else {
-        spectrum = g.op->spectrum_f(*stream_);
-      }
-      gemv_groups.push_back({spectrum, g.rhs_count});
-    }
-    blas::SbgemvGroupedArgs<C3> args;
-    args.base.op = adjoint ? blas::Op::C : blas::Op::N;
-    args.base.m = dims_.n_d_local;
-    args.base.n = dims_.n_m_local;
-    args.base.alpha = C3(1);
-    args.base.lda = dims_.n_d_local;
-    args.base.stride_a = dims_.n_d_local * dims_.n_m_local;
-    args.base.x = spec_t_.get<C3>(*dev_, nf * b * ns_in);
-    args.base.stride_x = b * ns_in;
-    args.base.beta = C3(0);
-    args.base.y = ospec_t_.get<C3>(*dev_, nf * b * ns_out);
-    args.base.stride_y = b * ns_out;
-    args.base.batch = nf;
-    args.rhs_stride_x = ns_in;
-    args.rhs_stride_y = ns_out;
-    args.groups = gemv_groups;
-    blas::sbgemv_grouped(*stream_, args, options_.gemv_policy);
-  });
-  const double gemv_seconds = stream_->now() - gemv_t0;
-  dispatch2(p3, p4, [&](auto tag3, auto tag4) {
-    using C3 = std::complex<decltype(tag3)>;
-    using C4 = std::complex<decltype(tag4)>;
-    const C3* ospec_t = ospec_t_.get<C3>(*dev_, nf * b * ns_out);
-    C4* ospec = ospec_.get<C4>(*dev_, b * ns_out * nf);
-    if (fuse || std::is_same_v<C3, C4>) {
-      precision::transpose_cast<C4>(*stream_, ospec_t, ospec, nf, b * ns_out);
-    } else {
-      C3* tmp = ospec_.get<C3>(*dev_, b * ns_out * nf);
-      precision::transpose_cast<C3>(*stream_, ospec_t, tmp, nf, b * ns_out);
-      precision::convert_array(*stream_, tmp, ospec, b * ns_out * nf);
-    }
-  });
-  timings_.sbgemv += stream_->now() - t0;
-
-  // ---- Phase 4: ONE batched inverse real FFT over b * ns_out
-  // sequences.
-  t0 = stream_->now();
-  dispatch1(p4, [&](auto tag4) {
-    using S4 = decltype(tag4);
-    using C4 = std::complex<S4>;
-    auto& plan = [&]() -> fft::BatchedRealFft<S4>& {
-      if constexpr (std::is_same_v<S4, double>) {
-        auto& slot = adjoint ? fft_m_d_ : fft_d_d_;
-        if (!slot || slot->batch() != ns_out) slot.emplace(L, ns_out);
-        return *slot;
-      } else {
-        auto& slot = adjoint ? fft_m_f_ : fft_d_f_;
-        if (!slot || slot->batch() != ns_out) slot.emplace(L, ns_out);
-        return *slot;
-      }
-    }();
-    const C4* ospec = ospec_.get<C4>(*dev_, b * ns_out * nf);
-    S4* opad = opad_.get<S4>(*dev_, b * ns_out * L);
-    plan.inverse_on(*stream_, ospec, nf, opad, L, /*batch_multiplier=*/b);
-  });
-  timings_.ifft += stream_->now() - t0;
-
-  // ---- Phase 5: per-RHS fused unpad/transpose + final cast into the
-  // caller's output views (single-rank: no reduction).
-  t0 = stream_->now();
-  for (index_t r = 0; r < b; ++r) {
-    dispatch2(p4, p5, [&](auto tag4, auto tag5) {
-      using S4 = decltype(tag4);
-      using S5 = decltype(tag5);
-      const S4* opad = opad_.get<S4>(*dev_, b * ns_out * L) + r * ns_out * L;
-      S5* olocal = olocal_.get<S5>(*dev_, nt * ns_out);
-      if (fuse || std::is_same_v<S4, S5>) {
-        precision::unpad_transpose_cast<S5>(*stream_, opad, olocal, nt, ns_out, L);
-      } else {
-        S4* tmp = olocal_.get<S4>(*dev_, nt * ns_out);
-        precision::unpad_transpose_cast<S4>(*stream_, opad, tmp, nt, ns_out, L);
-        precision::convert_array(*stream_, tmp, olocal, nt * ns_out);
-      }
-    });
-    dispatch1(p5, [&](auto tag5) {
-      using S5 = decltype(tag5);
-      S5* olocal = olocal_.get<S5>(*dev_, nt * ns_out);
-      double* out = outputs[r].data();
-      if (out != nullptr || dev_->phantom()) {
-        if constexpr (std::is_same_v<S5, double>) {
-          stream_->copy(olocal, out, nt * ns_out);
-        } else {
-          precision::convert_array(*stream_, olocal, out, nt * ns_out);
-        }
-      }
-    });
   }
-  timings_.unpad += stream_->now() - t0;
+  const double t_begin = sa.now();
+  const index_t cmax = (b + chunks - 1) / chunks;
+  const auto chunk_lo = [&](index_t i) { return (i * b) / chunks; };
+  DualComplex* spec_set[2] = {&spec_, &spec_alt_};
+  DualComplex* spec_t_set[2] = {&spec_t_, &spec_t_alt_};
+  DualComplex* ospec_t_set[2] = {&ospec_t_, &ospec_t_alt_};
+  DualComplex* ospec_set[2] = {&ospec_, &ospec_alt_};
+  std::vector<device::Event> ev_fft(static_cast<std::size_t>(chunks));
+  std::vector<device::Event> ev_gemv(static_cast<std::size_t>(chunks));
+  double gemv_seconds = 0.0;
 
-  // ---- Per-RHS attribution (last_batch_timings).  Phases 1/2/4/5
-  // and the phase-3 reorders do identical work per RHS (one shape per
-  // batch) and split evenly; the GEMV launch splits across groups in
+  const auto stage1 = [&](index_t i) {
+    const index_t lo = chunk_lo(i), hi = chunk_lo(i + 1);
+    const index_t cb = hi - lo;
+    const std::size_t par = static_cast<std::size_t>(i % 2);
+    double t0 = sa.now();
+    dispatch2(p1, p2, [&](auto tag1, auto tag2) {
+      using S1 = decltype(tag1);
+      using S2 = decltype(tag2);
+      S2* dst_all = padded_.get<S2>(*dev_, cmax * ns_in * L);
+      for (index_t r = lo; r < hi; ++r) {
+        const double* in = inputs[r].data();
+        const S1* src;
+        if constexpr (std::is_same_v<S1, double>) {
+          src = in;
+        } else {
+          float* bc = bcast_.get<float>(*dev_, nt * ns_in);
+          if (in != nullptr || dev_->phantom()) {
+            precision::convert_array(sa, in, bc, nt * ns_in);
+          }
+          src = bc;
+        }
+        S2* dst = dst_all + (r - lo) * ns_in * L;
+        if (fuse || std::is_same_v<S1, S2>) {
+          precision::transpose_pad_cast<S2>(sa, src, dst, nt, ns_in, L);
+        } else {
+          S1* tmp = padded_.get<S1>(*dev_, ns_in * L);
+          precision::transpose_pad_cast<S1>(sa, src, tmp, nt, ns_in, L);
+          precision::convert_array(sa, tmp, dst, ns_in * L);
+        }
+      }
+    });
+    timings_.pad += sa.now() - t0;
+    t0 = sa.now();
+    dispatch1(p2, [&](auto tag2) {
+      using S2 = decltype(tag2);
+      using C2 = std::complex<S2>;
+      auto& plan = [&]() -> fft::BatchedRealFft<S2>& {
+        if constexpr (std::is_same_v<S2, double>) {
+          auto& slot = adjoint ? fft_d_d_ : fft_m_d_;
+          if (!slot || slot->batch() != ns_in) slot.emplace(L, ns_in);
+          return *slot;
+        } else {
+          auto& slot = adjoint ? fft_d_f_ : fft_m_f_;
+          if (!slot || slot->batch() != ns_in) slot.emplace(L, ns_in);
+          return *slot;
+        }
+      }();
+      const S2* padded = padded_.get<S2>(*dev_, cmax * ns_in * L);
+      C2* spec = spec_set[par]->get<C2>(*dev_, cmax * ns_in * nf);
+      plan.forward_on(sa, padded, L, spec, nf, /*batch_multiplier=*/cb);
+    });
+    timings_.fft += sa.now() - t0;
+    ev_fft[static_cast<std::size_t>(i)].record(sa);
+  };
+
+  const auto stage2 = [&](index_t i) {
+    const index_t lo = chunk_lo(i), hi = chunk_lo(i + 1);
+    const index_t cb = hi - lo;
+    const std::size_t par = static_cast<std::size_t>(i % 2);
+    sb->wait(ev_fft[static_cast<std::size_t>(i)]);
+    const double t0 = sb->now();
+    dispatch2(p2, p3, [&](auto tag2, auto tag3) {
+      using C2 = std::complex<decltype(tag2)>;
+      using C3 = std::complex<decltype(tag3)>;
+      const C2* spec = spec_set[par]->get<C2>(*dev_, cmax * ns_in * nf);
+      C3* spec_t = spec_t_set[par]->get<C3>(*dev_, nf * cmax * ns_in);
+      if (fuse || std::is_same_v<C2, C3>) {
+        precision::transpose_cast<C3>(*sb, spec, spec_t, cb * ns_in, nf);
+      } else {
+        C2* tmp = spec_t_set[par]->get<C2>(*dev_, nf * cmax * ns_in);
+        precision::transpose_cast<C2>(*sb, spec, tmp, cb * ns_in, nf);
+        precision::convert_array(*sb, tmp, spec_t, nf * cb * ns_in);
+      }
+    });
+    const double gemv_t0 = sb->now();
+    dispatch1(p3, [&](auto tag3) {
+      using C3 = std::complex<decltype(tag3)>;
+      // Per-group operator-spectrum base pointers, sliced to this
+      // chunk's RHS range [lo, hi): nothing else in the pipeline is
+      // operator-specific, so this is the only stage that
+      // distinguishes a grouped (cross-tenant) batch from a flat one.
+      std::vector<blas::SbgemvGroup<C3>> gemv_groups;
+      gemv_groups.reserve(groups.size());
+      index_t g0 = 0;
+      for (const auto& g : groups) {
+        const index_t s = std::max(lo, g0);
+        const index_t e = std::min(hi, g0 + g.rhs_count);
+        g0 += g.rhs_count;
+        if (s >= e) continue;
+        const C3* spectrum;
+        if constexpr (std::is_same_v<C3, cdouble>) {
+          spectrum = g.op->spectrum_d();
+        } else {
+          spectrum = g.op->spectrum_f(*sb);
+        }
+        gemv_groups.push_back({spectrum, e - s});
+      }
+      blas::SbgemvGroupedArgs<C3> args;
+      args.base.op = adjoint ? blas::Op::C : blas::Op::N;
+      args.base.m = dims_.n_d_local;
+      args.base.n = dims_.n_m_local;
+      args.base.alpha = C3(1);
+      args.base.lda = dims_.n_d_local;
+      args.base.stride_a = dims_.n_d_local * dims_.n_m_local;
+      args.base.x = spec_t_set[par]->get<C3>(*dev_, nf * cmax * ns_in);
+      args.base.stride_x = cb * ns_in;
+      args.base.beta = C3(0);
+      args.base.y = ospec_t_set[par]->get<C3>(*dev_, nf * cmax * ns_out);
+      args.base.stride_y = cb * ns_out;
+      args.base.batch = nf;
+      args.rhs_stride_x = ns_in;
+      args.rhs_stride_y = ns_out;
+      args.groups = gemv_groups;
+      blas::sbgemv_grouped(*sb, args, options_.gemv_policy);
+    });
+    gemv_seconds += sb->now() - gemv_t0;
+    dispatch2(p3, p4, [&](auto tag3, auto tag4) {
+      using C3 = std::complex<decltype(tag3)>;
+      using C4 = std::complex<decltype(tag4)>;
+      const C3* ospec_t = ospec_t_set[par]->get<C3>(*dev_, nf * cmax * ns_out);
+      C4* ospec = ospec_set[par]->get<C4>(*dev_, cmax * ns_out * nf);
+      if (fuse || std::is_same_v<C3, C4>) {
+        precision::transpose_cast<C4>(*sb, ospec_t, ospec, nf, cb * ns_out);
+      } else {
+        C3* tmp = ospec_set[par]->get<C3>(*dev_, cmax * ns_out * nf);
+        precision::transpose_cast<C3>(*sb, ospec_t, tmp, nf, cb * ns_out);
+        precision::convert_array(*sb, tmp, ospec, cb * ns_out * nf);
+      }
+    });
+    timings_.sbgemv += sb->now() - t0;
+    ev_gemv[static_cast<std::size_t>(i)].record(*sb);
+  };
+
+  const auto stage3 = [&](index_t i) {
+    const index_t lo = chunk_lo(i), hi = chunk_lo(i + 1);
+    const index_t cb = hi - lo;
+    const std::size_t par = static_cast<std::size_t>(i % 2);
+    sa.wait(ev_gemv[static_cast<std::size_t>(i)]);
+    double t0 = sa.now();
+    dispatch1(p4, [&](auto tag4) {
+      using S4 = decltype(tag4);
+      using C4 = std::complex<S4>;
+      auto& plan = [&]() -> fft::BatchedRealFft<S4>& {
+        if constexpr (std::is_same_v<S4, double>) {
+          auto& slot = adjoint ? fft_m_d_ : fft_d_d_;
+          if (!slot || slot->batch() != ns_out) slot.emplace(L, ns_out);
+          return *slot;
+        } else {
+          auto& slot = adjoint ? fft_m_f_ : fft_d_f_;
+          if (!slot || slot->batch() != ns_out) slot.emplace(L, ns_out);
+          return *slot;
+        }
+      }();
+      const C4* ospec = ospec_set[par]->get<C4>(*dev_, cmax * ns_out * nf);
+      S4* opad = opad_.get<S4>(*dev_, cmax * ns_out * L);
+      plan.inverse_on(sa, ospec, nf, opad, L, /*batch_multiplier=*/cb);
+    });
+    timings_.ifft += sa.now() - t0;
+    t0 = sa.now();
+    for (index_t r = lo; r < hi; ++r) {
+      dispatch2(p4, p5, [&](auto tag4, auto tag5) {
+        using S4 = decltype(tag4);
+        using S5 = decltype(tag5);
+        const S4* opad =
+            opad_.get<S4>(*dev_, cmax * ns_out * L) + (r - lo) * ns_out * L;
+        S5* olocal = olocal_.get<S5>(*dev_, nt * ns_out);
+        if (fuse || std::is_same_v<S4, S5>) {
+          precision::unpad_transpose_cast<S5>(sa, opad, olocal, nt, ns_out, L);
+        } else {
+          S4* tmp = olocal_.get<S4>(*dev_, nt * ns_out);
+          precision::unpad_transpose_cast<S4>(sa, opad, tmp, nt, ns_out, L);
+          precision::convert_array(sa, tmp, olocal, nt * ns_out);
+        }
+      });
+      dispatch1(p5, [&](auto tag5) {
+        using S5 = decltype(tag5);
+        S5* olocal = olocal_.get<S5>(*dev_, nt * ns_out);
+        double* out = outputs[r].data();
+        if (out != nullptr || dev_->phantom()) {
+          if constexpr (std::is_same_v<S5, double>) {
+            sa.copy(olocal, out, nt * ns_out);
+          } else {
+            precision::convert_array(sa, olocal, out, nt * ns_out);
+          }
+        }
+      });
+    }
+    timings_.unpad += sa.now() - t0;
+  };
+
+  stage1(0);
+  for (index_t i = 0; i < chunks; ++i) {
+    stage2(i);
+    if (i + 1 < chunks) stage1(i + 1);
+    stage3(i);
+  }
+  // Stream A waited on every stage-2 event, so its elapsed time IS
+  // the two-stream makespan: overlapped time is credited as
+  // max-over-streams, while the per-phase fields above carry the
+  // busy-time sum (makespan == busy total iff chunks == 1).
+  timings_.makespan = sa.now() - t_begin;
+
+  // ---- Per-RHS attribution (last_batch_timings).  Phases 1/2/4/5,
+  // the phase-3 reorders and the batch makespan do identical work per
+  // RHS (one shape per batch) and split evenly (so the shares' phase
+  // fields sum to the batch's busy phases and their makespans to the
+  // batch makespan); the GEMV launch splits across groups in
   // proportion to each group's modelled traffic — one n_d x n_m
   // matrix read per group plus the group's (ns_in + ns_out) vector
   // elements per RHS, the nf and element-size factors cancelling —

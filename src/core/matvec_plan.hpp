@@ -21,6 +21,14 @@
 // operations (toggleable for the fusion ablation); the pure reorders
 // read the producer's precision and write the consumer's, so traffic
 // runs at the lowest adjacent width.
+//
+// Batched applies (apply_batch) optionally execute phase-pipelined:
+// the RHS dimension splits into chunks software-pipelined over two
+// streams under the device layer's Event/Stream::wait ordering
+// contract (see BatchPipeline and device/stream.hpp), overlapping one
+// chunk's SBGEMV with its successor's pad+FFT.  Outputs are
+// bit-identical to the serial batch; PhaseTimings separates the
+// end-to-end makespan from the busy-time phase fields.
 #pragma once
 
 #include <cstdint>
@@ -42,6 +50,18 @@ namespace fftmv::core {
 
 /// Simulated seconds per computational phase of one matvec
 /// (mirroring the runtime breakdowns of Figures 2-3).
+///
+/// Makespan vs busy time: the per-phase fields are *busy* time — the
+/// simulated seconds each phase's kernels were charged, regardless of
+/// which stream ran them — so total() is the serial-equivalent work.
+/// `makespan` is the end-to-end simulated duration of the apply.  A
+/// serial apply sets makespan == total(); a pipelined apply_batch
+/// overlaps the SBGEMV stage with the FFT stages of neighbouring RHS
+/// chunks on a second stream, so makespan < total() and the gap is
+/// exactly the overlapped time (credited max-over-streams, see
+/// device/stream.hpp).  Per-RHS attributions (last_batch_timings)
+/// split both: phase fields sum to the batch's phase fields and
+/// makespan shares sum to the batch makespan.
 struct PhaseTimings {
   double pad = 0.0;     ///< broadcast staging + transpose/pad (+cast)
   double fft = 0.0;     ///< phase-2 batched FFT
@@ -49,9 +69,14 @@ struct PhaseTimings {
   double ifft = 0.0;    ///< phase-4 batched IFFT
   double unpad = 0.0;   ///< unpad/transpose + final cast
   double comm = 0.0;    ///< modelled broadcast + reduction time
+  double makespan = 0.0;  ///< end-to-end duration (== total() when serial)
 
   double compute_total() const { return pad + fft + sbgemv + ifft + unpad; }
   double total() const { return compute_total() + comm; }
+  /// End-to-end simulated duration: the recorded makespan, falling
+  /// back to the busy total for timings that predate pipelining
+  /// (zero-initialised accumulators).
+  double span() const { return makespan > 0.0 ? makespan : total(); }
 
   PhaseTimings& operator+=(const PhaseTimings& o);
   PhaseTimings& operator*=(double s);
@@ -65,6 +90,28 @@ enum class ApplyDirection : unsigned char { kForward, kAdjoint };
 /// in an apply_batch call.
 using VectorView = std::span<double>;
 using ConstVectorView = std::span<const double>;
+
+/// Pipelined-execution request for apply_batch: split the batch's b
+/// right-hand sides into `chunks` contiguous chunks and software-
+/// pipeline them across two streams — chunk i's phase-3 grouped
+/// SBGEMV (plus both Fourier reorders) runs on the auxiliary stream
+/// while chunk i+1's phase-1/2 pad+FFT runs on the plan's own stream,
+/// with phase-4/5 draining behind.  Cross-stream ordering uses the
+/// device layer's Event/Stream::wait contract; the spectrum
+/// workspaces ping-pong so a chunk's FFT never overwrites the
+/// spectrum its predecessor's GEMV is still consuming.  Results are
+/// bit-identical to the serial batch for every precision config
+/// (chunks partition the RHS dimension; per-RHS arithmetic is
+/// untouched); chunks <= 1 is exactly today's serial execution.
+struct BatchPipeline {
+  /// RHS chunks to pipeline; clamped to the batch size; <= 1 = serial.
+  index_t chunks = 1;
+  /// Stream for the SBGEMV stage.  nullptr lets the plan use an
+  /// internally-owned second stream; the serving layer passes its
+  /// lane's own auxiliary stream instead (stream pairs are lane-
+  /// owned, so a cached plan is still never driven by two threads).
+  device::Stream* aux = nullptr;
+};
 
 struct MatvecOptions {
   blas::GemvKernelPolicy gemv_policy = blas::GemvKernelPolicy::kAuto;
@@ -110,10 +157,13 @@ class FftMatvecPlan {
   /// forward()/adjoint() calls for every precision config; b == 1 is
   /// the degenerate case.  last_timings() afterwards holds the totals
   /// for the whole batch and last_batch_timings() the per-RHS shares.
+  /// `pipeline` requests chunked dual-stream execution (bit-identical
+  /// outputs, lower makespan — see BatchPipeline).
   void apply_batch(const BlockToeplitzOperator& op, ApplyDirection direction,
                    const precision::PrecisionConfig& config,
                    std::span<const ConstVectorView> inputs,
-                   std::span<const VectorView> outputs);
+                   std::span<const VectorView> outputs,
+                   const BatchPipeline& pipeline = {});
 
   /// One operator's contiguous slice of a grouped batch: `rhs_count`
   /// right-hand sides applied through `op`.  Every group's operator
@@ -134,12 +184,15 @@ class FftMatvecPlan {
   /// ordered group by group: group g's RHS r sits at global index
   /// (sum of earlier groups' rhs_count) + r.  Results are
   /// bit-identical to per-operator apply_batch calls (and therefore
-  /// to b independent applies) in every precision config.
+  /// to b independent applies) in every precision config, pipelined
+  /// or serial (chunks split the RHS dimension across group
+  /// boundaries; each chunk carries its groups' slice).
   void apply_batch(std::span<const OperatorGroup> groups,
                    ApplyDirection direction,
                    const precision::PrecisionConfig& config,
                    std::span<const ConstVectorView> inputs,
-                   std::span<const VectorView> outputs);
+                   std::span<const VectorView> outputs,
+                   const BatchPipeline& pipeline = {});
 
   /// Receives the un-reduced phase-5 partial output in the phase-5
   /// precision (exactly one pointer must be set, matching the
@@ -231,6 +284,15 @@ class FftMatvecPlan {
   DualReal opad_;      ///< padded real output (x L)
   DualReal olocal_;    ///< unpadded TOSI partial output
   DualReal oreduce_;   ///< reduction receive buffer (group root)
+
+  // Second spectrum workspace set for pipelined apply_batch: chunk i
+  // uses set i % 2, so chunk i+1's FFT (stream A) writes while chunk
+  // i's GEMV stage (stream B) still reads the other set.  Serial
+  // applies only ever touch set 0 (the members above).
+  DualComplex spec_alt_, spec_t_alt_, ospec_t_alt_, ospec_alt_;
+  /// Lazily-created second stream for pipelined applies when the
+  /// caller does not supply one (BatchPipeline::aux == nullptr).
+  std::optional<device::Stream> owned_aux_;
 };
 
 }  // namespace fftmv::core

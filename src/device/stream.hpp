@@ -7,10 +7,28 @@
 // block_z) and performs that block's entire work; thread-level
 // behaviour that matters for numerics (e.g. wavefront-shuffle
 // reduction order) is expressed inside the functor.
+//
+// Event-ordering contract (the cudaStreamWaitEvent analogue): an
+// Event records the clock of the stream it was recorded on, and
+// `Stream::wait(event)` advances the waiting stream's clock to
+// max(own clock, event clock).  Because streams are in order, every
+// launch issued after the wait is therefore modelled as starting no
+// earlier than the recorded point — this is the whole dependency
+// semantics multi-stream software pipelines (pipelined apply_batch,
+// the overlap ablation) are built on.  The jump, if any, is idle
+// time: it advances now() but not busy().
+//
+// Makespan vs busy time: now() is the stream's clock (work + idle),
+// busy() only the charged work.  For a group of streams on one
+// device, overlapped execution is credited as the *makespan* —
+// max-over-streams of now() — while sum-over-streams of busy() is
+// the serial-equivalent work; the two coincide exactly when nothing
+// overlapped (see group_timing).
 #pragma once
 
 #include <algorithm>
 #include <functional>
+#include <initializer_list>
 
 #include "device/device.hpp"
 
@@ -24,8 +42,15 @@ class Stream {
 
   Device& device() const { return *dev_; }
 
-  /// Simulated seconds elapsed on this stream since creation.
+  /// Simulated seconds elapsed on this stream since creation (work
+  /// plus idle time spent in wait()).
   double now() const { return sim_time_; }
+
+  /// Simulated seconds of work charged to this stream (launches,
+  /// copies, fills, advances).  Excludes idle jumps from wait(), so
+  /// with overlapped multi-stream execution sum-of-busy can exceed
+  /// the max-over-streams makespan.
+  double busy() const { return busy_; }
 
   /// Execute `block_fn(bx, by, bz)` for every gridblock and advance
   /// the simulated clock.  Returns the timing breakdown for the
@@ -50,6 +75,7 @@ class Stream {
     }
     const KernelTiming t = dev_->cost_model().kernel_time(geom, fp);
     sim_time_ += t.seconds;
+    busy_ += t.seconds;
     return t;
   }
 
@@ -58,7 +84,9 @@ class Stream {
   void copy(const T* src, T* dst, index_t count) {
     const double bytes = static_cast<double>(count) * sizeof(T);
     if (count > 0 && !dev_->phantom()) std::copy(src, src + count, dst);
-    sim_time_ += dev_->cost_model().memcpy_time(bytes);
+    const double t = dev_->cost_model().memcpy_time(bytes);
+    sim_time_ += t;
+    busy_ += t;
   }
 
   /// Zero-fill with simulated write-only streaming time.
@@ -66,16 +94,28 @@ class Stream {
   void fill_zero(T* dst, index_t count) {
     const double bytes = static_cast<double>(count) * sizeof(T);
     if (count > 0 && !dev_->phantom()) std::fill(dst, dst + count, T{});
-    sim_time_ += dev_->cost_model().memset_time(bytes);
+    const double t = dev_->cost_model().memset_time(bytes);
+    sim_time_ += t;
+    busy_ += t;
   }
 
   /// Advance the clock without work (e.g. modelled communication
   /// time charged to this stream by the comm layer).
-  void advance(double seconds) { sim_time_ += seconds; }
+  void advance(double seconds) {
+    sim_time_ += seconds;
+    busy_ += seconds;
+  }
+
+  /// Block this stream behind a recorded event: clock becomes
+  /// max(own, event) — see the event-ordering contract above.  A wait
+  /// on an event recorded earlier on this same stream is a no-op
+  /// (in-order streams never run backwards).
+  inline void wait(const Event& e);
 
  private:
   Device* dev_;
   double sim_time_ = 0.0;
+  double busy_ = 0.0;
 };
 
 /// CUDA-event analogue over the simulated clock.
@@ -92,5 +132,29 @@ class Event {
  private:
   double time_ = 0.0;
 };
+
+inline void Stream::wait(const Event& e) {
+  sim_time_ = std::max(sim_time_, e.seconds());
+}
+
+/// Aggregate timing of a set of streams driven together on one
+/// device: `makespan` is the max-over-streams clock (what overlapped
+/// execution is credited), `busy` the sum-over-streams charged work
+/// (the serial-equivalent).  busy > makespan measures real overlap;
+/// equality (up to idle gaps) means nothing overlapped.
+struct StreamGroupTiming {
+  double makespan = 0.0;
+  double busy = 0.0;
+};
+
+inline StreamGroupTiming group_timing(
+    std::initializer_list<const Stream*> streams) {
+  StreamGroupTiming t;
+  for (const Stream* s : streams) {
+    t.makespan = std::max(t.makespan, s->now());
+    t.busy += s->busy();
+  }
+  return t;
+}
 
 }  // namespace fftmv::device

@@ -5,13 +5,18 @@
 
 namespace fftmv::serve {
 
-RequestQueue::RequestQueue(int max_batch, double linger_seconds)
-    : max_batch_(max_batch), linger_seconds_(linger_seconds) {
+RequestQueue::RequestQueue(int max_batch, double linger_seconds, int max_groups)
+    : max_batch_(max_batch),
+      linger_seconds_(linger_seconds),
+      max_groups_(max_groups) {
   if (max_batch_ < 1) {
     throw std::invalid_argument("RequestQueue: max_batch must be >= 1");
   }
   if (linger_seconds_ < 0.0) {
     throw std::invalid_argument("RequestQueue: linger must be >= 0");
+  }
+  if (max_groups_ < 0) {
+    throw std::invalid_argument("RequestQueue: max_groups must be >= 0");
   }
 }
 
@@ -67,13 +72,26 @@ std::optional<Batch> RequestQueue::pop_batch() {
     auto& q = queues_.at(key);
     Batch batch;
     batch.key = key;
-    const auto take = std::min<std::size_t>(q.size(), static_cast<std::size_t>(max_batch_));
-    batch.requests.reserve(take);
-    for (std::size_t i = 0; i < take; ++i) {
+    const auto cap = std::min<std::size_t>(q.size(), static_cast<std::size_t>(max_batch_));
+    batch.requests.reserve(cap);
+    // Group-aware admission: take in FIFO order, stopping before the
+    // request that would introduce distinct tenant max_groups_ + 1
+    // (the first request is always taken, so pops make progress).
+    std::vector<TenantId> taken_tenants;
+    while (batch.requests.size() < cap) {
+      const TenantId tenant = q.front().tenant;
+      if (std::find(taken_tenants.begin(), taken_tenants.end(), tenant) ==
+          taken_tenants.end()) {
+        if (max_groups_ > 0 &&
+            static_cast<int>(taken_tenants.size()) >= max_groups_) {
+          break;
+        }
+        taken_tenants.push_back(tenant);
+      }
       batch.requests.push_back(std::move(q.front()));
       q.pop_front();
     }
-    total_pending_ -= take;
+    total_pending_ -= batch.requests.size();
     rotation_.erase(ready);
     if (q.empty()) {
       queues_.erase(key);

@@ -22,6 +22,16 @@
 // rotation, giving per-shape fairness under skewed load (per-tenant
 // fairness within a shared key degenerates to FIFO, which cannot
 // starve: every coalesced companion rides the same dispatch).
+//
+// Group-aware admission: `max_groups` (0 = unlimited) caps the number
+// of DISTINCT tenants a popped batch may span.  Each tenant group in
+// the fused grouped SBGEMV re-pays the operator's per-frequency
+// matrix traffic, so a batch of b singleton tenants costs b matrix
+// reads — under many-tiny-tenant skew the cap keeps the grouped
+// GEMV's matrix traffic bounded.  The take loop stops (in FIFO order)
+// at the first request that would introduce group max_groups + 1;
+// leftovers stay queued, keep their linger deadlines, and ride the
+// key's next round-robin turn, so nothing starves.
 #pragma once
 
 #include <chrono>
@@ -56,7 +66,11 @@ struct MatvecResult {
   std::vector<double> output;
   double queue_seconds = 0.0;  ///< submit -> batch execution start (wall)
   double exec_seconds = 0.0;   ///< execution start -> completion (wall)
-  double sim_seconds = 0.0;    ///< simulated device seconds of this apply
+  /// This request's share of the batch's end-to-end simulated
+  /// duration (makespan): shares sum to the lane's clock advance even
+  /// when a pipelined batch overlapped SBGEMV with FFT across its
+  /// stream pair.  Per-phase busy time lives in `timings`.
+  double sim_seconds = 0.0;
   /// This request's share of the batch's per-phase simulated times: a
   /// coalesced batch runs as ONE fused apply_batch, and the batch
   /// totals are attributed by each request's share of the modelled
@@ -96,7 +110,8 @@ struct Batch {
 
 class RequestQueue {
  public:
-  RequestQueue(int max_batch, double linger_seconds);
+  /// `max_groups` caps distinct tenants per popped batch; 0 = unlimited.
+  RequestQueue(int max_batch, double linger_seconds, int max_groups = 0);
 
   /// Enqueue one request (any thread).  Returns false after close():
   /// the caller keeps the request and must fail its promise itself.
@@ -114,10 +129,12 @@ class RequestQueue {
   std::size_t pending() const;
   int max_batch() const { return max_batch_; }
   double linger_seconds() const { return linger_seconds_; }
+  int max_groups() const { return max_groups_; }
 
  private:
   int max_batch_;
   double linger_seconds_;
+  int max_groups_;
   mutable std::mutex mutex_;
   std::condition_variable cv_;
   std::map<BatchKey, std::deque<PendingRequest>> queues_;

@@ -21,31 +21,86 @@ ServeOptions resolve_options(ServeOptions options, const device::DeviceSpec& spe
   return options;
 }
 
+/// Shared fixture for the adaptive-policy probes: a phantom device
+/// (dry runs are pure cost-model arithmetic — deterministic per
+/// DeviceSpec, no buffers, no kernels), a stream pair, an empty-
+/// column operator and a plan at `dims`.  `timed_apply` runs one
+/// null-view apply_batch and returns its simulated duration.
+struct PhantomProbe {
+  device::Device dev;
+  device::Stream stream, aux;
+  core::BlockToeplitzOperator op;
+  core::FftMatvecPlan plan;
+
+  PhantomProbe(const device::DeviceSpec& spec, const core::ProblemDims& dims)
+      : dev(spec, &util::ThreadPool::global(), /*phantom=*/true),
+        stream(dev),
+        aux(dev),
+        op(dev, stream, core::LocalDims::single_rank(dims), {}),
+        plan(dev, stream, core::LocalDims::single_rank(dims)) {}
+
+  double timed_apply(index_t b, core::ApplyDirection direction,
+                     const precision::PrecisionConfig& config,
+                     index_t chunks = 1) {
+    const std::vector<core::ConstVectorView> ins(static_cast<std::size_t>(b));
+    const std::vector<core::VectorView> outs(static_cast<std::size_t>(b));
+    const double t0 = stream.now();
+    plan.apply_batch(op, direction, config, ins, outs, {chunks, &aux});
+    return stream.now() - t0;
+  }
+};
+
 }  // namespace
 
+int adaptive_pipeline_chunks(const device::DeviceSpec& spec,
+                             const core::ProblemDims& dims, int max_batch,
+                             Direction direction,
+                             const precision::PrecisionConfig& config) {
+  // Probe the chunked dual-stream pipeline at the tenant's own shape,
+  // batch size, direction and precision config — a handful of phantom
+  // pipeline evaluations, memoized by the scheduler per combination.
+  // Chunking re-pays the grouped SBGEMV's matrix traffic once per
+  // chunk, so the argmin naturally lands on serial for small
+  // batches/shapes and on 2-8 chunks where the batch is wide enough
+  // for overlap to dominate the re-read.
+  constexpr double kMinGain = 0.03;  // < 3% modelled win: stay serial
+  const index_t b = std::max(1, max_batch);
+  PhantomProbe probe(spec, dims);
+  if (config.phase(precision::kPhaseSbgemv) == precision::Precision::kSingle) {
+    probe.op.spectrum_f(probe.stream);  // warm the cast outside the probe
+  }
+  const auto apply_dir = direction == Direction::kAdjoint
+                             ? core::ApplyDirection::kAdjoint
+                             : core::ApplyDirection::kForward;
+  double serial_s = 0.0, best_s = 0.0;
+  int best_chunks = 1;
+  for (const index_t chunks : {1, 2, 4, 8}) {
+    if (chunks != 1 && chunks * 2 > b) break;  // < 2 RHS per chunk: skip
+    const double t = probe.timed_apply(b, apply_dir, config, chunks);
+    if (chunks == 1) serial_s = t;
+    if (chunks == 1 || t < best_s) {
+      best_s = t;
+      best_chunks = static_cast<int>(chunks);
+    }
+  }
+  return best_s < serial_s * (1.0 - kMinGain) ? best_chunks : 1;
+}
+
 int adaptive_max_batch(const device::DeviceSpec& spec) {
-  // Phantom dry runs are pure cost-model arithmetic — deterministic
-  // per DeviceSpec, no buffers, no kernels — at the shape
-  // bench/batch_sweep measures its curve on.
-  // Stop when doubling the batch buys < 7% per-RHS: on MI300X at the
-  // serve shape the marginal gains run 8.8% (8 -> 16) and 5.1%
+  // Probe the batching curve at the shape bench/batch_sweep measures
+  // it on.  Stop when doubling the batch buys < 7% per-RHS: on MI300X
+  // at the serve shape the marginal gains run 8.8% (8 -> 16) and 5.1%
   // (16 -> 32), so this resolves to 16 — the measured curve's knee —
   // with margin on both sides.
   constexpr double kKneeGain = 0.07;
   constexpr int kCeiling = 64;
-  device::Device dev(spec, &util::ThreadPool::global(), /*phantom=*/true);
-  device::Stream stream(dev);
-  const auto local = core::LocalDims::single_rank(kBatchCurveShape);
-  core::BlockToeplitzOperator op(dev, stream, local, {});
-  core::FftMatvecPlan plan(dev, stream, local);
+  PhantomProbe probe(spec, kBatchCurveShape);
   double prev_per_rhs = 0.0;
   for (int b = 1;; b *= 2) {
-    const std::vector<core::ConstVectorView> ins(static_cast<std::size_t>(b));
-    const std::vector<core::VectorView> outs(static_cast<std::size_t>(b));
-    const double t0 = stream.now();
-    plan.apply_batch(op, core::ApplyDirection::kForward,
-                     precision::PrecisionConfig{}, ins, outs);
-    const double per_rhs = (stream.now() - t0) / static_cast<double>(b);
+    const double per_rhs =
+        probe.timed_apply(b, core::ApplyDirection::kForward,
+                          precision::PrecisionConfig{}) /
+        static_cast<double>(b);
     if (b > 1 && per_rhs > prev_per_rhs * (1.0 - kKneeGain)) return b / 2;
     if (b >= kCeiling) return kCeiling;
     prev_per_rhs = per_rhs;
@@ -57,13 +112,18 @@ AsyncScheduler::AsyncScheduler(const device::DeviceSpec& spec, ServeOptions opti
       dev_(spec),
       setup_stream_(dev_),
       cache_(dev_, options_.plan_cache_capacity),
-      queue_(options_.max_batch, options_.linger_seconds) {
+      queue_(options_.max_batch, options_.linger_seconds,
+             options_.max_groups_per_batch) {
   if (options_.num_streams < 1) {
     throw std::invalid_argument("AsyncScheduler: num_streams must be >= 1");
+  }
+  if (options_.pipeline_chunks < 0) {
+    throw std::invalid_argument("AsyncScheduler: pipeline_chunks must be >= 0");
   }
   lanes_.resize(static_cast<std::size_t>(options_.num_streams));
   for (std::size_t i = 0; i < lanes_.size(); ++i) {
     lanes_[i].stream = std::make_unique<device::Stream>(dev_);
+    lanes_[i].aux = std::make_unique<device::Stream>(dev_);
   }
   // Streams first, then workers: a worker may touch any lane state
   // only through its own index.
@@ -89,10 +149,46 @@ TenantId AsyncScheduler::add_tenant(const core::ProblemDims& dims,
                                                        first_block_col);
     op->spectrum_f(setup_stream_);
   }
+  // Pre-warm the shape's full-batch forward-ddddd pipeline resolution
+  // (a phantom cost-model probe in auto mode) off the request path;
+  // other (batch size, direction, precision) combinations resolve
+  // lazily at first dispatch.
+  pipeline_chunks_for(local, static_cast<index_t>(options_.max_batch),
+                      Direction::kForward, precision::PrecisionConfig{});
   std::lock_guard lock(tenants_mutex_);
   const TenantId id = next_tenant_++;
   tenants_.emplace(id, Tenant{local, std::move(op)});
   return id;
+}
+
+int AsyncScheduler::pipeline_chunks_for(const core::LocalDims& dims,
+                                        index_t batch, Direction direction,
+                                        const precision::PrecisionConfig& config) {
+  if (options_.pipeline_chunks == 1 || batch < 4) return 1;  // < 2 chunks of 2
+  if (options_.pipeline_chunks >= 2) {
+    // Forced mode: honour the override, clamped to >= 2 RHS per chunk.
+    const auto chunks = std::min<index_t>(options_.pipeline_chunks, batch / 2);
+    return chunks < 2 ? 1 : static_cast<int>(chunks);
+  }
+  const auto key = std::make_tuple(dims, batch,
+                                   direction == Direction::kAdjoint,
+                                   config.to_string());
+  {
+    std::lock_guard lock(pipeline_mutex_);
+    if (const auto it = pipeline_chunks_by_key_.find(key);
+        it != pipeline_chunks_by_key_.end()) {
+      return it->second;
+    }
+  }
+  // Probe outside the lock (pure phantom cost-model arithmetic, no
+  // shared state); concurrent resolvers of the same key agree, so the
+  // first writer winning is harmless.
+  const int chunks =
+      adaptive_pipeline_chunks(dev_.spec(), dims.global,
+                               static_cast<int>(batch), direction, config);
+  std::lock_guard lock(pipeline_mutex_);
+  pipeline_chunks_by_key_.emplace(key, chunks);
+  return chunks;
 }
 
 std::future<MatvecResult> AsyncScheduler::submit(TenantId tenant, Direction direction,
@@ -180,6 +276,7 @@ void AsyncScheduler::execute_batch(int lane, Batch& batch) {
   std::vector<std::shared_ptr<core::BlockToeplitzOperator>> ops;
   std::vector<core::FftMatvecPlan::OperatorGroup> groups;
   std::exception_ptr batch_error;
+  int resolved_chunks = 1;
   try {
     {
       std::lock_guard lock(tenants_mutex_);
@@ -194,6 +291,13 @@ void AsyncScheduler::execute_batch(int lane, Batch& batch) {
       }
     }
     config = precision::PrecisionConfig::parse(batch.key.precision);
+    // Resolved for this exact (shape, batch size, direction,
+    // precision): every pipelined dispatch runs a configuration the
+    // model validated against serial — a partial, adjoint or
+    // lower-precision batch never inherits the full-batch
+    // forward-ddddd count.
+    resolved_chunks = pipeline_chunks_for(dims, static_cast<index_t>(b),
+                                          batch.key.direction, config);
     plan = cache_.acquire(PlanKey{dims, options_.matvec, dev_.spec().name, lane},
                           stream);
   } catch (...) {
@@ -205,8 +309,11 @@ void AsyncScheduler::execute_batch(int lane, Batch& batch) {
   // and phase 3 is a single grouped multi-RHS SBGEMV carrying one
   // operator-spectrum pointer per tenant group, so matrix traffic is
   // paid once per (frequency, tenant) instead of once per request.
-  // The batch's simulated time and PhaseTimings are attributed by
-  // each request's share of the modelled phase work
+  // When the shape's resolved pipeline chunk count and the batch size
+  // allow (>= 2 chunks of >= 2 RHS), the apply is software-pipelined
+  // over the lane's stream pair — bit-identical outputs, lower
+  // simulated makespan.  The batch's simulated time and PhaseTimings
+  // are attributed by each request's share of the modelled phase work
   // (plan->last_batch_timings()).
   std::vector<MatvecResult> results(b);
   std::vector<core::PhaseTimings> shares;
@@ -222,10 +329,13 @@ void AsyncScheduler::execute_batch(int lane, Batch& batch) {
         inputs[r] = batch.requests[r].input;
         outputs[r] = results[r].output;
       }
+      core::BatchPipeline pipeline;
+      pipeline.chunks = resolved_chunks;
+      pipeline.aux = lanes_[static_cast<std::size_t>(lane)].aux.get();
       plan->apply_batch(groups,
                         forward ? core::ApplyDirection::kForward
                                 : core::ApplyDirection::kAdjoint,
-                        config, inputs, outputs);
+                        config, inputs, outputs, pipeline);
       shares = plan->last_batch_timings();
     } catch (...) {
       batch_error = std::current_exception();
@@ -243,7 +353,11 @@ void AsyncScheduler::execute_batch(int lane, Batch& batch) {
     } else {
       MatvecResult result = std::move(results[r]);
       result.timings = shares[r];
-      result.sim_seconds = shares[r].compute_total();
+      // span(): the request's share of the batch's end-to-end
+      // makespan, so per-request sim times still sum to the lane
+      // clock advance when a pipelined batch overlapped phases
+      // (busy-time per phase stays available in `timings`).
+      result.sim_seconds = shares[r].span();
       result.queue_seconds = queue_s;
       result.exec_seconds = seconds_between(exec_start, clock::now());
       result.batch_size = batch_size;
@@ -302,9 +416,21 @@ MetricsSnapshot AsyncScheduler::metrics() const {
 }
 
 double AsyncScheduler::max_lane_sim_seconds() const {
+  // Max-over-streams: a pipelined apply joins the pair before
+  // returning, so the main stream normally dominates, but the aux
+  // clocks are included for the makespan-accounting contract.
   double m = 0.0;
-  for (const auto& lane : lanes_) m = std::max(m, lane.stream->now());
+  for (const auto& lane : lanes_) {
+    m = std::max(m, lane.stream->now());
+    m = std::max(m, lane.aux->now());
+  }
   return m;
+}
+
+int AsyncScheduler::resolved_pipeline_chunks(const core::ProblemDims& dims) {
+  return pipeline_chunks_for(core::LocalDims::single_rank(dims),
+                             static_cast<index_t>(options_.max_batch),
+                             Direction::kForward, precision::PrecisionConfig{});
 }
 
 }  // namespace fftmv::serve

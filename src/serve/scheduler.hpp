@@ -18,10 +18,12 @@
 #pragma once
 
 #include <future>
+#include <map>
 #include <memory>
 #include <span>
 #include <string>
 #include <thread>
+#include <tuple>
 #include <unordered_map>
 #include <vector>
 
@@ -61,6 +63,23 @@ struct ServeOptions {
   /// default).  false restores the PR 3 same-tenant-only coalescing;
   /// kept for the serve_throughput ablation and A/B debugging.
   bool cross_tenant_batching = true;
+  /// RHS chunks per pipelined apply_batch (core::BatchPipeline): a
+  /// batch is split into chunks software-pipelined over the lane's
+  /// stream pair so chunk i's SBGEMV overlaps chunk i+1's pad+FFT.
+  /// 0 (the default) resolves per tenant shape from the modelled
+  /// phase ratio (adaptive_pipeline_chunks — which picks serial
+  /// whenever chunking's per-chunk matrix re-read outweighs the
+  /// overlap, as it does for small batches); 1 forces today's serial
+  /// execution; >= 2 forces that chunk count.  Outputs are
+  /// bit-identical in every mode.  Not part of PlanKey: the stream
+  /// pair is lane-owned and chunking is a per-apply execution mode,
+  /// so cached plans are shared across modes.
+  int pipeline_chunks = 0;
+  /// Cap on DISTINCT tenants coalesced into one batch (group-aware
+  /// admission): each operator group in the fused grouped SBGEMV
+  /// re-pays the per-frequency matrix traffic, so unbounded tiny-
+  /// batch tenant mixing bloats the launch.  0 = unlimited.
+  int max_groups_per_batch = 0;
   /// Matvec execution options shared by all tenants.
   core::MatvecOptions matvec;
 };
@@ -79,6 +98,26 @@ inline constexpr core::ProblemDims kBatchCurveShape{192, 12, 96};
 /// evaluations — pure cost-model arithmetic, well under a
 /// millisecond — so it simply reruns per scheduler construction.
 int adaptive_max_batch(const device::DeviceSpec& spec);
+
+/// The chunk count pipelined apply_batch should use for `dims` at
+/// batch size `max_batch` on `spec`, for the given direction and
+/// precision config (phase ratios — and so the chunking trade —
+/// shift with both): phantom dry runs of the chunked dual-stream
+/// pipeline over chunk counts {1, 2, 4, 8} (pure cost-model
+/// arithmetic, deterministic per spec), returning the
+/// modelled-makespan argmin — or 1 (serial) unless the best pipelined
+/// schedule beats serial by > 3%, so marginal shapes never flap into
+/// chunking for noise-level gains.  Chunking trades the overlap win
+/// against one extra matrix read per chunk in the grouped SBGEMV, so
+/// small batches and small shapes resolve to serial while
+/// assembly-sized batches at paper-like shapes resolve to 2-8.
+/// Used to resolve ServeOptions::pipeline_chunks == 0, memoized per
+/// (shape, batch size, direction, precision) so every pipelined
+/// dispatch runs exactly the configuration the model validated.
+int adaptive_pipeline_chunks(
+    const device::DeviceSpec& spec, const core::ProblemDims& dims,
+    int max_batch, Direction direction = Direction::kForward,
+    const precision::PrecisionConfig& config = {});
 
 class AsyncScheduler {
  public:
@@ -115,6 +154,12 @@ class AsyncScheduler {
   const ServeOptions& options() const { return options_; }
   int num_lanes() const { return static_cast<int>(lanes_.size()); }
 
+  /// The pipeline chunk count a FULL batch (max_batch RHS) of this
+  /// shape dispatches with: the memoized auto resolution when
+  /// pipeline_chunks == 0, else the (clamped) forced value.  Partial
+  /// batches resolve separately per actual size at dispatch.
+  int resolved_pipeline_chunks(const core::ProblemDims& dims);
+
   /// Simulated seconds of the busiest lane stream (the service's
   /// simulated makespan, excluding tenant setup).  Stream clocks are
   /// unsynchronised plain doubles: call only when the service is
@@ -128,8 +173,14 @@ class AsyncScheduler {
     core::LocalDims dims;
     std::shared_ptr<core::BlockToeplitzOperator> op;
   };
+  /// Each lane owns a stream PAIR: `stream` drives the serial phases
+  /// (and is the stream cached plans are bound to), `aux` carries the
+  /// SBGEMV stage of pipelined batches (core::BatchPipeline::aux).
+  /// Pair ownership is per lane, so a cached plan is still never
+  /// driven from two threads and PlanKey is unchanged.
   struct Lane {
     std::unique_ptr<device::Stream> stream;
+    std::unique_ptr<device::Stream> aux;
     std::thread worker;
   };
 
@@ -144,9 +195,29 @@ class AsyncScheduler {
   RequestQueue queue_;
   mutable ServeMetrics metrics_;  ///< internally synchronised sink
 
+  /// Auto-mode pipeline chunk count for batches of this exact
+  /// (shape, batch size, direction, precision) — memoized
+  /// adaptive_pipeline_chunks probes, so every dispatched (chunks, b)
+  /// configuration is one the model validated against serial for the
+  /// batch's own config (a count resolved at max_batch / forward /
+  /// ddddd is never blindly applied to a partial, adjoint or
+  /// lower-precision batch).  add_tenant pre-warms the full-batch
+  /// forward-ddddd entry; other combinations probe lazily on first
+  /// dispatch (microseconds of cost-model arithmetic).
+  int pipeline_chunks_for(const core::LocalDims& dims, index_t batch,
+                          Direction direction,
+                          const precision::PrecisionConfig& config);
+
   mutable std::mutex tenants_mutex_;
   std::unordered_map<TenantId, Tenant> tenants_;
   TenantId next_tenant_ = 1;
+
+  /// Memoized auto resolutions keyed (shape, batch size, adjoint,
+  /// precision) — own lock: the lazy probe must not stall tenant
+  /// lookups.
+  std::mutex pipeline_mutex_;
+  std::map<std::tuple<core::LocalDims, index_t, bool, std::string>, int>
+      pipeline_chunks_by_key_;
 
   mutable std::mutex state_mutex_;
   std::condition_variable cv_drained_;

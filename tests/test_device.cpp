@@ -218,6 +218,67 @@ TEST(Stream, EventsMeasureElapsedSimTime) {
   EXPECT_NEAR(Event::elapsed_ms(start, stop), 1.5, 1e-12);
 }
 
+TEST(Stream, WaitAdvancesClockToEventMax) {
+  // The cudaStreamWaitEvent analogue: a wait on a later event jumps
+  // the clock forward; a wait on an already-passed event is a no-op
+  // (in-order streams never run backwards).
+  Device dev(make_mi300x());
+  Stream a(dev), b(dev);
+  a.advance(2e-3);
+  Event ev;
+  ev.record(a);
+  b.advance(0.5e-3);
+  b.wait(ev);  // b was behind: clock jumps to the event
+  EXPECT_DOUBLE_EQ(b.now(), 2e-3);
+  Event early;
+  early.record(b);
+  b.advance(1e-3);
+  b.wait(early);  // already passed: no-op
+  EXPECT_DOUBLE_EQ(b.now(), 3e-3);
+}
+
+TEST(Stream, BusyExcludesWaitIdleTime) {
+  Device dev(make_mi300x());
+  Stream a(dev), b(dev);
+  a.advance(5e-3);
+  Event ev;
+  ev.record(a);
+  b.advance(1e-3);
+  b.wait(ev);
+  b.advance(2e-3);
+  // Clock covers the idle jump, busy only the charged work.
+  EXPECT_DOUBLE_EQ(b.now(), 7e-3);
+  EXPECT_DOUBLE_EQ(b.busy(), 3e-3);
+  EXPECT_DOUBLE_EQ(a.busy(), a.now());
+}
+
+TEST(Stream, GroupTimingCreditsOverlapAsMakespan) {
+  // Two streams pipelined through events: the makespan is the busiest
+  // clock (max-over-streams) while sum-of-busy is the serial-
+  // equivalent work; their gap is exactly the overlapped time.
+  Device dev(make_mi300x());
+  Stream a(dev), b(dev);
+  // a: produce (3 ms), then b consumes (4 ms) while a produces the
+  // next piece (3 ms) — classic two-stage software pipeline.
+  a.advance(3e-3);
+  Event fft0;
+  fft0.record(a);
+  b.wait(fft0);
+  b.advance(4e-3);
+  a.advance(3e-3);  // overlaps b's consume
+  Event gemv0;
+  gemv0.record(b);
+  a.wait(gemv0);  // join
+  const auto t = group_timing({&a, &b});
+  EXPECT_DOUBLE_EQ(t.busy, 10e-3);
+  EXPECT_DOUBLE_EQ(t.makespan, 7e-3);  // 3 ms of overlap credited
+  // Serial execution on one stream: makespan == busy.
+  Stream s(dev);
+  s.advance(10e-3);
+  const auto serial = group_timing({&s});
+  EXPECT_DOUBLE_EQ(serial.makespan, serial.busy);
+}
+
 // ------------------------------------------------------------- phantom
 TEST(Phantom, SkipsExecutionButChargesTime) {
   Device dev(make_mi300x(), &util::ThreadPool::global(), /*phantom=*/true);
