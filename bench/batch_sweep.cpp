@@ -126,7 +126,7 @@ SweepPoint sweep_point(device::Device& dev, const core::ProblemDims& dims,
   // (unit-tested exact degeneracy), so that case reuses the batched
   // numbers instead of re-running b real applies.
   p.pipeline_chunks = static_cast<index_t>(serve::adaptive_pipeline_chunks(
-      dev.spec(), dims, static_cast<int>(b), serve::Direction::kForward,
+      dev.spec(), dims, static_cast<int>(b), core::ApplyDirection::kForward,
       config));
   if (p.pipeline_chunks > 1) {
     t0 = stream.now();

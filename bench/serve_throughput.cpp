@@ -50,7 +50,7 @@ namespace {
 
 struct WorkloadItem {
   std::size_t tenant;
-  serve::Direction direction;
+  core::ApplyDirection direction;
   precision::PrecisionConfig config;
 };
 
@@ -94,8 +94,8 @@ int main(int argc, char** argv) {
   trace.reserve(static_cast<std::size_t>(requests));
   for (index_t r = 0; r < requests; ++r) {
     trace.push_back({static_cast<std::size_t>(r % 3),
-                     (r % 5 == 0) ? serve::Direction::kAdjoint
-                                  : serve::Direction::kForward,
+                     (r % 5 == 0) ? core::ApplyDirection::kAdjoint
+                                  : core::ApplyDirection::kForward,
                      configs[(r / 3) % 2]});
   }
 
@@ -119,7 +119,7 @@ int main(int argc, char** argv) {
           precision::Precision::kSingle) {
         op.spectrum_f(stream);
       }
-      if (item.direction == serve::Direction::kForward) {
+      if (item.direction == core::ApplyDirection::kForward) {
         std::vector<double> out(static_cast<std::size_t>(td.dims.n_t * td.dims.n_d));
         plan.forward(op, td.fwd_input, out, item.config);
       } else {
@@ -160,9 +160,14 @@ int main(int argc, char** argv) {
     futures.reserve(trace.size());
     for (const auto& item : trace) {
       const auto& td = tenants[item.tenant];
-      futures.push_back(scheduler.submit(
-          ids[item.tenant], item.direction, item.config,
-          item.direction == serve::Direction::kForward ? td.fwd_input : td.adj_input));
+      futures.push_back(scheduler.submit(serve::Request{
+          .tenant = ids[item.tenant],
+          .direction = item.direction,
+          .config = item.config,
+          .input = item.direction == core::ApplyDirection::kForward
+                       ? td.fwd_input
+                       : td.adj_input,
+          .qos = {}}));
     }
     scheduler.drain();
     for (auto& f : futures) {
@@ -297,10 +302,11 @@ int main(int argc, char** argv) {
     }
     std::vector<std::future<serve::MatvecResult>> skew_futures;
     for (index_t r = 0; r < skew_requests; ++r) {
-      skew_futures.push_back(
-          sched.submit(tids[skew_trace[static_cast<std::size_t>(r)]],
-                       serve::Direction::kForward, configs[0],
-                       skew_inputs[static_cast<std::size_t>(r)]));
+      skew_futures.push_back(sched.submit(serve::Request{
+          .tenant = tids[skew_trace[static_cast<std::size_t>(r)]],
+          .config = configs[0],
+          .input = skew_inputs[static_cast<std::size_t>(r)],
+          .qos = {}}));
     }
     sched.drain();
     for (auto& f : skew_futures) {

@@ -34,6 +34,16 @@ Gated metrics (higher is better):
                     chunk count at the paper-scale Hessian-assembly
                     shape (deterministic cost-model output; the
                     harness additionally hard-fails below 1.2x).
+  serve_slo         table "slo attainment", row "deadline-aware
+                    edf+wfq", column "SLO attainment" — the fraction
+                    of deadline-bearing requests the EDF+WFQ scheduler
+                    fulfils on time on the contended two-class
+                    streaming workload.  Deadlines are wall-clock, so
+                    attainment keeps real run-to-run sensitivity even
+                    after the harness's calibration and best-of-two
+                    selection; the gate carries a wide 35% threshold
+                    (the harness itself hard-fails unless aware beats
+                    blind by >= 0.05).
 
 Rows are matched by (bench, table, first cell).  A gated row present
 in the baseline but missing from the current run FAILS the gate (a
@@ -65,6 +75,8 @@ GATES = [
      None),
     ("batch_sweep", "measured ddddd", "*", "pipelined vs serial", None),
     ("pipeline_sweep", "paper-scale phantom dssdd", "*", "vs serial", None),
+    ("serve_slo", "slo attainment", "deadline-aware edf+wfq",
+     "SLO attainment", 0.35),
 ]
 
 

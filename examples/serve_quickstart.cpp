@@ -1,6 +1,7 @@
 // Serving quickstart: stand up the multi-tenant matvec service,
 // register two tenants, submit a burst of mixed forward/adjoint
-// requests, and read the metrics report — the 60-second tour of
+// requests, stream ordered applies through a deadline-tagged
+// StreamSession, and read the metrics report — the 60-second tour of
 // src/serve (see the ROADMAP "Serving" section for the model).
 //
 //   serve_quickstart [-requests 64] [-streams 2] [-batch 4]
@@ -39,6 +40,9 @@ int main(int argc, char** argv) {
             << " (96x4x48)\n";
 
   // 3. Submit a mixed burst; every call returns a future immediately.
+  //    serve::Request is the canonical submit form (QoS and future
+  //    request fields live on the struct); the positional overload
+  //    used for tenant_a is shorthand for the same thing.
   const auto m_a = core::make_input_vector(dims_a.n_t * dims_a.n_m, 3);
   const auto m_b = core::make_input_vector(dims_b.n_t * dims_b.n_m, 4);
   const auto d_b = core::make_input_vector(dims_b.n_t * dims_b.n_d, 5);
@@ -47,16 +51,20 @@ int main(int argc, char** argv) {
   for (index_t r = 0; r < requests; ++r) {
     switch (r % 3) {
       case 0:
-        futures.push_back(scheduler.submit(tenant_a, serve::Direction::kForward,
+        futures.push_back(scheduler.submit(tenant_a, core::ApplyDirection::kForward,
                                            precision::PrecisionConfig{}, m_a));
         break;
       case 1:
-        futures.push_back(
-            scheduler.submit(tenant_b, serve::Direction::kForward, mixed, m_b));
+        futures.push_back(scheduler.submit(serve::Request{
+            .tenant = tenant_b, .config = mixed, .input = m_b, .qos = {}}));
         break;
       default:
-        futures.push_back(
-            scheduler.submit(tenant_b, serve::Direction::kAdjoint, mixed, d_b));
+        futures.push_back(scheduler.submit(
+            serve::Request{.tenant = tenant_b,
+                           .direction = core::ApplyDirection::kAdjoint,
+                           .config = mixed,
+                           .input = d_b,
+                           .qos = {}}));
     }
   }
 
@@ -71,7 +79,23 @@ int main(int argc, char** argv) {
     if (f.valid()) f.get();
   }
 
-  // 5. The service-side report.
+  // 5. Streaming session: an ordered stream of applies for one
+  //    (tenant, direction, config), with the plan pinned hot and a
+  //    10 ms deadline + WFQ weight 2 on every submit.  close() (or
+  //    RAII) drains the stream and releases the pin.
+  serve::StreamSession session = scheduler.open_stream(
+      tenant_a, core::ApplyDirection::kForward, precision::PrecisionConfig{},
+      serve::StreamQoS{.deadline_seconds = 10e-3, .weight = 2.0});
+  const auto session_id = session.id();
+  std::vector<std::future<serve::MatvecResult>> stream_futures;
+  for (int r = 0; r < 8; ++r) stream_futures.push_back(session.submit(m_a));
+  session.close();
+  int missed = 0;
+  for (auto& f : stream_futures) missed += f.get().deadline_missed ? 1 : 0;
+  std::cout << "session " << session_id << ": 8 ordered applies, " << missed
+            << " deadline misses\n\n";
+
+  // 6. The service-side report (includes the per-session table).
   scheduler.metrics().print(std::cout);
   return 0;
 }

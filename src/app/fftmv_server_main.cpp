@@ -4,6 +4,7 @@
 //   fftmv_server [-tenants 3] [-requests 400] [-rps 2000] [-streams 2]
 //                [-batch 0] [-linger-ms 0.5] [-cache 24]
 //                [-prec ddddd,dssdd,sssss] [-adjoint-frac 0.3]
+//                [-sessions 0] [-deadline-ms 0] [-weights 1]
 //                [-device mi300x] [-seed 42] [-raw] [--smoke]
 //
 //   -tenants N       distinct tenant models (mixed shapes: each tenant
@@ -26,6 +27,19 @@
 //   -cache C         resident FftMatvecPlan budget (LRU)
 //   -prec a,b,...    precision configs cycled across requests
 //   -adjoint-frac F  fraction of requests that are adjoint (F*) applies
+//   -sessions N      open N streaming sessions (open_stream handles,
+//                    cycled across tenants; plan shapes stay pinned in
+//                    the cache).  Even-indexed requests then route
+//                    through the sessions in round-robin instead of
+//                    one-shot submits, and the per-session latency
+//                    table prints with the report.  0 (default) = all
+//                    one-shot
+//   -deadline-ms D   per-request completion deadline carried by the
+//                    session submits (StreamQoS); misses are counted
+//                    in the summary's "deadline miss" column.  0
+//                    (default) = best effort
+//   -weights a,b,... weighted-fair-queueing weights cycled across the
+//                    sessions (default all 1)
 //   -raw             machine-parseable summary (bare numbers)
 //   -json PATH       write the metrics tables as a bench::Artifact
 //                    (headers carry the git SHA and build type, so CI
@@ -76,6 +90,23 @@ std::vector<precision::PrecisionConfig> parse_config_list(const std::string& csv
   return configs;
 }
 
+std::vector<double> parse_weight_list(const std::string& csv) {
+  std::vector<double> weights;
+  std::size_t start = 0;
+  while (start <= csv.size()) {
+    const std::size_t comma = csv.find(',', start);
+    const std::string item = csv.substr(
+        start, comma == std::string::npos ? std::string::npos : comma - start);
+    if (!item.empty()) weights.push_back(std::stod(item));
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  if (weights.empty()) {
+    throw std::invalid_argument("-weights: expected a comma-separated list");
+  }
+  return weights;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -85,7 +116,8 @@ int main(int argc, char** argv) {
     const util::CliParser cli(argc, argv);
     cli.check_known({"tenants", "requests", "rps", "streams", "batch",
                      "pipeline-chunks", "linger-ms", "cache", "prec",
-                     "adjoint-frac", "device", "seed", "raw", "smoke"});
+                     "adjoint-frac", "sessions", "deadline-ms", "weights",
+                     "device", "seed", "raw", "smoke"});
     const bool smoke = cli.get_flag("smoke");
     const bool raw = cli.get_flag("raw");
 
@@ -97,6 +129,11 @@ int main(int argc, char** argv) {
     const std::uint64_t seed =
         smoke ? 20260730 : static_cast<std::uint64_t>(cli.get_int("seed", 42));
     const auto configs = parse_config_list(cli.get_string("prec", "ddddd,dssdd,sssss"));
+    // Smoke exercises the streaming-session path too (2 pinned
+    // sessions with a loose deadline).
+    const index_t n_sessions = cli.get_int("sessions", smoke ? 2 : 0);
+    const double deadline_ms = cli.get_double("deadline-ms", smoke ? 250.0 : 0.0);
+    const auto weights = parse_weight_list(cli.get_string("weights", "1"));
 
     serve::ServeOptions opts;
     opts.num_streams = static_cast<int>(cli.get_int("streams", 2));
@@ -168,10 +205,28 @@ int main(int argc, char** argv) {
       pipeline_table.print(std::cout);
     }
 
+    // Streaming sessions: pinned (tenant, direction, config) streams
+    // cycled across tenants, each carrying its own deadline/weight QoS.
+    std::vector<serve::StreamSession> sessions;
+    std::vector<std::size_t> session_tenant;
+    for (index_t s = 0; s < n_sessions; ++s) {
+      const auto t = static_cast<std::size_t>(s) % tenants.size();
+      serve::StreamQoS qos;
+      qos.deadline_seconds = deadline_ms * 1e-3;
+      qos.weight = weights[static_cast<std::size_t>(s) % weights.size()];
+      sessions.push_back(scheduler.open_stream(
+          tenants[t].id, core::ApplyDirection::kForward,
+          configs[static_cast<std::size_t>(s) % configs.size()], qos));
+      session_tenant.push_back(t);
+    }
+
     // Open-loop generator: arrivals are scheduled ahead of time from
     // the exponential inter-arrival draw and submitted on schedule
     // regardless of completion (no back-pressure), the standard
-    // closed-vs-open-loop distinction in serving benchmarks.
+    // closed-vs-open-loop distinction in serving benchmarks.  With
+    // -sessions, even-indexed requests ride the session handles in
+    // round-robin (ordered, pinned, QoS-tagged); the rest stay
+    // one-shot.
     util::Rng rng(seed);
     std::vector<std::future<serve::MatvecResult>> futures;
     futures.reserve(static_cast<std::size_t>(n_requests));
@@ -180,15 +235,30 @@ int main(int argc, char** argv) {
     for (index_t r = 0; r < n_requests; ++r) {
       arrival += -std::log(1.0 - rng.next_double()) / rps;
       std::this_thread::sleep_until(t0 + std::chrono::duration<double>(arrival));
+      if (!sessions.empty() && r % 2 == 0) {
+        auto& session = sessions[static_cast<std::size_t>(r / 2) % sessions.size()];
+        futures.push_back(session.submit(
+            tenants[session_tenant[static_cast<std::size_t>(r / 2) %
+                                   sessions.size()]]
+                .fwd_input));
+        continue;
+      }
       const auto& tenant = tenants[static_cast<std::size_t>(rng.next_u64() %
                                                             tenants.size())];
       const auto& config = configs[static_cast<std::size_t>(r) % configs.size()];
       const bool adjoint = rng.next_double() < adjoint_frac;
-      futures.push_back(scheduler.submit(
-          tenant.id, adjoint ? serve::Direction::kAdjoint : serve::Direction::kForward,
-          config, adjoint ? tenant.adj_input : tenant.fwd_input));
+      futures.push_back(scheduler.submit(serve::Request{
+          .tenant = tenant.id,
+          .direction = adjoint ? core::ApplyDirection::kAdjoint
+                               : core::ApplyDirection::kForward,
+          .config = config,
+          .input = adjoint ? tenant.adj_input : tenant.fwd_input,
+          .qos = {}}));
     }
 
+    // close() drains each session's outstanding applies and unpins its
+    // plan shape.
+    for (auto& session : sessions) session.close();
     scheduler.drain();
     index_t fulfilled = 0, errors = 0;
     for (auto& f : futures) {
@@ -206,6 +276,7 @@ int main(int argc, char** argv) {
     artifact.add("latency", snap.latency_table());
     artifact.add("batch histogram", snap.batch_table());
     artifact.add("pipeline chunks", pipeline_table);
+    if (!snap.sessions.empty()) artifact.add("sessions", snap.session_table());
     if (const auto path = artifact.write(); !path.empty() && !raw) {
       std::cout << "wrote artifact " << path << "\n";
     }

@@ -50,18 +50,38 @@ void ServeMetrics::undo_submit() {
 }
 
 void ServeMetrics::record_request(double queue_seconds, double exec_seconds,
-                                  bool failed) {
+                                  bool failed, std::uint64_t session,
+                                  bool had_deadline, bool missed) {
+  const double total_seconds = queue_seconds + exec_seconds;
   std::lock_guard lock(mutex_);
   if (failed) {
     ++counters_.failed;
   } else {
     ++counters_.completed;
   }
+  if (had_deadline) {
+    ++counters_.deadline_total;
+    if (missed) ++counters_.deadline_missed;
+  }
+  if (session != 0) {
+    SessionStats& st = session_stats_[session];
+    ++st.requests;
+    if (missed) ++st.deadline_missed;
+    ++st.population;
+    if (st.total_samples.size() < kMaxSessionSamples) {
+      st.total_samples.push_back(total_seconds);
+    } else {
+      reservoir_rng_ =
+          reservoir_rng_ * 6364136223846793005ULL + 1442695040888963407ULL;
+      const std::uint64_t slot = reservoir_rng_ % st.population;
+      if (slot < kMaxSessionSamples) st.total_samples[slot] = total_seconds;
+    }
+  }
   ++sample_count_;
   if (queue_samples_.size() < kMaxSamples) {
     queue_samples_.push_back(queue_seconds);
     exec_samples_.push_back(exec_seconds);
-    total_samples_.push_back(queue_seconds + exec_seconds);
+    total_samples_.push_back(total_seconds);
     return;
   }
   // Reservoir replacement (Algorithm R): each request survives into
@@ -73,7 +93,7 @@ void ServeMetrics::record_request(double queue_seconds, double exec_seconds,
   if (slot < kMaxSamples) {
     queue_samples_[slot] = queue_seconds;
     exec_samples_[slot] = exec_seconds;
-    total_samples_[slot] = queue_seconds + exec_seconds;
+    total_samples_[slot] = total_seconds;
   }
 }
 
@@ -95,6 +115,7 @@ void ServeMetrics::record_cache(std::int64_t hits, std::int64_t misses,
 MetricsSnapshot ServeMetrics::snapshot() const {
   MetricsSnapshot snap;
   std::vector<double> queue_samples, exec_samples, total_samples;
+  std::map<std::uint64_t, SessionStats> session_stats;
   std::uint64_t population = 0;
   {
     // Copy under the lock; the sorts in summarize() run outside it so
@@ -106,22 +127,36 @@ MetricsSnapshot ServeMetrics::snapshot() const {
     queue_samples = queue_samples_;
     exec_samples = exec_samples_;
     total_samples = total_samples_;
+    session_stats = session_stats_;
     population = sample_count_;
   }
   snap.queue_latency = summarize(std::move(queue_samples), population);
   snap.exec_latency = summarize(std::move(exec_samples), population);
   snap.total_latency = summarize(std::move(total_samples), population);
+  for (auto& [id, st] : session_stats) {
+    const LatencySummary s =
+        summarize(std::move(st.total_samples), st.population);
+    SessionSummary& out = snap.sessions[id];
+    out.requests = st.requests;
+    out.deadline_missed = st.deadline_missed;
+    out.p50 = s.p50;
+    out.p95 = s.p95;
+    out.p99 = s.p99;
+  }
   return snap;
 }
 
 util::Table MetricsSnapshot::summary_table() const {
   util::Table t({"submitted", "completed", "failed", "batches", "mean batch",
-                 "throughput req/s", "cache hit rate", "sim s"});
+                 "throughput req/s", "cache hit rate", "deadline miss",
+                 "sim s"});
   t.add_row({std::to_string(submitted), std::to_string(completed),
              std::to_string(failed), std::to_string(batches),
              util::Table::fmt(mean_batch_size(), 2),
              util::Table::fmt(throughput_rps(), 0),
              util::Table::fmt_pct(cache_hit_rate()),
+             std::to_string(deadline_missed) + "/" +
+                 std::to_string(deadline_total),
              util::Table::fmt(sim_seconds, 4)});
   return t;
 }
@@ -145,6 +180,17 @@ util::Table MetricsSnapshot::batch_table() const {
   return t;
 }
 
+util::Table MetricsSnapshot::session_table() const {
+  util::Table t(
+      {"session", "requests", "deadline miss", "p50 ms", "p95 ms", "p99 ms"});
+  for (const auto& [id, s] : sessions) {
+    t.add_row({std::to_string(id), std::to_string(s.requests),
+               std::to_string(s.deadline_missed), ms(s.p50), ms(s.p95),
+               ms(s.p99)});
+  }
+  return t;
+}
+
 void MetricsSnapshot::print(std::ostream& os) const {
   summary_table().print(os);
   os << '\n';
@@ -152,6 +198,10 @@ void MetricsSnapshot::print(std::ostream& os) const {
   if (!batch_histogram.empty()) {
     os << '\n';
     batch_table().print(os);
+  }
+  if (!sessions.empty()) {
+    os << '\n';
+    session_table().print(os);
   }
 }
 

@@ -1,11 +1,13 @@
-// Serving-side observability: counters, latency percentiles and the
-// batch-size histogram for the multi-tenant matvec service.
+// Serving-side observability: counters, latency percentiles, the
+// batch-size histogram, deadline/SLO accounting and per-session
+// percentiles for the multi-tenant matvec service.
 //
 // The scheduler records one sample per request (queueing and
-// execution wall latency) and one sample per dispatched batch (size,
-// simulated device seconds); a Snapshot is taken under the lock and
-// rendered through util::Table so the server and the throughput bench
-// report the same quantities.
+// execution wall latency, deadline outcome, owning session) and one
+// sample per dispatched batch (size, simulated device seconds); a
+// Snapshot is taken under the lock and rendered through util::Table
+// so the server and the throughput/SLO benches report the same
+// quantities.
 #pragma once
 
 #include <cstdint>
@@ -28,11 +30,24 @@ struct LatencySummary {
   double max = 0.0;
 };
 
+/// Per-streaming-session slice of the request population: deadline
+/// outcomes plus p50/p95/p99 of total (submit -> fulfilled) latency.
+struct SessionSummary {
+  std::int64_t requests = 0;
+  std::int64_t deadline_missed = 0;
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+};
+
 struct MetricsSnapshot {
   std::int64_t submitted = 0;
   std::int64_t completed = 0;
   std::int64_t failed = 0;
   std::int64_t batches = 0;
+  /// Requests that carried a deadline / the subset fulfilled late.
+  std::int64_t deadline_total = 0;
+  std::int64_t deadline_missed = 0;
   std::int64_t cache_hits = 0;
   std::int64_t cache_misses = 0;
   std::int64_t cache_evictions = 0;
@@ -42,6 +57,9 @@ struct MetricsSnapshot {
   LatencySummary exec_latency;     ///< execution start -> promise fulfilled
   LatencySummary total_latency;    ///< submit -> promise fulfilled
   std::map<int, std::int64_t> batch_histogram;  ///< batch size -> dispatch count
+  /// Streaming sessions seen so far (key 0 never appears: one-shot
+  /// requests are not a session).
+  std::map<std::uint64_t, SessionSummary> sessions;
 
   double cache_hit_rate() const {
     const std::int64_t n = cache_hits + cache_misses;
@@ -54,39 +72,64 @@ struct MetricsSnapshot {
     return batches > 0 ? static_cast<double>(completed + failed) / static_cast<double>(batches)
                        : 0.0;
   }
+  /// Fraction of deadline-bearing requests fulfilled on time (1 when
+  /// no request carried a deadline) — the SLO attainment metric
+  /// bench/serve_slo gates.
+  double slo_attainment() const {
+    return deadline_total > 0
+               ? 1.0 - static_cast<double>(deadline_missed) /
+                           static_cast<double>(deadline_total)
+               : 1.0;
+  }
 
   /// Render the report (throughput, latency percentiles, batch-size
-  /// histogram, cache hit rate) as util::Tables.
+  /// histogram, cache hit rate, per-session percentiles) as
+  /// util::Tables.
   void print(std::ostream& os) const;
   util::Table summary_table() const;
   util::Table latency_table() const;
   util::Table batch_table() const;
+  util::Table session_table() const;
 };
 
 /// Thread-safe metrics sink shared by the scheduler's worker lanes.
 /// Latency percentiles come from a bounded reservoir (Algorithm R,
-/// kMaxSamples entries) so a long-lived service neither grows memory
-/// per request nor sorts an unbounded history on snapshot().
+/// kMaxSamples entries for the global populations, kMaxSessionSamples
+/// per session) so a long-lived service neither grows memory per
+/// request nor sorts an unbounded history on snapshot().
 class ServeMetrics {
  public:
   void record_submit();
   /// Roll back a record_submit whose request was never accepted
   /// (submit raced a shutdown).
   void undo_submit();
-  void record_request(double queue_seconds, double exec_seconds, bool failed);
+  /// One fulfilled (or failed) request.  `session` is 0 for one-shot
+  /// requests; `had_deadline`/`missed` drive the SLO counters.
+  void record_request(double queue_seconds, double exec_seconds, bool failed,
+                      std::uint64_t session = 0, bool had_deadline = false,
+                      bool missed = false);
   void record_batch(int size, double sim_seconds);
   void record_cache(std::int64_t hits, std::int64_t misses, std::int64_t evictions);
 
   MetricsSnapshot snapshot() const;
 
   static constexpr std::size_t kMaxSamples = 1 << 16;
+  static constexpr std::size_t kMaxSessionSamples = 1 << 12;
 
  private:
+  struct SessionStats {
+    std::int64_t requests = 0;
+    std::int64_t deadline_missed = 0;
+    std::vector<double> total_samples;  ///< bounded reservoir
+    std::uint64_t population = 0;       ///< all requests ever recorded
+  };
+
   mutable std::mutex mutex_;
   MetricsSnapshot counters_;
   std::vector<double> queue_samples_;
   std::vector<double> exec_samples_;
   std::vector<double> total_samples_;
+  std::map<std::uint64_t, SessionStats> session_stats_;
   std::uint64_t sample_count_ = 0;  ///< all requests ever recorded
   std::uint64_t reservoir_rng_ = 0x9e3779b97f4a7c15ULL;
   double first_submit_wall_ = -1.0;

@@ -59,12 +59,47 @@ std::shared_ptr<core::FftMatvecPlan> PlanCache::acquire(const PlanKey& key,
   }
   lru_.emplace_front(key, std::move(plan));
   index_[key] = lru_.begin();
-  while (lru_.size() > capacity_) {
-    index_.erase(lru_.back().first);
-    lru_.pop_back();
-    ++stats_.evictions;
+  // Trim beyond capacity, least-recently-used first, skipping pinned
+  // entries (an active session's plan is never evicted).  If every
+  // resident entry is pinned the cache temporarily overflows instead
+  // of evicting hot session state; open_stream's capacity validation
+  // keeps production out of that regime.
+  std::size_t resident = lru_.size();
+  for (auto it = std::prev(lru_.end()); resident > capacity_;) {
+    const bool at_front = it == lru_.begin();
+    const auto victim = it;
+    if (!at_front) --it;
+    if (!pinned_locked(victim->first)) {
+      index_.erase(victim->first);
+      lru_.erase(victim);
+      --resident;
+      ++stats_.evictions;
+    }
+    if (at_front) break;
   }
   return lru_.front().second;
+}
+
+void PlanCache::pin(const PlanKey& key) {
+  std::lock_guard lock(mutex_);
+  ++pins_[pin_scope(key)];
+}
+
+void PlanCache::unpin(const PlanKey& key) {
+  std::lock_guard lock(mutex_);
+  const auto it = pins_.find(pin_scope(key));
+  if (it == pins_.end()) return;  // unmatched unpin: harmless no-op
+  if (--it->second <= 0) pins_.erase(it);
+}
+
+bool PlanCache::pinned(const PlanKey& key) const {
+  std::lock_guard lock(mutex_);
+  return pinned_locked(key);
+}
+
+std::size_t PlanCache::pinned_shapes() const {
+  std::lock_guard lock(mutex_);
+  return pins_.size();
 }
 
 std::shared_ptr<core::FftMatvecPlan> PlanCache::peek(const PlanKey& key) const {

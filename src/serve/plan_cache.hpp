@@ -15,6 +15,18 @@
 // lane index is part of the key and each scheduler lane only ever
 // touches its own entries — a cached plan is never driven from two
 // threads at once.
+//
+// Pinning: a streaming session keeps its tenant's plan hot for the
+// session lifetime — pin() marks a key's SHAPE (dims, options,
+// device; the lane component is ignored, since a session's requests
+// may run on any lane) and eviction skips every pinned entry, so
+// cache pressure from other tenants can never cold-start an active
+// session.  Pins are counted (two sessions on one shape need two
+// unpins) and only shield entries from eviction; they do not build
+// plans — each lane still warms its own entry on first dispatch and
+// keeps it from then on.  AsyncScheduler::open_stream validates that
+// capacity covers the pinned working set, so a fully-pinned cache
+// cannot sneak past its budget.
 #pragma once
 
 #include <cstdint>
@@ -69,6 +81,18 @@ class PlanCache {
   /// (e.g. asserting a coalesced batch cost one plan execution).
   std::shared_ptr<core::FftMatvecPlan> peek(const PlanKey& key) const;
 
+  /// Pin `key`'s shape: every lane's entry for (dims, options,
+  /// device) — key.lane is ignored — is shielded from LRU eviction
+  /// until a matching unpin().  Counted: pin twice, unpin twice.
+  void pin(const PlanKey& key);
+  void unpin(const PlanKey& key);
+  /// True iff `key`'s shape currently holds at least one pin.
+  bool pinned(const PlanKey& key) const;
+  /// Number of DISTINCT pinned shapes (each occupies one entry per
+  /// lane that has warmed it — the quantity open_stream sizes the
+  /// capacity check with).
+  std::size_t pinned_shapes() const;
+
   std::size_t size() const;
   std::size_t capacity() const { return capacity_; }
   PlanCacheStats stats() const;
@@ -76,11 +100,22 @@ class PlanCache {
  private:
   using Entry = std::pair<PlanKey, std::shared_ptr<core::FftMatvecPlan>>;
 
+  /// Lane-agnostic pin scope of `key` (lane forced to the sentinel).
+  static PlanKey pin_scope(PlanKey key) {
+    key.lane = -1;
+    return key;
+  }
+  bool pinned_locked(const PlanKey& key) const {
+    return pins_.count(pin_scope(key)) > 0;
+  }
+
   device::Device* dev_;
   std::size_t capacity_;
   mutable std::mutex mutex_;
   std::list<Entry> lru_;  ///< front = most recently used
   std::unordered_map<PlanKey, std::list<Entry>::iterator, PlanKeyHash> index_;
+  /// Pin counts keyed by lane-agnostic scope (lane == -1 sentinel).
+  std::unordered_map<PlanKey, int, PlanKeyHash> pins_;
   PlanCacheStats stats_;
 };
 

@@ -5,10 +5,26 @@
 
 namespace fftmv::serve {
 
-RequestQueue::RequestQueue(int max_batch, double linger_seconds, int max_groups)
+namespace {
+
+using time_point = std::chrono::steady_clock::time_point;
+
+/// EDF order within a key: earliest absolute deadline first, arrival
+/// sequence as the tie-break (best-effort requests carry
+/// time_point::max() and so stay FIFO behind every deadline).
+bool edf_before(const PendingRequest& a, const PendingRequest& b) {
+  if (a.deadline != b.deadline) return a.deadline < b.deadline;
+  return a.seq < b.seq;
+}
+
+}  // namespace
+
+RequestQueue::RequestQueue(int max_batch, double linger_seconds, int max_groups,
+                           bool deadline_aware)
     : max_batch_(max_batch),
       linger_seconds_(linger_seconds),
-      max_groups_(max_groups) {
+      max_groups_(max_groups),
+      deadline_aware_(deadline_aware) {
   if (max_batch_ < 1) {
     throw std::invalid_argument("RequestQueue: max_batch must be >= 1");
   }
@@ -24,15 +40,60 @@ bool RequestQueue::push(const BatchKey& key, PendingRequest request) {
   {
     std::lock_guard lock(mutex_);
     if (closed_) return false;
+    request.seq = next_seq_++;
     auto [it, inserted] = queues_.try_emplace(key);
-    if (it->second.empty()) rotation_.push_back(key);
-    it->second.push_back(std::move(request));
+    KeyQueue& kq = it->second;
+    if (kq.q.empty()) {
+      // (Re)activation: join the blind rotation at the back and pick
+      // up the SFQ start tag — the global virtual time, or the key's
+      // old finish tag if it deactivated ahead of it (so an
+      // empty-and-refill cannot out-run fairness).  Stale finish tags
+      // are pruned here; the map stays bounded by the live key space.
+      rotation_.push_back(key);
+      kq.vstart = vtime_;
+      kq.activation = next_activation_++;
+      if (const auto fin = vfinish_.find(key); fin != vfinish_.end()) {
+        kq.vstart = std::max(kq.vstart, fin->second);
+        vfinish_.erase(fin);
+      }
+    }
+    if (deadline_aware_) {
+      // EDF insert: before the first pending request this one beats.
+      const auto pos = std::upper_bound(
+          kq.q.begin(), kq.q.end(), request,
+          [](const PendingRequest& a, const PendingRequest& b) {
+            return edf_before(a, b);
+          });
+      kq.q.insert(pos, std::move(request));
+    } else {
+      kq.q.push_back(std::move(request));
+    }
     ++total_pending_;
   }
   // Wake every consumer: one takes the batch when it fills, the rest
   // re-evaluate their linger deadlines.
   cv_.notify_all();
   return true;
+}
+
+std::chrono::steady_clock::time_point RequestQueue::release_time(
+    const KeyQueue& kq) const {
+  const auto linger = std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+      std::chrono::duration<double>(linger_seconds_));
+  // Linger runs from the OLDEST pending arrival (EDF reorders the
+  // deque, so scan; key backlogs are bounded by a few batches).
+  time_point oldest = time_point::max();
+  for (const auto& req : kq.q) oldest = std::min(oldest, req.enqueued);
+  time_point release = oldest + linger;
+  if (deadline_aware_) {
+    // An imminent deadline cancels the remaining linger: waiting for
+    // batch companions must never spend latency the deadline cannot
+    // afford.  The EDF front carries the key's earliest deadline.
+    if (!kq.q.empty() && kq.q.front().has_deadline()) {
+      release = std::min(release, kq.q.front().deadline);
+    }
+  }
+  return release;
 }
 
 std::optional<Batch> RequestQueue::pop_batch() {
@@ -43,43 +104,61 @@ std::optional<Batch> RequestQueue::pop_batch() {
       cv_.wait(lock);
       continue;
     }
-    // Scan the rotation in service order for the first ready key, so
-    // a full (or expired) batch is never head-of-line blocked behind
-    // another key still inside its linger window; among ready keys,
-    // rotation order preserves round-robin fairness.
+    // Collect the dispatchable keys (full, past release time, or
+    // draining after close); among them the scheduling discipline
+    // picks the winner.  A key still gathering company inside its
+    // linger window is skipped, so a ready key is never head-of-line
+    // blocked behind a lingering one.
     const auto now = std::chrono::steady_clock::now();
-    const auto linger = std::chrono::duration_cast<std::chrono::steady_clock::duration>(
-        std::chrono::duration<double>(linger_seconds_));
     auto ready = rotation_.end();
-    auto earliest_deadline = std::chrono::steady_clock::time_point::max();
+    auto earliest_release = time_point::max();
     for (auto it = rotation_.begin(); it != rotation_.end(); ++it) {
-      const auto& q = queues_.at(*it);
-      const auto deadline = q.front().enqueued + linger;
-      if (closed_ || static_cast<int>(q.size()) >= max_batch_ || now >= deadline) {
-        ready = it;
-        break;
+      const KeyQueue& kq = queues_.at(*it);
+      const bool dispatchable = closed_ ||
+                                static_cast<int>(kq.q.size()) >= max_batch_ ||
+                                now >= release_time(kq);
+      if (!dispatchable) {
+        earliest_release = std::min(earliest_release, release_time(kq));
+        continue;
       }
-      earliest_deadline = std::min(earliest_deadline, deadline);
+      if (ready == rotation_.end()) {
+        ready = it;
+        if (!deadline_aware_) break;  // blind: first ready in rotation order
+        continue;
+      }
+      // WFQ: smallest virtual start tag wins; activation order breaks
+      // ties (equal weights therefore reproduce round-robin).
+      const KeyQueue& best = queues_.at(*ready);
+      if (kq.vstart < best.vstart ||
+          (kq.vstart == best.vstart && kq.activation < best.activation)) {
+        ready = it;
+      }
     }
     if (ready == rotation_.end()) {
       // Every key is still gathering company: sleep until the first
-      // linger deadline or a new arrival re-evaluates the predicate.
-      cv_.wait_until(lock, earliest_deadline);
+      // release time or a new arrival re-evaluates the predicate.
+      if (earliest_release == time_point::max()) {
+        cv_.wait(lock);
+      } else {
+        cv_.wait_until(lock, earliest_release);
+      }
       continue;
     }
 
     const BatchKey key = *ready;
-    auto& q = queues_.at(key);
+    KeyQueue& kq = queues_.at(key);
     Batch batch;
     batch.key = key;
-    const auto cap = std::min<std::size_t>(q.size(), static_cast<std::size_t>(max_batch_));
+    const auto cap =
+        std::min<std::size_t>(kq.q.size(), static_cast<std::size_t>(max_batch_));
     batch.requests.reserve(cap);
-    // Group-aware admission: take in FIFO order, stopping before the
-    // request that would introduce distinct tenant max_groups_ + 1
+    // Group-aware admission: take in service order, stopping before
+    // the request that would introduce distinct tenant max_groups_ + 1
     // (the first request is always taken, so pops make progress).
     std::vector<TenantId> taken_tenants;
+    double batch_weight = 1.0;
     while (batch.requests.size() < cap) {
-      const TenantId tenant = q.front().tenant;
+      const TenantId tenant = kq.q.front().tenant;
       if (std::find(taken_tenants.begin(), taken_tenants.end(), tenant) ==
           taken_tenants.end()) {
         if (max_groups_ > 0 &&
@@ -88,16 +167,26 @@ std::optional<Batch> RequestQueue::pop_batch() {
         }
         taken_tenants.push_back(tenant);
       }
-      batch.requests.push_back(std::move(q.front()));
-      q.pop_front();
+      batch_weight = std::max(batch_weight, kq.q.front().weight);
+      batch.requests.push_back(std::move(kq.q.front()));
+      kq.q.pop_front();
     }
     total_pending_ -= batch.requests.size();
+    // Charge the dispatch to the key's virtual clock: n requests cost
+    // n / weight of virtual time, so while two keys stay backlogged
+    // their served-request ratio tracks their weight ratio.
+    vtime_ = std::max(vtime_, kq.vstart);
+    const double finish =
+        kq.vstart + static_cast<double>(batch.requests.size()) / batch_weight;
     rotation_.erase(ready);
-    if (q.empty()) {
+    if (kq.q.empty()) {
+      vfinish_[key] = finish;
       queues_.erase(key);
     } else {
-      // Round-robin: leftover work goes to the back of the rotation
-      // so other tenants get the next lane.
+      // Leftover work re-queues behind its own charge: to the back of
+      // the blind rotation, and at its finish tag in WFQ order.
+      kq.vstart = finish;
+      kq.activation = next_activation_++;
       rotation_.push_back(key);
     }
     return batch;

@@ -17,24 +17,42 @@
 //
 // A batch is released when it reaches `max_batch` requests or when
 // its oldest request has lingered `linger_seconds` (so a lone request
-// is never parked indefinitely waiting for company).  Keys are served
-// round-robin: after a key is dispatched it moves to the back of the
-// rotation, giving per-shape fairness under skewed load (per-tenant
-// fairness within a shared key degenerates to FIFO, which cannot
-// starve: every coalesced companion rides the same dispatch).
+// is never parked indefinitely waiting for company); a request whose
+// deadline lands inside the linger window cancels the remaining
+// linger — batching never spends latency a deadline cannot afford.
+//
+// Scheduling (deadline_aware == true, the production mode):
+//   - WITHIN a key, requests are kept in earliest-deadline-first
+//     (EDF) order, ties broken by arrival sequence so best-effort
+//     requests (no deadline) and equal-deadline streams stay FIFO.  A
+//     late-deadline request can therefore never starve an earlier
+//     deadline in its key: the earlier deadline is always taken
+//     first.
+//   - ACROSS keys, dispatch follows weighted fair queueing
+//     (start-time fair queueing): each key carries a virtual start
+//     tag, a dispatched batch of n requests advances the key's tag by
+//     n / weight (the max StreamQoS::weight among the taken
+//     requests), and pop_batch serves the ready key with the
+//     smallest tag.  With equal weights this degenerates to the PR 2
+//     round-robin; with skewed weights the served-request ratio
+//     between backlogged keys tracks the weight ratio.
+// deadline_aware == false restores the blind PR 2-5 behaviour (FIFO
+// within a key, round-robin across keys) and exists for the
+// bench/serve_slo baseline ablation.
 //
 // Group-aware admission: `max_groups` (0 = unlimited) caps the number
 // of DISTINCT tenants a popped batch may span.  Each tenant group in
 // the fused grouped SBGEMV re-pays the operator's per-frequency
 // matrix traffic, so a batch of b singleton tenants costs b matrix
 // reads — under many-tiny-tenant skew the cap keeps the grouped
-// GEMV's matrix traffic bounded.  The take loop stops (in FIFO order)
-// at the first request that would introduce group max_groups + 1;
-// leftovers stay queued, keep their linger deadlines, and ride the
-// key's next round-robin turn, so nothing starves.
+// GEMV's matrix traffic bounded.  The take loop stops (in service
+// order) at the first request that would introduce group
+// max_groups + 1; leftovers stay queued, keep their linger deadlines,
+// and ride the key's next turn, so nothing starves.
 #pragma once
 
 #include <chrono>
+#include <compare>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -43,23 +61,55 @@
 #include <list>
 #include <map>
 #include <mutex>
-#include <compare>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "core/matvec_plan.hpp"
+#include "precision/precision.hpp"
 #include "util/types.hpp"
 
 namespace fftmv::serve {
 
 using TenantId = std::uint64_t;
+/// Streaming-session handle id; 0 marks a one-shot (sessionless)
+/// request throughout the serving layer.
+using SessionId = std::uint64_t;
 
-enum class Direction : unsigned char { kForward, kAdjoint };
-
-inline const char* direction_name(Direction d) {
-  return d == Direction::kForward ? "F" : "F*";
+/// Short display name for an apply direction ("F" / "F*").  Free
+/// function over the core enum — the serving layer has no direction
+/// enum of its own.
+inline const char* direction_name(core::ApplyDirection d) {
+  return d == core::ApplyDirection::kForward ? "F" : "F*";
 }
+
+/// Per-request / per-session quality of service.
+struct StreamQoS {
+  /// Relative completion deadline: a request must be fulfilled within
+  /// this many wall seconds of its submission or it counts as a
+  /// deadline miss (ServeMetrics::deadline_missed).  The batcher
+  /// serves earlier deadlines first within a coalescing key and cuts
+  /// linger short for urgent requests.  0 = best effort (no deadline;
+  /// best-effort requests sort behind every deadlined one in a key).
+  double deadline_seconds = 0.0;
+  /// Weighted-fair-queueing weight (> 0): while two keys are both
+  /// backlogged, their served-request ratio tracks their weight
+  /// ratio.  1 is the neutral default.
+  double weight = 1.0;
+};
+
+/// One matvec request, the struct form of AsyncScheduler::submit.
+/// New request-path fields land here instead of growing a positional
+/// argument list; the positional submit overload is a thin wrapper
+/// that fills in default QoS.
+struct Request {
+  TenantId tenant = 0;
+  core::ApplyDirection direction = core::ApplyDirection::kForward;
+  precision::PrecisionConfig config;
+  /// TOSI input (n_t x n_m for forward, n_t x n_d for adjoint).
+  std::vector<double> input;
+  StreamQoS qos;
+};
 
 /// Completed request payload delivered through the future.
 struct MatvecResult {
@@ -80,6 +130,16 @@ struct MatvecResult {
   core::PhaseTimings timings;
   int batch_size = 0;          ///< size of the batch this request rode in
   int lane = -1;               ///< stream lane that executed it
+  /// Global dispatch sequence number of the batch this request rode
+  /// in (0-based, increasing in dispatch order): lets a client
+  /// observe dispatch ordering — e.g. that a session's applies left
+  /// the queue in submit order.
+  std::int64_t batch_seq = -1;
+  /// Owning streaming session, 0 for one-shot requests.
+  SessionId session = 0;
+  /// True iff the request carried a deadline and was fulfilled after
+  /// it (also counted in ServeMetrics::deadline_missed).
+  bool deadline_missed = false;
 };
 
 /// Coalescing key: requests batch together iff shape (LocalDims),
@@ -89,7 +149,7 @@ struct MatvecResult {
 /// in sync with equality by construction, however LocalDims evolves.
 struct BatchKey {
   core::LocalDims dims;
-  Direction direction = Direction::kForward;
+  core::ApplyDirection direction = core::ApplyDirection::kForward;
   std::string precision;  ///< PrecisionConfig::to_string()
   TenantId tenant = 0;    ///< 0 unless cross-tenant batching is disabled
 
@@ -98,9 +158,23 @@ struct BatchKey {
 
 struct PendingRequest {
   TenantId tenant = 0;  ///< submitting tenant (selects the operator)
+  SessionId session = 0;
   std::vector<double> input;
   std::promise<MatvecResult> promise;
   std::chrono::steady_clock::time_point enqueued;
+  /// Absolute completion deadline; time_point::max() = best effort.
+  std::chrono::steady_clock::time_point deadline =
+      std::chrono::steady_clock::time_point::max();
+  /// WFQ weight carried from StreamQoS (1 for plain submits).
+  double weight = 1.0;
+  /// Queue-assigned arrival sequence: the EDF tie-break, so equal
+  /// deadlines (in particular one session's stream of applies, whose
+  /// absolute deadlines are non-decreasing) keep FIFO order.
+  std::uint64_t seq = 0;
+
+  bool has_deadline() const {
+    return deadline != std::chrono::steady_clock::time_point::max();
+  }
 };
 
 struct Batch {
@@ -110,8 +184,12 @@ struct Batch {
 
 class RequestQueue {
  public:
-  /// `max_groups` caps distinct tenants per popped batch; 0 = unlimited.
-  RequestQueue(int max_batch, double linger_seconds, int max_groups = 0);
+  /// `max_groups` caps distinct tenants per popped batch (0 =
+  /// unlimited); `deadline_aware` selects EDF-within-key + WFQ-
+  /// across-keys (true, production) vs FIFO + round-robin (false, the
+  /// deadline-blind baseline).
+  RequestQueue(int max_batch, double linger_seconds, int max_groups = 0,
+               bool deadline_aware = true);
 
   /// Enqueue one request (any thread).  Returns false after close():
   /// the caller keeps the request and must fail its promise itself.
@@ -119,7 +197,8 @@ class RequestQueue {
 
   /// Block until a batch is ready (or the queue is closed and empty,
   /// returning nullopt).  Multiple consumers may pop concurrently;
-  /// each call serves the next key in the round-robin rotation.
+  /// each call serves the scheduling-order next key (WFQ or
+  /// round-robin, see the header comment).
   std::optional<Batch> pop_batch();
 
   /// Stop accepting pushes and wake consumers.  Already-queued
@@ -130,16 +209,47 @@ class RequestQueue {
   int max_batch() const { return max_batch_; }
   double linger_seconds() const { return linger_seconds_; }
   int max_groups() const { return max_groups_; }
+  bool deadline_aware() const { return deadline_aware_; }
 
  private:
+  /// Per-key queue + weighted-fair-queueing state.
+  struct KeyQueue {
+    /// EDF order (deadline, seq) in deadline-aware mode, FIFO in the
+    /// blind mode; the take loop always pops the front.
+    std::deque<PendingRequest> q;
+    /// SFQ virtual start tag: dispatch candidates are served in
+    /// increasing tag order, and a dispatch advances the tag by
+    /// requests_taken / weight.
+    double vstart = 0.0;
+    /// Activation sequence, the tag tie-break (FIFO among equals —
+    /// exactly round-robin when all weights are 1).
+    std::uint64_t activation = 0;
+  };
+
+  /// The wall time at which `kq` becomes dispatchable: the oldest
+  /// request's linger expiry, cut short by the key's earliest
+  /// deadline.  Assumes the queue mutex is held.
+  std::chrono::steady_clock::time_point release_time(const KeyQueue& kq) const;
+
   int max_batch_;
   double linger_seconds_;
   int max_groups_;
+  bool deadline_aware_;
   mutable std::mutex mutex_;
   std::condition_variable cv_;
-  std::map<BatchKey, std::deque<PendingRequest>> queues_;
-  /// Keys with pending requests, in service order (front is next).
+  std::map<BatchKey, KeyQueue> queues_;
+  /// Keys with pending requests in arrival order; the blind mode's
+  /// round-robin rotation (front is next).
   std::list<BatchKey> rotation_;
+  /// SFQ finish tags of deactivated keys: a key that empties and
+  /// refills resumes at max(global virtual time, its old finish), so
+  /// draining and immediately re-pushing cannot out-run fairness.
+  /// Entries at or behind the global virtual time are pruned on
+  /// reactivation.
+  std::map<BatchKey, double> vfinish_;
+  double vtime_ = 0.0;  ///< global virtual time (tag of the last dispatch)
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t next_activation_ = 0;
   std::size_t total_pending_ = 0;
   bool closed_ = false;
 };

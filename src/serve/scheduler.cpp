@@ -16,7 +16,36 @@ double seconds_between(clock::time_point a, clock::time_point b) {
   return std::chrono::duration<double>(b - a).count();
 }
 
+/// Validate and resolve the service configuration up front (throwing
+/// std::invalid_argument naming the bad field), so a misconfigured
+/// scheduler fails at construction instead of misbehaving under load.
 ServeOptions resolve_options(ServeOptions options, const device::DeviceSpec& spec) {
+  if (options.num_streams <= 0) {
+    throw std::invalid_argument("ServeOptions: num_streams must be >= 1, got " +
+                                std::to_string(options.num_streams));
+  }
+  if (options.max_batch < 0) {
+    throw std::invalid_argument("ServeOptions: max_batch must be >= 0, got " +
+                                std::to_string(options.max_batch));
+  }
+  if (options.linger_seconds < 0.0) {
+    throw std::invalid_argument(
+        "ServeOptions: linger_seconds must be >= 0, got " +
+        std::to_string(options.linger_seconds));
+  }
+  if (options.plan_cache_capacity == 0) {
+    throw std::invalid_argument("ServeOptions: plan_cache_capacity must be >= 1");
+  }
+  if (options.pipeline_chunks < 0) {
+    throw std::invalid_argument(
+        "ServeOptions: pipeline_chunks must be >= 0, got " +
+        std::to_string(options.pipeline_chunks));
+  }
+  if (options.max_groups_per_batch < 0) {
+    throw std::invalid_argument(
+        "ServeOptions: max_groups_per_batch must be >= 0, got " +
+        std::to_string(options.max_groups_per_batch));
+  }
   if (options.max_batch == 0) options.max_batch = adaptive_max_batch(spec);
   return options;
 }
@@ -54,7 +83,7 @@ struct PhantomProbe {
 
 int adaptive_pipeline_chunks(const device::DeviceSpec& spec,
                              const core::ProblemDims& dims, int max_batch,
-                             Direction direction,
+                             core::ApplyDirection direction,
                              const precision::PrecisionConfig& config) {
   // Probe the chunked dual-stream pipeline at the tenant's own shape,
   // batch size, direction and precision config — a handful of phantom
@@ -69,14 +98,11 @@ int adaptive_pipeline_chunks(const device::DeviceSpec& spec,
   if (config.phase(precision::kPhaseSbgemv) == precision::Precision::kSingle) {
     probe.op.spectrum_f(probe.stream);  // warm the cast outside the probe
   }
-  const auto apply_dir = direction == Direction::kAdjoint
-                             ? core::ApplyDirection::kAdjoint
-                             : core::ApplyDirection::kForward;
   double serial_s = 0.0, best_s = 0.0;
   int best_chunks = 1;
   for (const index_t chunks : {1, 2, 4, 8}) {
     if (chunks != 1 && chunks * 2 > b) break;  // < 2 RHS per chunk: skip
-    const double t = probe.timed_apply(b, apply_dir, config, chunks);
+    const double t = probe.timed_apply(b, direction, config, chunks);
     if (chunks == 1) serial_s = t;
     if (chunks == 1 || t < best_s) {
       best_s = t;
@@ -113,13 +139,7 @@ AsyncScheduler::AsyncScheduler(const device::DeviceSpec& spec, ServeOptions opti
       setup_stream_(dev_),
       cache_(dev_, options_.plan_cache_capacity),
       queue_(options_.max_batch, options_.linger_seconds,
-             options_.max_groups_per_batch) {
-  if (options_.num_streams < 1) {
-    throw std::invalid_argument("AsyncScheduler: num_streams must be >= 1");
-  }
-  if (options_.pipeline_chunks < 0) {
-    throw std::invalid_argument("AsyncScheduler: pipeline_chunks must be >= 0");
-  }
+             options_.max_groups_per_batch, options_.deadline_aware) {
   lanes_.resize(static_cast<std::size_t>(options_.num_streams));
   for (std::size_t i = 0; i < lanes_.size(); ++i) {
     lanes_[i].stream = std::make_unique<device::Stream>(dev_);
@@ -154,7 +174,8 @@ TenantId AsyncScheduler::add_tenant(const core::ProblemDims& dims,
   // other (batch size, direction, precision) combinations resolve
   // lazily at first dispatch.
   pipeline_chunks_for(local, static_cast<index_t>(options_.max_batch),
-                      Direction::kForward, precision::PrecisionConfig{});
+                      core::ApplyDirection::kForward,
+                      precision::PrecisionConfig{});
   std::lock_guard lock(tenants_mutex_);
   const TenantId id = next_tenant_++;
   tenants_.emplace(id, Tenant{local, std::move(op)});
@@ -162,7 +183,8 @@ TenantId AsyncScheduler::add_tenant(const core::ProblemDims& dims,
 }
 
 int AsyncScheduler::pipeline_chunks_for(const core::LocalDims& dims,
-                                        index_t batch, Direction direction,
+                                        index_t batch,
+                                        core::ApplyDirection direction,
                                         const precision::PrecisionConfig& config) {
   if (options_.pipeline_chunks == 1 || batch < 4) return 1;  // < 2 chunks of 2
   if (options_.pipeline_chunks >= 2) {
@@ -171,7 +193,7 @@ int AsyncScheduler::pipeline_chunks_for(const core::LocalDims& dims,
     return chunks < 2 ? 1 : static_cast<int>(chunks);
   }
   const auto key = std::make_tuple(dims, batch,
-                                   direction == Direction::kAdjoint,
+                                   direction == core::ApplyDirection::kAdjoint,
                                    config.to_string());
   {
     std::lock_guard lock(pipeline_mutex_);
@@ -191,32 +213,51 @@ int AsyncScheduler::pipeline_chunks_for(const core::LocalDims& dims,
   return chunks;
 }
 
-std::future<MatvecResult> AsyncScheduler::submit(TenantId tenant, Direction direction,
-                                                 const precision::PrecisionConfig& config,
-                                                 std::vector<double> input) {
+std::future<MatvecResult> AsyncScheduler::enqueue(Request request,
+                                                  SessionId session) {
+  if (request.qos.deadline_seconds < 0.0) {
+    throw std::invalid_argument(
+        "AsyncScheduler::submit: qos.deadline_seconds must be >= 0, got " +
+        std::to_string(request.qos.deadline_seconds));
+  }
+  if (!(request.qos.weight > 0.0)) {
+    throw std::invalid_argument(
+        "AsyncScheduler::submit: qos.weight must be > 0, got " +
+        std::to_string(request.qos.weight));
+  }
   core::LocalDims dims;
   {
     std::lock_guard lock(tenants_mutex_);
-    const auto it = tenants_.find(tenant);
+    const auto it = tenants_.find(request.tenant);
     if (it == tenants_.end()) {
       throw std::invalid_argument("AsyncScheduler::submit: unknown tenant " +
-                                  std::to_string(tenant));
+                                  std::to_string(request.tenant));
     }
     dims = it->second.dims;
   }
-  const index_t expect = direction == Direction::kForward
+  const index_t expect = request.direction == core::ApplyDirection::kForward
                              ? dims.n_t() * dims.n_m_local
                              : dims.n_t() * dims.n_d_local;
-  if (static_cast<index_t>(input.size()) != expect) {
-    throw std::invalid_argument(
-        "AsyncScheduler::submit: input extent " + std::to_string(input.size()) +
-        ", expected " + std::to_string(expect));
+  if (static_cast<index_t>(request.input.size()) != expect) {
+    throw std::invalid_argument("AsyncScheduler::submit: input extent " +
+                                std::to_string(request.input.size()) +
+                                ", expected " + std::to_string(expect));
   }
 
   PendingRequest req;
-  req.tenant = tenant;
-  req.input = std::move(input);
+  req.tenant = request.tenant;
+  req.session = session;
+  req.input = std::move(request.input);
   req.enqueued = clock::now();
+  if (request.qos.deadline_seconds > 0.0) {
+    // Relative QoS deadline -> absolute: the miss test and the EDF
+    // order both run on the absolute time.
+    req.deadline =
+        req.enqueued + std::chrono::duration_cast<clock::duration>(
+                           std::chrono::duration<double>(
+                               request.qos.deadline_seconds));
+  }
+  req.weight = request.qos.weight;
   std::future<MatvecResult> future = req.promise.get_future();
 
   {
@@ -233,8 +274,9 @@ std::future<MatvecResult> AsyncScheduler::submit(TenantId tenant, Direction dire
 
   // Shape-keyed coalescing: tenant splits keys only in the
   // same-tenant-only ablation mode.
-  const BatchKey key{dims, direction, config.to_string(),
-                     options_.cross_tenant_batching ? TenantId{0} : tenant};
+  const BatchKey key{dims, request.direction, request.config.to_string(),
+                     options_.cross_tenant_batching ? TenantId{0}
+                                                    : request.tenant};
   if (!queue_.push(key, std::move(req))) {
     // close() raced with the accepting_ check; undo the accept.
     metrics_.undo_submit();
@@ -246,6 +288,121 @@ std::future<MatvecResult> AsyncScheduler::submit(TenantId tenant, Direction dire
   return future;
 }
 
+std::future<MatvecResult> AsyncScheduler::submit(Request request) {
+  return enqueue(std::move(request), /*session=*/0);
+}
+
+std::future<MatvecResult> AsyncScheduler::submit(
+    TenantId tenant, core::ApplyDirection direction,
+    const precision::PrecisionConfig& config, std::vector<double> input) {
+  Request request;
+  request.tenant = tenant;
+  request.direction = direction;
+  request.config = config;
+  request.input = std::move(input);
+  return enqueue(std::move(request), /*session=*/0);
+}
+
+StreamSession AsyncScheduler::open_stream(TenantId tenant,
+                                          core::ApplyDirection direction,
+                                          const precision::PrecisionConfig& config,
+                                          StreamQoS qos) {
+  if (qos.deadline_seconds < 0.0) {
+    throw std::invalid_argument(
+        "AsyncScheduler::open_stream: qos.deadline_seconds must be >= 0, got " +
+        std::to_string(qos.deadline_seconds));
+  }
+  if (!(qos.weight > 0.0)) {
+    throw std::invalid_argument(
+        "AsyncScheduler::open_stream: qos.weight must be > 0, got " +
+        std::to_string(qos.weight));
+  }
+  core::LocalDims dims;
+  {
+    std::lock_guard lock(tenants_mutex_);
+    const auto it = tenants_.find(tenant);
+    if (it == tenants_.end()) {
+      throw std::invalid_argument("AsyncScheduler::open_stream: unknown tenant " +
+                                  std::to_string(tenant));
+    }
+    dims = it->second.dims;
+  }
+  // Capacity check BEFORE pinning: every pinned shape keeps one
+  // resident plan per lane, and the cache must still hold that whole
+  // pinned working set or eviction has nothing left to reclaim.
+  const PlanKey pin_key{dims, options_.matvec, dev_.spec().name, /*lane=*/0};
+  {
+    std::lock_guard lock(state_mutex_);
+    if (!accepting_) {
+      throw std::runtime_error(
+          "AsyncScheduler::open_stream: scheduler is shut down");
+    }
+    const std::size_t shapes =
+        cache_.pinned_shapes() + (cache_.pinned(pin_key) ? 0 : 1);
+    if (shapes * lanes_.size() > options_.plan_cache_capacity) {
+      throw std::invalid_argument(
+          "AsyncScheduler::open_stream: pinning this session needs " +
+          std::to_string(shapes * lanes_.size()) +
+          " resident plans (pinned shapes x lanes), exceeding "
+          "ServeOptions::plan_cache_capacity = " +
+          std::to_string(options_.plan_cache_capacity) +
+          "; raise the capacity or close other sessions");
+    }
+    cache_.pin(pin_key);
+    const SessionId id = next_session_++;
+    sessions_.emplace(id,
+                      SessionState{tenant, direction, config, qos, dims, 0});
+    return StreamSession(this, id, tenant, direction, config, qos);
+  }
+}
+
+std::future<MatvecResult> AsyncScheduler::submit_stream(
+    SessionId session, std::vector<double> input) {
+  Request request;
+  {
+    std::lock_guard lock(state_mutex_);
+    const auto it = sessions_.find(session);
+    if (it == sessions_.end()) {
+      throw std::runtime_error(
+          "AsyncScheduler::submit_stream: session is closed");
+    }
+    request.tenant = it->second.tenant;
+    request.direction = it->second.direction;
+    request.config = it->second.config;
+    request.qos = it->second.qos;
+    // Counted before the enqueue so a racing close_session drains this
+    // apply; undone below if enqueue refuses it.
+    ++it->second.outstanding;
+  }
+  request.input = std::move(input);
+  try {
+    return enqueue(std::move(request), session);
+  } catch (...) {
+    std::lock_guard lock(state_mutex_);
+    if (const auto it = sessions_.find(session); it != sessions_.end()) {
+      --it->second.outstanding;
+    }
+    cv_drained_.notify_all();
+    throw;
+  }
+}
+
+void AsyncScheduler::close_session(SessionId session) {
+  core::LocalDims dims;
+  {
+    std::unique_lock lock(state_mutex_);
+    const auto it = sessions_.find(session);
+    if (it == sessions_.end()) return;  // idempotent
+    // Drain: every accepted apply of this session is fulfilled before
+    // the pin is dropped (execute_batch notifies cv_drained_ after
+    // every batch).
+    cv_drained_.wait(lock, [&] { return it->second.outstanding == 0; });
+    dims = it->second.dims;
+    sessions_.erase(it);
+  }
+  cache_.unpin(PlanKey{dims, options_.matvec, dev_.spec().name, /*lane=*/0});
+}
+
 void AsyncScheduler::worker_loop(int lane) {
   while (auto batch = queue_.pop_batch()) {
     execute_batch(lane, *batch);
@@ -254,6 +411,7 @@ void AsyncScheduler::worker_loop(int lane) {
 
 void AsyncScheduler::execute_batch(int lane, Batch& batch) {
   const auto exec_start = clock::now();
+  const std::int64_t batch_seq = dispatch_seq_.fetch_add(1);
   device::Stream& stream = *lanes_[static_cast<std::size_t>(lane)].stream;
   const double sim_start = stream.now();
 
@@ -319,7 +477,8 @@ void AsyncScheduler::execute_batch(int lane, Batch& batch) {
   std::vector<core::PhaseTimings> shares;
   if (!batch_error) {
     try {
-      const bool forward = batch.key.direction == Direction::kForward;
+      const bool forward =
+          batch.key.direction == core::ApplyDirection::kForward;
       const index_t out_len =
           forward ? dims.n_t() * dims.n_d_local : dims.n_t() * dims.n_m_local;
       std::vector<core::ConstVectorView> inputs(b);
@@ -332,10 +491,8 @@ void AsyncScheduler::execute_batch(int lane, Batch& batch) {
       core::BatchPipeline pipeline;
       pipeline.chunks = resolved_chunks;
       pipeline.aux = lanes_[static_cast<std::size_t>(lane)].aux.get();
-      plan->apply_batch(groups,
-                        forward ? core::ApplyDirection::kForward
-                                : core::ApplyDirection::kAdjoint,
-                        config, inputs, outputs, pipeline);
+      plan->apply_batch(groups, batch.key.direction, config, inputs, outputs,
+                        pipeline);
       shares = plan->last_batch_timings();
     } catch (...) {
       batch_error = std::current_exception();
@@ -347,6 +504,12 @@ void AsyncScheduler::execute_batch(int lane, Batch& batch) {
     auto& req = batch.requests[r];
     const double queue_s = seconds_between(req.enqueued, exec_start);
     bool failed = false;
+    // Fulfilled-late test against the wall clock at fulfillment; a
+    // failed request with a deadline also counts as a miss (it was
+    // certainly not served on time).
+    const auto fulfilled = clock::now();
+    const bool missed =
+        req.has_deadline() && (batch_error || fulfilled > req.deadline);
     if (batch_error) {
       req.promise.set_exception(batch_error);
       failed = true;
@@ -359,12 +522,16 @@ void AsyncScheduler::execute_batch(int lane, Batch& batch) {
       // (busy-time per phase stays available in `timings`).
       result.sim_seconds = shares[r].span();
       result.queue_seconds = queue_s;
-      result.exec_seconds = seconds_between(exec_start, clock::now());
+      result.exec_seconds = seconds_between(exec_start, fulfilled);
       result.batch_size = batch_size;
       result.lane = lane;
+      result.batch_seq = batch_seq;
+      result.session = req.session;
+      result.deadline_missed = missed;
       req.promise.set_value(std::move(result));
     }
-    metrics_.record_request(queue_s, seconds_between(exec_start, clock::now()), failed);
+    metrics_.record_request(queue_s, seconds_between(exec_start, clock::now()),
+                            failed, req.session, req.has_deadline(), missed);
     ++done;
   }
   metrics_.record_batch(batch_size, stream.now() - sim_start);
@@ -375,8 +542,17 @@ void AsyncScheduler::execute_batch(int lane, Batch& batch) {
   {
     std::lock_guard lock(state_mutex_);
     in_flight_ -= done;
-    if (in_flight_ == 0) cv_drained_.notify_all();
+    for (const auto& req : batch.requests) {
+      if (req.session != 0) {
+        if (const auto it = sessions_.find(req.session); it != sessions_.end()) {
+          --it->second.outstanding;
+        }
+      }
+    }
   }
+  // Unconditional: close_session waits on per-session outstanding
+  // counts, not just the global in-flight count.
+  cv_drained_.notify_all();
 }
 
 void AsyncScheduler::drain() {
@@ -430,7 +606,8 @@ double AsyncScheduler::max_lane_sim_seconds() const {
 int AsyncScheduler::resolved_pipeline_chunks(const core::ProblemDims& dims) {
   return pipeline_chunks_for(core::LocalDims::single_rank(dims),
                              static_cast<index_t>(options_.max_batch),
-                             Direction::kForward, precision::PrecisionConfig{});
+                             core::ApplyDirection::kForward,
+                             precision::PrecisionConfig{});
 }
 
 }  // namespace fftmv::serve

@@ -3,20 +3,31 @@
 // Tenants register a block-triangular Toeplitz operator once
 // (setup — the batched FFT of the first block column — is paid at
 // registration, never on the request path).  Clients then submit
-// forward/adjoint applies and receive std::futures.  A RequestQueue
-// coalesces same-(shape, direction, precision) requests — across
-// tenants — into batches served round-robin across keys, and a pool
-// of worker lanes — one device::Stream per worker — executes each
-// batch as ONE fused FftMatvecPlan::apply_batch through the shared
-// LRU PlanCache: the popped batch is sorted by tenant into operator
-// groups and the batch's b right-hand sides ride a single widened
-// FFT + grouped multi-RHS SBGEMV pipeline, so batching buys real
-// per-request speedup even under multi-tenant skew where no single
-// tenant has companions in flight.  Shutdown is graceful: accepted
-// requests drain before the workers exit, and every future is always
-// fulfilled (value or exception).
+// forward/adjoint applies — one-shot through submit(Request), or as
+// an ordered stream through open_stream()'s StreamSession handle —
+// and receive std::futures.  A RequestQueue coalesces same-(shape,
+// direction, precision) requests — across tenants — into batches, and
+// a pool of worker lanes — one device::Stream per worker — executes
+// each batch as ONE fused FftMatvecPlan::apply_batch through the
+// shared LRU PlanCache: the popped batch is sorted by tenant into
+// operator groups and the batch's b right-hand sides ride a single
+// widened FFT + grouped multi-RHS SBGEMV pipeline, so batching buys
+// real per-request speedup even under multi-tenant skew where no
+// single tenant has companions in flight.
+//
+// Scheduling is deadline-aware (ServeOptions::deadline_aware, on by
+// default): within a coalescing key requests dispatch earliest-
+// deadline-first, across keys dispatch follows weighted fair queueing
+// driven by StreamQoS::weight, and an imminent deadline cancels the
+// remaining linger window.  Deadline outcomes (ServeMetrics::
+// deadline_missed, per-session percentiles) make the SLO observable;
+// bench/serve_slo gates the attainment win over the deadline-blind
+// round-robin baseline.  Shutdown is graceful: accepted requests
+// drain before the workers exit, and every future is always fulfilled
+// (value or exception).
 #pragma once
 
+#include <atomic>
 #include <future>
 #include <map>
 #include <memory>
@@ -37,9 +48,14 @@
 #include "serve/metrics.hpp"
 #include "serve/plan_cache.hpp"
 #include "serve/request_queue.hpp"
+#include "serve/session.hpp"
 
 namespace fftmv::serve {
 
+/// Service configuration.  AsyncScheduler validates every field at
+/// construction and throws std::invalid_argument with the offending
+/// field's name, so a misconfigured service fails at startup rather
+/// than misbehaving under load.
 struct ServeOptions {
   /// Worker lanes; each owns one device::Stream.
   int num_streams = 2;
@@ -80,6 +96,13 @@ struct ServeOptions {
   /// re-pays the per-frequency matrix traffic, so unbounded tiny-
   /// batch tenant mixing bloats the launch.  0 = unlimited.
   int max_groups_per_batch = 0;
+  /// EDF-within-key + weighted-fair-queueing-across-keys dispatch
+  /// with deadline-cancels-linger (the production default).  false
+  /// restores the deadline-blind FIFO + round-robin of PR 2-5 —
+  /// deadlines and weights are then carried but ignored by the
+  /// batcher (misses are still counted) — kept as the bench/serve_slo
+  /// baseline ablation.
+  bool deadline_aware = true;
   /// Matvec execution options shared by all tenants.
   core::MatvecOptions matvec;
 };
@@ -116,7 +139,8 @@ int adaptive_max_batch(const device::DeviceSpec& spec);
 /// dispatch runs exactly the configuration the model validated.
 int adaptive_pipeline_chunks(
     const device::DeviceSpec& spec, const core::ProblemDims& dims,
-    int max_batch, Direction direction = Direction::kForward,
+    int max_batch,
+    core::ApplyDirection direction = core::ApplyDirection::kForward,
     const precision::PrecisionConfig& config = {});
 
 class AsyncScheduler {
@@ -133,13 +157,34 @@ class AsyncScheduler {
   TenantId add_tenant(const core::ProblemDims& dims,
                       std::span<const double> first_block_col);
 
-  /// Enqueue one matvec.  `input` is TOSI (n_t x n_m for forward,
-  /// n_t x n_d for adjoint).  Throws std::invalid_argument for an
-  /// unknown tenant or wrong extent, std::runtime_error after
-  /// shutdown.  The returned future is always eventually fulfilled.
-  std::future<MatvecResult> submit(TenantId tenant, Direction direction,
+  /// Enqueue one matvec described by a Request (the canonical submit
+  /// form: new request-path fields — e.g. StreamQoS — land on the
+  /// struct, not on a growing argument list).  `request.input` is
+  /// TOSI (n_t x n_m for forward, n_t x n_d for adjoint).  Throws
+  /// std::invalid_argument for an unknown tenant, wrong extent or
+  /// invalid QoS, std::runtime_error after shutdown.  The returned
+  /// future is always eventually fulfilled.
+  std::future<MatvecResult> submit(Request request);
+
+  /// Positional convenience form: equivalent to submit(Request{...})
+  /// with default (best-effort) QoS.
+  std::future<MatvecResult> submit(TenantId tenant,
+                                   core::ApplyDirection direction,
                                    const precision::PrecisionConfig& config,
                                    std::vector<double> input);
+
+  /// Open a streaming session: an ordered sequence of applies for one
+  /// (tenant, direction, config) with per-request QoS applied to each
+  /// submit (deadline_seconds is relative to each apply's submission).
+  /// Pins the tenant's plan shape in the PlanCache for the session
+  /// lifetime so cache pressure never cold-starts an active stream.
+  /// Throws std::invalid_argument for an unknown tenant, a negative
+  /// deadline, a non-positive weight, or when the pinned working set
+  /// (distinct pinned shapes x num_streams lanes) would exceed
+  /// plan_cache_capacity; std::runtime_error after shutdown.
+  StreamSession open_stream(TenantId tenant, core::ApplyDirection direction,
+                            const precision::PrecisionConfig& config,
+                            StreamQoS qos = {});
 
   /// Block until every accepted request has completed.
   void drain();
@@ -169,9 +214,23 @@ class AsyncScheduler {
   double setup_sim_seconds() const { return setup_stream_.now(); }
 
  private:
+  friend class StreamSession;
+
   struct Tenant {
     core::LocalDims dims;
     std::shared_ptr<core::BlockToeplitzOperator> op;
+  };
+  /// Book-keeping for one open StreamSession (guarded by
+  /// state_mutex_).  `outstanding` counts accepted-but-unfulfilled
+  /// applies; close_session waits for it to reach zero before
+  /// unpinning the plan shape.
+  struct SessionState {
+    TenantId tenant = 0;
+    core::ApplyDirection direction = core::ApplyDirection::kForward;
+    precision::PrecisionConfig config;
+    StreamQoS qos;
+    core::LocalDims dims;
+    std::int64_t outstanding = 0;
   };
   /// Each lane owns a stream PAIR: `stream` drives the serial phases
   /// (and is the stream cached plans are bound to), `aux` carries the
@@ -186,6 +245,19 @@ class AsyncScheduler {
 
   void worker_loop(int lane);
   void execute_batch(int lane, Batch& batch);
+
+  /// Common enqueue path behind both submit forms and session
+  /// submits: validates, stamps the absolute deadline from
+  /// request.qos, counts in-flight and pushes to the queue.
+  std::future<MatvecResult> enqueue(Request request, SessionId session);
+  /// StreamSession::submit body: resolves the session's (tenant,
+  /// direction, config, qos), counts the apply outstanding and
+  /// delegates to enqueue().
+  std::future<MatvecResult> submit_stream(SessionId session,
+                                          std::vector<double> input);
+  /// StreamSession::close body: drains the session's outstanding
+  /// applies, unpins its plan shape and retires the id.
+  void close_session(SessionId session);
 
   ServeOptions options_;
   device::Device dev_;
@@ -205,7 +277,7 @@ class AsyncScheduler {
   /// forward-ddddd entry; other combinations probe lazily on first
   /// dispatch (microseconds of cost-model arithmetic).
   int pipeline_chunks_for(const core::LocalDims& dims, index_t batch,
-                          Direction direction,
+                          core::ApplyDirection direction,
                           const precision::PrecisionConfig& config);
 
   mutable std::mutex tenants_mutex_;
@@ -224,6 +296,13 @@ class AsyncScheduler {
   std::int64_t in_flight_ = 0;  ///< accepted but not yet fulfilled
   bool accepting_ = true;
   bool workers_stopped_ = false;
+  /// Open streaming sessions (guarded by state_mutex_; cv_drained_
+  /// doubles as the per-session drain signal — execute_batch notifies
+  /// after every batch).
+  std::map<SessionId, SessionState> sessions_;
+  SessionId next_session_ = 1;
+  /// Global batch dispatch counter -> MatvecResult::batch_seq.
+  std::atomic<std::int64_t> dispatch_seq_{0};
 
   std::vector<Lane> lanes_;
 };

@@ -1,0 +1,46 @@
+#include "serve/session.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+#include "serve/scheduler.hpp"
+
+namespace fftmv::serve {
+
+StreamSession::StreamSession(StreamSession&& other) noexcept
+    : sched_(std::exchange(other.sched_, nullptr)),
+      id_(std::exchange(other.id_, 0)),
+      tenant_(other.tenant_),
+      direction_(other.direction_),
+      config_(std::move(other.config_)),
+      qos_(other.qos_) {}
+
+StreamSession& StreamSession::operator=(StreamSession&& other) noexcept {
+  if (this != &other) {
+    close();
+    sched_ = std::exchange(other.sched_, nullptr);
+    id_ = std::exchange(other.id_, 0);
+    tenant_ = other.tenant_;
+    direction_ = other.direction_;
+    config_ = std::move(other.config_);
+    qos_ = other.qos_;
+  }
+  return *this;
+}
+
+StreamSession::~StreamSession() { close(); }
+
+std::future<MatvecResult> StreamSession::submit(std::vector<double> input) {
+  if (sched_ == nullptr) {
+    throw std::runtime_error("StreamSession::submit: session is closed");
+  }
+  return sched_->submit_stream(id_, std::move(input));
+}
+
+void StreamSession::close() {
+  if (sched_ == nullptr) return;
+  AsyncScheduler* sched = std::exchange(sched_, nullptr);
+  sched->close_session(std::exchange(id_, 0));
+}
+
+}  // namespace fftmv::serve

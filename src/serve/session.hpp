@@ -1,0 +1,77 @@
+// StreamSession: the streaming client handle of the matvec service.
+//
+// AsyncScheduler::open_stream pins the tenant's plan shape in the
+// PlanCache (so cache pressure from other tenants can never
+// cold-start the stream) and returns a move-only RAII handle.  Each
+// submit() enqueues one apply carrying the session's direction,
+// precision config and StreamQoS: requests of one session share a
+// coalescing key and their absolute deadlines are non-decreasing, so
+// the EDF batcher dispatches them in submit order (observable through
+// MatvecResult::batch_seq).  close() — or destruction — drains the
+// session's outstanding applies, unpins the plan and retires the id;
+// it is idempotent, and a moved-from or default-constructed handle is
+// an inert empty shell.
+//
+// A handle is a single-client object: calls on one StreamSession must
+// be externally ordered (submit from one thread at a time).  Distinct
+// sessions are fully concurrent.
+#pragma once
+
+#include <future>
+#include <vector>
+
+#include "core/matvec_plan.hpp"
+#include "precision/precision.hpp"
+#include "serve/request_queue.hpp"
+
+namespace fftmv::serve {
+
+class AsyncScheduler;
+
+class StreamSession {
+ public:
+  /// Empty handle; open() is false and submit() throws.
+  StreamSession() = default;
+  StreamSession(StreamSession&& other) noexcept;
+  StreamSession& operator=(StreamSession&& other) noexcept;
+  StreamSession(const StreamSession&) = delete;
+  StreamSession& operator=(const StreamSession&) = delete;
+  ~StreamSession();
+
+  /// Enqueue the session's next apply (TOSI input, same extent rules
+  /// as AsyncScheduler::submit).  The session's applies are dispatched
+  /// in submit order.  Throws std::runtime_error on a closed handle.
+  std::future<MatvecResult> submit(std::vector<double> input);
+
+  /// Drain this session's outstanding applies, unpin its plan shape
+  /// and retire the id.  Idempotent; also run by the destructor.
+  void close();
+
+  bool open() const { return sched_ != nullptr; }
+  SessionId id() const { return id_; }
+  TenantId tenant() const { return tenant_; }
+  core::ApplyDirection direction() const { return direction_; }
+  const precision::PrecisionConfig& config() const { return config_; }
+  const StreamQoS& qos() const { return qos_; }
+
+ private:
+  friend class AsyncScheduler;
+  StreamSession(AsyncScheduler* sched, SessionId id, TenantId tenant,
+                core::ApplyDirection direction,
+                precision::PrecisionConfig config, StreamQoS qos)
+      : sched_(sched),
+        id_(id),
+        tenant_(tenant),
+        direction_(direction),
+        config_(std::move(config)),
+        qos_(qos) {}
+
+  AsyncScheduler* sched_ = nullptr;
+  SessionId id_ = 0;
+  TenantId tenant_ = 0;
+  core::ApplyDirection direction_ = core::ApplyDirection::kForward;
+  precision::PrecisionConfig config_;
+  StreamQoS qos_;
+};
+
+}  // namespace fftmv::serve

@@ -31,7 +31,7 @@ PlanKey key_for(const core::ProblemDims& dims, int lane = 0) {
 }
 
 BatchKey batch_key(const core::ProblemDims& dims,
-                   Direction direction = Direction::kForward,
+                   core::ApplyDirection direction = core::ApplyDirection::kForward,
                    std::string prec = "ddddd", TenantId tenant = 0) {
   return BatchKey{core::LocalDims::single_rank(dims), direction,
                   std::move(prec), tenant};
@@ -42,6 +42,16 @@ PendingRequest make_request(std::vector<double> input = {}, TenantId tenant = 0)
   req.tenant = tenant;
   req.input = std::move(input);
   req.enqueued = std::chrono::steady_clock::now();
+  return req;
+}
+
+PendingRequest deadline_request(double deadline_offset_s, TenantId tenant = 0,
+                                double weight = 1.0) {
+  PendingRequest req = make_request({}, tenant);
+  req.deadline =
+      req.enqueued + std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                         std::chrono::duration<double>(deadline_offset_s));
+  req.weight = weight;
   return req;
 }
 
@@ -109,6 +119,37 @@ TEST(PlanCache, RejectsZeroCapacity) {
   EXPECT_THROW(PlanCache(dev, 0), std::invalid_argument);
 }
 
+TEST(PlanCache, PinShieldsShapeFromEvictionAcrossLanes) {
+  device::Device dev(device::make_mi300x());
+  device::Stream stream(dev);
+  PlanCache cache(dev, 2);
+  const auto ka = key_for(small_dims(), 0);
+  cache.pin(ka);
+  // Pins are lane-agnostic (a session's applies may run on any lane)
+  // and count distinct SHAPES, not entries.
+  EXPECT_TRUE(cache.pinned(key_for(small_dims(), 1)));
+  EXPECT_EQ(cache.pinned_shapes(), 1u);
+  EXPECT_FALSE(cache.pinned(key_for(other_dims(), 0)));
+
+  cache.acquire(ka, stream);
+  cache.acquire(key_for(other_dims()), stream);
+  cache.acquire(key_for(core::ProblemDims{16, 2, 8}), stream);
+  // Over capacity the unpinned LRU entry went, never the pinned one.
+  EXPECT_NE(cache.peek(ka), nullptr);
+  EXPECT_EQ(cache.peek(key_for(other_dims())), nullptr);
+
+  // Pins are counted: two pins need two unpins.
+  cache.pin(ka);
+  cache.unpin(ka);
+  EXPECT_TRUE(cache.pinned(ka));
+  cache.unpin(ka);
+  EXPECT_FALSE(cache.pinned(ka));
+  EXPECT_EQ(cache.pinned_shapes(), 0u);
+  // Fully unpinned, the shape becomes ordinary LRU prey again.
+  cache.acquire(key_for(other_dims()), stream);
+  EXPECT_EQ(cache.peek(ka), nullptr);
+}
+
 // --------------------------------------------------------- RequestQueue
 TEST(RequestQueue, SplitsKeyIntoMaxBatchChunks) {
   RequestQueue q(3, 0.0);
@@ -159,8 +200,8 @@ TEST(RequestQueue, CrossTenantRequestsShareShapeKeys) {
 
   q.push(batch_key(small_dims()), make_request());
   q.push(batch_key(other_dims()), make_request());
-  q.push(batch_key(small_dims(), Direction::kAdjoint), make_request());
-  q.push(batch_key(small_dims(), Direction::kForward, "dssdd"), make_request());
+  q.push(batch_key(small_dims(), core::ApplyDirection::kAdjoint), make_request());
+  q.push(batch_key(small_dims(), core::ApplyDirection::kForward, "dssdd"), make_request());
   // Four distinct coalescing keys -> four singleton batches.
   for (int i = 0; i < 4; ++i) {
     const auto b = q.pop_batch();
@@ -173,9 +214,9 @@ TEST(RequestQueue, TenantFieldSplitsKeysInSameTenantOnlyMode) {
   // The ablation mode (cross_tenant_batching == false) sets the
   // tenant field, restoring PR 3's same-tenant-only coalescing.
   RequestQueue q(8, 0.0);
-  q.push(batch_key(small_dims(), Direction::kForward, "ddddd", 1),
+  q.push(batch_key(small_dims(), core::ApplyDirection::kForward, "ddddd", 1),
          make_request({}, 1));
-  q.push(batch_key(small_dims(), Direction::kForward, "ddddd", 2),
+  q.push(batch_key(small_dims(), core::ApplyDirection::kForward, "ddddd", 2),
          make_request({}, 2));
   for (int i = 0; i < 2; ++i) {
     const auto b = q.pop_batch();
@@ -275,6 +316,95 @@ TEST(RequestQueue, MaxGroupsAlwaysMakesProgress) {
   EXPECT_THROW(RequestQueue(8, 0.0, -1), std::invalid_argument);
 }
 
+TEST(RequestQueue, EdfServesEarliestDeadlineFirstWithinKey) {
+  RequestQueue q(8, 0.0);
+  const BatchKey key = batch_key(small_dims());
+  // A best-effort request arrives FIRST but must sort behind every
+  // deadlined one; the deadlined ones dispatch by deadline, not
+  // arrival.  Tenants mark the requests.
+  q.push(key, make_request({}, /*tenant=*/4));
+  q.push(key, deadline_request(30.0, /*tenant=*/1));
+  q.push(key, deadline_request(10.0, /*tenant=*/2));
+  q.push(key, deadline_request(20.0, /*tenant=*/3));
+  const auto batch = q.pop_batch();
+  ASSERT_TRUE(batch.has_value());
+  ASSERT_EQ(batch->requests.size(), 4u);
+  EXPECT_EQ(batch->requests[0].tenant, 2u);
+  EXPECT_EQ(batch->requests[1].tenant, 3u);
+  EXPECT_EQ(batch->requests[2].tenant, 1u);
+  EXPECT_EQ(batch->requests[3].tenant, 4u);
+}
+
+TEST(RequestQueue, EdfKeepsFifoAmongEqualDeadlines) {
+  // Identical absolute deadlines (one session's back-to-back applies)
+  // fall back to arrival sequence — the stream stays ordered.
+  RequestQueue q(8, 0.0);
+  const BatchKey key = batch_key(small_dims());
+  const auto dl = std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  for (const TenantId t : {5, 6, 7}) {
+    auto req = make_request({}, t);
+    req.deadline = dl;
+    q.push(key, std::move(req));
+  }
+  const auto batch = q.pop_batch();
+  ASSERT_TRUE(batch.has_value());
+  ASSERT_EQ(batch->requests.size(), 3u);
+  EXPECT_EQ(batch->requests[0].tenant, 5u);
+  EXPECT_EQ(batch->requests[1].tenant, 6u);
+  EXPECT_EQ(batch->requests[2].tenant, 7u);
+}
+
+TEST(RequestQueue, ImminentDeadlineCancelsLinger) {
+  RequestQueue q(8, 10.0);  // linger long enough to hang the test if waited
+  const BatchKey key = batch_key(small_dims());
+  q.push(key, deadline_request(0.02));
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto batch = q.pop_batch();
+  const double waited =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  ASSERT_TRUE(batch.has_value());
+  EXPECT_EQ(batch->requests.size(), 1u);
+  // Released at the deadline (~20 ms), not after the 10 s linger.
+  EXPECT_LT(waited, 5.0);
+}
+
+TEST(RequestQueue, WeightedFairQueueingTracksWeightRatio) {
+  // Two backlogged keys, weights 3 : 1, singleton batches: over any
+  // window the served-batch ratio must track the weight ratio.
+  RequestQueue q(1, 0.0);
+  const BatchKey ka = batch_key(small_dims());
+  const BatchKey kb = batch_key(other_dims());
+  for (int i = 0; i < 24; ++i) q.push(ka, deadline_request(60.0, 1, 3.0));
+  for (int i = 0; i < 24; ++i) q.push(kb, deadline_request(60.0, 2, 1.0));
+  int served_a = 0, served_b = 0;
+  for (int i = 0; i < 16; ++i) {
+    const auto batch = q.pop_batch();
+    ASSERT_TRUE(batch.has_value());
+    (batch->key == ka ? served_a : served_b) += 1;
+  }
+  // Exact SFQ would serve 12 : 4; accept anything in the 2x..4x band.
+  EXPECT_GE(served_a, 2 * served_b) << served_a << ":" << served_b;
+  EXPECT_LE(served_a, 4 * served_b) << served_a << ":" << served_b;
+}
+
+TEST(RequestQueue, BlindModeIgnoresDeadlinesAndWeights) {
+  // deadline_aware == false is the PR 2-5 baseline: FIFO within the
+  // key even when a later arrival carries the earlier deadline.
+  RequestQueue q(8, 0.0, /*max_groups=*/0, /*deadline_aware=*/false);
+  EXPECT_FALSE(q.deadline_aware());
+  const BatchKey key = batch_key(small_dims());
+  q.push(key, make_request({}, /*tenant=*/1));
+  q.push(key, deadline_request(0.001, /*tenant=*/2));
+  q.push(key, deadline_request(10.0, /*tenant=*/3));
+  const auto batch = q.pop_batch();
+  ASSERT_TRUE(batch.has_value());
+  ASSERT_EQ(batch->requests.size(), 3u);
+  EXPECT_EQ(batch->requests[0].tenant, 1u);
+  EXPECT_EQ(batch->requests[1].tenant, 2u);
+  EXPECT_EQ(batch->requests[2].tenant, 3u);
+}
+
 // ------------------------------------------------------ AsyncScheduler
 struct ServedCase {
   core::ProblemDims dims;
@@ -308,7 +438,7 @@ TEST(AsyncScheduler, BatchedResultsMatchUnbatchedPlanAndDenseReference) {
       inputs.push_back(
           core::make_input_vector(tenant.dims.n_t * tenant.dims.n_m, 50 + r));
       futures.push_back(
-          sched.submit(tenant.tenant, Direction::kForward, config, inputs.back()));
+          sched.submit(tenant.tenant, core::ApplyDirection::kForward, config, inputs.back()));
     }
 
     // Unbatched reference: a private device/stream/plan, same config.
@@ -341,7 +471,7 @@ TEST(AsyncScheduler, AdjointServedMatchesDense) {
   const auto tenant = register_tenant(sched, small_dims(), 9);
   const auto local = core::LocalDims::single_rank(tenant.dims);
   const auto d_in = core::make_input_vector(tenant.dims.n_t * tenant.dims.n_d, 11);
-  auto future = sched.submit(tenant.tenant, Direction::kAdjoint,
+  auto future = sched.submit(tenant.tenant, core::ApplyDirection::kAdjoint,
                              precision::PrecisionConfig{}, d_in);
   const auto served = future.get();
   std::vector<double> dense(served.output.size());
@@ -360,7 +490,7 @@ TEST(AsyncScheduler, CacheHitRatePositiveOnRepeatedKeys) {
   const auto input = core::make_input_vector(tenant.dims.n_t * tenant.dims.n_m, 14);
   std::vector<std::future<MatvecResult>> futures;
   for (int r = 0; r < 12; ++r) {
-    futures.push_back(sched.submit(tenant.tenant, Direction::kForward,
+    futures.push_back(sched.submit(tenant.tenant, core::ApplyDirection::kForward,
                                    precision::PrecisionConfig{}, input));
   }
   sched.drain();
@@ -397,7 +527,7 @@ TEST(AsyncScheduler, ConcurrentSubmittersDrainCleanly) {
                                   : tenant.dims.n_t * tenant.dims.n_m;
         try {
           futures[static_cast<std::size_t>(t)].push_back(sched.submit(
-              tenant.tenant, adjoint ? Direction::kAdjoint : Direction::kForward,
+              tenant.tenant, adjoint ? core::ApplyDirection::kAdjoint : core::ApplyDirection::kForward,
               config,
               core::make_input_vector(n, static_cast<std::uint64_t>(t * 100 + r))));
         } catch (const std::exception&) {
@@ -432,7 +562,7 @@ TEST(AsyncScheduler, DrainLeavesNothingInFlight) {
   const auto input = core::make_input_vector(tenant.dims.n_t * tenant.dims.n_m, 32);
   std::vector<std::future<MatvecResult>> futures;
   for (int r = 0; r < 8; ++r) {
-    futures.push_back(sched.submit(tenant.tenant, Direction::kForward,
+    futures.push_back(sched.submit(tenant.tenant, core::ApplyDirection::kForward,
                                    precision::PrecisionConfig{}, input));
   }
   sched.drain();
@@ -450,12 +580,12 @@ TEST(AsyncScheduler, ShutdownIsGracefulAndRefusesNewWork) {
   const auto input = core::make_input_vector(tenant.dims.n_t * tenant.dims.n_m, 42);
   std::vector<std::future<MatvecResult>> futures;
   for (int r = 0; r < 5; ++r) {
-    futures.push_back(sched.submit(tenant.tenant, Direction::kForward,
+    futures.push_back(sched.submit(tenant.tenant, core::ApplyDirection::kForward,
                                    precision::PrecisionConfig{}, input));
   }
   sched.shutdown();
   for (auto& f : futures) EXPECT_NO_THROW(f.get());  // accepted work drained
-  EXPECT_THROW(sched.submit(tenant.tenant, Direction::kForward,
+  EXPECT_THROW(sched.submit(tenant.tenant, core::ApplyDirection::kForward,
                             precision::PrecisionConfig{}, input),
                std::runtime_error);
   sched.shutdown();  // idempotent
@@ -464,15 +594,15 @@ TEST(AsyncScheduler, ShutdownIsGracefulAndRefusesNewWork) {
 TEST(AsyncScheduler, SubmitValidatesTenantAndExtent) {
   AsyncScheduler sched(device::make_mi300x());
   const auto tenant = register_tenant(sched, small_dims(), 51);
-  EXPECT_THROW(sched.submit(999, Direction::kForward, precision::PrecisionConfig{},
+  EXPECT_THROW(sched.submit(999, core::ApplyDirection::kForward, precision::PrecisionConfig{},
                             std::vector<double>(16)),
                std::invalid_argument);
-  EXPECT_THROW(sched.submit(tenant.tenant, Direction::kForward,
+  EXPECT_THROW(sched.submit(tenant.tenant, core::ApplyDirection::kForward,
                             precision::PrecisionConfig{}, std::vector<double>(3)),
                std::invalid_argument);
   // Adjoint expects n_t x n_d, not n_t x n_m.
   EXPECT_THROW(
-      sched.submit(tenant.tenant, Direction::kAdjoint, precision::PrecisionConfig{},
+      sched.submit(tenant.tenant, core::ApplyDirection::kAdjoint, precision::PrecisionConfig{},
                    std::vector<double>(static_cast<std::size_t>(
                        small_dims().n_t * small_dims().n_m))),
       std::invalid_argument);
@@ -490,7 +620,7 @@ TEST(AsyncScheduler, CoalescedBatchExecutesPlanExactlyOnce) {
   std::vector<std::future<MatvecResult>> futures;
   for (std::uint64_t r = 0; r < 6; ++r) {
     futures.push_back(sched.submit(
-        tenant.tenant, Direction::kForward, precision::PrecisionConfig{},
+        tenant.tenant, core::ApplyDirection::kForward, precision::PrecisionConfig{},
         core::make_input_vector(tenant.dims.n_t * tenant.dims.n_m, 72 + r)));
   }
   sched.drain();
@@ -555,7 +685,7 @@ TEST(AsyncScheduler, CrossTenantRequestsCoalesceIntoOneGroupedExecution) {
     inputs.push_back(
         core::make_input_vector(small_dims().n_t * small_dims().n_m, 110 + r));
     owners.push_back(&tenant);
-    futures.push_back(sched.submit(tenant.tenant, Direction::kForward,
+    futures.push_back(sched.submit(tenant.tenant, core::ApplyDirection::kForward,
                                    precision::PrecisionConfig{}, inputs.back()));
   }
   sched.drain();
@@ -601,7 +731,7 @@ TEST(AsyncScheduler, SameTenantOnlyModeKeepsTenantsApart) {
   for (std::uint64_t r = 0; r < 4; ++r) {
     const auto& tenant = (r % 2 == 0) ? ta : tb;
     futures.push_back(sched.submit(
-        tenant.tenant, Direction::kForward, precision::PrecisionConfig{},
+        tenant.tenant, core::ApplyDirection::kForward, precision::PrecisionConfig{},
         core::make_input_vector(small_dims().n_t * small_dims().n_m, 120 + r)));
   }
   sched.drain();
@@ -619,10 +749,10 @@ TEST(AsyncScheduler, ConfigsShareOneCachedPlan) {
   AsyncScheduler sched(device::make_mi300x(), opts);
   const auto tenant = register_tenant(sched, small_dims(), 121);
   const auto input = core::make_input_vector(small_dims().n_t * small_dims().n_m, 122);
-  sched.submit(tenant.tenant, Direction::kForward,
+  sched.submit(tenant.tenant, core::ApplyDirection::kForward,
                precision::PrecisionConfig::parse("ddddd"), input)
       .get();
-  sched.submit(tenant.tenant, Direction::kForward,
+  sched.submit(tenant.tenant, core::ApplyDirection::kForward,
                precision::PrecisionConfig::parse("dssdd"), input)
       .get();
   sched.drain();
@@ -673,7 +803,7 @@ TEST(AsyncScheduler, PipelinedModeBitIdenticalToSerialAndResolvesChunks) {
                           : chunks);
     std::vector<std::future<MatvecResult>> futures;
     for (const auto& input : inputs) {
-      futures.push_back(sched.submit(tenant.tenant, Direction::kForward,
+      futures.push_back(sched.submit(tenant.tenant, core::ApplyDirection::kForward,
                                      precision::PrecisionConfig{}, input));
     }
     sched.drain();
@@ -702,9 +832,9 @@ TEST(AsyncScheduler, AdaptivePipelineChunksIsDeterministicAndBounded) {
   // shift with both), each deterministic in its own right.
   const auto dssdd = precision::PrecisionConfig::parse("dssdd");
   const int adj = adaptive_pipeline_chunks(spec, small_dims(), 8,
-                                           Direction::kAdjoint, dssdd);
+                                           core::ApplyDirection::kAdjoint, dssdd);
   EXPECT_EQ(adaptive_pipeline_chunks(spec, small_dims(), 8,
-                                     Direction::kAdjoint, dssdd),
+                                     core::ApplyDirection::kAdjoint, dssdd),
             adj);
   EXPECT_TRUE(adj == 1 || adj == 2 || adj == 4) << adj;
 }
@@ -724,11 +854,11 @@ TEST(AsyncScheduler, GroupedTimingsWeightSbgemvByGroupShare) {
 
   std::vector<std::future<MatvecResult>> futures;
   futures.push_back(sched.submit(
-      ta.tenant, Direction::kForward, precision::PrecisionConfig{},
+      ta.tenant, core::ApplyDirection::kForward, precision::PrecisionConfig{},
       core::make_input_vector(small_dims().n_t * small_dims().n_m, 140)));
   for (std::uint64_t r = 0; r < 3; ++r) {
     futures.push_back(sched.submit(
-        tb.tenant, Direction::kForward, precision::PrecisionConfig{},
+        tb.tenant, core::ApplyDirection::kForward, precision::PrecisionConfig{},
         core::make_input_vector(small_dims().n_t * small_dims().n_m, 141 + r)));
   }
   sched.drain();
@@ -771,7 +901,7 @@ TEST(AsyncScheduler, RaggedFinalBatchStaysCorrect) {
   for (std::uint64_t r = 0; r < 6; ++r) {
     inputs.push_back(
         core::make_input_vector(tenant.dims.n_t * tenant.dims.n_m, 82 + r));
-    futures.push_back(sched.submit(tenant.tenant, Direction::kForward,
+    futures.push_back(sched.submit(tenant.tenant, core::ApplyDirection::kForward,
                                    precision::PrecisionConfig{}, inputs.back()));
   }
   sched.drain();
@@ -787,12 +917,301 @@ TEST(AsyncScheduler, RaggedFinalBatchStaysCorrect) {
   }
 }
 
+TEST(AsyncScheduler, OptionValidationNamesTheBadField) {
+  const auto spec = device::make_mi300x();
+  const auto expect_invalid = [&](ServeOptions opts, const char* field) {
+    try {
+      AsyncScheduler sched(spec, opts);
+      FAIL() << field << " accepted";
+    } catch (const std::invalid_argument& e) {
+      EXPECT_NE(std::string(e.what()).find(field), std::string::npos)
+          << e.what();
+    }
+  };
+  ServeOptions opts;
+  opts.num_streams = 0;
+  expect_invalid(opts, "num_streams");
+  opts = {};
+  opts.max_batch = -1;
+  expect_invalid(opts, "max_batch");
+  opts = {};
+  opts.linger_seconds = -1e-3;
+  expect_invalid(opts, "linger_seconds");
+  opts = {};
+  opts.plan_cache_capacity = 0;
+  expect_invalid(opts, "plan_cache_capacity");
+  opts = {};
+  opts.pipeline_chunks = -2;
+  expect_invalid(opts, "pipeline_chunks");
+  opts = {};
+  opts.max_groups_per_batch = -1;
+  expect_invalid(opts, "max_groups_per_batch");
+}
+
+TEST(AsyncScheduler, RequestStructAndPositionalSubmitAreEquivalent) {
+  ServeOptions opts;
+  opts.num_streams = 1;
+  opts.linger_seconds = 0.0;
+  AsyncScheduler sched(device::make_mi300x(), opts);
+  const auto tenant = register_tenant(sched, small_dims(), 161);
+  const auto input =
+      core::make_input_vector(small_dims().n_t * small_dims().n_m, 162);
+  const auto config = precision::PrecisionConfig::parse("dssdd");
+  const auto positional =
+      sched.submit(tenant.tenant, core::ApplyDirection::kForward, config, input)
+          .get();
+  const auto structured =
+      sched
+          .submit(Request{.tenant = tenant.tenant,
+                          .direction = core::ApplyDirection::kForward,
+                          .config = config,
+                          .input = input,
+                          .qos = {}})
+          .get();
+  // The positional overload is a thin wrapper: bit-identical results.
+  EXPECT_EQ(structured.output, positional.output);
+
+  // QoS is validated on the struct path.
+  Request bad{.tenant = tenant.tenant,
+              .direction = core::ApplyDirection::kForward,
+              .config = config,
+              .input = input,
+              .qos = {.deadline_seconds = -1.0, .weight = 1.0}};
+  EXPECT_THROW(sched.submit(std::move(bad)), std::invalid_argument);
+  Request bad_weight{.tenant = tenant.tenant,
+                     .direction = core::ApplyDirection::kForward,
+                     .config = config,
+                     .input = input,
+                     .qos = {.deadline_seconds = 0.0, .weight = 0.0}};
+  EXPECT_THROW(sched.submit(std::move(bad_weight)), std::invalid_argument);
+}
+
+TEST(AsyncScheduler, SessionAppliesDispatchInOrderAndMatchDense) {
+  ServeOptions opts;
+  opts.num_streams = 1;
+  opts.max_batch = 2;  // several batches, so ordering is observable
+  opts.linger_seconds = 0.0;
+  AsyncScheduler sched(device::make_mi300x(), opts);
+  const auto tenant = register_tenant(sched, small_dims(), 171);
+  const auto local = core::LocalDims::single_rank(tenant.dims);
+
+  StreamSession session = sched.open_stream(
+      tenant.tenant, core::ApplyDirection::kForward, precision::PrecisionConfig{},
+      StreamQoS{.deadline_seconds = 60.0, .weight = 2.0});
+  const auto sid = session.id();
+  EXPECT_GT(sid, 0u);
+  EXPECT_EQ(session.tenant(), tenant.tenant);
+  EXPECT_EQ(session.direction(), core::ApplyDirection::kForward);
+  EXPECT_DOUBLE_EQ(session.qos().weight, 2.0);
+
+  std::vector<std::vector<double>> inputs;
+  std::vector<std::future<MatvecResult>> futures;
+  for (std::uint64_t r = 0; r < 8; ++r) {
+    inputs.push_back(
+        core::make_input_vector(tenant.dims.n_t * tenant.dims.n_m, 172 + r));
+    futures.push_back(session.submit(inputs.back()));
+  }
+  session.close();  // drains the stream
+
+  std::int64_t prev_seq = -1;
+  for (std::size_t r = 0; r < futures.size(); ++r) {
+    const auto result = futures[r].get();
+    // Ordered stream: same key + non-decreasing deadlines + the EDF
+    // seq tie-break means dispatch order follows submit order, which
+    // the global batch sequence number makes observable.
+    EXPECT_GE(result.batch_seq, prev_seq) << "apply " << r;
+    prev_seq = result.batch_seq;
+    EXPECT_EQ(result.session, sid);
+    std::vector<double> dense(result.output.size());
+    core::dense_forward(local, tenant.col, inputs[r], dense);
+    EXPECT_LT(blas::relative_l2_error(static_cast<index_t>(dense.size()),
+                                      result.output.data(), dense.data()),
+              1e-12);
+  }
+}
+
+TEST(AsyncScheduler, SessionLifecycleCloseMoveAndErrors) {
+  AsyncScheduler sched(device::make_mi300x());
+  const auto tenant = register_tenant(sched, small_dims(), 181);
+  const auto input =
+      core::make_input_vector(small_dims().n_t * small_dims().n_m, 182);
+
+  StreamSession a = sched.open_stream(tenant.tenant, core::ApplyDirection::kForward,
+                                      precision::PrecisionConfig{});
+  StreamSession b = std::move(a);  // move leaves `a` closed
+  EXPECT_FALSE(a.open());
+  EXPECT_TRUE(b.open());
+  EXPECT_THROW(a.submit(input), std::runtime_error);
+  b.submit(input).get();
+  b.close();
+  EXPECT_FALSE(b.open());
+  EXPECT_THROW(b.submit(input), std::runtime_error);
+  b.close();  // double close is a no-op
+
+  // RAII: destruction drains and closes an open session.
+  std::future<MatvecResult> orphan;
+  {
+    StreamSession scoped = sched.open_stream(
+        tenant.tenant, core::ApplyDirection::kForward, precision::PrecisionConfig{});
+    orphan = scoped.submit(input);
+  }
+  using namespace std::chrono_literals;
+  ASSERT_EQ(orphan.wait_for(0s), std::future_status::ready);  // close() drained
+  orphan.get();
+}
+
+TEST(AsyncScheduler, OpenStreamValidatesQoSTenantAndCapacity) {
+  ServeOptions opts;
+  opts.num_streams = 2;
+  opts.plan_cache_capacity = 4;  // room for 2 pinned shapes x 2 lanes
+  AsyncScheduler sched(device::make_mi300x(), opts);
+  const auto ta = register_tenant(sched, small_dims(), 191);
+  const auto tb = register_tenant(sched, other_dims(), 192);
+  const auto tc = register_tenant(sched, core::ProblemDims{16, 2, 8}, 193);
+
+  EXPECT_THROW(sched.open_stream(999, core::ApplyDirection::kForward,
+                                 precision::PrecisionConfig{}),
+               std::invalid_argument);
+  EXPECT_THROW(
+      sched.open_stream(ta.tenant, core::ApplyDirection::kForward,
+                        precision::PrecisionConfig{},
+                        StreamQoS{.deadline_seconds = -1.0, .weight = 1.0}),
+      std::invalid_argument);
+  EXPECT_THROW(
+      sched.open_stream(ta.tenant, core::ApplyDirection::kForward,
+                        precision::PrecisionConfig{},
+                        StreamQoS{.deadline_seconds = 0.0, .weight = 0.0}),
+      std::invalid_argument);
+
+  StreamSession sa = sched.open_stream(ta.tenant, core::ApplyDirection::kForward,
+                                       precision::PrecisionConfig{});
+  StreamSession sb = sched.open_stream(tb.tenant, core::ApplyDirection::kForward,
+                                       precision::PrecisionConfig{});
+  // A third pinned SHAPE would need 3 x 2 = 6 > 4 resident plans.
+  EXPECT_THROW(sched.open_stream(tc.tenant, core::ApplyDirection::kForward,
+                                 precision::PrecisionConfig{}),
+               std::invalid_argument);
+  // Same shape as an existing pin adds no new shape: admitted.
+  StreamSession sa2 = sched.open_stream(ta.tenant, core::ApplyDirection::kAdjoint,
+                                        precision::PrecisionConfig{});
+  sa2.close();
+  sb.close();
+  sa.close();
+  // Closing released the pins: the rejected shape now fits.
+  StreamSession sc = sched.open_stream(tc.tenant, core::ApplyDirection::kForward,
+                                       precision::PrecisionConfig{});
+  sc.close();
+}
+
+TEST(AsyncScheduler, PinnedPlanSurvivesCachePressure) {
+  ServeOptions opts;
+  opts.num_streams = 1;
+  opts.max_batch = 4;
+  opts.linger_seconds = 0.0;
+  opts.plan_cache_capacity = 2;
+  AsyncScheduler sched(device::make_mi300x(), opts);
+  const auto ta = register_tenant(sched, small_dims(), 201);
+  const auto tb = register_tenant(sched, other_dims(), 202);
+  const auto tc = register_tenant(sched, core::ProblemDims{16, 2, 8}, 203);
+  const auto td = register_tenant(sched, core::ProblemDims{40, 5, 20}, 204);
+  const PlanKey pinned_key{core::LocalDims::single_rank(small_dims()),
+                           sched.options().matvec, "MI300X", 0};
+
+  StreamSession session = sched.open_stream(
+      ta.tenant, core::ApplyDirection::kForward, precision::PrecisionConfig{});
+  EXPECT_TRUE(sched.plan_cache().pinned(pinned_key));
+  session
+      .submit(core::make_input_vector(small_dims().n_t * small_dims().n_m, 205))
+      .get();  // warms the lane's entry for the pinned shape
+
+  // Three other shapes churn through a 2-entry cache: plenty of
+  // eviction pressure, none of it allowed to touch the pinned shape.
+  for (int round = 0; round < 3; ++round) {
+    for (const auto* t : {&tb, &tc, &td}) {
+      sched
+          .submit(t->tenant, core::ApplyDirection::kForward,
+                  precision::PrecisionConfig{},
+                  core::make_input_vector(t->dims.n_t * t->dims.n_m,
+                                          210 + round))
+          .get();
+    }
+  }
+  EXPECT_GT(sched.plan_cache().stats().evictions, 0);
+  EXPECT_NE(sched.plan_cache().peek(pinned_key), nullptr);  // still hot
+
+  const auto hits_before = sched.plan_cache().stats().hits;
+  session
+      .submit(core::make_input_vector(small_dims().n_t * small_dims().n_m, 206))
+      .get();
+  EXPECT_GT(sched.plan_cache().stats().hits, hits_before);  // no cold start
+  session.close();
+  EXPECT_FALSE(sched.plan_cache().pinned(pinned_key));
+}
+
+TEST(AsyncScheduler, DeadlineOutcomesFlowIntoMetricsAndSessionTable) {
+  ServeOptions opts;
+  opts.num_streams = 1;
+  opts.linger_seconds = 0.0;
+  AsyncScheduler sched(device::make_mi300x(), opts);
+  const auto tenant = register_tenant(sched, small_dims(), 211);
+  const auto input =
+      core::make_input_vector(small_dims().n_t * small_dims().n_m, 212);
+
+  // Generous deadline: met.  Impossible deadline (1 ns): missed.
+  const auto met =
+      sched
+          .submit(Request{.tenant = tenant.tenant,
+                          .direction = core::ApplyDirection::kForward,
+                          .config = {},
+                          .input = input,
+                          .qos = {.deadline_seconds = 60.0, .weight = 1.0}})
+          .get();
+  EXPECT_FALSE(met.deadline_missed);
+  const auto missed =
+      sched
+          .submit(Request{.tenant = tenant.tenant,
+                          .direction = core::ApplyDirection::kForward,
+                          .config = {},
+                          .input = input,
+                          .qos = {.deadline_seconds = 1e-9, .weight = 1.0}})
+          .get();
+  EXPECT_TRUE(missed.deadline_missed);
+  sched.drain();
+  const auto snap = sched.metrics();
+  EXPECT_EQ(snap.deadline_total, 2);
+  EXPECT_EQ(snap.deadline_missed, 1);
+  EXPECT_DOUBLE_EQ(snap.slo_attainment(), 0.5);
+  EXPECT_TRUE(snap.sessions.empty());  // one-shots are not a session
+
+  // A session's outcomes land in its per-session row.
+  StreamSession session = sched.open_stream(
+      tenant.tenant, core::ApplyDirection::kForward, precision::PrecisionConfig{},
+      StreamQoS{.deadline_seconds = 1e-9, .weight = 1.0});
+  const auto sid = session.id();
+  std::vector<std::future<MatvecResult>> futures;
+  for (int r = 0; r < 4; ++r) futures.push_back(session.submit(input));
+  session.close();
+  for (auto& f : futures) f.get();
+  const auto snap2 = sched.metrics();
+  ASSERT_EQ(snap2.sessions.count(sid), 1u);
+  const auto& row = snap2.sessions.at(sid);
+  EXPECT_EQ(row.requests, 4);
+  EXPECT_EQ(row.deadline_missed, 4);
+  EXPECT_GT(row.p50, 0.0);
+  EXPECT_GE(row.p99, row.p50);
+
+  std::ostringstream os;
+  snap2.print(os);
+  EXPECT_NE(os.str().find("deadline miss"), std::string::npos);
+  EXPECT_NE(os.str().find("session"), std::string::npos);
+}
+
 TEST(AsyncScheduler, MetricsTablesRender) {
   AsyncScheduler sched(device::make_mi300x());
   const auto tenant = register_tenant(sched, small_dims(), 61);
   const auto input = core::make_input_vector(tenant.dims.n_t * tenant.dims.n_m, 62);
   sched
-      .submit(tenant.tenant, Direction::kForward, precision::PrecisionConfig{},
+      .submit(tenant.tenant, core::ApplyDirection::kForward, precision::PrecisionConfig{},
               input)
       .get();
   sched.drain();
