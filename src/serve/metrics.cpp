@@ -97,6 +97,34 @@ void ServeMetrics::record_request(double queue_seconds, double exec_seconds,
   }
 }
 
+void ServeMetrics::close_session(std::uint64_t session) {
+  if (session == 0) return;
+  SessionStats st;
+  {
+    std::lock_guard lock(mutex_);
+    const auto it = session_stats_.find(session);
+    if (it == session_stats_.end()) return;
+    st = std::move(it->second);
+    session_stats_.erase(it);
+  }
+  // The final sort runs outside the lock, like snapshot()'s, so
+  // retiring a session never stalls the request hot path.
+  const LatencySummary s = summarize(std::move(st.total_samples), st.population);
+  std::lock_guard lock(mutex_);
+  SessionSummary& out = retired_sessions_[session];
+  out.requests = st.requests;
+  out.deadline_missed = st.deadline_missed;
+  out.p50 = s.p50;
+  out.p95 = s.p95;
+  out.p99 = s.p99;
+  // A retired summary is a few dozen bytes, but still bound the count
+  // so endless session churn cannot grow the map forever; the lowest
+  // (oldest) ids fall off first.
+  while (retired_sessions_.size() > kMaxRetiredSessions) {
+    retired_sessions_.erase(retired_sessions_.begin());
+  }
+}
+
 void ServeMetrics::record_batch(int size, double sim_seconds) {
   std::lock_guard lock(mutex_);
   ++counters_.batches;
@@ -128,6 +156,7 @@ MetricsSnapshot ServeMetrics::snapshot() const {
     exec_samples = exec_samples_;
     total_samples = total_samples_;
     session_stats = session_stats_;
+    snap.sessions = retired_sessions_;
     population = sample_count_;
   }
   snap.queue_latency = summarize(std::move(queue_samples), population);

@@ -57,8 +57,10 @@ struct MetricsSnapshot {
   LatencySummary exec_latency;     ///< execution start -> promise fulfilled
   LatencySummary total_latency;    ///< submit -> promise fulfilled
   std::map<int, std::int64_t> batch_histogram;  ///< batch size -> dispatch count
-  /// Streaming sessions seen so far (key 0 never appears: one-shot
-  /// requests are not a session).
+  /// Streaming sessions seen so far — open ones summarised from their
+  /// live reservoir, closed ones frozen at close time (the most
+  /// recent ServeMetrics::kMaxRetiredSessions of them).  Key 0 never
+  /// appears: one-shot requests are not a session.
   std::map<std::uint64_t, SessionSummary> sessions;
 
   double cache_hit_rate() const {
@@ -95,8 +97,11 @@ struct MetricsSnapshot {
 /// Thread-safe metrics sink shared by the scheduler's worker lanes.
 /// Latency percentiles come from a bounded reservoir (Algorithm R,
 /// kMaxSamples entries for the global populations, kMaxSessionSamples
-/// per session) so a long-lived service neither grows memory per
-/// request nor sorts an unbounded history on snapshot().
+/// per OPEN session — close_session compacts a closed session's
+/// reservoir to a final summary and keeps at most kMaxRetiredSessions
+/// of those) so a long-lived service grows memory neither per request
+/// nor per session ever seen, and never sorts an unbounded history on
+/// snapshot().
 class ServeMetrics {
  public:
   void record_submit();
@@ -111,10 +116,19 @@ class ServeMetrics {
   void record_batch(int size, double sim_seconds);
   void record_cache(std::int64_t hits, std::int64_t misses, std::int64_t evictions);
 
+  /// Retire a closed session: its sample reservoir (up to
+  /// kMaxSessionSamples doubles) is compacted into a final
+  /// SessionSummary, so a server that churns sessions does not grow
+  /// metrics memory per session ever seen.  Retired summaries keep
+  /// appearing in snapshot().sessions; only the most recent
+  /// kMaxRetiredSessions closed sessions are retained.
+  void close_session(std::uint64_t session);
+
   MetricsSnapshot snapshot() const;
 
   static constexpr std::size_t kMaxSamples = 1 << 16;
   static constexpr std::size_t kMaxSessionSamples = 1 << 12;
+  static constexpr std::size_t kMaxRetiredSessions = 1 << 10;
 
  private:
   struct SessionStats {
@@ -129,7 +143,13 @@ class ServeMetrics {
   std::vector<double> queue_samples_;
   std::vector<double> exec_samples_;
   std::vector<double> total_samples_;
+  /// Reservoirs of OPEN sessions only; close_session moves a session
+  /// here-to-retired so the per-session ~32KB reservoir never
+  /// outlives the session it samples.
   std::map<std::uint64_t, SessionStats> session_stats_;
+  /// Final summaries of closed sessions, oldest ids dropped beyond
+  /// kMaxRetiredSessions.
+  std::map<std::uint64_t, SessionSummary> retired_sessions_;
   std::uint64_t sample_count_ = 0;  ///< all requests ever recorded
   std::uint64_t reservoir_rng_ = 0x9e3779b97f4a7c15ULL;
   double first_submit_wall_ = -1.0;

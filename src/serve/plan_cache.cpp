@@ -58,26 +58,29 @@ std::shared_ptr<core::FftMatvecPlan> PlanCache::acquire(const PlanKey& key,
     return it->second->second;
   }
   lru_.emplace_front(key, std::move(plan));
-  index_[key] = lru_.begin();
+  const auto inserted = lru_.begin();
+  index_[key] = inserted;
   // Trim beyond capacity, least-recently-used first, skipping pinned
-  // entries (an active session's plan is never evicted).  If every
-  // resident entry is pinned the cache temporarily overflows instead
-  // of evicting hot session state; open_stream's capacity validation
-  // keeps production out of that regime.
+  // entries (an active session's plan is never evicted) and never the
+  // just-inserted entry: acquire must hand back the plan for `key`,
+  // so the new entry is not a victim candidate even when every other
+  // resident entry is pinned.  If nothing is evictable the cache
+  // temporarily overflows instead of evicting hot session state;
+  // open_stream's capacity validation keeps production out of that
+  // regime.
   std::size_t resident = lru_.size();
-  for (auto it = std::prev(lru_.end()); resident > capacity_;) {
-    const bool at_front = it == lru_.begin();
+  for (auto it = std::prev(lru_.end());
+       resident > capacity_ && it != inserted;) {
     const auto victim = it;
-    if (!at_front) --it;
+    --it;
     if (!pinned_locked(victim->first)) {
       index_.erase(victim->first);
       lru_.erase(victim);
       --resident;
       ++stats_.evictions;
     }
-    if (at_front) break;
   }
-  return lru_.front().second;
+  return inserted->second;
 }
 
 void PlanCache::pin(const PlanKey& key) {

@@ -47,8 +47,9 @@ bool RequestQueue::push(const BatchKey& key, PendingRequest request) {
       // (Re)activation: join the blind rotation at the back and pick
       // up the SFQ start tag — the global virtual time, or the key's
       // old finish tag if it deactivated ahead of it (so an
-      // empty-and-refill cannot out-run fairness).  Stale finish tags
-      // are pruned here; the map stays bounded by the live key space.
+      // empty-and-refill cannot out-run fairness).  A stale finish
+      // tag is pruned here on reactivation; tags of keys that never
+      // return are swept opportunistically in pop_batch.
       rotation_.push_back(key);
       kq.vstart = vtime_;
       kq.activation = next_activation_++;
@@ -149,6 +150,7 @@ std::optional<Batch> RequestQueue::pop_batch() {
     KeyQueue& kq = queues_.at(key);
     Batch batch;
     batch.key = key;
+    batch.seq = next_batch_seq_++;
     const auto cap =
         std::min<std::size_t>(kq.q.size(), static_cast<std::size_t>(max_batch_));
     batch.requests.reserve(cap);
@@ -176,6 +178,19 @@ std::optional<Batch> RequestQueue::pop_batch() {
     // n / weight of virtual time, so while two keys stay backlogged
     // their served-request ratio tracks their weight ratio.
     vtime_ = std::max(vtime_, kq.vstart);
+    // Opportunistic sweep of stale finish tags: an entry at or behind
+    // the (just advanced) virtual time is a no-op on reactivation —
+    // the reactivation max() picks vtime_ anyway — so dropping it is
+    // invisible to fairness.  Swept only once the map outgrows the
+    // live key space, keeping the cost amortised; without this,
+    // per-tenant keys (cross_tenant_batching == false) or shape/
+    // precision churn would retire keys faster than they reactivate
+    // and grow the map without bound.
+    if (vfinish_.size() > 2 * queues_.size() + 8) {
+      for (auto fin = vfinish_.begin(); fin != vfinish_.end();) {
+        fin = fin->second <= vtime_ ? vfinish_.erase(fin) : std::next(fin);
+      }
+    }
     const double finish =
         kq.vstart + static_cast<double>(batch.requests.size()) / batch_weight;
     rotation_.erase(ready);

@@ -131,9 +131,11 @@ struct MatvecResult {
   int batch_size = 0;          ///< size of the batch this request rode in
   int lane = -1;               ///< stream lane that executed it
   /// Global dispatch sequence number of the batch this request rode
-  /// in (0-based, increasing in dispatch order): lets a client
-  /// observe dispatch ordering — e.g. that a session's applies left
-  /// the queue in submit order.
+  /// in (0-based; stamped by RequestQueue::pop_batch under the queue
+  /// mutex, so it is increasing in queue-pop order regardless of how
+  /// the lanes interleave afterwards): lets a client observe dispatch
+  /// ordering — e.g. that a session's applies left the queue in
+  /// submit order.
   std::int64_t batch_seq = -1;
   /// Owning streaming session, 0 for one-shot requests.
   SessionId session = 0;
@@ -180,6 +182,10 @@ struct PendingRequest {
 struct Batch {
   BatchKey key;
   std::vector<PendingRequest> requests;
+  /// Pop-order sequence number -> MatvecResult::batch_seq.  Assigned
+  /// while the queue mutex is held, so two lanes can never stamp
+  /// consecutive pops out of order.
+  std::int64_t seq = -1;
 };
 
 class RequestQueue {
@@ -245,9 +251,13 @@ class RequestQueue {
   /// refills resumes at max(global virtual time, its old finish), so
   /// draining and immediately re-pushing cannot out-run fairness.
   /// Entries at or behind the global virtual time are pruned on
-  /// reactivation.
+  /// reactivation, and pop_batch sweeps the rest opportunistically
+  /// whenever the map outgrows the live key space — so keys that
+  /// empty and never return (per-tenant keys, shape/precision churn)
+  /// cannot grow it without bound.
   std::map<BatchKey, double> vfinish_;
   double vtime_ = 0.0;  ///< global virtual time (tag of the last dispatch)
+  std::int64_t next_batch_seq_ = 0;  ///< pop-order stamp -> Batch::seq
   std::uint64_t next_seq_ = 0;
   std::uint64_t next_activation_ = 0;
   std::size_t total_pending_ = 0;

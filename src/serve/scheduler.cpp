@@ -152,7 +152,14 @@ AsyncScheduler::AsyncScheduler(const device::DeviceSpec& spec, ServeOptions opti
   }
 }
 
-AsyncScheduler::~AsyncScheduler() { shutdown(); }
+AsyncScheduler::~AsyncScheduler() {
+  shutdown();
+  // Outstanding StreamSession handles go inert before any member they
+  // could touch is destroyed; the exclusive lock waits out handle
+  // calls already in flight (their drains completed with shutdown's).
+  std::unique_lock live(liveness_->mutex);
+  liveness_->alive = false;
+}
 
 TenantId AsyncScheduler::add_tenant(const core::ProblemDims& dims,
                                     std::span<const double> first_block_col) {
@@ -352,7 +359,7 @@ StreamSession AsyncScheduler::open_stream(TenantId tenant,
     const SessionId id = next_session_++;
     sessions_.emplace(id,
                       SessionState{tenant, direction, config, qos, dims, 0});
-    return StreamSession(this, id, tenant, direction, config, qos);
+    return StreamSession(this, liveness_, id, tenant, direction, config, qos);
   }
 }
 
@@ -400,6 +407,9 @@ void AsyncScheduler::close_session(SessionId session) {
     dims = it->second.dims;
     sessions_.erase(it);
   }
+  // Drained first, so every record_request of this session has landed
+  // before its reservoir is compacted to a final summary.
+  metrics_.close_session(session);
   cache_.unpin(PlanKey{dims, options_.matvec, dev_.spec().name, /*lane=*/0});
 }
 
@@ -411,7 +421,10 @@ void AsyncScheduler::worker_loop(int lane) {
 
 void AsyncScheduler::execute_batch(int lane, Batch& batch) {
   const auto exec_start = clock::now();
-  const std::int64_t batch_seq = dispatch_seq_.fetch_add(1);
+  // Stamped by pop_batch under the queue mutex: with several lanes,
+  // a fetch_add here could tag two consecutive pops in reverse order
+  // and break the session dispatch-order guarantee.
+  const std::int64_t batch_seq = batch.seq;
   device::Stream& stream = *lanes_[static_cast<std::size_t>(lane)].stream;
   const double sim_start = stream.now();
 

@@ -27,7 +27,6 @@
 // (value or exception).
 #pragma once
 
-#include <atomic>
 #include <future>
 #include <map>
 #include <memory>
@@ -260,6 +259,11 @@ class AsyncScheduler {
   void close_session(SessionId session);
 
   ServeOptions options_;
+  /// Shared with every StreamSession handle; the destructor clears it
+  /// so a handle outliving the scheduler throws instead of touching
+  /// freed memory (see session.hpp's lifetime contract).
+  std::shared_ptr<detail::SchedulerLiveness> liveness_ =
+      std::make_shared<detail::SchedulerLiveness>();
   device::Device dev_;
   std::mutex setup_mutex_;  ///< serialises registrations on the setup stream
   device::Stream setup_stream_;
@@ -301,8 +305,6 @@ class AsyncScheduler {
   /// after every batch).
   std::map<SessionId, SessionState> sessions_;
   SessionId next_session_ = 1;
-  /// Global batch dispatch counter -> MatvecResult::batch_seq.
-  std::atomic<std::int64_t> dispatch_seq_{0};
 
   std::vector<Lane> lanes_;
 };

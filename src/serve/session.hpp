@@ -15,9 +15,19 @@
 // A handle is a single-client object: calls on one StreamSession must
 // be externally ordered (submit from one thread at a time).  Distinct
 // sessions are fully concurrent.
+//
+// Lifetime: a handle SHOULD be closed (or destroyed) before its
+// AsyncScheduler — destroying the scheduler first skips the handle's
+// orderly drain/unpin.  It is still memory-safe: handle and scheduler
+// share a liveness block (detail::SchedulerLiveness), ~AsyncScheduler
+// clears it after waiting out in-flight handle calls, and a call on a
+// handle that outlived its scheduler throws instead of dereferencing
+// a dangling pointer.
 #pragma once
 
 #include <future>
+#include <memory>
+#include <shared_mutex>
 #include <vector>
 
 #include "core/matvec_plan.hpp"
@@ -27,6 +37,20 @@
 namespace fftmv::serve {
 
 class AsyncScheduler;
+
+namespace detail {
+
+/// Liveness flag shared between an AsyncScheduler and its
+/// StreamSession handles.  Handle calls hold the lock shared and
+/// check `alive` before touching the scheduler; ~AsyncScheduler takes
+/// it exclusively to clear the flag, which also waits out any handle
+/// call already in flight.
+struct SchedulerLiveness {
+  std::shared_mutex mutex;
+  bool alive = true;
+};
+
+}  // namespace detail
 
 class StreamSession {
  public:
@@ -56,10 +80,12 @@ class StreamSession {
 
  private:
   friend class AsyncScheduler;
-  StreamSession(AsyncScheduler* sched, SessionId id, TenantId tenant,
-                core::ApplyDirection direction,
+  StreamSession(AsyncScheduler* sched,
+                std::shared_ptr<detail::SchedulerLiveness> live, SessionId id,
+                TenantId tenant, core::ApplyDirection direction,
                 precision::PrecisionConfig config, StreamQoS qos)
       : sched_(sched),
+        live_(std::move(live)),
         id_(id),
         tenant_(tenant),
         direction_(direction),
@@ -67,6 +93,8 @@ class StreamSession {
         qos_(qos) {}
 
   AsyncScheduler* sched_ = nullptr;
+  /// Guards every dereference of sched_ (see the header comment).
+  std::shared_ptr<detail::SchedulerLiveness> live_;
   SessionId id_ = 0;
   TenantId tenant_ = 0;
   core::ApplyDirection direction_ = core::ApplyDirection::kForward;

@@ -150,6 +150,28 @@ TEST(PlanCache, PinShieldsShapeFromEvictionAcrossLanes) {
   EXPECT_EQ(cache.peek(ka), nullptr);
 }
 
+TEST(PlanCache, FullyPinnedCacheStillReturnsTheRequestedPlan) {
+  device::Device dev(device::make_mi300x());
+  device::Stream stream(dev);
+  PlanCache cache(dev, 2);
+  const auto ka = key_for(small_dims());
+  const auto kb = key_for(other_dims());
+  cache.pin(ka);
+  cache.pin(kb);
+  cache.acquire(ka, stream);
+  cache.acquire(kb, stream);  // capacity exactly filled by pinned entries
+  // With every other resident entry pinned, an unpinned one-shot
+  // acquire must overflow the cache — NEVER evict its own just-built
+  // entry and hand back a plan for a different shape.
+  const auto kc = key_for(core::ProblemDims{16, 2, 8});
+  const auto plan = cache.acquire(kc, stream);
+  ASSERT_NE(plan, nullptr);
+  EXPECT_EQ(plan->dims().global, (core::ProblemDims{16, 2, 8}));
+  EXPECT_EQ(cache.peek(kc), plan);
+  EXPECT_EQ(cache.size(), 3u);  // temporary overflow, no eviction
+  EXPECT_EQ(cache.stats().evictions, 0);
+}
+
 // --------------------------------------------------------- RequestQueue
 TEST(RequestQueue, SplitsKeyIntoMaxBatchChunks) {
   RequestQueue q(3, 0.0);
@@ -1204,6 +1226,46 @@ TEST(AsyncScheduler, DeadlineOutcomesFlowIntoMetricsAndSessionTable) {
   snap2.print(os);
   EXPECT_NE(os.str().find("deadline miss"), std::string::npos);
   EXPECT_NE(os.str().find("session"), std::string::npos);
+}
+
+TEST(ServeMetrics, ClosedSessionCompactsToRetainedSummary) {
+  ServeMetrics m;
+  for (int i = 0; i < 10; ++i) {
+    m.record_submit();
+    m.record_request(1e-3, 2e-3, /*failed=*/false, /*session=*/7,
+                     /*had_deadline=*/true, /*missed=*/i == 0);
+  }
+  m.close_session(7);
+  // The reservoir is gone but the session's final summary survives in
+  // every later snapshot.
+  const auto snap = m.snapshot();
+  ASSERT_EQ(snap.sessions.count(7), 1u);
+  const auto& row = snap.sessions.at(7);
+  EXPECT_EQ(row.requests, 10);
+  EXPECT_EQ(row.deadline_missed, 1);
+  EXPECT_DOUBLE_EQ(row.p50, 3e-3);
+  EXPECT_GE(row.p99, row.p50);
+  m.close_session(7);  // idempotent: no second retirement
+  EXPECT_EQ(m.snapshot().sessions.at(7).requests, 10);
+  m.close_session(0);  // one-shot sentinel: no-op
+  EXPECT_EQ(m.snapshot().sessions.size(), 1u);
+}
+
+TEST(AsyncScheduler, HandleOutlivingSchedulerIsInertNotDangling) {
+  StreamSession session;
+  {
+    AsyncScheduler sched(device::make_mi300x());
+    const auto tenant = register_tenant(sched, small_dims(), 221);
+    session = sched.open_stream(tenant.tenant, core::ApplyDirection::kForward,
+                                precision::PrecisionConfig{});
+    session
+        .submit(core::make_input_vector(small_dims().n_t * small_dims().n_m, 222))
+        .get();
+  }  // scheduler destroyed with the handle still open
+  EXPECT_TRUE(session.open());
+  EXPECT_THROW(session.submit({}), std::runtime_error);
+  session.close();  // degrades to making the handle inert — no crash
+  EXPECT_FALSE(session.open());
 }
 
 TEST(AsyncScheduler, MetricsTablesRender) {
