@@ -37,6 +37,7 @@
 
 #include "bench_common.hpp"
 #include "serve/scheduler.hpp"
+#include "util/trace.hpp"
 
 using namespace fftmv;
 
@@ -67,7 +68,12 @@ struct RunResult {
 int main(int argc, char** argv) {
   const bool quick = bench::consume_quick_flag(argc, argv);
   bench::Artifact artifact("serve_slo", argc, argv);
+  // `-trace PATH` records the measured runs as a Chrome trace (see
+  // util/trace.hpp); the calibration run is recorded too.
+  std::string trace_path;
+  bench::consume_flag(argc, argv, "--trace", "-trace", &trace_path);
   bench::reject_unknown_args(argc, argv);
+  if (!trace_path.empty()) util::trace::start();
 
   const int reps = quick ? 32 : 48;           // submits per session
   const int n_tight = quick ? 4 : 8;          // weight-3 tight-deadline sessions
@@ -227,6 +233,20 @@ int main(int argc, char** argv) {
   add_row("deadline-aware edf+wfq", aware);
   table.print(std::cout);
   artifact.add("slo attainment", table);
+  if (!trace_path.empty()) {
+    util::trace::stop();
+    const auto trace_stats = util::trace::stats();
+    util::Table trace_table({"events", "dropped"});
+    trace_table.add_row({std::to_string(trace_stats.events),
+                         std::to_string(trace_stats.dropped)});
+    artifact.add("trace", trace_table);
+    if (util::trace::write_file(trace_path)) {
+      std::cout << "wrote trace " << trace_path << " (" << trace_stats.events
+                << " events, " << trace_stats.dropped << " dropped)\n";
+    } else {
+      std::cerr << "serve_slo: cannot write trace file " << trace_path << "\n";
+    }
+  }
   if (const auto path = artifact.write(); !path.empty()) {
     std::cout << "wrote artifact " << path << "\n";
   }

@@ -41,6 +41,7 @@
 #include "bench_common.hpp"
 #include "core/dense_reference.hpp"
 #include "serve/scheduler.hpp"
+#include "util/trace.hpp"
 #include "util/rng.hpp"
 #include "util/timer.hpp"
 
@@ -66,7 +67,12 @@ struct TenantData {
 int main(int argc, char** argv) {
   const bool quick = bench::consume_quick_flag(argc, argv);
   bench::Artifact artifact("serve_throughput", argc, argv);
+  // `-trace PATH` records the whole bench (all modes and ablations)
+  // as a Chrome trace — see util/trace.hpp.
+  std::string trace_path;
+  bench::consume_flag(argc, argv, "--trace", "-trace", &trace_path);
   bench::reject_unknown_args(argc, argv);
+  if (!trace_path.empty()) util::trace::start();
 
   const index_t requests = quick ? 96 : 512;
   const int streams = 2;
@@ -334,6 +340,22 @@ int main(int argc, char** argv) {
             << ", outputs across modes "
             << (skew_identical ? "bit-identical" : "DIVERGED") << "\n";
   artifact.add("cross-tenant skew", skew_table);
+
+  if (!trace_path.empty()) {
+    util::trace::stop();
+    const auto trace_stats = util::trace::stats();
+    util::Table trace_table({"events", "dropped"});
+    trace_table.add_row({std::to_string(trace_stats.events),
+                         std::to_string(trace_stats.dropped)});
+    artifact.add("trace", trace_table);
+    if (util::trace::write_file(trace_path)) {
+      std::cout << "wrote trace " << trace_path << " (" << trace_stats.events
+                << " events, " << trace_stats.dropped << " dropped)\n";
+    } else {
+      std::cerr << "serve_throughput: cannot write trace file " << trace_path
+                << "\n";
+    }
+  }
 
   if (const auto path = artifact.write(); !path.empty()) {
     std::cout << "\nwrote artifact " << path << "\n";

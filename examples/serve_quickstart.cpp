@@ -13,6 +13,7 @@
 #include "example_common.hpp"
 #include "serve/scheduler.hpp"
 #include "util/cli.hpp"
+#include "util/trace.hpp"
 
 using namespace fftmv;
 
@@ -95,7 +96,22 @@ int main(int argc, char** argv) {
   std::cout << "session " << session_id << ": 8 ordered applies, " << missed
             << " deadline misses\n\n";
 
-  // 6. The service-side report (includes the per-session table).
+  // 6. The service-side report (includes the per-lane utilisation and
+  //    per-session tables).
   scheduler.metrics().print(std::cout);
+
+  // 7. Request-scoped tracing: wrap any serving window in a
+  //    util::trace session and load the JSON in chrome://tracing or
+  //    Perfetto — queue-wait spans, per-batch dispatch spans, and the
+  //    per-phase device-clock spans of each lane's stream pair.
+  util::trace::start();
+  auto traced = scheduler.submit(tenant_a, core::ApplyDirection::kForward,
+                                 precision::PrecisionConfig{}, m_a);
+  traced.get();
+  util::trace::stop();
+  if (util::trace::write_file("serve_quickstart_trace.json")) {
+    std::cout << "\nwrote serve_quickstart_trace.json ("
+              << util::trace::stats().events << " events)\n";
+  }
   return 0;
 }

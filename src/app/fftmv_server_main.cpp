@@ -5,7 +5,8 @@
 //                [-batch 0] [-linger-ms 0.5] [-cache 24]
 //                [-prec ddddd,dssdd,sssss] [-adjoint-frac 0.3]
 //                [-sessions 0] [-deadline-ms 0] [-weights 1]
-//                [-device mi300x] [-seed 42] [-raw] [--smoke]
+//                [-device mi300x] [-seed 42] [-trace PATH] [-raw]
+//                [--smoke]
 //
 //   -tenants N       distinct tenant models (mixed shapes: each tenant
 //                    scales the base problem differently)
@@ -44,6 +45,14 @@
 //   -json PATH       write the metrics tables as a bench::Artifact
 //                    (headers carry the git SHA and build type, so CI
 //                    perf diffs are attributable)
+//   -trace PATH      record a util::trace session across the run and
+//                    export it as Chrome trace-event JSON (loadable in
+//                    chrome://tracing / Perfetto): queue-wait spans,
+//                    per-batch dispatch spans, per-phase device-clock
+//                    spans on each lane's stream pair, plan-cache
+//                    events.  The artifact's "trace" table records the
+//                    retained event count and the ring-overflow drop
+//                    count (drops are counted, never silent)
 //   --smoke          short fixed-seed CI run; exits nonzero unless all
 //                    requests completed and throughput is nonzero
 //
@@ -61,6 +70,7 @@
 #include "util/artifact.hpp"
 #include "util/cli.hpp"
 #include "util/rng.hpp"
+#include "util/trace.hpp"
 
 using namespace fftmv;
 
@@ -113,6 +123,8 @@ int main(int argc, char** argv) {
   try {
     // Consumes --json/-json <path> from argv before the flag parser.
     util::Artifact artifact("fftmv_server", argc, argv);
+    std::string trace_path;
+    util::consume_flag(argc, argv, "--trace", "-trace", &trace_path);
     const util::CliParser cli(argc, argv);
     cli.check_known({"tenants", "requests", "rps", "streams", "batch",
                      "pipeline-chunks", "linger-ms", "cache", "prec",
@@ -148,6 +160,10 @@ int main(int argc, char** argv) {
     // are precision-agnostic, so 3 tenant shapes x 2 lanes = 6 plan
     // keys; the headroom absorbs -tenants/-streams overrides.
     opts.plan_cache_capacity = static_cast<std::size_t>(cli.get_int("cache", 24));
+
+    // Started before the scheduler exists so lane threads, tenant
+    // setup and the first cold-cache dispatches are all on the record.
+    if (!trace_path.empty()) util::trace::start();
 
     serve::AsyncScheduler scheduler(spec, opts);
 
@@ -276,7 +292,26 @@ int main(int argc, char** argv) {
     artifact.add("latency", snap.latency_table());
     artifact.add("batch histogram", snap.batch_table());
     artifact.add("pipeline chunks", pipeline_table);
+    if (!snap.lanes.empty()) artifact.add("lanes", snap.lane_table());
     if (!snap.sessions.empty()) artifact.add("sessions", snap.session_table());
+    if (!trace_path.empty()) {
+      util::trace::stop();
+      const auto trace_stats = util::trace::stats();
+      util::Table trace_table({"events", "dropped"});
+      trace_table.add_row({std::to_string(trace_stats.events),
+                           std::to_string(trace_stats.dropped)});
+      artifact.add("trace", trace_table);
+      if (!util::trace::write_file(trace_path)) {
+        std::cerr << "fftmv_server: cannot write trace file " << trace_path
+                  << "\n";
+        return 1;
+      }
+      if (!raw) {
+        std::cout << "wrote trace " << trace_path << " ("
+                  << trace_stats.events << " events, " << trace_stats.dropped
+                  << " dropped)\n";
+      }
+    }
     if (const auto path = artifact.write(); !path.empty() && !raw) {
       std::cout << "wrote artifact " << path << "\n";
     }

@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "precision/convert.hpp"
+#include "util/trace.hpp"
 
 namespace fftmv::core {
 
@@ -520,6 +521,19 @@ void FftMatvecPlan::apply_batch(std::span<const OperatorGroup> groups,
   std::vector<device::Event> ev_gemv(static_cast<std::size_t>(chunks));
   double gemv_seconds = 0.0;
 
+  // Per-phase device-clock trace spans: each stage's [t0, now()]
+  // window on its stream's track, so a pipelined batch renders chunk
+  // i's SBGEMV (stream B) actually overlapping chunk i+1's pad+FFT
+  // (stream A).  Untracked streams (trace_tid < 0 — phantom probes,
+  // ad-hoc streams) never emit.
+  const auto trace_phase = [&](const device::Stream& s, const char* phase,
+                               index_t i, index_t cb, double t0) {
+    if (util::trace::enabled() && s.trace_tid() >= 0) {
+      util::trace::complete_device(s.trace_tid(), phase, "phase", t0,
+                                   s.now() - t0, {{"chunk", i}, {"rhs", cb}});
+    }
+  };
+
   const auto stage1 = [&](index_t i) {
     const index_t lo = chunk_lo(i), hi = chunk_lo(i + 1);
     const index_t cb = hi - lo;
@@ -551,6 +565,7 @@ void FftMatvecPlan::apply_batch(std::span<const OperatorGroup> groups,
         }
       }
     });
+    trace_phase(sa, "pad", i, cb, t0);
     timings_.pad += sa.now() - t0;
     t0 = sa.now();
     dispatch1(p2, [&](auto tag2) {
@@ -571,6 +586,7 @@ void FftMatvecPlan::apply_batch(std::span<const OperatorGroup> groups,
       C2* spec = spec_set[par]->get<C2>(*dev_, cmax * ns_in * nf);
       plan.forward_on(sa, padded, L, spec, nf, /*batch_multiplier=*/cb);
     });
+    trace_phase(sa, "fft", i, cb, t0);
     timings_.fft += sa.now() - t0;
     ev_fft[static_cast<std::size_t>(i)].record(sa);
   };
@@ -649,6 +665,7 @@ void FftMatvecPlan::apply_batch(std::span<const OperatorGroup> groups,
         precision::convert_array(*sb, tmp, ospec, cb * ns_out * nf);
       }
     });
+    trace_phase(*sb, "sbgemv", i, cb, t0);
     timings_.sbgemv += sb->now() - t0;
     ev_gemv[static_cast<std::size_t>(i)].record(*sb);
   };
@@ -677,6 +694,7 @@ void FftMatvecPlan::apply_batch(std::span<const OperatorGroup> groups,
       S4* opad = opad_.get<S4>(*dev_, cmax * ns_out * L);
       plan.inverse_on(sa, ospec, nf, opad, L, /*batch_multiplier=*/cb);
     });
+    trace_phase(sa, "ifft", i, cb, t0);
     timings_.ifft += sa.now() - t0;
     t0 = sa.now();
     for (index_t r = lo; r < hi; ++r) {
@@ -707,6 +725,7 @@ void FftMatvecPlan::apply_batch(std::span<const OperatorGroup> groups,
         }
       });
     }
+    trace_phase(sa, "unpad", i, cb, t0);
     timings_.unpad += sa.now() - t0;
   };
 

@@ -112,10 +112,18 @@ class Stream {
   /// (in-order streams never run backwards).
   inline void wait(const Event& e);
 
+  /// util::trace device-clock track id for spans charged to this
+  /// stream; -1 (the default) marks the stream untracked, so phantom
+  /// cost-model probes and ad-hoc streams never emit trace events.
+  /// AsyncScheduler assigns ids per lane stream pair.
+  int trace_tid() const { return trace_tid_; }
+  void set_trace_tid(int tid) { trace_tid_ = tid; }
+
  private:
   Device* dev_;
   double sim_time_ = 0.0;
   double busy_ = 0.0;
+  int trace_tid_ = -1;
 };
 
 /// CUDA-event analogue over the simulated clock.

@@ -140,6 +140,30 @@ void ServeMetrics::record_cache(std::int64_t hits, std::int64_t misses,
   counters_.cache_evictions = evictions;
 }
 
+void ServeMetrics::record_lane(int lane, std::int64_t requests,
+                               double busy_sim_seconds,
+                               double wall_sim_seconds) {
+  if (lane < 0) return;
+  std::lock_guard lock(mutex_);
+  if (counters_.lanes.size() <= static_cast<std::size_t>(lane)) {
+    counters_.lanes.resize(static_cast<std::size_t>(lane) + 1);
+  }
+  LaneSummary& s = counters_.lanes[static_cast<std::size_t>(lane)];
+  ++s.batches;
+  s.requests += requests;
+  // Stream clocks are cumulative since lane creation, so the sample
+  // overwrites (each new sample subsumes the previous one).
+  s.busy_sim_seconds = busy_sim_seconds;
+  s.wall_sim_seconds = wall_sim_seconds;
+}
+
+void ServeMetrics::record_queue_depth(std::size_t depth) {
+  const auto d = static_cast<std::int64_t>(depth);
+  std::lock_guard lock(mutex_);
+  counters_.queue_depth_last = d;
+  counters_.queue_depth_peak = std::max(counters_.queue_depth_peak, d);
+}
+
 MetricsSnapshot ServeMetrics::snapshot() const {
   MetricsSnapshot snap;
   std::vector<double> queue_samples, exec_samples, total_samples;
@@ -178,7 +202,7 @@ MetricsSnapshot ServeMetrics::snapshot() const {
 util::Table MetricsSnapshot::summary_table() const {
   util::Table t({"submitted", "completed", "failed", "batches", "mean batch",
                  "throughput req/s", "cache hit rate", "deadline miss",
-                 "sim s"});
+                 "queue depth", "sim s"});
   t.add_row({std::to_string(submitted), std::to_string(completed),
              std::to_string(failed), std::to_string(batches),
              util::Table::fmt(mean_batch_size(), 2),
@@ -186,6 +210,8 @@ util::Table MetricsSnapshot::summary_table() const {
              util::Table::fmt_pct(cache_hit_rate()),
              std::to_string(deadline_missed) + "/" +
                  std::to_string(deadline_total),
+             std::to_string(queue_depth_last) + "/" +
+                 std::to_string(queue_depth_peak),
              util::Table::fmt(sim_seconds, 4)});
   return t;
 }
@@ -220,6 +246,18 @@ util::Table MetricsSnapshot::session_table() const {
   return t;
 }
 
+util::Table MetricsSnapshot::lane_table() const {
+  util::Table t({"lane", "batches", "requests", "busy sim ms", "wall sim ms",
+                 "utilization"});
+  for (std::size_t i = 0; i < lanes.size(); ++i) {
+    const LaneSummary& s = lanes[i];
+    t.add_row({std::to_string(i), std::to_string(s.batches),
+               std::to_string(s.requests), ms(s.busy_sim_seconds),
+               ms(s.wall_sim_seconds), util::Table::fmt_pct(s.utilization())});
+  }
+  return t;
+}
+
 void MetricsSnapshot::print(std::ostream& os) const {
   summary_table().print(os);
   os << '\n';
@@ -227,6 +265,10 @@ void MetricsSnapshot::print(std::ostream& os) const {
   if (!batch_histogram.empty()) {
     os << '\n';
     batch_table().print(os);
+  }
+  if (!lanes.empty()) {
+    os << '\n';
+    lane_table().print(os);
   }
   if (!sessions.empty()) {
     os << '\n';

@@ -40,6 +40,23 @@ struct SessionSummary {
   double p99 = 0.0;
 };
 
+/// Per-lane utilisation: simulated busy vs wall time of the lane's
+/// stream pair, sampled on the owning lane thread at the end of each
+/// dispatched batch (the stream clocks are plain doubles, so only the
+/// lane thread may read them).  `busy` sums the pair's charged work
+/// and `wall` is the pair's makespan, so a pipelined lane can show
+/// utilization() > 1: the aux stream's overlapped SBGEMV work is real
+/// work that did not extend the lane's clock.
+struct LaneSummary {
+  std::int64_t batches = 0;
+  std::int64_t requests = 0;
+  double busy_sim_seconds = 0.0;  ///< sum over the lane's stream pair
+  double wall_sim_seconds = 0.0;  ///< max over the lane's stream pair
+  double utilization() const {
+    return wall_sim_seconds > 0.0 ? busy_sim_seconds / wall_sim_seconds : 0.0;
+  }
+};
+
 struct MetricsSnapshot {
   std::int64_t submitted = 0;
   std::int64_t completed = 0;
@@ -62,6 +79,13 @@ struct MetricsSnapshot {
   /// recent ServeMetrics::kMaxRetiredSessions of them).  Key 0 never
   /// appears: one-shot requests are not a session.
   std::map<std::uint64_t, SessionSummary> sessions;
+  /// Indexed by lane id; empty until the first record_lane (e.g. a
+  /// snapshot taken before any batch dispatched).
+  std::vector<LaneSummary> lanes;
+  /// Queue-depth gauge sampled at each batch dispatch: the last
+  /// observed depth and its high-water mark.
+  std::int64_t queue_depth_last = 0;
+  std::int64_t queue_depth_peak = 0;
 
   double cache_hit_rate() const {
     const std::int64_t n = cache_hits + cache_misses;
@@ -92,6 +116,7 @@ struct MetricsSnapshot {
   util::Table latency_table() const;
   util::Table batch_table() const;
   util::Table session_table() const;
+  util::Table lane_table() const;
 };
 
 /// Thread-safe metrics sink shared by the scheduler's worker lanes.
@@ -115,6 +140,15 @@ class ServeMetrics {
                       bool missed = false);
   void record_batch(int size, double sim_seconds);
   void record_cache(std::int64_t hits, std::int64_t misses, std::int64_t evictions);
+  /// Per-lane utilisation sample, taken by the OWNING lane thread at
+  /// the end of a dispatched batch: `busy_sim_seconds` /
+  /// `wall_sim_seconds` are the lane stream pair's cumulative
+  /// busy-sum and makespan (monotone, so they overwrite rather than
+  /// accumulate); `requests` is this batch's size and increments.
+  void record_lane(int lane, std::int64_t requests, double busy_sim_seconds,
+                   double wall_sim_seconds);
+  /// Queue-depth gauge (pending requests observed at a dispatch).
+  void record_queue_depth(std::size_t depth);
 
   /// Retire a closed session: its sample reservoir (up to
   /// kMaxSessionSamples doubles) is compacted into a final

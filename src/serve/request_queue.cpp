@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <string>
+
+#include "util/trace.hpp"
 
 namespace fftmv::serve {
 
@@ -154,6 +157,22 @@ std::optional<Batch> RequestQueue::pop_batch() {
     const auto cap =
         std::min<std::size_t>(kq.q.size(), static_cast<std::size_t>(max_batch_));
     batch.requests.reserve(cap);
+    // Why this batch released now, captured before the take loop
+    // mutates the key queue: full beats deadline-cut beats drain beats
+    // plain linger expiry.  Only computed when tracing is on.
+    const bool trace_on = util::trace::enabled();
+    const bool was_full = static_cast<int>(kq.q.size()) >= max_batch_;
+    const bool draining = closed_;
+    bool deadline_cut = false;
+    if (trace_on && !was_full && deadline_aware_ && !kq.q.empty() &&
+        kq.q.front().has_deadline()) {
+      const auto linger =
+          std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+              std::chrono::duration<double>(linger_seconds_));
+      time_point oldest = time_point::max();
+      for (const auto& req : kq.q) oldest = std::min(oldest, req.enqueued);
+      deadline_cut = kq.q.front().deadline < oldest + linger;
+    }
     // Group-aware admission: take in service order, stopping before
     // the request that would introduce distinct tenant max_groups_ + 1
     // (the first request is always taken, so pops make progress).
@@ -203,6 +222,26 @@ std::optional<Batch> RequestQueue::pop_batch() {
       kq.vstart = finish;
       kq.activation = next_activation_++;
       rotation_.push_back(key);
+    }
+    if (trace_on) {
+      // Emitted after releasing the queue mutex: the instant's
+      // argument strings allocate, and the queue lock is hot.
+      lock.unlock();
+      const auto& d = batch.key.dims.global;
+      util::trace::instant(
+          "batch_formed", "queue",
+          {{"shape", std::to_string(d.n_m) + "x" + std::to_string(d.n_d) +
+                         "x" + std::to_string(d.n_t)},
+           {"dir", direction_name(batch.key.direction)},
+           {"precision", batch.key.precision},
+           {"size", static_cast<std::int64_t>(batch.requests.size())},
+           {"groups", static_cast<std::int64_t>(taken_tenants.size())},
+           {"seq", batch.seq},
+           {"deadline_cut", deadline_cut ? 1 : 0},
+           {"reason", was_full         ? "full"
+                      : deadline_cut   ? "deadline-cut"
+                      : draining       ? "drain"
+                                       : "linger"}});
     }
     return batch;
   }

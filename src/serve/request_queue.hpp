@@ -173,6 +173,9 @@ struct PendingRequest {
   /// deadlines (in particular one session's stream of applies, whose
   /// absolute deadlines are non-decreasing) keep FIFO order.
   std::uint64_t seq = 0;
+  /// util::trace async-span id pairing the submit-side queue_wait
+  /// begin with its end at dispatch; 0 = tracing was off at submit.
+  std::uint64_t trace_id = 0;
 
   bool has_deadline() const {
     return deadline != std::chrono::steady_clock::time_point::max();

@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <chrono>
 #include <stdexcept>
+#include <string>
 
 #include "util/thread_pool.hpp"
+#include "util/trace.hpp"
 
 namespace fftmv::serve {
 
@@ -144,6 +146,17 @@ AsyncScheduler::AsyncScheduler(const device::DeviceSpec& spec, ServeOptions opti
   for (std::size_t i = 0; i < lanes_.size(); ++i) {
     lanes_[i].stream = std::make_unique<device::Stream>(dev_);
     lanes_[i].aux = std::make_unique<device::Stream>(dev_);
+    // Device-clock trace tracks: lane i's main stream is tid 2i, its
+    // aux (pipeline overlap) stream tid 2i+1.  Track names are
+    // registered unconditionally — they are session metadata, so a
+    // trace session started after construction still labels them.
+    const int tid_a = static_cast<int>(2 * i);
+    lanes_[i].stream->set_trace_tid(tid_a);
+    lanes_[i].aux->set_trace_tid(tid_a + 1);
+    util::trace::set_device_track_name(
+        tid_a, "lane " + std::to_string(i) + " stream A");
+    util::trace::set_device_track_name(
+        tid_a + 1, "lane " + std::to_string(i) + " stream B");
   }
   // Streams first, then workers: a worker may touch any lane state
   // only through its own index.
@@ -222,6 +235,7 @@ int AsyncScheduler::pipeline_chunks_for(const core::LocalDims& dims,
 
 std::future<MatvecResult> AsyncScheduler::enqueue(Request request,
                                                   SessionId session) {
+  const util::trace::Span submit_span("submit", "serve");
   if (request.qos.deadline_seconds < 0.0) {
     throw std::invalid_argument(
         "AsyncScheduler::submit: qos.deadline_seconds must be >= 0, got " +
@@ -279,6 +293,18 @@ std::future<MatvecResult> AsyncScheduler::enqueue(Request request,
   // and completed must never exceed submitted in a metrics() snapshot.
   metrics_.record_submit();
 
+  // Queue-wait span: an async begin/end pair (the wait ends on a lane
+  // thread, and same-key waits overlap) matched on trace_id, which
+  // rides inside the PendingRequest to dispatch.
+  if (util::trace::enabled()) {
+    req.trace_id = util::trace::next_id();
+    util::trace::async_begin(
+        "queue_wait", "serve", req.trace_id,
+        {{"tenant", static_cast<std::int64_t>(request.tenant)},
+         {"session", static_cast<std::int64_t>(session)}});
+  }
+  const std::uint64_t trace_id = req.trace_id;
+
   // Shape-keyed coalescing: tenant splits keys only in the
   // same-tenant-only ablation mode.
   const BatchKey key{dims, request.direction, request.config.to_string(),
@@ -286,6 +312,7 @@ std::future<MatvecResult> AsyncScheduler::enqueue(Request request,
                                                     : request.tenant};
   if (!queue_.push(key, std::move(req))) {
     // close() raced with the accepting_ check; undo the accept.
+    if (trace_id != 0) util::trace::async_end("queue_wait", "serve", trace_id);
     metrics_.undo_submit();
     std::lock_guard lock(state_mutex_);
     --in_flight_;
@@ -414,6 +441,7 @@ void AsyncScheduler::close_session(SessionId session) {
 }
 
 void AsyncScheduler::worker_loop(int lane) {
+  util::trace::set_thread_name("lane " + std::to_string(lane));
   while (auto batch = queue_.pop_batch()) {
     execute_batch(lane, *batch);
   }
@@ -421,15 +449,31 @@ void AsyncScheduler::worker_loop(int lane) {
 
 void AsyncScheduler::execute_batch(int lane, Batch& batch) {
   const auto exec_start = clock::now();
+  const bool trace_on = util::trace::enabled();
+  const double span_t0 = trace_on ? util::trace::now_us() : 0.0;
   // Stamped by pop_batch under the queue mutex: with several lanes,
   // a fetch_add here could tag two consecutive pops in reverse order
   // and break the session dispatch-order guarantee.
   const std::int64_t batch_seq = batch.seq;
   device::Stream& stream = *lanes_[static_cast<std::size_t>(lane)].stream;
+  device::Stream& aux = *lanes_[static_cast<std::size_t>(lane)].aux;
   const double sim_start = stream.now();
 
   const std::size_t b = batch.requests.size();
   const int batch_size = static_cast<int>(b);
+
+  // Queue-depth gauge + per-request queue-wait closure, sampled at
+  // dispatch (the natural "left the queue" point).
+  const std::size_t depth = queue_.pending();
+  metrics_.record_queue_depth(depth);
+  if (trace_on) {
+    for (const auto& req : batch.requests) {
+      if (req.trace_id != 0) {
+        util::trace::async_end("queue_wait", "serve", req.trace_id);
+      }
+    }
+    util::trace::counter("queue_depth", static_cast<double>(depth));
+  }
 
   // A shape-keyed batch may span several tenants: stable-sort by
   // tenant (FIFO order preserved within a tenant) so each tenant's
@@ -469,8 +513,11 @@ void AsyncScheduler::execute_batch(int lane, Batch& batch) {
     // forward-ddddd count.
     resolved_chunks = pipeline_chunks_for(dims, static_cast<index_t>(b),
                                           batch.key.direction, config);
-    plan = cache_.acquire(PlanKey{dims, options_.matvec, dev_.spec().name, lane},
-                          stream);
+    {
+      const util::trace::Span acquire_span("acquire_plan", "serve");
+      plan = cache_.acquire(
+          PlanKey{dims, options_.matvec, dev_.spec().name, lane}, stream);
+    }
   } catch (...) {
     batch_error = std::current_exception();
   }
@@ -503,7 +550,8 @@ void AsyncScheduler::execute_batch(int lane, Batch& batch) {
       }
       core::BatchPipeline pipeline;
       pipeline.chunks = resolved_chunks;
-      pipeline.aux = lanes_[static_cast<std::size_t>(lane)].aux.get();
+      pipeline.aux = &aux;
+      const util::trace::Span apply_span("apply", "serve");
       plan->apply_batch(groups, batch.key.direction, config, inputs, outputs,
                         pipeline);
       shares = plan->last_batch_timings();
@@ -548,6 +596,27 @@ void AsyncScheduler::execute_batch(int lane, Batch& batch) {
     ++done;
   }
   metrics_.record_batch(batch_size, stream.now() - sim_start);
+  // Lane utilisation, sampled here because only the owning lane thread
+  // may read the stream pair's (plain double) clocks: busy is the
+  // pair's summed charged work, wall the pair's makespan.
+  metrics_.record_lane(lane, done, stream.busy() + aux.busy(),
+                       std::max(stream.now(), aux.now()));
+
+  if (trace_on) {
+    const auto& d = dims.global;
+    util::trace::complete(
+        "batch", "serve", span_t0, util::trace::now_us() - span_t0,
+        {{"batch_seq", batch_seq},
+         {"size", batch_size},
+         {"groups", static_cast<std::int64_t>(groups.size())},
+         {"chunks", resolved_chunks},
+         {"lane", lane},
+         {"shape", std::to_string(d.n_m) + "x" + std::to_string(d.n_d) + "x" +
+                       std::to_string(d.n_t)},
+         {"dir", direction_name(batch.key.direction)},
+         {"precision", batch.key.precision},
+         {"failed", batch_error ? 1 : 0}});
+  }
 
   const auto cache_stats = cache_.stats();
   metrics_.record_cache(cache_stats.hits, cache_stats.misses, cache_stats.evictions);

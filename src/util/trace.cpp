@@ -1,0 +1,339 @@
+#include "util/trace.hpp"
+
+#include <chrono>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <sstream>
+#include <vector>
+
+#include "util/table.hpp"
+
+namespace fftmv::util::trace {
+
+namespace detail {
+std::atomic<bool> g_enabled{false};
+}  // namespace detail
+
+namespace {
+
+struct Event {
+  std::string name;
+  const char* cat = "";  ///< call sites pass string literals
+  char ph = 'X';
+  double ts_us = 0.0;
+  double dur_us = 0.0;
+  int pid = kHostPid;
+  int tid = 0;
+  std::uint64_t id = 0;  ///< async pair id ("b"/"e" only)
+  std::vector<Arg> args;
+};
+
+/// One thread's bounded event ring.  The owning thread (and the
+/// exporter) lock `mutex`; no other thread ever touches it, so the
+/// emission hot path contends only with a concurrent export.
+struct ThreadBuffer {
+  std::mutex mutex;
+  std::vector<Event> ring;
+  std::size_t capacity = kDefaultRingCapacity;
+  std::uint64_t count = 0;    ///< pushed since the last start()/clear()
+  std::uint64_t dropped = 0;  ///< overwritten by overflow
+  int tid = 0;
+  std::string name;  ///< set_thread_name; survives start()/clear()
+
+  void push(Event ev) {
+    std::lock_guard lock(mutex);
+    if (ring.size() < capacity) {
+      ring.push_back(std::move(ev));
+    } else if (capacity > 0) {
+      ring[static_cast<std::size_t>(count % capacity)] = std::move(ev);
+      ++dropped;
+    } else {
+      ++dropped;
+    }
+    ++count;
+  }
+};
+
+struct SessionState {
+  std::mutex mutex;  ///< guards buffers / device_tracks / t0 / capacity
+  /// Owned per-thread buffers; never deallocated before process exit,
+  /// so the thread-local pointers below stay valid across
+  /// start()/clear().
+  std::vector<std::unique_ptr<ThreadBuffer>> buffers;
+  std::map<int, std::string> device_tracks;
+  std::chrono::steady_clock::time_point t0 = std::chrono::steady_clock::now();
+  std::size_t ring_capacity = kDefaultRingCapacity;
+  std::atomic<std::uint64_t> next_id{1};
+};
+
+SessionState& state() {
+  static SessionState s;
+  return s;
+}
+
+thread_local ThreadBuffer* tl_buffer = nullptr;
+
+ThreadBuffer& buffer() {
+  if (tl_buffer != nullptr) return *tl_buffer;
+  SessionState& s = state();
+  std::lock_guard lock(s.mutex);
+  auto buf = std::make_unique<ThreadBuffer>();
+  buf->tid = static_cast<int>(s.buffers.size());
+  buf->capacity = s.ring_capacity;
+  tl_buffer = buf.get();
+  s.buffers.push_back(std::move(buf));
+  return *tl_buffer;
+}
+
+void write_args(std::ostream& os, const std::vector<Arg>& args) {
+  os << "\"args\": {";
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const Arg& a = args[i];
+    os << (i ? ", " : "") << '"' << Table::json_escape(a.key) << "\": ";
+    switch (a.kind) {
+      case Arg::Kind::kString:
+        os << '"' << Table::json_escape(a.str) << '"';
+        break;
+      case Arg::Kind::kDouble:
+        os << a.num;
+        break;
+      case Arg::Kind::kInt:
+        os << a.inum;
+        break;
+    }
+  }
+  os << '}';
+}
+
+void write_event(std::ostream& os, const Event& ev, bool& first) {
+  os << (first ? "\n  " : ",\n  ");
+  first = false;
+  os << "{\"name\": \"" << Table::json_escape(ev.name) << "\", \"ph\": \""
+     << ev.ph << "\", \"ts\": " << ev.ts_us << ", \"pid\": " << ev.pid
+     << ", \"tid\": " << ev.tid;
+  if (ev.cat[0] != '\0') os << ", \"cat\": \"" << Table::json_escape(ev.cat) << '"';
+  if (ev.ph == 'X') os << ", \"dur\": " << ev.dur_us;
+  if (ev.ph == 'b' || ev.ph == 'e') os << ", \"id\": " << ev.id;
+  if (!ev.args.empty() || ev.ph == 'M') {
+    os << ", ";
+    write_args(os, ev.args);
+  }
+  os << '}';
+}
+
+Event metadata(const char* name, int pid, int tid, const std::string& value) {
+  Event ev;
+  ev.name = name;
+  ev.ph = 'M';
+  ev.pid = pid;
+  ev.tid = tid;
+  ev.args.push_back(Arg{"name", value});
+  return ev;
+}
+
+}  // namespace
+
+void start(std::size_t ring_capacity) {
+  SessionState& s = state();
+  {
+    std::lock_guard lock(s.mutex);
+    s.ring_capacity = ring_capacity;
+    for (auto& buf : s.buffers) {
+      std::lock_guard buf_lock(buf->mutex);
+      buf->ring.clear();
+      buf->capacity = ring_capacity;
+      buf->count = 0;
+      buf->dropped = 0;
+    }
+    s.t0 = std::chrono::steady_clock::now();
+  }
+  detail::g_enabled.store(true, std::memory_order_release);
+}
+
+void stop() { detail::g_enabled.store(false, std::memory_order_release); }
+
+void clear() {
+  SessionState& s = state();
+  std::lock_guard lock(s.mutex);
+  for (auto& buf : s.buffers) {
+    std::lock_guard buf_lock(buf->mutex);
+    buf->ring.clear();
+    buf->count = 0;
+    buf->dropped = 0;
+  }
+}
+
+Stats stats() {
+  SessionState& s = state();
+  Stats out;
+  std::lock_guard lock(s.mutex);
+  for (auto& buf : s.buffers) {
+    std::lock_guard buf_lock(buf->mutex);
+    out.events += buf->ring.size();
+    out.dropped += buf->dropped;
+  }
+  return out;
+}
+
+double now_us() {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now() - state().t0)
+      .count();
+}
+
+std::uint64_t next_id() {
+  return state().next_id.fetch_add(1, std::memory_order_relaxed);
+}
+
+void set_thread_name(const std::string& name) {
+  ThreadBuffer& buf = buffer();
+  std::lock_guard lock(buf.mutex);
+  buf.name = name;
+}
+
+void set_device_track_name(int tid, const std::string& name) {
+  SessionState& s = state();
+  std::lock_guard lock(s.mutex);
+  s.device_tracks[tid] = name;
+}
+
+void complete(const char* name, const char* cat, double ts_us, double dur_us,
+              std::initializer_list<Arg> args) {
+  if (!enabled()) return;
+  Event ev;
+  ev.name = name;
+  ev.cat = cat;
+  ev.ph = 'X';
+  ev.ts_us = ts_us;
+  ev.dur_us = dur_us;
+  ev.args.assign(args.begin(), args.end());
+  ThreadBuffer& buf = buffer();
+  ev.tid = buf.tid;
+  buf.push(std::move(ev));
+}
+
+void complete_device(int tid, const char* name, const char* cat,
+                     double ts_seconds, double dur_seconds,
+                     std::initializer_list<Arg> args) {
+  if (!enabled()) return;
+  Event ev;
+  ev.name = name;
+  ev.cat = cat;
+  ev.ph = 'X';
+  ev.ts_us = ts_seconds * 1e6;
+  ev.dur_us = dur_seconds * 1e6;
+  ev.pid = kDevicePid;
+  ev.tid = tid;
+  ev.args.assign(args.begin(), args.end());
+  buffer().push(std::move(ev));
+}
+
+void instant(const char* name, const char* cat,
+             std::initializer_list<Arg> args) {
+  if (!enabled()) return;
+  Event ev;
+  ev.name = name;
+  ev.cat = cat;
+  ev.ph = 'i';
+  ev.ts_us = now_us();
+  ev.args.assign(args.begin(), args.end());
+  ThreadBuffer& buf = buffer();
+  ev.tid = buf.tid;
+  buf.push(std::move(ev));
+}
+
+void counter(const char* name, double value) {
+  if (!enabled()) return;
+  Event ev;
+  ev.name = name;
+  ev.ph = 'C';
+  ev.ts_us = now_us();
+  ev.args.push_back(Arg{"value", value});
+  ThreadBuffer& buf = buffer();
+  ev.tid = buf.tid;
+  buf.push(std::move(ev));
+}
+
+void async_begin(const char* name, const char* cat, std::uint64_t id,
+                 std::initializer_list<Arg> args) {
+  if (!enabled()) return;
+  Event ev;
+  ev.name = name;
+  ev.cat = cat;
+  ev.ph = 'b';
+  ev.ts_us = now_us();
+  ev.id = id;
+  ev.args.assign(args.begin(), args.end());
+  ThreadBuffer& buf = buffer();
+  ev.tid = buf.tid;
+  buf.push(std::move(ev));
+}
+
+void async_end(const char* name, const char* cat, std::uint64_t id) {
+  if (!enabled()) return;
+  Event ev;
+  ev.name = name;
+  ev.cat = cat;
+  ev.ph = 'e';
+  ev.ts_us = now_us();
+  ev.id = id;
+  ThreadBuffer& buf = buffer();
+  ev.tid = buf.tid;
+  buf.push(std::move(ev));
+}
+
+void write_json(std::ostream& os) {
+  SessionState& s = state();
+  std::lock_guard lock(s.mutex);
+  os.precision(15);
+  os << "{\"traceEvents\": [";
+  bool first = true;
+  // Metadata first: process names for the two clock domains, then the
+  // registered host-thread and device-track names (every event —
+  // metadata included — carries a ts, keeping schema checks uniform).
+  write_event(os, metadata("process_name", kHostPid, 0, "host (wall clock)"),
+              first);
+  write_event(
+      os, metadata("process_name", kDevicePid, 0, "device (simulated clock)"),
+      first);
+  for (const auto& buf : s.buffers) {
+    std::lock_guard buf_lock(buf->mutex);
+    if (!buf->name.empty()) {
+      write_event(os, metadata("thread_name", kHostPid, buf->tid, buf->name),
+                  first);
+    }
+  }
+  for (const auto& [tid, name] : s.device_tracks) {
+    write_event(os, metadata("thread_name", kDevicePid, tid, name), first);
+  }
+  std::uint64_t events = 0, dropped = 0;
+  for (const auto& buf : s.buffers) {
+    std::lock_guard buf_lock(buf->mutex);
+    const std::size_t n = buf->ring.size();
+    events += n;
+    dropped += buf->dropped;
+    // Oldest-first ring order: once wrapped, slot (count + i) % cap
+    // walks the surviving window chronologically.
+    const bool wrapped = buf->count > n;
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::size_t slot =
+          wrapped ? static_cast<std::size_t>((buf->count + i) % buf->capacity)
+                  : i;
+      write_event(os, buf->ring[slot], first);
+    }
+  }
+  os << "\n], \"displayTimeUnit\": \"ms\", \"otherData\": {\"event_count\": "
+     << events << ", \"dropped_events\": " << dropped << "}}\n";
+}
+
+bool write_file(const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return false;
+  write_json(out);
+  return out.good();
+}
+
+}  // namespace fftmv::util::trace

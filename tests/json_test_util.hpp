@@ -1,0 +1,224 @@
+// Minimal recursive-descent JSON parser for test assertions against
+// the JSON this repo's exporters emit (util::trace files, artifacts).
+// Tests only — the production code never parses JSON, so this stays
+// out of src/.  Throws std::runtime_error with a byte offset on
+// malformed input, which is exactly what a test wants: "the exporter
+// produced invalid JSON at byte N".
+#pragma once
+
+#include <cstdint>
+#include <cstdlib>
+#include <map>
+#include <stdexcept>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace fftmv::testjson {
+
+struct Value;
+using Array = std::vector<Value>;
+using Object = std::map<std::string, Value>;
+
+struct Value {
+  std::variant<std::nullptr_t, bool, double, std::string, Array, Object> v;
+
+  bool is_null() const { return std::holds_alternative<std::nullptr_t>(v); }
+  bool boolean() const { return std::get<bool>(v); }
+  double number() const { return std::get<double>(v); }
+  const std::string& str() const { return std::get<std::string>(v); }
+  const Array& array() const { return std::get<Array>(v); }
+  const Object& object() const { return std::get<Object>(v); }
+
+  bool has(const std::string& key) const {
+    const Object& o = object();
+    return o.find(key) != o.end();
+  }
+  const Value& at(const std::string& key) const {
+    const Object& o = object();
+    const auto it = o.find(key);
+    if (it == o.end()) throw std::out_of_range("json: missing key '" + key + "'");
+    return it->second;
+  }
+};
+
+class Parser {
+ public:
+  static Value parse(const std::string& text) {
+    Parser p(text);
+    p.skip_ws();
+    Value v = p.parse_value();
+    p.skip_ws();
+    if (p.pos_ != text.size()) p.fail("trailing characters");
+    return v;
+  }
+
+ private:
+  explicit Parser(const std::string& s) : s_(s) {}
+
+  [[noreturn]] void fail(const std::string& what) const {
+    throw std::runtime_error("json parse error at byte " +
+                             std::to_string(pos_) + ": " + what);
+  }
+  char peek() const {
+    if (pos_ >= s_.size()) fail("unexpected end of input");
+    return s_[pos_];
+  }
+  char take() {
+    const char c = peek();
+    ++pos_;
+    return c;
+  }
+  void skip_ws() {
+    while (pos_ < s_.size() && (s_[pos_] == ' ' || s_[pos_] == '\t' ||
+                                s_[pos_] == '\n' || s_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+  void expect(char c) {
+    if (take() != c) fail(std::string("expected '") + c + "'");
+  }
+  void literal(const char* lit) {
+    for (const char* p = lit; *p != '\0'; ++p) {
+      if (take() != *p) fail(std::string("bad literal, expected ") + lit);
+    }
+  }
+
+  Value parse_value() {
+    switch (peek()) {
+      case '{':
+        return parse_object();
+      case '[':
+        return parse_array();
+      case '"':
+        return Value{parse_string()};
+      case 't':
+        literal("true");
+        return Value{true};
+      case 'f':
+        literal("false");
+        return Value{false};
+      case 'n':
+        literal("null");
+        return Value{nullptr};
+      default:
+        return Value{parse_number()};
+    }
+  }
+
+  Value parse_object() {
+    Object o;
+    expect('{');
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return Value{std::move(o)};
+    }
+    for (;;) {
+      skip_ws();
+      std::string key = parse_string();
+      skip_ws();
+      expect(':');
+      skip_ws();
+      o.emplace(std::move(key), parse_value());
+      skip_ws();
+      const char c = take();
+      if (c == '}') return Value{std::move(o)};
+      if (c != ',') fail("expected ',' or '}' in object");
+    }
+  }
+
+  Value parse_array() {
+    Array a;
+    expect('[');
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return Value{std::move(a)};
+    }
+    for (;;) {
+      skip_ws();
+      a.push_back(parse_value());
+      skip_ws();
+      const char c = take();
+      if (c == ']') return Value{std::move(a)};
+      if (c != ',') fail("expected ',' or ']' in array");
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    for (;;) {
+      const char c = take();
+      if (c == '"') return out;
+      if (c != '\\') {
+        out.push_back(c);  // raw UTF-8 bytes pass through unmodified
+        continue;
+      }
+      const char esc = take();
+      switch (esc) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': {
+          std::uint32_t cp = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = take();
+            cp <<= 4;
+            if (h >= '0' && h <= '9') {
+              cp |= static_cast<std::uint32_t>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              cp |= static_cast<std::uint32_t>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              cp |= static_cast<std::uint32_t>(h - 'A' + 10);
+            } else {
+              fail("bad \\u escape digit");
+            }
+          }
+          // UTF-8 encode (BMP only; the exporters never emit
+          // surrogate pairs — they only \u-escape control bytes).
+          if (cp < 0x80) {
+            out.push_back(static_cast<char>(cp));
+          } else if (cp < 0x800) {
+            out.push_back(static_cast<char>(0xC0 | (cp >> 6)));
+            out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+          } else {
+            out.push_back(static_cast<char>(0xE0 | (cp >> 12)));
+            out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+            out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+          }
+          break;
+        }
+        default:
+          fail("unknown escape");
+      }
+    }
+  }
+
+  double parse_number() {
+    const std::size_t start = pos_;
+    while (pos_ < s_.size() &&
+           (s_[pos_] == '-' || s_[pos_] == '+' || s_[pos_] == '.' ||
+            s_[pos_] == 'e' || s_[pos_] == 'E' ||
+            (s_[pos_] >= '0' && s_[pos_] <= '9'))) {
+      ++pos_;
+    }
+    if (pos_ == start) fail("expected a value");
+    const std::string tok = s_.substr(start, pos_ - start);
+    char* end = nullptr;
+    const double d = std::strtod(tok.c_str(), &end);
+    if (end != tok.c_str() + tok.size()) fail("bad number '" + tok + "'");
+    return d;
+  }
+
+  const std::string& s_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace fftmv::testjson

@@ -7,6 +7,8 @@
 #include <atomic>
 #include <chrono>
 #include <future>
+#include <map>
+#include <set>
 #include <sstream>
 #include <thread>
 #include <vector>
@@ -15,9 +17,11 @@
 #include "core/dense_reference.hpp"
 #include "core/synthetic.hpp"
 #include "device/device_spec.hpp"
+#include "json_test_util.hpp"
 #include "serve/plan_cache.hpp"
 #include "serve/request_queue.hpp"
 #include "serve/scheduler.hpp"
+#include "util/trace.hpp"
 
 namespace fftmv::serve {
 namespace {
@@ -1266,6 +1270,247 @@ TEST(AsyncScheduler, HandleOutlivingSchedulerIsInertNotDangling) {
   EXPECT_THROW(session.submit({}), std::runtime_error);
   session.close();  // degrades to making the handle inert — no crash
   EXPECT_FALSE(session.open());
+}
+
+// --------------------------------------- metrics empty-state edge cases
+
+TEST(ServeMetrics, EmptySnapshotIsSafeAndNeutral) {
+  ServeMetrics m;
+  const auto snap = m.snapshot();
+  EXPECT_EQ(snap.submitted, 0);
+  // Zero deadline-tagged requests: perfect attainment, not 0/0.
+  EXPECT_DOUBLE_EQ(snap.slo_attainment(), 1.0);
+  EXPECT_DOUBLE_EQ(snap.throughput_rps(), 0.0);
+  EXPECT_DOUBLE_EQ(snap.mean_batch_size(), 0.0);
+  EXPECT_DOUBLE_EQ(snap.cache_hit_rate(), 0.0);
+  // Percentile helpers on empty reservoirs: all-zero summaries.
+  EXPECT_EQ(snap.total_latency.count, 0);
+  EXPECT_DOUBLE_EQ(snap.total_latency.p99, 0.0);
+  EXPECT_DOUBLE_EQ(snap.queue_latency.max, 0.0);
+  EXPECT_TRUE(snap.lanes.empty());
+  EXPECT_EQ(snap.queue_depth_last, 0);
+  EXPECT_EQ(snap.queue_depth_peak, 0);
+  // print() renders without lane/session tables (nothing to show) and
+  // without crashing.
+  std::ostringstream os;
+  snap.print(os);
+  EXPECT_NE(os.str().find("queue depth"), std::string::npos);
+  EXPECT_EQ(os.str().find("utilization"), std::string::npos);
+}
+
+TEST(ServeMetrics, SloAttainmentCountsOnlyDeadlineTaggedRequests) {
+  ServeMetrics m;
+  for (int i = 0; i < 5; ++i) {
+    m.record_submit();
+    m.record_request(1e-3, 1e-3, /*failed=*/false);  // best effort
+  }
+  auto snap = m.snapshot();
+  EXPECT_EQ(snap.deadline_total, 0);
+  EXPECT_DOUBLE_EQ(snap.slo_attainment(), 1.0);
+  m.record_submit();
+  m.record_request(1e-3, 1e-3, /*failed=*/false, /*session=*/0,
+                   /*had_deadline=*/true, /*missed=*/true);
+  snap = m.snapshot();
+  EXPECT_EQ(snap.deadline_total, 1);
+  EXPECT_DOUBLE_EQ(snap.slo_attainment(), 0.0);
+}
+
+TEST(ServeMetrics, RetiredOnlySessionTableRenders) {
+  ServeMetrics m;
+  m.record_submit();
+  m.record_request(1e-3, 1e-3, /*failed=*/false, /*session=*/3);
+  m.close_session(3);
+  const auto snap = m.snapshot();
+  ASSERT_EQ(snap.sessions.size(), 1u);  // only the retired summary
+  EXPECT_EQ(snap.sessions.at(3).requests, 1);
+  std::ostringstream os;
+  snap.print(os);
+  EXPECT_NE(os.str().find("session"), std::string::npos);
+}
+
+TEST(ServeMetrics, LaneUtilizationAndQueueDepthGauges) {
+  ServeMetrics m;
+  m.record_queue_depth(5);
+  m.record_queue_depth(2);
+  m.record_lane(1, 4, /*busy_sim_seconds=*/3.0, /*wall_sim_seconds=*/2.0);
+  m.record_lane(1, 2, /*busy_sim_seconds=*/4.0, /*wall_sim_seconds=*/4.0);
+  m.record_lane(-1, 9, 1.0, 1.0);  // invalid lane: ignored
+  const auto snap = m.snapshot();
+  EXPECT_EQ(snap.queue_depth_last, 2);
+  EXPECT_EQ(snap.queue_depth_peak, 5);
+  ASSERT_EQ(snap.lanes.size(), 2u);  // lane 0 implicit, never sampled
+  EXPECT_EQ(snap.lanes[0].batches, 0);
+  EXPECT_DOUBLE_EQ(snap.lanes[0].utilization(), 0.0);  // wall 0: no 0/0
+  EXPECT_EQ(snap.lanes[1].batches, 2);
+  EXPECT_EQ(snap.lanes[1].requests, 6);
+  // Clock samples overwrite (cumulative), they do not accumulate.
+  EXPECT_DOUBLE_EQ(snap.lanes[1].busy_sim_seconds, 4.0);
+  EXPECT_DOUBLE_EQ(snap.lanes[1].utilization(), 1.0);
+  std::ostringstream os;
+  snap.print(os);
+  EXPECT_NE(os.str().find("utilization"), std::string::npos);
+}
+
+TEST(PlanCache, UnmatchedUnpinIsHarmless) {
+  device::Device dev(device::make_mi300x());
+  PlanCache cache(dev, 2);
+  const auto ka = key_for(small_dims());
+  cache.unpin(ka);  // never pinned: no-op
+  EXPECT_FALSE(cache.pinned(ka));
+  EXPECT_EQ(cache.pinned_shapes(), 0u);
+  cache.pin(ka);
+  cache.unpin(ka);
+  cache.unpin(ka);  // extra unpin after the count hit zero
+  EXPECT_FALSE(cache.pinned(ka));
+  cache.pin(ka);  // pinning still works after the unmatched unpins
+  EXPECT_TRUE(cache.pinned(ka));
+}
+
+// -------------------------------------------------- request tracing
+
+TEST(ServeTrace, EndToEndSpanStructureAndPipelineOverlap) {
+  namespace trace = util::trace;
+  trace::stop();
+  trace::clear();
+  ServeOptions opts;
+  opts.num_streams = 1;        // lane 0: device tids 0 (A) and 1 (B)
+  opts.max_batch = 8;
+  opts.pipeline_chunks = 4;     // forced: 8 RHS -> 4 chunks of 2
+  opts.linger_seconds = 500e-3; // generous: the 8 submits coalesce into
+                                // one full batch even on a loaded CI box
+  AsyncScheduler sched(device::make_mi300x(), opts);
+  const auto tenant = register_tenant(sched, small_dims(), 77);
+  const auto input =
+      core::make_input_vector(tenant.dims.n_t * tenant.dims.n_m, 78);
+
+  trace::start();
+  std::vector<std::future<MatvecResult>> futures;
+  for (int r = 0; r < 8; ++r) {
+    futures.push_back(sched.submit(tenant.tenant,
+                                   core::ApplyDirection::kForward,
+                                   precision::PrecisionConfig{}, input));
+  }
+  for (auto& f : futures) f.get();
+  sched.drain();
+  trace::stop();
+  EXPECT_EQ(trace::stats().dropped, 0u);
+
+  std::ostringstream os;
+  trace::write_json(os);
+  const auto doc = testjson::Parser::parse(os.str());  // throws if invalid
+  const auto& events = doc.at("traceEvents").array();
+
+  std::multiset<double> qw_begin, qw_end;
+  std::vector<testjson::Value> batch_spans, host_spans, device_spans;
+  bool saw_cache_miss = false, saw_batch_formed = false;
+  for (const auto& ev : events) {
+    const std::string& ph = ev.at("ph").str();
+    const std::string& name = ev.at("name").str();
+    if (ph == "b" && name == "queue_wait") qw_begin.insert(ev.at("id").number());
+    if (ph == "e" && name == "queue_wait") qw_end.insert(ev.at("id").number());
+    if (name == "plan_cache_miss") saw_cache_miss = true;
+    if (name == "batch_formed") {
+      saw_batch_formed = true;
+      EXPECT_EQ(ev.at("args").at("size").number(), 8.0);
+      EXPECT_EQ(ev.at("args").at("reason").str(), "full");
+      EXPECT_EQ(ev.at("args").at("deadline_cut").number(), 0.0);
+    }
+    if (ph != "X") continue;
+    if (ev.at("pid").number() == trace::kDevicePid) {
+      device_spans.push_back(ev);
+    } else {
+      host_spans.push_back(ev);
+      if (name == "batch") batch_spans.push_back(ev);
+    }
+  }
+  // One queue-wait async pair per request, every begin matched by its
+  // end on the same id.
+  EXPECT_EQ(qw_begin.size(), 8u);
+  EXPECT_EQ(qw_end, qw_begin);
+  EXPECT_TRUE(saw_cache_miss);
+  EXPECT_TRUE(saw_batch_formed);
+
+  // Exactly one dispatch span carrying the batch metadata.
+  ASSERT_EQ(batch_spans.size(), 1u);
+  const auto& batch = batch_spans[0];
+  const auto& args = batch.at("args");
+  EXPECT_EQ(args.at("size").number(), 8.0);
+  EXPECT_EQ(args.at("chunks").number(), 4.0);
+  EXPECT_EQ(args.at("lane").number(), 0.0);
+  EXPECT_EQ(args.at("groups").number(), 1.0);
+  EXPECT_GE(args.at("batch_seq").number(), 0.0);
+  EXPECT_EQ(args.at("dir").str(), "F");
+
+  // acquire_plan and apply nest inside the batch span, on the lane
+  // thread's track.
+  const double b0 = batch.at("ts").number();
+  const double b1 = b0 + batch.at("dur").number();
+  for (const char* nested : {"acquire_plan", "apply"}) {
+    bool found = false;
+    for (const auto& ev : host_spans) {
+      if (ev.at("name").str() != nested) continue;
+      found = true;
+      EXPECT_EQ(ev.at("tid").number(), batch.at("tid").number()) << nested;
+      EXPECT_GE(ev.at("ts").number(), b0) << nested;
+      EXPECT_LE(ev.at("ts").number() + ev.at("dur").number(), b1) << nested;
+    }
+    EXPECT_TRUE(found) << nested;
+  }
+
+  // Device-clock phase spans: lane 0's stream A (tid 0) runs pad/fft/
+  // ifft/unpad, stream B (tid 1) the grouped SBGEMV — once per chunk.
+  std::map<std::string, int> a_phases, b_phases;
+  for (const auto& ev : device_spans) {
+    const int tid = static_cast<int>(ev.at("tid").number());
+    ASSERT_TRUE(tid == 0 || tid == 1) << "unexpected device track " << tid;
+    (tid == 0 ? a_phases : b_phases)[ev.at("name").str()]++;
+  }
+  for (const char* p : {"pad", "fft", "ifft", "unpad"}) {
+    EXPECT_EQ(a_phases[p], 4) << p;
+  }
+  EXPECT_EQ(b_phases["sbgemv"], 4);
+  EXPECT_EQ(a_phases.count("sbgemv"), 0u);
+
+  // The pipelined batch must show real overlap: some stream-B SBGEMV
+  // span intersects a stream-A span in simulated device time.
+  bool overlap = false;
+  for (const auto& sb : device_spans) {
+    if (static_cast<int>(sb.at("tid").number()) != 1) continue;
+    const double s0 = sb.at("ts").number();
+    const double s1 = s0 + sb.at("dur").number();
+    for (const auto& sa : device_spans) {
+      if (static_cast<int>(sa.at("tid").number()) != 0) continue;
+      const double t0 = sa.at("ts").number();
+      const double t1 = t0 + sa.at("dur").number();
+      if (s0 < t1 && t0 < s1) overlap = true;
+    }
+  }
+  EXPECT_TRUE(overlap);
+
+  // The lane utilisation gauge landed in the metrics snapshot.
+  const auto snap = sched.metrics();
+  ASSERT_EQ(snap.lanes.size(), 1u);
+  EXPECT_GE(snap.lanes[0].batches, 1);
+  EXPECT_EQ(snap.lanes[0].requests, 8);
+  EXPECT_GT(snap.lanes[0].utilization(), 0.0);
+  trace::clear();
+}
+
+TEST(ServeTrace, DisabledTracingServesWithZeroEvents) {
+  namespace trace = util::trace;
+  trace::stop();
+  trace::clear();
+  AsyncScheduler sched(device::make_mi300x());
+  const auto tenant = register_tenant(sched, small_dims(), 91);
+  const auto input =
+      core::make_input_vector(tenant.dims.n_t * tenant.dims.n_m, 92);
+  sched
+      .submit(tenant.tenant, core::ApplyDirection::kForward,
+              precision::PrecisionConfig{}, input)
+      .get();
+  sched.drain();
+  EXPECT_EQ(trace::stats().events, 0u);
+  EXPECT_EQ(trace::stats().dropped, 0u);
 }
 
 TEST(AsyncScheduler, MetricsTablesRender) {

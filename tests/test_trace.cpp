@@ -1,0 +1,266 @@
+// util::trace unit tests: JSON escaping round-trips, ring-overflow
+// drop accounting, the disabled-session zero-event guarantee, async
+// pair/device track mapping, and concurrent multi-thread emission
+// producing one valid merged JSON document.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <set>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "json_test_util.hpp"
+#include "util/trace.hpp"
+
+namespace trace = fftmv::util::trace;
+using fftmv::testjson::Parser;
+using fftmv::testjson::Value;
+
+namespace {
+
+/// The trace session is process-global, so every test starts from a
+/// stopped, cleared state and leaves it that way.
+class TraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    trace::stop();
+    trace::clear();
+  }
+  void TearDown() override {
+    trace::stop();
+    trace::clear();
+  }
+};
+
+Value export_and_parse() {
+  std::ostringstream os;
+  trace::write_json(os);
+  return Parser::parse(os.str());
+}
+
+/// Non-metadata events (ph != "M") of the exported document.
+std::vector<Value> payload_events(const Value& doc) {
+  std::vector<Value> out;
+  for (const Value& ev : doc.at("traceEvents").array()) {
+    if (ev.at("ph").str() != "M") out.push_back(ev);
+  }
+  return out;
+}
+
+}  // namespace
+
+TEST_F(TraceTest, DisabledSessionEmitsNothing) {
+  ASSERT_FALSE(trace::enabled());
+  trace::complete("span", "cat", 0.0, 1.0, {{"k", 1}});
+  trace::complete_device(0, "dev", "cat", 0.0, 1.0);
+  trace::instant("inst", "cat", {{"k", "v"}});
+  trace::counter("ctr", 3.0);
+  trace::async_begin("aw", "cat", trace::next_id());
+  trace::async_end("aw", "cat", 1);
+  { trace::Span span("scoped", "cat"); }
+  const auto stats = trace::stats();
+  EXPECT_EQ(stats.events, 0u);
+  EXPECT_EQ(stats.dropped, 0u);
+  const Value doc = export_and_parse();
+  EXPECT_TRUE(payload_events(doc).empty());
+  EXPECT_EQ(doc.at("otherData").at("event_count").number(), 0.0);
+}
+
+TEST_F(TraceTest, StartStopGateRecording) {
+  trace::start();
+  EXPECT_TRUE(trace::enabled());
+  trace::instant("during", "t");
+  trace::stop();
+  EXPECT_FALSE(trace::enabled());
+  trace::instant("after", "t");  // must not record
+  EXPECT_EQ(trace::stats().events, 1u);
+  const auto events = payload_events(export_and_parse());
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].at("name").str(), "during");
+}
+
+TEST_F(TraceTest, StartClearsPreviousSession) {
+  trace::start();
+  trace::instant("old", "t");
+  trace::start();  // restart: the old event must be gone
+  trace::instant("new", "t");
+  trace::stop();
+  const auto events = payload_events(export_and_parse());
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].at("name").str(), "new");
+}
+
+TEST_F(TraceTest, JsonEscapingRoundTrips) {
+  trace::start();
+  const std::string nasty = "quote\" back\\slash\nnewline\ttab\rret\x01ctl";
+  const std::string utf8 = "\xCF\x80\xE2\x89\x88 3.14159";  // "π≈ 3.14159"
+  trace::instant("na\"me\\with\nescapes", "cat", {{"nasty", nasty},
+                                                  {"utf8", utf8},
+                                                  {"num", 2.5},
+                                                  {"int", std::int64_t{-7}}});
+  trace::stop();
+  const auto events = payload_events(export_and_parse());
+  ASSERT_EQ(events.size(), 1u);
+  const Value& ev = events[0];
+  EXPECT_EQ(ev.at("name").str(), "na\"me\\with\nescapes");
+  EXPECT_EQ(ev.at("args").at("nasty").str(), nasty);
+  EXPECT_EQ(ev.at("args").at("utf8").str(), utf8);
+  EXPECT_EQ(ev.at("args").at("num").number(), 2.5);
+  EXPECT_EQ(ev.at("args").at("int").number(), -7.0);
+}
+
+TEST_F(TraceTest, RingOverflowCountsDropsAndKeepsNewest) {
+  trace::start(/*ring_capacity=*/8);
+  for (int i = 0; i < 20; ++i) trace::instant("e", "t", {{"i", i}});
+  trace::stop();
+  const auto stats = trace::stats();
+  EXPECT_EQ(stats.events, 8u);
+  EXPECT_EQ(stats.dropped, 12u);
+  const Value doc = export_and_parse();
+  EXPECT_EQ(doc.at("otherData").at("event_count").number(), 8.0);
+  EXPECT_EQ(doc.at("otherData").at("dropped_events").number(), 12.0);
+  // The ring keeps the newest window, exported oldest-first.
+  const auto events = payload_events(doc);
+  ASSERT_EQ(events.size(), 8u);
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].at("args").at("i").number(),
+              static_cast<double>(12 + i));
+  }
+}
+
+TEST_F(TraceTest, ZeroCapacityRingDropsEverything) {
+  trace::start(/*ring_capacity=*/0);
+  for (int i = 0; i < 5; ++i) trace::instant("e", "t");
+  trace::stop();
+  const auto stats = trace::stats();
+  EXPECT_EQ(stats.events, 0u);
+  EXPECT_EQ(stats.dropped, 5u);
+}
+
+TEST_F(TraceTest, ClearResetsEventsAndDropCounts) {
+  trace::start(/*ring_capacity=*/4);
+  for (int i = 0; i < 9; ++i) trace::instant("e", "t");
+  EXPECT_GT(trace::stats().dropped, 0u);
+  trace::clear();
+  EXPECT_EQ(trace::stats().events, 0u);
+  EXPECT_EQ(trace::stats().dropped, 0u);
+  trace::instant("fresh", "t");
+  EXPECT_EQ(trace::stats().events, 1u);
+}
+
+TEST_F(TraceTest, AsyncPairsAndDeviceTracksMapCorrectly) {
+  trace::set_device_track_name(5, "test device track");
+  trace::start();
+  const std::uint64_t id = trace::next_id();
+  trace::async_begin("wait", "q", id, {{"who", "me"}});
+  trace::async_end("wait", "q", id);
+  trace::complete_device(5, "kernel", "phase", 1.5, 0.25, {{"chunk", 2}});
+  trace::stop();
+  const Value doc = export_and_parse();
+  const auto events = payload_events(doc);
+  ASSERT_EQ(events.size(), 3u);
+  const Value& b = events[0];
+  const Value& e = events[1];
+  const Value& d = events[2];
+  EXPECT_EQ(b.at("ph").str(), "b");
+  EXPECT_EQ(e.at("ph").str(), "e");
+  EXPECT_EQ(b.at("id").number(), e.at("id").number());
+  EXPECT_EQ(b.at("cat").str(), "q");
+  EXPECT_EQ(b.at("pid").number(), static_cast<double>(trace::kHostPid));
+  // Device-clock span: pid 2, the named tid, simulated seconds * 1e6.
+  EXPECT_EQ(d.at("pid").number(), static_cast<double>(trace::kDevicePid));
+  EXPECT_EQ(d.at("tid").number(), 5.0);
+  EXPECT_DOUBLE_EQ(d.at("ts").number(), 1.5e6);
+  EXPECT_DOUBLE_EQ(d.at("dur").number(), 0.25e6);
+  // The registered track name appears as thread_name metadata on the
+  // device pid.
+  bool named = false;
+  for (const Value& ev : doc.at("traceEvents").array()) {
+    if (ev.at("ph").str() == "M" && ev.at("name").str() == "thread_name" &&
+        ev.at("pid").number() == static_cast<double>(trace::kDevicePid) &&
+        ev.at("tid").number() == 5.0) {
+      named = ev.at("args").at("name").str() == "test device track";
+    }
+  }
+  EXPECT_TRUE(named);
+}
+
+TEST_F(TraceTest, SpanRecordsEnclosingInterval) {
+  trace::start();
+  const double before = trace::now_us();
+  {
+    trace::Span span("scoped", "t");
+    trace::instant("inside", "t");
+  }
+  trace::stop();
+  const auto events = payload_events(export_and_parse());
+  ASSERT_EQ(events.size(), 2u);
+  // The instant emits first (the span completes at scope exit) and
+  // must land inside the span's [ts, ts + dur] interval.
+  const Value& inside = events[0];
+  const Value& span = events[1];
+  EXPECT_EQ(span.at("name").str(), "scoped");
+  EXPECT_EQ(span.at("ph").str(), "X");
+  EXPECT_GE(span.at("ts").number(), before);
+  EXPECT_GE(inside.at("ts").number(), span.at("ts").number());
+  EXPECT_LE(inside.at("ts").number(),
+            span.at("ts").number() + span.at("dur").number());
+}
+
+TEST_F(TraceTest, EveryEventCarriesNamePhTs) {
+  trace::set_thread_name("schema test thread");
+  trace::start();
+  trace::instant("i", "t");
+  trace::counter("c", 1.0);
+  trace::complete("x", "t", 0.0, 1.0);
+  trace::complete_device(0, "d", "t", 0.0, 1.0);
+  const std::uint64_t id = trace::next_id();
+  trace::async_begin("a", "t", id);
+  trace::async_end("a", "t", id);
+  trace::stop();
+  // Metadata included: the CI schema check asserts this uniformly.
+  const Value doc = export_and_parse();
+  for (const Value& ev : doc.at("traceEvents").array()) {
+    EXPECT_TRUE(ev.has("name"));
+    EXPECT_TRUE(ev.has("ph"));
+    EXPECT_TRUE(ev.has("ts"));
+    EXPECT_TRUE(ev.has("pid"));
+    EXPECT_TRUE(ev.has("tid"));
+  }
+}
+
+TEST_F(TraceTest, ConcurrentEmissionMergesIntoValidJson) {
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 200;
+  trace::start();
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([t] {
+      trace::set_thread_name("emitter " + std::to_string(t));
+      for (int i = 0; i < kPerThread; ++i) {
+        if (i % 3 == 0) {
+          trace::Span span("work", "t");
+          trace::instant("tick", "t", {{"t", t}, {"i", i}});
+        } else {
+          trace::instant("tick", "t", {{"t", t}, {"i", i}});
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  trace::stop();
+  const Value doc = export_and_parse();  // throws if the merge is malformed
+  EXPECT_EQ(trace::stats().dropped, 0u);
+  // Every thread's instants all arrived, attributed to distinct tids.
+  std::vector<int> per_thread(kThreads, 0);
+  std::set<double> tids;
+  for (const Value& ev : payload_events(doc)) {
+    if (ev.at("name").str() != "tick") continue;
+    per_thread[static_cast<int>(ev.at("args").at("t").number())]++;
+    tids.insert(ev.at("tid").number());
+  }
+  for (int t = 0; t < kThreads; ++t) EXPECT_EQ(per_thread[t], kPerThread);
+  EXPECT_EQ(tids.size(), static_cast<std::size_t>(kThreads));
+}
