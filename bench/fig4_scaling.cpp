@@ -67,18 +67,21 @@ double total_time(index_t p, index_t p_rows,
   plan.forward(op, {}, empty, cfg);
   const double compute = plan.last_timings().compute_total();
 
-  // Communication: broadcast m_c over the column (p_r ranks),
-  // reduce d partials over the row (p_c ranks).
+  // Communication: broadcast m_c over the column (p_r ranks), reduce
+  // d partials over the row (p_c ranks).  Grid locality and the
+  // alpha-beta terms come from comm::CommCostModel::matvec_collectives
+  // — the same path FftMatvecPlan and bench/serve_scaling charge, so
+  // the harnesses cannot drift from the execution model.
   const double bytes_m = static_cast<double>(local.n_m_local) *
                          static_cast<double>(global.n_t) *
                          phase_width(cfg, precision::kPhasePad);
   const double bytes_d = static_cast<double>(local.n_d_local) *
                          static_cast<double>(global.n_t) *
                          phase_width(cfg, precision::kPhaseUnpad);
-  const bool col_intra = p_rows <= net.spec().node_size;
-  const double comm = net.broadcast_time(p_rows, bytes_m, col_intra) +
-                      net.reduce_time(p_cols, bytes_d, p_rows == 1 && p_cols <= 8);
-  return compute + comm;
+  return compute +
+         net.matvec_collectives(p_rows, p_cols, /*adjoint=*/false, bytes_m,
+                                bytes_d)
+             .total();
 }
 
 /// Measured relative error at reduced scale with the same grid.

@@ -44,6 +44,13 @@ Gated metrics (higher is better):
                     selection; the gate carries a wide 35% threshold
                     (the harness itself hard-fails unless aware beats
                     blind by >= 0.05).
+  serve_scaling     table "batched vs per-request comm", every row's
+                    "comm ratio" — batch-fused collectives' edge over
+                    per-request collectives per rank-group width —
+                    and every row's "vs per-request" — the same edge
+                    on end-to-end modelled makespan (deterministic
+                    cost-model output; the harness additionally
+                    hard-fails below 4x comm / 1.2x e2e at R=4).
 
 Rows are matched by (bench, table, first cell).  A gated row present
 in the baseline but missing from the current run FAILS the gate (a
@@ -77,6 +84,9 @@ GATES = [
     ("pipeline_sweep", "paper-scale phantom dssdd", "*", "vs serial", None),
     ("serve_slo", "slo attainment", "deadline-aware edf+wfq",
      "SLO attainment", 0.35),
+    ("serve_scaling", "batched vs per-request comm", "*", "comm ratio", None),
+    ("serve_scaling", "batched vs per-request comm", "*", "vs per-request",
+     None),
 ]
 
 

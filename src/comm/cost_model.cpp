@@ -44,4 +44,29 @@ double CommCostModel::allreduce_time(index_t q, double bytes,
          broadcast_time(q, bytes, within_node) - spec_.alpha_call_s;
 }
 
+MatvecCollectives CommCostModel::matvec_collectives(index_t p_rows,
+                                                    index_t p_cols,
+                                                    bool adjoint,
+                                                    double bcast_bytes,
+                                                    double reduce_bytes) const {
+  const bool col_intra = p_rows <= spec_.node_size;
+  const bool row_intra = p_rows == 1 && p_cols <= spec_.node_size;
+  MatvecCollectives c;
+  if (!adjoint) {
+    c.broadcast_s = broadcast_time(p_rows, bcast_bytes, col_intra);
+    c.reduce_s = reduce_time(p_cols, reduce_bytes, row_intra);
+  } else {
+    c.broadcast_s = broadcast_time(p_cols, bcast_bytes, row_intra);
+    c.reduce_s = reduce_time(p_rows, reduce_bytes, col_intra);
+  }
+  return c;
+}
+
+MatvecCollectives CommCostModel::rank_group_collectives(
+    index_t q, double bcast_bytes, double gather_bytes) const {
+  const bool intra = q <= spec_.node_size;
+  return MatvecCollectives{broadcast_time(q, bcast_bytes, intra),
+                           reduce_time(q, gather_bytes, intra)};
+}
+
 }  // namespace fftmv::comm

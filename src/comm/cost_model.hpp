@@ -46,6 +46,14 @@ struct NetworkSpec {
   bool operator==(const NetworkSpec&) const = default;
 };
 
+/// The two collectives of one distributed matvec: input broadcast and
+/// partial-output reduction (or output gather, for 1-D rank groups).
+struct MatvecCollectives {
+  double broadcast_s = 0.0;
+  double reduce_s = 0.0;
+  double total() const { return broadcast_s + reduce_s; }
+};
+
 class CommCostModel {
  public:
   explicit CommCostModel(NetworkSpec spec) : spec_(spec) {}
@@ -62,6 +70,30 @@ class CommCostModel {
 
   /// Reduce followed by broadcast (the model's allreduce).
   double allreduce_time(index_t q, double bytes, bool within_node) const;
+
+  /// Collective cost of one matvec on a p_rows x p_cols grid — THE
+  /// single source of truth for the grid's comm terms, shared by the
+  /// distributed FftMatvecPlan apply and the fig4/serve scaling
+  /// harnesses (duplicating the node-contiguity rules or the alpha-
+  /// beta constants in a caller is a bug).  Forward broadcasts the
+  /// input over the grid column (p_rows ranks) and reduces partial
+  /// outputs over the grid row (p_cols ranks); the adjoint mirrors
+  /// the roles.  Node contiguity under the column-major rank
+  /// numbering (ProcessGrid): column groups are contiguous, so they
+  /// sit inside one node iff p_rows <= node_size; row groups are
+  /// strided by p_rows and contiguous only on a single-row grid.
+  MatvecCollectives matvec_collectives(index_t p_rows, index_t p_cols,
+                                       bool adjoint, double bcast_bytes,
+                                       double reduce_bytes) const;
+
+  /// Collective cost of one sharded serving apply on a contiguous
+  /// group of `q` ranks (the 1-D output partition of serve's rank-
+  /// group placement): broadcast of the whole payload to every rank,
+  /// then a tree gather of the disjoint per-rank output slices,
+  /// charged at the (slightly heavier) reduce tariff.  A contiguous
+  /// group sits inside one node iff q <= node_size.
+  MatvecCollectives rank_group_collectives(index_t q, double bcast_bytes,
+                                           double gather_bytes) const;
 
  private:
   double collective_time(index_t q, double bytes, bool within_node,

@@ -144,31 +144,30 @@ void FftMatvecPlan::apply(const BlockToeplitzOperator& op,
 
   comm::GroupComm* bcast_group = nullptr;
   comm::GroupComm* reduce_group = nullptr;
-  bool bcast_within_node = true;
-  bool reduce_within_node = true;
+  comm::MatvecCollectives coll;  // zero until a grid is attached
   if (comms != nullptr) {
     if (dev_->phantom()) {
       throw std::logic_error("distributed apply is not supported on a phantom device");
     }
     const index_t p_rows = comms->grid_col.size();
     const index_t p_cols = comms->grid_row.size();
-    // Column-major rank numbering: column groups are contiguous;
-    // row groups are contiguous only when the grid has one row.
-    const bool col_intra = p_rows <= options_.network.node_size;
-    const bool row_intra = p_rows == 1 && p_cols <= options_.network.node_size;
     if (!adjoint) {
       bcast_group = &comms->grid_col;
       reduce_group = &comms->grid_row;
-      bcast_within_node = col_intra;
-      reduce_within_node = row_intra;
     } else {
       bcast_group = &comms->grid_row;
       reduce_group = &comms->grid_col;
-      bcast_within_node = row_intra;
-      reduce_within_node = col_intra;
     }
+    // Grid locality and the alpha-beta terms live in the cost model —
+    // the single source of truth shared with the fig4/serve scaling
+    // harnesses and the serving layer's sharded dispatch.
+    const comm::CommCostModel net(options_.network);
+    coll = net.matvec_collectives(
+        p_rows, p_cols, adjoint,
+        static_cast<double>(nt * ns_in) * static_cast<double>(scalar_width(p1)),
+        static_cast<double>(nt * ns_out) *
+            static_cast<double>(scalar_width(p5)));
   }
-  const comm::CommCostModel net(options_.network);
 
   if (!dev_->phantom()) {
     const bool is_bcast_root = bcast_group == nullptr || bcast_group->rank() == 0;
@@ -208,11 +207,8 @@ void FftMatvecPlan::apply(const BlockToeplitzOperator& op,
     }
   });
   if (bcast_group != nullptr && bcast_group->size() > 1) {
-    const double bytes =
-        static_cast<double>(nt * ns_in) * static_cast<double>(scalar_width(p1));
-    const double t = net.broadcast_time(bcast_group->size(), bytes, bcast_within_node);
-    stream_->advance(t);
-    timings_.comm += t;
+    stream_->advance(coll.broadcast_s);
+    timings_.comm += coll.broadcast_s;
   }
 
   dispatch2(p1, p2, [&](auto tag1, auto tag2) {
@@ -372,12 +368,8 @@ void FftMatvecPlan::apply(const BlockToeplitzOperator& op,
     if (reduce_group != nullptr && reduce_group->size() > 1) {
       S5* recv = oreduce_.get<S5>(*dev_, nt * ns_out);
       reduce_group->reduce_sum(olocal, recv, nt * ns_out, 0);
-      const double bytes = static_cast<double>(nt * ns_out) *
-                           static_cast<double>(scalar_width(p5));
-      const double t =
-          net.reduce_time(reduce_group->size(), bytes, reduce_within_node);
-      stream_->advance(t);
-      timings_.comm += t;
+      stream_->advance(coll.reduce_s);
+      timings_.comm += coll.reduce_s;
       result = recv;
     }
     if (is_reduce_root && (!out.empty() || dev_->phantom())) {

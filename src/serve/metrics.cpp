@@ -157,6 +157,18 @@ void ServeMetrics::record_lane(int lane, std::int64_t requests,
   s.wall_sim_seconds = wall_sim_seconds;
 }
 
+void ServeMetrics::record_comm(int lane, double sim_seconds) {
+  std::lock_guard lock(mutex_);
+  ++counters_.sharded_batches;
+  counters_.comm_sim_seconds += sim_seconds;
+  if (lane < 0) return;
+  if (counters_.lanes.size() <= static_cast<std::size_t>(lane)) {
+    counters_.lanes.resize(static_cast<std::size_t>(lane) + 1);
+  }
+  counters_.lanes[static_cast<std::size_t>(lane)].comm_sim_seconds +=
+      sim_seconds;
+}
+
 void ServeMetrics::record_queue_depth(std::size_t depth) {
   const auto d = static_cast<std::int64_t>(depth);
   std::lock_guard lock(mutex_);
@@ -200,11 +212,13 @@ MetricsSnapshot ServeMetrics::snapshot() const {
 }
 
 util::Table MetricsSnapshot::summary_table() const {
-  util::Table t({"submitted", "completed", "failed", "batches", "mean batch",
-                 "throughput req/s", "cache hit rate", "deadline miss",
-                 "queue depth", "sim s"});
+  util::Table t({"submitted", "completed", "failed", "batches",
+                 "sharded batches", "mean batch", "throughput req/s",
+                 "cache hit rate", "deadline miss", "queue depth", "sim s",
+                 "comm sim s"});
   t.add_row({std::to_string(submitted), std::to_string(completed),
              std::to_string(failed), std::to_string(batches),
+             std::to_string(sharded_batches),
              util::Table::fmt(mean_batch_size(), 2),
              util::Table::fmt(throughput_rps(), 0),
              util::Table::fmt_pct(cache_hit_rate()),
@@ -212,7 +226,8 @@ util::Table MetricsSnapshot::summary_table() const {
                  std::to_string(deadline_total),
              std::to_string(queue_depth_last) + "/" +
                  std::to_string(queue_depth_peak),
-             util::Table::fmt(sim_seconds, 4)});
+             util::Table::fmt(sim_seconds, 4),
+             util::Table::fmt(comm_sim_seconds, 4)});
   return t;
 }
 
@@ -248,12 +263,13 @@ util::Table MetricsSnapshot::session_table() const {
 
 util::Table MetricsSnapshot::lane_table() const {
   util::Table t({"lane", "batches", "requests", "busy sim ms", "wall sim ms",
-                 "utilization"});
+                 "comm sim ms", "utilization"});
   for (std::size_t i = 0; i < lanes.size(); ++i) {
     const LaneSummary& s = lanes[i];
     t.add_row({std::to_string(i), std::to_string(s.batches),
                std::to_string(s.requests), ms(s.busy_sim_seconds),
-               ms(s.wall_sim_seconds), util::Table::fmt_pct(s.utilization())});
+               ms(s.wall_sim_seconds), ms(s.comm_sim_seconds),
+               util::Table::fmt_pct(s.utilization())});
   }
   return t;
 }

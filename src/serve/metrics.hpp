@@ -52,6 +52,10 @@ struct LaneSummary {
   std::int64_t requests = 0;
   double busy_sim_seconds = 0.0;  ///< sum over the lane's stream pair
   double wall_sim_seconds = 0.0;  ///< max over the lane's stream pair
+  /// Simulated collective time charged by this lane's sharded
+  /// (rank-group) batches; zero for lanes that only ran single-rank
+  /// work.  Accumulates per batch, unlike the cumulative clocks above.
+  double comm_sim_seconds = 0.0;
   double utilization() const {
     return wall_sim_seconds > 0.0 ? busy_sim_seconds / wall_sim_seconds : 0.0;
   }
@@ -62,6 +66,8 @@ struct MetricsSnapshot {
   std::int64_t completed = 0;
   std::int64_t failed = 0;
   std::int64_t batches = 0;
+  /// Batches dispatched through a sharded (rank-group > 1) tenant.
+  std::int64_t sharded_batches = 0;
   /// Requests that carried a deadline / the subset fulfilled late.
   std::int64_t deadline_total = 0;
   std::int64_t deadline_missed = 0;
@@ -70,6 +76,9 @@ struct MetricsSnapshot {
   std::int64_t cache_evictions = 0;
   double wall_seconds = 0.0;       ///< serving window (first submit -> snapshot)
   double sim_seconds = 0.0;        ///< total simulated device time across lanes
+  /// Simulated collective (broadcast + gather) time charged by sharded
+  /// batches across all lanes; zero when no tenant is sharded.
+  double comm_sim_seconds = 0.0;
   LatencySummary queue_latency;    ///< submit -> batch execution start
   LatencySummary exec_latency;     ///< execution start -> promise fulfilled
   LatencySummary total_latency;    ///< submit -> promise fulfilled
@@ -147,6 +156,9 @@ class ServeMetrics {
   /// accumulate); `requests` is this batch's size and increments.
   void record_lane(int lane, std::int64_t requests, double busy_sim_seconds,
                    double wall_sim_seconds);
+  /// One sharded batch's collective bill: accumulates the global and
+  /// per-lane comm_sim_seconds and counts the batch as sharded.
+  void record_comm(int lane, double sim_seconds);
   /// Queue-depth gauge (pending requests observed at a dispatch).
   void record_queue_depth(std::size_t depth);
 

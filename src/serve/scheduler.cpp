@@ -48,6 +48,11 @@ ServeOptions resolve_options(ServeOptions options, const device::DeviceSpec& spe
         "ServeOptions: max_groups_per_batch must be >= 0, got " +
         std::to_string(options.max_groups_per_batch));
   }
+  if (options.max_rank_group < 1) {
+    throw std::invalid_argument(
+        "ServeOptions: max_rank_group must be >= 1, got " +
+        std::to_string(options.max_rank_group));
+  }
   if (options.max_batch == 0) options.max_batch = adaptive_max_batch(spec);
   return options;
 }
@@ -63,12 +68,12 @@ struct PhantomProbe {
   core::BlockToeplitzOperator op;
   core::FftMatvecPlan plan;
 
-  PhantomProbe(const device::DeviceSpec& spec, const core::ProblemDims& dims)
+  PhantomProbe(const device::DeviceSpec& spec, const core::LocalDims& dims)
       : dev(spec, &util::ThreadPool::global(), /*phantom=*/true),
         stream(dev),
         aux(dev),
-        op(dev, stream, core::LocalDims::single_rank(dims), {}),
-        plan(dev, stream, core::LocalDims::single_rank(dims)) {}
+        op(dev, stream, dims, {}),
+        plan(dev, stream, dims) {}
 
   double timed_apply(index_t b, core::ApplyDirection direction,
                      const precision::PrecisionConfig& config,
@@ -85,6 +90,14 @@ struct PhantomProbe {
 
 int adaptive_pipeline_chunks(const device::DeviceSpec& spec,
                              const core::ProblemDims& dims, int max_batch,
+                             core::ApplyDirection direction,
+                             const precision::PrecisionConfig& config) {
+  return adaptive_pipeline_chunks(spec, core::LocalDims::single_rank(dims),
+                                  max_batch, direction, config);
+}
+
+int adaptive_pipeline_chunks(const device::DeviceSpec& spec,
+                             const core::LocalDims& dims, int max_batch,
                              core::ApplyDirection direction,
                              const precision::PrecisionConfig& config) {
   // Probe the chunked dual-stream pipeline at the tenant's own shape,
@@ -122,7 +135,7 @@ int adaptive_max_batch(const device::DeviceSpec& spec) {
   // with margin on both sides.
   constexpr double kKneeGain = 0.07;
   constexpr int kCeiling = 64;
-  PhantomProbe probe(spec, kBatchCurveShape);
+  PhantomProbe probe(spec, core::LocalDims::single_rank(kBatchCurveShape));
   double prev_per_rhs = 0.0;
   for (int b = 1;; b *= 2) {
     const double per_rhs =
@@ -133,6 +146,49 @@ int adaptive_max_batch(const device::DeviceSpec& spec) {
     if (b >= kCeiling) return kCeiling;
     prev_per_rhs = per_rhs;
   }
+}
+
+int adaptive_rank_group(const device::DeviceSpec& spec,
+                        const core::ProblemDims& dims, int max_rank_group,
+                        const comm::NetworkSpec& network) {
+  // Crossover probe: a wider group sheds per-rank compute (rank 0's
+  // forward slice, the widest, bounds the group's compute makespan)
+  // but buys the group's broadcast+gather bill.  Probed at a
+  // representative coalesced batch in the double-precision forward
+  // direction; each doubling must beat the incumbent by > 3% so
+  // marginal shapes never shard for noise-level gains.
+  constexpr double kMinGain = 0.03;
+  constexpr index_t kProbeBatch = 8;
+  dims.validate();
+  const index_t cap = std::min<index_t>(std::max(max_rank_group, 1),
+                                        std::min(dims.n_d, dims.n_m));
+  const comm::CommCostModel net(network);
+  const double in_bytes =
+      8.0 * static_cast<double>(dims.n_t) * static_cast<double>(dims.n_m);
+  const double out_bytes =
+      8.0 * static_cast<double>(dims.n_t) * static_cast<double>(dims.n_d);
+  double best_t = 0.0;
+  index_t best_r = 1;
+  for (index_t r = 1; r <= cap; r *= 2) {
+    const core::LocalDims local =
+        r == 1 ? core::LocalDims::single_rank(dims)
+               : core::LocalDims::for_rank(dims, comm::ProcessGrid(r, 1), 0);
+    PhantomProbe probe(spec, local);
+    const double compute = probe.timed_apply(
+        kProbeBatch, core::ApplyDirection::kForward, precision::PrecisionConfig{});
+    const double comm =
+        r == 1 ? 0.0
+               : net.rank_group_collectives(
+                        r, static_cast<double>(kProbeBatch) * in_bytes,
+                        static_cast<double>(kProbeBatch) * out_bytes)
+                     .total();
+    const double t = compute + comm;
+    if (r == 1 || t < best_t * (1.0 - kMinGain)) {
+      best_t = t;
+      best_r = r;
+    }
+  }
+  return static_cast<int>(best_r);
 }
 
 AsyncScheduler::AsyncScheduler(const device::DeviceSpec& spec, ServeOptions options)
@@ -175,7 +231,33 @@ AsyncScheduler::~AsyncScheduler() {
 }
 
 TenantId AsyncScheduler::add_tenant(const core::ProblemDims& dims,
-                                    std::span<const double> first_block_col) {
+                                    std::span<const double> first_block_col,
+                                    int rank_group) {
+  dims.validate();
+  if (rank_group < 0) {
+    throw std::invalid_argument(
+        "AsyncScheduler::add_tenant: rank_group must be >= 0, got " +
+        std::to_string(rank_group));
+  }
+  if (rank_group > options_.max_rank_group) {
+    throw std::invalid_argument(
+        "AsyncScheduler::add_tenant: rank_group " + std::to_string(rank_group) +
+        " exceeds ServeOptions::max_rank_group = " +
+        std::to_string(options_.max_rank_group));
+  }
+  if (rank_group > dims.n_d || rank_group > dims.n_m) {
+    throw std::invalid_argument(
+        "AsyncScheduler::add_tenant: rank_group " + std::to_string(rank_group) +
+        " exceeds an output dimension (n_d=" + std::to_string(dims.n_d) +
+        ", n_m=" + std::to_string(dims.n_m) + ")");
+  }
+  if (rank_group == 0) {
+    // Auto placement: the cost model's compute/comm crossover decides
+    // whether sharding this shape pays at all, and how wide.
+    rank_group = adaptive_rank_group(dev_.spec(), dims,
+                                     options_.max_rank_group,
+                                     options_.matvec.network);
+  }
   const auto local = core::LocalDims::single_rank(dims);
   // The expensive setup (batched FFT of the block column, fp32
   // spectrum warm — the latter so the lazily-cast copy is never raced
@@ -183,23 +265,46 @@ TenantId AsyncScheduler::add_tenant(const core::ProblemDims& dims,
   // not stall data-plane lanes looking up other tenants.  Its own
   // mutex serialises concurrent registrations on the setup stream.
   std::shared_ptr<core::BlockToeplitzOperator> op;
+  std::shared_ptr<core::ShardedOperator> sharded;
   {
     std::lock_guard setup_lock(setup_mutex_);
-    op = std::make_shared<core::BlockToeplitzOperator>(dev_, setup_stream_, local,
-                                                       first_block_col);
-    op->spectrum_f(setup_stream_);
+    if (rank_group > 1) {
+      sharded = std::make_shared<core::ShardedOperator>(
+          dev_, setup_stream_, dims, static_cast<index_t>(rank_group),
+          first_block_col);
+      sharded->warm_spectrum_f(setup_stream_);
+    } else {
+      op = std::make_shared<core::BlockToeplitzOperator>(dev_, setup_stream_,
+                                                         local, first_block_col);
+      op->spectrum_f(setup_stream_);
+    }
   }
   // Pre-warm the shape's full-batch forward-ddddd pipeline resolution
   // (a phantom cost-model probe in auto mode) off the request path;
   // other (batch size, direction, precision) combinations resolve
-  // lazily at first dispatch.
-  pipeline_chunks_for(local, static_cast<index_t>(options_.max_batch),
+  // lazily at first dispatch.  Sharded tenants dispatch per-rank
+  // slices, so the resolution is probed at rank 0's forward slice.
+  const core::LocalDims dispatch_dims =
+      sharded ? sharded->rank_dims(core::ApplyDirection::kForward, 0) : local;
+  pipeline_chunks_for(dispatch_dims, static_cast<index_t>(options_.max_batch),
                       core::ApplyDirection::kForward,
                       precision::PrecisionConfig{});
   std::lock_guard lock(tenants_mutex_);
   const TenantId id = next_tenant_++;
-  tenants_.emplace(id, Tenant{local, std::move(op)});
+  tenants_.emplace(id, Tenant{local, std::move(op), rank_group,
+                              std::move(sharded)});
   return id;
+}
+
+int AsyncScheduler::tenant_rank_group(TenantId tenant) const {
+  std::lock_guard lock(tenants_mutex_);
+  const auto it = tenants_.find(tenant);
+  if (it == tenants_.end()) {
+    throw std::invalid_argument(
+        "AsyncScheduler::tenant_rank_group: unknown tenant " +
+        std::to_string(tenant));
+  }
+  return it->second.rank_group;
 }
 
 int AsyncScheduler::pipeline_chunks_for(const core::LocalDims& dims,
@@ -225,9 +330,8 @@ int AsyncScheduler::pipeline_chunks_for(const core::LocalDims& dims,
   // Probe outside the lock (pure phantom cost-model arithmetic, no
   // shared state); concurrent resolvers of the same key agree, so the
   // first writer winning is harmless.
-  const int chunks =
-      adaptive_pipeline_chunks(dev_.spec(), dims.global,
-                               static_cast<int>(batch), direction, config);
+  const int chunks = adaptive_pipeline_chunks(
+      dev_.spec(), dims, static_cast<int>(batch), direction, config);
   std::lock_guard lock(pipeline_mutex_);
   pipeline_chunks_by_key_.emplace(key, chunks);
   return chunks;
@@ -247,6 +351,7 @@ std::future<MatvecResult> AsyncScheduler::enqueue(Request request,
         std::to_string(request.qos.weight));
   }
   core::LocalDims dims;
+  bool tenant_sharded = false;
   {
     std::lock_guard lock(tenants_mutex_);
     const auto it = tenants_.find(request.tenant);
@@ -255,6 +360,7 @@ std::future<MatvecResult> AsyncScheduler::enqueue(Request request,
                                   std::to_string(request.tenant));
     }
     dims = it->second.dims;
+    tenant_sharded = it->second.rank_group > 1;
   }
   const index_t expect = request.direction == core::ApplyDirection::kForward
                              ? dims.n_t() * dims.n_m_local
@@ -305,11 +411,14 @@ std::future<MatvecResult> AsyncScheduler::enqueue(Request request,
   }
   const std::uint64_t trace_id = req.trace_id;
 
-  // Shape-keyed coalescing: tenant splits keys only in the
-  // same-tenant-only ablation mode.
+  // Shape-keyed coalescing: tenant splits keys in the same-tenant-only
+  // ablation mode, and ALWAYS for sharded tenants — placement is a
+  // property of the whole batch (one sharded apply per dispatch), so a
+  // sharded tenant's requests never mix with another tenant's.
   const BatchKey key{dims, request.direction, request.config.to_string(),
-                     options_.cross_tenant_batching ? TenantId{0}
-                                                    : request.tenant};
+                     options_.cross_tenant_batching && !tenant_sharded
+                         ? TenantId{0}
+                         : request.tenant};
   if (!queue_.push(key, std::move(req))) {
     // close() raced with the accepting_ check; undo the accept.
     if (trace_id != 0) util::trace::async_end("queue_wait", "serve", trace_id);
@@ -484,36 +593,86 @@ void AsyncScheduler::execute_batch(int lane, Batch& batch) {
                    });
 
   const core::LocalDims dims = batch.key.dims;
+  Lane& lane_state = lanes_[static_cast<std::size_t>(lane)];
   std::shared_ptr<core::FftMatvecPlan> plan;
   precision::PrecisionConfig config;
   // The shared_ptrs keep every group's operator alive across the
   // apply even if its tenant is concurrently deregistered.
   std::vector<std::shared_ptr<core::BlockToeplitzOperator>> ops;
   std::vector<core::FftMatvecPlan::OperatorGroup> groups;
+  // Sharded dispatch state (rank-group tenants): the tenant's
+  // ShardedOperator, one cached plan per shard rank and the borrowed
+  // RankLane views DistributedMatvecPlan drives.
+  std::shared_ptr<core::ShardedOperator> sharded;
+  std::vector<std::shared_ptr<core::FftMatvecPlan>> rank_plans;
+  std::vector<core::DistributedMatvecPlan::RankLane> rank_lanes;
   std::exception_ptr batch_error;
   int resolved_chunks = 1;
   try {
     {
       std::lock_guard lock(tenants_mutex_);
-      for (std::size_t r = 0; r < b; ++r) {
-        const TenantId tenant = batch.requests[r].tenant;
-        if (r > 0 && tenant == batch.requests[r - 1].tenant) {
-          ++groups.back().rhs_count;
-        } else {
-          ops.push_back(tenants_.at(tenant).op);
-          groups.push_back({ops.back().get(), 1});
+      const Tenant& first = tenants_.at(batch.requests[0].tenant);
+      if (first.sharded) {
+        // Sharded batches are tenant-homogeneous by key construction
+        // (enqueue keys them on the tenant id).
+        sharded = first.sharded;
+      } else {
+        for (std::size_t r = 0; r < b; ++r) {
+          const TenantId tenant = batch.requests[r].tenant;
+          if (r > 0 && tenant == batch.requests[r - 1].tenant) {
+            ++groups.back().rhs_count;
+          } else {
+            ops.push_back(tenants_.at(tenant).op);
+            groups.push_back({ops.back().get(), 1});
+          }
         }
       }
     }
     config = precision::PrecisionConfig::parse(batch.key.precision);
-    // Resolved for this exact (shape, batch size, direction,
-    // precision): every pipelined dispatch runs a configuration the
-    // model validated against serial — a partial, adjoint or
-    // lower-precision batch never inherits the full-batch
-    // forward-ddddd count.
-    resolved_chunks = pipeline_chunks_for(dims, static_cast<index_t>(b),
-                                          batch.key.direction, config);
-    {
+    if (sharded) {
+      // Rank plans ride the shared PlanCache under per-(lane, rank)
+      // keys: shard rank 0 reuses the lane's own index — it drives the
+      // lane's main stream, so its entry is interchangeable with a
+      // plain plan of the same slice shape — and rank r >= 1 encodes
+      // lane + num_lanes * r, injective and disjoint from the plain
+      // lanes' [0, num_lanes) so a cached rank plan is never driven
+      // from a foreign stream.  Extra stream pairs grow lazily to the
+      // widest group this lane has seen.
+      const index_t ranks = sharded->ranks();
+      const auto num_lanes = static_cast<int>(lanes_.size());
+      while (lane_state.rank_streams.size() + 1 <
+             static_cast<std::size_t>(ranks)) {
+        lane_state.rank_streams.push_back(
+            std::make_unique<device::Stream>(dev_));
+        lane_state.rank_aux.push_back(std::make_unique<device::Stream>(dev_));
+      }
+      resolved_chunks =
+          pipeline_chunks_for(sharded->rank_dims(batch.key.direction, 0),
+                              static_cast<index_t>(b), batch.key.direction,
+                              config);
+      const util::trace::Span acquire_span("acquire_rank_plans", "serve");
+      for (index_t r = 0; r < ranks; ++r) {
+        device::Stream& rank_stream =
+            r == 0 ? stream
+                   : *lane_state.rank_streams[static_cast<std::size_t>(r - 1)];
+        device::Stream& rank_aux =
+            r == 0 ? aux
+                   : *lane_state.rank_aux[static_cast<std::size_t>(r - 1)];
+        const int encoded = lane + num_lanes * static_cast<int>(r);
+        rank_plans.push_back(cache_.acquire(
+            PlanKey{sharded->rank_dims(batch.key.direction, r),
+                    options_.matvec, dev_.spec().name, encoded},
+            rank_stream));
+        rank_lanes.push_back({rank_plans.back().get(), &rank_aux});
+      }
+    } else {
+      // Resolved for this exact (shape, batch size, direction,
+      // precision): every pipelined dispatch runs a configuration the
+      // model validated against serial — a partial, adjoint or
+      // lower-precision batch never inherits the full-batch
+      // forward-ddddd count.
+      resolved_chunks = pipeline_chunks_for(dims, static_cast<index_t>(b),
+                                            batch.key.direction, config);
       const util::trace::Span acquire_span("acquire_plan", "serve");
       plan = cache_.acquire(
           PlanKey{dims, options_.matvec, dev_.spec().name, lane}, stream);
@@ -548,13 +707,29 @@ void AsyncScheduler::execute_batch(int lane, Batch& batch) {
         inputs[r] = batch.requests[r].input;
         outputs[r] = results[r].output;
       }
-      core::BatchPipeline pipeline;
-      pipeline.chunks = resolved_chunks;
-      pipeline.aux = &aux;
       const util::trace::Span apply_span("apply", "serve");
-      plan->apply_batch(groups, batch.key.direction, config, inputs, outputs,
-                        pipeline);
-      shares = plan->last_batch_timings();
+      if (sharded) {
+        // One sharded apply for the whole batch: broadcast and gather
+        // fused across all b right-hand sides (CommMode::kBatched),
+        // per-rank compute on the lane's rank stream pairs.
+        if (!lane_state.dist) {
+          lane_state.dist = std::make_unique<core::DistributedMatvecPlan>(
+              options_.matvec.network);
+        }
+        lane_state.dist->apply_batch(*sharded, batch.key.direction, config,
+                                     inputs, outputs, rank_lanes,
+                                     core::CommMode::kBatched,
+                                     resolved_chunks);
+        shares = lane_state.dist->last_batch_timings();
+        metrics_.record_comm(lane, lane_state.dist->last_timings().comm);
+      } else {
+        core::BatchPipeline pipeline;
+        pipeline.chunks = resolved_chunks;
+        pipeline.aux = &aux;
+        plan->apply_batch(groups, batch.key.direction, config, inputs, outputs,
+                          pipeline);
+        shares = plan->last_batch_timings();
+      }
     } catch (...) {
       batch_error = std::current_exception();
     }
@@ -598,9 +773,16 @@ void AsyncScheduler::execute_batch(int lane, Batch& batch) {
   metrics_.record_batch(batch_size, stream.now() - sim_start);
   // Lane utilisation, sampled here because only the owning lane thread
   // may read the stream pair's (plain double) clocks: busy is the
-  // pair's summed charged work, wall the pair's makespan.
-  metrics_.record_lane(lane, done, stream.busy() + aux.busy(),
-                       std::max(stream.now(), aux.now()));
+  // summed charged work of the lane's streams (main pair plus any
+  // sharded rank pairs), wall their makespan.
+  double lane_busy = stream.busy() + aux.busy();
+  double lane_wall = std::max(stream.now(), aux.now());
+  for (std::size_t r = 0; r < lane_state.rank_streams.size(); ++r) {
+    lane_busy += lane_state.rank_streams[r]->busy() + lane_state.rank_aux[r]->busy();
+    lane_wall = std::max({lane_wall, lane_state.rank_streams[r]->now(),
+                          lane_state.rank_aux[r]->now()});
+  }
+  metrics_.record_lane(lane, done, lane_busy, lane_wall);
 
   if (trace_on) {
     const auto& d = dims.global;
@@ -681,6 +863,8 @@ double AsyncScheduler::max_lane_sim_seconds() const {
   for (const auto& lane : lanes_) {
     m = std::max(m, lane.stream->now());
     m = std::max(m, lane.aux->now());
+    for (const auto& s : lane.rank_streams) m = std::max(m, s->now());
+    for (const auto& s : lane.rank_aux) m = std::max(m, s->now());
   }
   return m;
 }

@@ -15,6 +15,18 @@
 // real per-request speedup even under multi-tenant skew where no
 // single tenant has companions in flight.
 //
+// Tenants may additionally be SHARDED (add_tenant's rank_group): the
+// operator's output dimension splits across a group of simulated
+// ranks (core::ShardedOperator) and each of the tenant's batches
+// dispatches as one DistributedMatvecPlan apply over the owning
+// lane's rank stream pairs, with the input broadcast and output
+// gather fused across the whole RHS batch — collective alpha costs
+// are paid once per batch, not once per request (bench/serve_scaling
+// gates the win) — and outputs bit-identical to the single-rank
+// path.  Rank plans ride the same PlanCache under per-(lane, rank)
+// keys; sharded batches stay tenant-homogeneous regardless of
+// cross_tenant_batching, so placement is a property of the batch.
+//
 // Scheduling is deadline-aware (ServeOptions::deadline_aware, on by
 // default): within a coalescing key requests dispatch earliest-
 // deadline-first, across keys dispatch follows weighted fair queueing
@@ -38,6 +50,7 @@
 #include <vector>
 
 #include "core/block_toeplitz.hpp"
+#include "core/distributed_plan.hpp"
 #include "core/matvec_plan.hpp"
 #include "core/problem.hpp"
 #include "device/device.hpp"
@@ -95,6 +108,11 @@ struct ServeOptions {
   /// re-pays the per-frequency matrix traffic, so unbounded tiny-
   /// batch tenant mixing bloats the launch.  0 = unlimited.
   int max_groups_per_batch = 0;
+  /// Cap on a tenant's rank-group size (simulated ranks its operator
+  /// may shard across — see add_tenant's rank_group parameter).  The
+  /// default matches NetworkSpec::frontier().node_size, so default
+  /// placements stay on the intra-node fabric.
+  int max_rank_group = 8;
   /// EDF-within-key + weighted-fair-queueing-across-keys dispatch
   /// with deadline-cancels-linger (the production default).  false
   /// restores the deadline-blind FIFO + round-robin of PR 2-5 —
@@ -142,6 +160,29 @@ int adaptive_pipeline_chunks(
     core::ApplyDirection direction = core::ApplyDirection::kForward,
     const precision::PrecisionConfig& config = {});
 
+/// Rank-local overload: probe at an arbitrary slice shape (the serving
+/// layer resolves a sharded tenant's chunk count at its rank-0 slice,
+/// not the global shape).  The ProblemDims form above is the
+/// single-rank special case.
+int adaptive_pipeline_chunks(
+    const device::DeviceSpec& spec, const core::LocalDims& dims, int max_batch,
+    core::ApplyDirection direction = core::ApplyDirection::kForward,
+    const precision::PrecisionConfig& config = {});
+
+/// The rank-group size add_tenant(rank_group == 0) resolves for a
+/// tenant of this shape: phantom dry runs of the rank-0 forward slice
+/// over doubling group sizes (the per-rank compute) plus the cost
+/// model's rank_group_collectives bill (the comm), accepting a wider
+/// group only when it beats the incumbent's modelled batch time by
+/// > 3% — so small shapes, whose collective alpha terms dwarf the
+/// compute they shed, resolve to 1 (no sharding) while paper-scale
+/// shapes resolve to multi-rank groups.  Deterministic per
+/// (spec, dims, network); capped at max_rank_group and at the output
+/// dimensions (a rank with an empty slice serves no purpose).
+int adaptive_rank_group(const device::DeviceSpec& spec,
+                        const core::ProblemDims& dims, int max_rank_group,
+                        const comm::NetworkSpec& network = comm::NetworkSpec::frontier());
+
 class AsyncScheduler {
  public:
   explicit AsyncScheduler(const device::DeviceSpec& spec, ServeOptions options = {});
@@ -153,8 +194,24 @@ class AsyncScheduler {
   /// Register a tenant model.  Builds the BlockToeplitzOperator (and
   /// warms its single-precision spectrum, so the lazily-cast copy is
   /// never raced on the request path) on the setup stream.
+  ///
+  /// `rank_group` places the tenant's operator across that many
+  /// simulated ranks (core::ShardedOperator): its batches then
+  /// dispatch as ONE sharded apply per lane — broadcast and gather
+  /// fused across the whole RHS batch — with outputs bit-identical to
+  /// the single-rank apply in every precision config.  1 (the
+  /// default) keeps today's single-rank placement; 0 resolves
+  /// adaptively from the comm cost model's crossover
+  /// (adaptive_rank_group).  Throws std::invalid_argument when the
+  /// explicit value is negative, exceeds ServeOptions::max_rank_group
+  /// or exceeds an output dimension of `dims`.
   TenantId add_tenant(const core::ProblemDims& dims,
-                      std::span<const double> first_block_col);
+                      std::span<const double> first_block_col,
+                      int rank_group = 1);
+
+  /// The placement add_tenant resolved for `tenant` (1 = unsharded).
+  /// Throws std::invalid_argument for an unknown tenant.
+  int tenant_rank_group(TenantId tenant) const;
 
   /// Enqueue one matvec described by a Request (the canonical submit
   /// form: new request-path fields — e.g. StreamQoS — land on the
@@ -217,7 +274,12 @@ class AsyncScheduler {
 
   struct Tenant {
     core::LocalDims dims;
+    /// Single-rank operator; null when the tenant is sharded.
     std::shared_ptr<core::BlockToeplitzOperator> op;
+    /// Rank-group size (1 = unsharded).
+    int rank_group = 1;
+    /// Sharded placement (rank_group > 1); null otherwise.
+    std::shared_ptr<core::ShardedOperator> sharded;
   };
   /// Book-keeping for one open StreamSession (guarded by
   /// state_mutex_).  `outstanding` counts accepted-but-unfulfilled
@@ -239,6 +301,17 @@ class AsyncScheduler {
   struct Lane {
     std::unique_ptr<device::Stream> stream;
     std::unique_ptr<device::Stream> aux;
+    /// Extra stream pairs for sharded dispatch, grown lazily to the
+    /// widest rank group this lane has executed: shard rank 0 reuses
+    /// the pair above, shard rank r >= 1 drives rank_streams[r-1] /
+    /// rank_aux[r-1].  Lane-owned like the main pair, so cached rank
+    /// plans are still never driven from two threads; untracked in
+    /// the device trace (tid -1).
+    std::vector<std::unique_ptr<device::Stream>> rank_streams;
+    std::vector<std::unique_ptr<device::Stream>> rank_aux;
+    /// Per-lane sharded orchestrator (its output staging is grow-only
+    /// scratch, reused across tenants and batches).
+    std::unique_ptr<core::DistributedMatvecPlan> dist;
     std::thread worker;
   };
 

@@ -5,12 +5,15 @@
 #include <gtest/gtest.h>
 
 #include <map>
+#include <memory>
 #include <mutex>
+#include <string>
 
 #include "blas/vector_ops.hpp"
 #include "comm/communicator.hpp"
 #include "core/block_toeplitz.hpp"
 #include "core/dense_reference.hpp"
+#include "core/distributed_plan.hpp"
 #include "core/lockstep_cluster.hpp"
 #include "core/matvec_plan.hpp"
 #include "core/synthetic.hpp"
@@ -306,6 +309,201 @@ TEST(Lockstep, ErrorGrowsWhenGridRowsGrow) {
   EXPECT_GT(err_by_rows[4], err_by_rows[1] * 0.5);
   EXPECT_LT(err_by_rows[1], 1e-5);
   EXPECT_LT(err_by_rows[4], 1e-4);
+}
+
+// --------------------------------------------- sharded rank groups
+// DistributedMatvecPlan: the serving layer's 1-D output partition
+// with batch-fused collectives.  The contract under test is BIT
+// identity with the single-rank fused apply_batch — EXPECT_EQ on the
+// doubles, not a tolerance — for every precision config, both
+// directions, ragged partitions, both comm modes and pipelined
+// chunking.
+
+struct ShardedRun {
+  std::vector<std::vector<double>> outputs;
+  PhaseTimings timings;
+  std::vector<PhaseTimings> shares;
+  double setup_seconds = 0.0;
+};
+
+/// Build a ShardedOperator at `ranks`, drive one batched apply of `b`
+/// deterministic right-hand sides through DistributedMatvecPlan on
+/// per-rank stream pairs, and return outputs + timings.  ranks == 1
+/// is the single-rank reference (same inputs by construction).
+ShardedRun run_sharded(const GlobalProblem& p, index_t ranks,
+                       ApplyDirection dir, const PrecisionConfig& cfg,
+                       index_t b, CommMode mode = CommMode::kBatched,
+                       index_t chunks = 1) {
+  device::Device dev(device::make_mi300x());
+  device::Stream setup(dev);
+  ShardedOperator sharded(dev, setup, p.dims, ranks, p.first_col);
+
+  std::vector<std::unique_ptr<device::Stream>> streams, auxes;
+  std::vector<std::unique_ptr<FftMatvecPlan>> plans;
+  std::vector<DistributedMatvecPlan::RankLane> lanes;
+  for (index_t r = 0; r < ranks; ++r) {
+    streams.push_back(std::make_unique<device::Stream>(dev));
+    auxes.push_back(std::make_unique<device::Stream>(dev));
+    plans.push_back(std::make_unique<FftMatvecPlan>(dev, *streams.back(),
+                                                    sharded.rank_dims(dir, r)));
+    lanes.push_back({plans.back().get(), auxes.back().get()});
+  }
+
+  const bool forward = dir == ApplyDirection::kForward;
+  const index_t in_len = p.dims.n_t * (forward ? p.dims.n_m : p.dims.n_d);
+  const index_t out_len = p.dims.n_t * (forward ? p.dims.n_d : p.dims.n_m);
+  ShardedRun run;
+  std::vector<std::vector<double>> ins(static_cast<std::size_t>(b));
+  run.outputs.resize(static_cast<std::size_t>(b));
+  std::vector<ConstVectorView> iv(static_cast<std::size_t>(b));
+  std::vector<VectorView> ov(static_cast<std::size_t>(b));
+  for (index_t i = 0; i < b; ++i) {
+    ins[static_cast<std::size_t>(i)] =
+        make_input_vector(in_len, 4242 + 13 * static_cast<std::uint64_t>(i));
+    run.outputs[static_cast<std::size_t>(i)].resize(
+        static_cast<std::size_t>(out_len));
+    iv[static_cast<std::size_t>(i)] = ins[static_cast<std::size_t>(i)];
+    ov[static_cast<std::size_t>(i)] = run.outputs[static_cast<std::size_t>(i)];
+  }
+
+  DistributedMatvecPlan dist(comm::NetworkSpec::frontier());
+  dist.apply_batch(sharded, dir, cfg, iv, ov, lanes, mode, chunks);
+  run.timings = dist.last_timings();
+  run.shares = dist.last_batch_timings();
+  run.setup_seconds = setup.now();
+  return run;
+}
+
+class ShardedApply
+    : public ::testing::TestWithParam<std::pair<index_t, const char*>> {};
+
+TEST_P(ShardedApply, ForwardBitIdenticalToSingleRank) {
+  const auto [ranks, cfg_str] = GetParam();
+  const auto p = make_global(24, 4, 16, 2000);
+  const auto cfg = PrecisionConfig::parse(cfg_str);
+  const auto expect =
+      run_sharded(p, 1, ApplyDirection::kForward, cfg, 3).outputs;
+  const auto got =
+      run_sharded(p, ranks, ApplyDirection::kForward, cfg, 3).outputs;
+  EXPECT_EQ(expect, got) << ranks << " ranks, " << cfg_str;
+}
+
+TEST_P(ShardedApply, AdjointBitIdenticalToSingleRank) {
+  const auto [ranks, cfg_str] = GetParam();
+  const auto p = make_global(24, 4, 16, 2100);
+  const auto cfg = PrecisionConfig::parse(cfg_str);
+  const auto expect =
+      run_sharded(p, 1, ApplyDirection::kAdjoint, cfg, 3).outputs;
+  const auto got =
+      run_sharded(p, ranks, ApplyDirection::kAdjoint, cfg, 3).outputs;
+  EXPECT_EQ(expect, got) << ranks << " ranks, " << cfg_str;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RanksAndConfigs, ShardedApply,
+    ::testing::Values(std::make_pair<index_t, const char*>(2, "ddddd"),
+                      std::make_pair<index_t, const char*>(2, "dssdd"),
+                      std::make_pair<index_t, const char*>(2, "sssss"),
+                      std::make_pair<index_t, const char*>(2, "dssds"),
+                      // 3 ranks over n_d = 4: ragged forward split
+                      std::make_pair<index_t, const char*>(3, "ddddd"),
+                      std::make_pair<index_t, const char*>(3, "sssss"),
+                      std::make_pair<index_t, const char*>(4, "ddddd"),
+                      std::make_pair<index_t, const char*>(4, "dssds")),
+    [](const auto& info) {
+      return std::string("r") + std::to_string(info.param.first) + "_" +
+             info.param.second;
+    });
+
+TEST(ShardedApplyDetail, RaggedBothDimensionsBitIdentical) {
+  // n_m = 10 and n_d = 5 over 4 ranks: both directions split ragged
+  // (3,3,2,2 and 2,1,1,1).
+  const auto p = make_global(10, 5, 8, 2200);
+  for (const auto dir :
+       {ApplyDirection::kForward, ApplyDirection::kAdjoint}) {
+    for (const char* cfg_str : {"ddddd", "sssss", "dssds"}) {
+      const auto cfg = PrecisionConfig::parse(cfg_str);
+      EXPECT_EQ(run_sharded(p, 1, dir, cfg, 2).outputs,
+                run_sharded(p, 4, dir, cfg, 2).outputs)
+          << cfg_str;
+    }
+  }
+}
+
+TEST(ShardedApplyDetail, OneRankShortCircuitChargesNoComm) {
+  const auto p = make_global(16, 4, 8, 2300);
+  const auto run =
+      run_sharded(p, 1, ApplyDirection::kForward, PrecisionConfig{}, 2);
+  EXPECT_EQ(run.timings.comm, 0.0);
+  EXPECT_GT(run.timings.compute_total(), 0.0);
+  // The degenerate case really is the plain fused batch: per-RHS
+  // shares exist and sum to the totals.
+  ASSERT_EQ(run.shares.size(), 2u);
+}
+
+TEST(ShardedApplyDetail, MultiRankChargesCollectives) {
+  const auto p = make_global(16, 4, 8, 2300);
+  const auto run =
+      run_sharded(p, 2, ApplyDirection::kForward, PrecisionConfig{}, 2);
+  EXPECT_GT(run.timings.comm, 0.0);
+  EXPECT_GT(run.timings.makespan, 0.0);
+  // Per-RHS shares partition the group totals (phase fields, comm and
+  // makespan alike).
+  PhaseTimings sum;
+  for (const auto& s : run.shares) sum += s;
+  EXPECT_NEAR(sum.comm, run.timings.comm, 1e-12);
+  EXPECT_NEAR(sum.makespan, run.timings.makespan, 1e-12);
+  EXPECT_NEAR(sum.compute_total(), run.timings.compute_total(), 1e-9);
+}
+
+TEST(ShardedApplyDetail, BatchedCommBeatsPerRequestAndStaysBitIdentical) {
+  const auto p = make_global(16, 4, 8, 2400);
+  const auto cfg = PrecisionConfig::parse("dssdd");
+  const auto batched = run_sharded(p, 4, ApplyDirection::kForward, cfg, 6,
+                                   CommMode::kBatched);
+  const auto per_req = run_sharded(p, 4, ApplyDirection::kForward, cfg, 6,
+                                   CommMode::kPerRequest);
+  // Same compute, same bits; only the collective bill differs — the
+  // alpha terms are paid once instead of six times.
+  EXPECT_EQ(batched.outputs, per_req.outputs);
+  EXPECT_LT(batched.timings.comm, per_req.timings.comm);
+}
+
+TEST(ShardedApplyDetail, PipelinedChunksBitIdentical) {
+  const auto p = make_global(16, 4, 8, 2500);
+  const auto cfg = PrecisionConfig::parse("dssds");
+  const auto serial =
+      run_sharded(p, 2, ApplyDirection::kForward, cfg, 6, CommMode::kBatched,
+                  /*chunks=*/1);
+  const auto chunked =
+      run_sharded(p, 2, ApplyDirection::kForward, cfg, 6, CommMode::kBatched,
+                  /*chunks=*/3);
+  EXPECT_EQ(serial.outputs, chunked.outputs);
+}
+
+TEST(ShardedApplyDetail, ValidatesRanksAndLaneShapes) {
+  const auto p = make_global(8, 3, 8, 2600);
+  device::Device dev(device::make_mi300x());
+  device::Stream stream(dev);
+  // More ranks than the smaller output dimension: every rank needs a
+  // non-empty slice.
+  EXPECT_THROW(ShardedOperator(dev, stream, p.dims, 4, p.first_col),
+               std::invalid_argument);
+  EXPECT_THROW(ShardedOperator(dev, stream, p.dims, 0, p.first_col),
+               std::invalid_argument);
+
+  // A rank plan whose dims do not match its shard is rejected.
+  ShardedOperator sharded(dev, stream, p.dims, 2, p.first_col);
+  FftMatvecPlan wrong(dev, stream, LocalDims::single_rank(p.dims));
+  std::vector<DistributedMatvecPlan::RankLane> lanes(2, {&wrong, nullptr});
+  const std::vector<double> in(static_cast<std::size_t>(p.dims.n_t * p.dims.n_m));
+  std::vector<double> out(static_cast<std::size_t>(p.dims.n_t * p.dims.n_d));
+  const std::vector<ConstVectorView> iv{in};
+  const std::vector<VectorView> ov{out};
+  DistributedMatvecPlan dist(comm::NetworkSpec::frontier());
+  EXPECT_THROW(dist.apply_batch(sharded, ApplyDirection::kForward,
+                                PrecisionConfig{}, iv, ov, lanes),
+               std::invalid_argument);
 }
 
 }  // namespace

@@ -1530,5 +1530,219 @@ TEST(AsyncScheduler, MetricsTablesRender) {
   EXPECT_NE(s.find("batch size"), std::string::npos);
 }
 
+// ----------------------------------------------------- Sharded tenants
+TEST(AsyncScheduler, ShardedTenantServedBitIdenticalToUnsharded) {
+  // The distributed-serving contract end to end: the same column and
+  // the same inputs through two schedulers — one single-rank, one
+  // sharded over a ragged 3-rank group (forward splits n_d = 4 into
+  // {2, 1, 1}, adjoint splits n_m = 16 into {6, 5, 5}) — must produce
+  // byte-for-byte identical outputs in every precision config, both
+  // directions.  Batch composition may differ between the two
+  // schedulers (timing-dependent coalescing); PR 3's batch-invariance
+  // guarantee makes that irrelevant to the bits.
+  ServeOptions opts;
+  opts.num_streams = 1;
+  opts.max_batch = 4;
+  opts.linger_seconds = 0.0;
+  AsyncScheduler plain(device::make_mi300x(), opts);
+  AsyncScheduler sharded(device::make_mi300x(), opts);
+  const auto dims = small_dims();
+  const auto col =
+      core::make_first_block_col(core::LocalDims::single_rank(dims), 7);
+  const TenantId t_plain = plain.add_tenant(dims, col);
+  const TenantId t_shard = sharded.add_tenant(dims, col, /*rank_group=*/3);
+  EXPECT_EQ(plain.tenant_rank_group(t_plain), 1);
+  EXPECT_EQ(sharded.tenant_rank_group(t_shard), 3);
+
+  for (const auto direction :
+       {core::ApplyDirection::kForward, core::ApplyDirection::kAdjoint}) {
+    const auto in_len = static_cast<std::size_t>(
+        dims.n_t *
+        (direction == core::ApplyDirection::kForward ? dims.n_m : dims.n_d));
+    for (const char* prec : {"ddddd", "dssdd", "sssss"}) {
+      const auto config = precision::PrecisionConfig::parse(prec);
+      std::vector<std::vector<double>> inputs;
+      std::vector<std::future<MatvecResult>> fp, fs;
+      for (std::uint64_t r = 0; r < 5; ++r) {
+        inputs.push_back(core::make_input_vector(
+            static_cast<index_t>(in_len), 90 + r));
+        fp.push_back(plain.submit(t_plain, direction, config, inputs.back()));
+        fs.push_back(sharded.submit(t_shard, direction, config, inputs.back()));
+      }
+      for (std::size_t r = 0; r < fp.size(); ++r) {
+        const auto a = fp[r].get();
+        const auto b = fs[r].get();
+        ASSERT_EQ(a.output.size(), b.output.size());
+        for (std::size_t i = 0; i < a.output.size(); ++i) {
+          EXPECT_EQ(a.output[i], b.output[i]) << prec << " element " << i;
+        }
+      }
+    }
+  }
+  plain.drain();
+  sharded.drain();
+  // Comm accounting flows into metrics only on the sharded side.
+  const auto ps = plain.metrics();
+  const auto ss = sharded.metrics();
+  EXPECT_EQ(ps.sharded_batches, 0);
+  EXPECT_EQ(ps.comm_sim_seconds, 0.0);
+  EXPECT_GT(ss.sharded_batches, 0);
+  EXPECT_GT(ss.comm_sim_seconds, 0.0);
+  std::ostringstream os;
+  ss.print(os);
+  EXPECT_NE(os.str().find("sharded batches"), std::string::npos);
+  EXPECT_NE(os.str().find("comm sim"), std::string::npos);
+}
+
+TEST(AsyncScheduler, ShardedBatchesPopulateRankPlansInSharedCache) {
+  ServeOptions opts;
+  opts.num_streams = 1;
+  opts.max_batch = 4;
+  opts.linger_seconds = 0.0;
+  AsyncScheduler sched(device::make_mi300x(), opts);
+  const auto dims = small_dims();
+  const auto col =
+      core::make_first_block_col(core::LocalDims::single_rank(dims), 81);
+  const TenantId t = sched.add_tenant(dims, col, /*rank_group=*/2);
+  sched
+      .submit(t, core::ApplyDirection::kForward, precision::PrecisionConfig{},
+              core::make_input_vector(dims.n_t * dims.n_m, 82))
+      .get();
+  sched.drain();
+  // Rank 0 shares the lane's plain cache slot (same stream, same
+  // dims); rank 1 lives at the encoded lane `lane + num_lanes * r`
+  // = 0 + 1 * 1.  Both slices of the forward split must be resident.
+  const auto rank0 = sched.plan_cache().peek(
+      PlanKey{core::LocalDims::for_rank(dims, comm::ProcessGrid{2, 1}, 0),
+              sched.options().matvec, "MI300X", 0});
+  const auto rank1 = sched.plan_cache().peek(
+      PlanKey{core::LocalDims::for_rank(dims, comm::ProcessGrid{2, 1}, 1),
+              sched.options().matvec, "MI300X", 1});
+  EXPECT_NE(rank0, nullptr);
+  EXPECT_NE(rank1, nullptr);
+}
+
+TEST(AsyncScheduler, ShardedTenantStaysOutOfCrossTenantGroups) {
+  // With cross-tenant batching ON, a sharded tenant must keep its own
+  // batch key (placement is a property of the whole batch) while a
+  // plain tenant of the same shape still rides the shared key.  The
+  // observable contract: every request's output matches ITS tenant's
+  // dense reference — a sharded batch accidentally admitting the
+  // other tenant would apply the wrong operator.
+  ServeOptions opts;
+  opts.num_streams = 1;
+  opts.max_batch = 8;
+  opts.cross_tenant_batching = true;
+  opts.linger_seconds = 0.05;
+  AsyncScheduler sched(device::make_mi300x(), opts);
+  const auto dims = small_dims();
+  const auto local = core::LocalDims::single_rank(dims);
+  const auto col_a = core::make_first_block_col(local, 301);
+  const auto col_b = core::make_first_block_col(local, 302);
+  const TenantId ta = sched.add_tenant(dims, col_a, /*rank_group=*/2);
+  const TenantId tb = sched.add_tenant(dims, col_b);
+  std::vector<std::vector<double>> in_a, in_b;
+  std::vector<std::future<MatvecResult>> fa, fb;
+  for (std::uint64_t r = 0; r < 3; ++r) {
+    in_a.push_back(core::make_input_vector(dims.n_t * dims.n_m, 310 + r));
+    in_b.push_back(core::make_input_vector(dims.n_t * dims.n_m, 320 + r));
+    fa.push_back(sched.submit(ta, core::ApplyDirection::kForward,
+                              precision::PrecisionConfig{}, in_a.back()));
+    fb.push_back(sched.submit(tb, core::ApplyDirection::kForward,
+                              precision::PrecisionConfig{}, in_b.back()));
+  }
+  const auto check = [&](std::vector<std::future<MatvecResult>>& fs,
+                         const std::vector<std::vector<double>>& ins,
+                         const std::vector<double>& c, const char* who) {
+    for (std::size_t r = 0; r < fs.size(); ++r) {
+      const auto served = fs[r].get();
+      std::vector<double> dense(served.output.size());
+      core::dense_forward(local, c, ins[r], dense);
+      EXPECT_LT(blas::relative_l2_error(static_cast<index_t>(dense.size()),
+                                        served.output.data(), dense.data()),
+                1e-12)
+          << who << " request " << r;
+    }
+  };
+  check(fa, in_a, col_a, "sharded");
+  check(fb, in_b, col_b, "plain");
+}
+
+TEST(AsyncScheduler, AddTenantValidatesRankGroup) {
+  AsyncScheduler sched(device::make_mi300x());  // max_rank_group = 8
+  const auto dims = small_dims();               // n_d = 4, n_m = 16
+  const auto col =
+      core::make_first_block_col(core::LocalDims::single_rank(dims), 91);
+  EXPECT_THROW(sched.add_tenant(dims, col, -1), std::invalid_argument);
+  EXPECT_THROW(sched.add_tenant(dims, col, 9), std::invalid_argument);
+  // Within the option cap but wider than the forward output dim.
+  EXPECT_THROW(sched.add_tenant(dims, col, 5), std::invalid_argument);
+  EXPECT_THROW(sched.tenant_rank_group(999), std::invalid_argument);
+  // rank_group = 0 resolves through the cost model to a usable group.
+  const TenantId t = sched.add_tenant(dims, col, 0);
+  EXPECT_GE(sched.tenant_rank_group(t), 1);
+  EXPECT_LE(sched.tenant_rank_group(t), 4);
+  ServeOptions bad;
+  bad.max_rank_group = 0;
+  EXPECT_THROW(AsyncScheduler(device::make_mi300x(), bad),
+               std::invalid_argument);
+}
+
+TEST(AsyncScheduler, AdaptiveRankGroupScalesWithProblemSize) {
+  const auto spec = device::make_mi300x();
+  // GEMV-heavy shape: phase-3 work grows with n_d * n_m while the
+  // wire bytes grow with n_d + n_m, so splitting the output dimension
+  // sheds far more compute than the group collectives cost and the
+  // crossover picks a real group.
+  const core::ProblemDims wide{5000, 512, 1000};
+  EXPECT_GT(adaptive_rank_group(spec, wide, 8), 1);
+  // The cap binds.
+  EXPECT_LE(adaptive_rank_group(spec, wide, 4), 4);
+  // Tiny problem: the collectives' alpha dominates, stay on one rank.
+  EXPECT_EQ(adaptive_rank_group(spec, {16, 2, 8}, 8), 1);
+  // The paper's skinny shape (n_d = 100 << n_m = 1000) is
+  // wire-dominated — broadcasting the full input to every rank costs
+  // more than the output-dim split saves — and the probe must refuse
+  // to shard it rather than chase a modelled loss.
+  EXPECT_EQ(adaptive_rank_group(spec, {5000, 100, 1000}, 8), 1);
+}
+
+TEST(AsyncScheduler, DrainMidShardedFlightFulfillsEveryFuture) {
+  // Sharded dispatch holds per-rank streams and staging mid-batch;
+  // drain() must still retire every accepted request, and shutdown()
+  // must refuse new work afterwards — same lifecycle contract as the
+  // single-rank path.
+  ServeOptions opts;
+  opts.num_streams = 2;
+  opts.max_batch = 3;
+  opts.linger_seconds = 0.0;
+  AsyncScheduler sched(device::make_mi300x(), opts);
+  const auto dims = small_dims();
+  const auto col =
+      core::make_first_block_col(core::LocalDims::single_rank(dims), 77);
+  const TenantId t = sched.add_tenant(dims, col, /*rank_group=*/2);
+  std::vector<std::future<MatvecResult>> futures;
+  for (std::uint64_t r = 0; r < 16; ++r) {
+    futures.push_back(
+        sched.submit(t, core::ApplyDirection::kForward,
+                     precision::PrecisionConfig{},
+                     core::make_input_vector(dims.n_t * dims.n_m, 200 + r)));
+  }
+  sched.drain();
+  using namespace std::chrono_literals;
+  for (auto& f : futures) {
+    ASSERT_EQ(f.wait_for(0s), std::future_status::ready);
+    EXPECT_NO_THROW(f.get());
+  }
+  const auto snap = sched.metrics();
+  EXPECT_EQ(snap.completed, 16);
+  EXPECT_GT(snap.sharded_batches, 0);
+  sched.shutdown();
+  EXPECT_THROW(sched.submit(t, core::ApplyDirection::kForward,
+                            precision::PrecisionConfig{},
+                            core::make_input_vector(dims.n_t * dims.n_m, 999)),
+               std::runtime_error);
+}
+
 }  // namespace
 }  // namespace fftmv::serve
