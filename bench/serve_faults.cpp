@@ -1,0 +1,356 @@
+// Chaos harness for the fault-tolerant serving layer (self-checking,
+// CI-gated).  Two sections:
+//
+// Section A — fault storm.  Three tenants (two unsharded shapes plus
+// one sharded across a 2-rank group) serve a fixed round-robin burst
+// twice: once clean, once under a deterministic device::FaultPlan
+// combining scripted faults (the first two kernel launches fail, so
+// the first batch must retry twice; rank 1 of the sharded group is
+// down for group sync 1, forcing one degraded single-rank dispatch)
+// with low-rate seeded Bernoulli kernel/alloc faults.  Self-checks:
+// every future resolves, every COMPLETED request's output is
+// bit-identical to the clean run (retries, quarantine and the
+// degraded path must never change numerics), retries are attempted
+// and succeed, the rank failure and degraded dispatch are observed,
+// >= 95% of requests complete, and every failure carries a transient
+// error code with the errors map summing to `failed`.
+//
+// Section B — overload.  A single lane with max_queue_depth 32 takes
+// a burst of best-effort flood requests (one shape) followed by a
+// deadlined tight class (another shape, WFQ weight 3, deadline
+// calibrated to 2x the worst tight latency of an UNBOUNDED no-deadline
+// calibration run — generous by construction, since the bounded queue
+// is far shorter).  Under kShedBestEffort the tight class displaces
+// pending best-effort work and meets its deadlines; the kRejectNew
+// contrast run refuses the same tight arrivals at the bound
+// (informational).  Self-checks: shed-best-effort tight attainment
+// >= 0.9, at least one shed and one rejection, and no lost futures
+// (completed + failed == submitted).
+//
+// Reported: a "resilience" table ("retry success rate" is tracked by
+// cmake/perf_diff.py) and an "overload" table (the "shed-best-effort"
+// row's "SLO attainment" is tracked).  `--quick` shrinks both bursts
+// for the CI smoke step.  Exits nonzero on any self-check failure.
+#include <algorithm>
+#include <future>
+#include <iostream>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "device/fault_plan.hpp"
+#include "serve/scheduler.hpp"
+
+using namespace fftmv;
+
+namespace {
+
+struct TenantSpec {
+  core::ProblemDims dims;
+  int rank_group = 1;
+  std::vector<double> col;
+};
+
+struct StormResult {
+  std::vector<serve::MatvecResult> results;  // submission order
+  serve::MetricsSnapshot snap;
+  bool sharded_degraded = false;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool quick = bench::consume_quick_flag(argc, argv);
+  bench::Artifact artifact("serve_faults", argc, argv);
+  bench::reject_unknown_args(argc, argv);
+
+  const auto spec = device::make_mi300x();
+  bool ok = true;
+
+  // ------------------------------------------------ Section A: fault storm
+  std::vector<TenantSpec> tenants;
+  {
+    std::size_t i = 0;
+    for (const auto& [dims, rank_group] :
+         {std::pair{core::ProblemDims{96, 6, 48}, 1},
+          std::pair{core::ProblemDims{128, 4, 64}, 1},
+          std::pair{core::ProblemDims{96, 8, 48}, 2}}) {
+      TenantSpec ts;
+      ts.dims = dims;
+      ts.rank_group = rank_group;
+      ts.col = core::make_first_block_col(core::LocalDims::single_rank(dims),
+                                          700 + i++);
+      tenants.push_back(std::move(ts));
+    }
+  }
+  const int n_storm = quick ? 24 : 48;  // round-robin across the tenants
+  std::vector<std::vector<double>> storm_inputs;
+  for (int i = 0; i < n_storm; ++i) {
+    const auto& dims = tenants[static_cast<std::size_t>(i) % tenants.size()].dims;
+    storm_inputs.push_back(
+        core::make_input_vector(dims.n_t * dims.n_m, 800 + i));
+  }
+
+  const auto run_storm = [&](bool faulted) {
+    StormResult out;
+    serve::ServeOptions opts;
+    opts.num_streams = 1;
+    opts.max_batch = 4;
+    opts.linger_seconds = 200e-6;
+    opts.max_retries = 3;
+    opts.retry_backoff_seconds = 20e-6;
+    serve::AsyncScheduler sched(spec, opts);
+    std::vector<serve::TenantId> ids;
+    for (const auto& ts : tenants) {
+      ids.push_back(sched.add_tenant(ts.dims, ts.col, ts.rank_group));
+    }
+    if (faulted) {
+      // Attached AFTER tenant setup, so fault counters index the
+      // request path: launches 0-1 (the first batch's first two
+      // attempts) fail, rank 1 is down for group sync 1, and a low
+      // seeded Bernoulli rate keeps faults arriving throughout.
+      device::FaultPlanOptions fopts;
+      fopts.seed = 2026;
+      fopts.kernel_fault_rate = 0.002;
+      fopts.alloc_fault_rate = 0.001;
+      auto plan = std::make_shared<device::FaultPlan>(fopts);
+      plan->fail_kernel_launches(0, 2);
+      plan->fail_rank(1, 1, 2);
+      sched.device().set_fault_plan(plan);
+    }
+    std::vector<std::future<serve::MatvecResult>> futures;
+    for (int i = 0; i < n_storm; ++i) {
+      futures.push_back(sched.submit(
+          ids[static_cast<std::size_t>(i) % tenants.size()],
+          core::ApplyDirection::kForward, precision::PrecisionConfig{},
+          storm_inputs[static_cast<std::size_t>(i)]));
+    }
+    for (auto& f : futures) out.results.push_back(f.get());
+    sched.drain();
+    out.sharded_degraded = sched.tenant_degraded(ids.back());
+    out.snap = sched.metrics();
+    return out;
+  };
+
+  bench::print_header("Serve fault storm — scripted + seeded faults vs clean (" +
+                      std::to_string(n_storm) + " requests, 3 tenants, 1 lane)");
+  const StormResult clean = run_storm(/*faulted=*/false);
+  const StormResult storm = run_storm(/*faulted=*/true);
+
+  for (const auto& r : clean.results) {
+    if (!r.ok()) {
+      std::cout << "FAIL: clean run request failed ("
+                << serve::error_code_name(r.error) << ")\n";
+      ok = false;
+      break;
+    }
+  }
+  index_t completed = 0, mismatched = 0;
+  for (std::size_t i = 0; i < storm.results.size(); ++i) {
+    const auto& r = storm.results[i];
+    if (!r.ok()) {
+      if (r.error != serve::ErrorCode::kTransientDevice &&
+          r.error != serve::ErrorCode::kOutOfMemory) {
+        std::cout << "FAIL: non-transient failure code "
+                  << serve::error_code_name(r.error) << " on request " << i
+                  << "\n";
+        ok = false;
+      }
+      continue;
+    }
+    ++completed;
+    if (r.output != clean.results[i].output) ++mismatched;
+  }
+  if (mismatched != 0) {
+    std::cout << "FAIL: " << mismatched
+              << " completed request(s) differ from the clean run\n";
+    ok = false;
+  }
+  const auto& snap = storm.snap;
+  if (completed < static_cast<index_t>(0.95 * n_storm)) {
+    std::cout << "FAIL: only " << completed << "/" << n_storm
+              << " requests completed under the storm (need >= 95%)\n";
+    ok = false;
+  }
+  if (snap.retries_attempted < 2 || snap.retries_succeeded < 1) {
+    std::cout << "FAIL: expected retries (attempted "
+              << snap.retries_attempted << ", succeeded "
+              << snap.retries_succeeded << ")\n";
+    ok = false;
+  }
+  if (snap.rank_failures < 1 || snap.degraded_batches < 1) {
+    std::cout << "FAIL: expected the scripted rank outage (rank failures "
+              << snap.rank_failures << ", degraded batches "
+              << snap.degraded_batches << ")\n";
+    ok = false;
+  }
+  std::int64_t error_sum = 0;
+  for (const auto& [code, n] : snap.errors) error_sum += n;
+  if (error_sum != snap.failed || completed != snap.completed) {
+    std::cout << "FAIL: error accounting (errors sum " << error_sum
+              << ", failed " << snap.failed << ", completed "
+              << snap.completed << " vs harvested " << completed << ")\n";
+    ok = false;
+  }
+  const double retry_success_rate =
+      static_cast<double>(snap.retries_succeeded) /
+      static_cast<double>(std::max<std::int64_t>(
+          1, snap.retries_succeeded + snap.failed));
+  std::cout << "storm: " << completed << "/" << n_storm << " completed, "
+            << snap.retries_attempted << " retries ("
+            << snap.retries_succeeded << " requests recovered), "
+            << snap.rank_failures << " rank failure(s), "
+            << snap.degraded_batches << " degraded batch(es)\n";
+
+  util::Table resilience({"metric", "value"});
+  resilience.add_row(
+      {"retry success rate", util::Table::fmt(retry_success_rate, 3)});
+  resilience.add_row(
+      {"completion rate",
+       util::Table::fmt(static_cast<double>(completed) / n_storm, 3)});
+  resilience.add_row({"rank failures", std::to_string(snap.rank_failures)});
+  resilience.add_row(
+      {"degraded batches", std::to_string(snap.degraded_batches)});
+  resilience.print(std::cout);
+  artifact.add("resilience", resilience);
+
+  // --------------------------------------------- Section B: overload
+  const TenantSpec& flood_spec = tenants[1];  // {128, 4, 64}
+  const TenantSpec& tight_spec = tenants[0];  // {96, 6, 48}
+  const int n_flood = quick ? 96 : 128;
+  const int n_tight = quick ? 16 : 24;  // <= max_queue_depth: all can displace
+  const auto flood_input =
+      core::make_input_vector(flood_spec.dims.n_t * flood_spec.dims.n_m, 900);
+  const auto tight_input =
+      core::make_input_vector(tight_spec.dims.n_t * tight_spec.dims.n_m, 901);
+
+  struct OverloadResult {
+    serve::MetricsSnapshot snap;
+    index_t lost = 0;  // futures that did not resolve to a value
+  };
+  // depth 0 = unbounded calibration (no deadlines, nothing refused);
+  // bounded runs pass the real depth + policy and d_tight.
+  const auto run_overload = [&](int depth, serve::OverloadPolicy policy,
+                                double d_tight,
+                                std::vector<double>* tight_latency) {
+    OverloadResult out;
+    serve::ServeOptions opts;
+    opts.num_streams = 1;
+    opts.max_batch = 8;
+    opts.linger_seconds = 200e-6;
+    opts.max_queue_depth = depth;
+    opts.overload_policy = policy;
+    serve::AsyncScheduler sched(spec, opts);
+    const auto flood_id =
+        sched.add_tenant(flood_spec.dims, flood_spec.col);
+    const auto tight_id =
+        sched.add_tenant(tight_spec.dims, tight_spec.col);
+    std::vector<std::future<serve::MatvecResult>> futures;
+    for (int i = 0; i < n_flood; ++i) {
+      futures.push_back(sched.submit(flood_id, core::ApplyDirection::kForward,
+                                     precision::PrecisionConfig{},
+                                     flood_input));
+    }
+    std::vector<std::size_t> tight_at;
+    for (int i = 0; i < n_tight; ++i) {
+      serve::Request req;
+      req.tenant = tight_id;
+      req.direction = core::ApplyDirection::kForward;
+      req.input = tight_input;
+      req.qos.deadline_seconds = d_tight;  // 0 during calibration
+      req.qos.weight = 3.0;
+      tight_at.push_back(futures.size());
+      futures.push_back(sched.submit(std::move(req)));
+    }
+    sched.drain();
+    std::vector<serve::MatvecResult> results;
+    for (auto& f : futures) {
+      if (!f.valid()) {
+        ++out.lost;
+        results.emplace_back();
+        continue;
+      }
+      results.push_back(f.get());
+    }
+    if (tight_latency != nullptr) {
+      for (const std::size_t i : tight_at) {
+        if (results[i].ok()) {
+          tight_latency->push_back(results[i].queue_seconds +
+                                   results[i].exec_seconds);
+        }
+      }
+    }
+    out.snap = sched.metrics();
+    return out;
+  };
+
+  bench::print_header("Serve overload — bounded admission (" +
+                      std::to_string(n_flood) + " best-effort flood + " +
+                      std::to_string(n_tight) +
+                      " deadlined tight, depth 32, 1 lane)");
+  std::vector<double> cal_latency;
+  run_overload(/*depth=*/0, serve::OverloadPolicy::kShedBestEffort,
+               /*d_tight=*/0.0, &cal_latency);
+  if (cal_latency.empty()) {
+    std::cout << "FAIL: calibration produced no tight-class latencies\n";
+    std::cout << "self-check FAILED\n";
+    return 1;
+  }
+  const double d_tight =
+      2.0 * *std::max_element(cal_latency.begin(), cal_latency.end());
+  std::cout << "calibrated tight deadline: " << bench::ms(d_tight)
+            << " ms (2x worst unbounded-queue tight latency)\n";
+
+  const OverloadResult shed =
+      run_overload(32, serve::OverloadPolicy::kShedBestEffort, d_tight,
+                   nullptr);
+  const OverloadResult reject =
+      run_overload(32, serve::OverloadPolicy::kRejectNew, d_tight, nullptr);
+
+  util::Table overload({"policy", "SLO attainment", "shed", "rejected",
+                        "completed", "failed"});
+  const auto add_row = [&](const char* name, const OverloadResult& r) {
+    overload.add_row({name, util::Table::fmt(r.snap.slo_attainment(), 3),
+                      std::to_string(r.snap.shed),
+                      std::to_string(r.snap.rejected),
+                      std::to_string(r.snap.completed),
+                      std::to_string(r.snap.failed)});
+  };
+  add_row("shed-best-effort", shed);
+  add_row("reject-new", reject);
+  overload.print(std::cout);
+  artifact.add("overload", overload);
+
+  if (shed.lost != 0 || reject.lost != 0) {
+    std::cout << "FAIL: " << (shed.lost + reject.lost)
+              << " future(s) never resolved\n";
+    ok = false;
+  }
+  if (shed.snap.slo_attainment() < 0.9) {
+    std::cout << "FAIL: shed-best-effort tight attainment "
+              << util::Table::fmt(shed.snap.slo_attainment(), 3)
+              << " < 0.9 (the displaced best-effort load should have "
+                 "kept the tight class on time)\n";
+    ok = false;
+  }
+  if (shed.snap.shed < 1 || shed.snap.rejected < 1) {
+    std::cout << "FAIL: overload never engaged (shed " << shed.snap.shed
+              << ", rejected " << shed.snap.rejected << ")\n";
+    ok = false;
+  }
+  for (const OverloadResult* r : {&shed, &reject}) {
+    if (r->snap.completed + r->snap.failed != r->snap.submitted) {
+      std::cout << "FAIL: request accounting (completed "
+                << r->snap.completed << " + failed " << r->snap.failed
+                << " != submitted " << r->snap.submitted << ")\n";
+      ok = false;
+    }
+  }
+
+  if (const auto path = artifact.write(); !path.empty()) {
+    std::cout << "wrote artifact " << path << "\n";
+  }
+  std::cout << (ok ? "self-check PASSED" : "self-check FAILED") << "\n";
+  return ok ? 0 : 1;
+}

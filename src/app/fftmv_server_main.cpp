@@ -5,6 +5,7 @@
 //                [-batch 0] [-linger-ms 0.5] [-cache 24]
 //                [-prec ddddd,dssdd,sssss] [-adjoint-frac 0.3]
 //                [-sessions 0] [-deadline-ms 0] [-weights 1]
+//                [-queue-depth 0] [-fault-rate 0] [-fault-seed 1]
 //                [-device mi300x] [-seed 42] [-trace PATH] [-raw]
 //                [--smoke]
 //
@@ -41,6 +42,22 @@
 //                    (default) = best effort
 //   -weights a,b,... weighted-fair-queueing weights cycled across the
 //                    sessions (default all 1)
+//   -queue-depth N   bounded admission: max pending requests before
+//                    the shed-best-effort overload policy engages
+//                    (refusals surface as kQueueFull/kShed result
+//                    codes, never exceptions).  0 (default) =
+//                    unbounded
+//   -fault-rate F    deterministic fault injection: per-launch
+//                    probability of a transient kernel fault (and
+//                    F/2 per allocation of an injected OOM), sampled
+//                    from -fault-seed via device::FaultPlan and
+//                    attached AFTER tenant setup so only the request
+//                    path is exposed.  Faulted batches retry with
+//                    backoff and quarantine (see ServeOptions); the
+//                    errors/resilience tables report the outcome.  0
+//                    (default) = no injection
+//   -fault-seed S    seed for the fault plan's Bernoulli draws; the
+//                    same seed and workload replays the same faults
 //   -raw             machine-parseable summary (bare numbers)
 //   -json PATH       write the metrics tables as a bench::Artifact
 //                    (headers carry the git SHA and build type, so CI
@@ -61,11 +78,13 @@
 #include <algorithm>
 #include <future>
 #include <iostream>
+#include <memory>
 #include <thread>
 #include <vector>
 
 #include "core/synthetic.hpp"
 #include "device/device_spec.hpp"
+#include "device/fault_plan.hpp"
 #include "serve/scheduler.hpp"
 #include "util/artifact.hpp"
 #include "util/cli.hpp"
@@ -129,7 +148,8 @@ int main(int argc, char** argv) {
     cli.check_known({"tenants", "requests", "rps", "streams", "batch",
                      "pipeline-chunks", "linger-ms", "cache", "prec",
                      "adjoint-frac", "sessions", "deadline-ms", "weights",
-                     "device", "seed", "raw", "smoke"});
+                     "queue-depth", "fault-rate", "fault-seed", "device",
+                     "seed", "raw", "smoke"});
     const bool smoke = cli.get_flag("smoke");
     const bool raw = cli.get_flag("raw");
 
@@ -160,6 +180,12 @@ int main(int argc, char** argv) {
     // are precision-agnostic, so 3 tenant shapes x 2 lanes = 6 plan
     // keys; the headroom absorbs -tenants/-streams overrides.
     opts.plan_cache_capacity = static_cast<std::size_t>(cli.get_int("cache", 24));
+    // 0 = unbounded; at the bound the default shed-best-effort policy
+    // displaces pending best-effort work for deadlined arrivals.
+    opts.max_queue_depth = static_cast<int>(cli.get_int("queue-depth", 0));
+    const double fault_rate = cli.get_double("fault-rate", 0.0);
+    const std::uint64_t fault_seed =
+        static_cast<std::uint64_t>(cli.get_int("fault-seed", 1));
 
     // Started before the scheduler exists so lane threads, tenant
     // setup and the first cold-cache dispatches are all on the record.
@@ -236,6 +262,23 @@ int main(int argc, char** argv) {
       session_tenant.push_back(t);
     }
 
+    // Fault injection is attached AFTER tenant setup and session
+    // opens, so the fault counters index only request-path work (and
+    // setup can never be the thing that faults).
+    if (fault_rate > 0.0) {
+      device::FaultPlanOptions fopts;
+      fopts.seed = fault_seed;
+      fopts.kernel_fault_rate = fault_rate;
+      fopts.alloc_fault_rate = fault_rate / 2.0;
+      scheduler.device().set_fault_plan(
+          std::make_shared<device::FaultPlan>(fopts));
+      if (!raw) {
+        std::cout << "fault injection: kernel rate " << fault_rate
+                  << ", alloc rate " << fault_rate / 2.0 << ", seed "
+                  << fault_seed << "\n";
+      }
+    }
+
     // Open-loop generator: arrivals are scheduled ahead of time from
     // the exponential inter-arrival draw and submitted on schedule
     // regardless of completion (no back-pressure), the standard
@@ -276,14 +319,15 @@ int main(int argc, char** argv) {
     // plan shape.
     for (auto& session : sessions) session.close();
     scheduler.drain();
+    // Failures arrive as result VALUES carrying an ErrorCode, never
+    // as future exceptions (the scheduler's error contract); the
+    // per-code breakdown prints with the metrics report.
     index_t fulfilled = 0, errors = 0;
     for (auto& f : futures) {
-      try {
-        f.get();
+      if (f.get().ok()) {
         ++fulfilled;
-      } catch (const std::exception& e) {
+      } else {
         ++errors;
-        std::cerr << "request failed: " << e.what() << "\n";
       }
     }
 
@@ -291,6 +335,8 @@ int main(int argc, char** argv) {
     artifact.add("summary", snap.summary_table());
     artifact.add("latency", snap.latency_table());
     artifact.add("batch histogram", snap.batch_table());
+    artifact.add("errors", snap.error_table());
+    artifact.add("resilience", snap.resilience_table());
     artifact.add("pipeline chunks", pipeline_table);
     if (!snap.lanes.empty()) artifact.add("lanes", snap.lane_table());
     if (!snap.sessions.empty()) artifact.add("sessions", snap.session_table());

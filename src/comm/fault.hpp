@@ -1,0 +1,37 @@
+// Rank-failure signalling for sharded execution.
+//
+// DistributedMatvecPlan consults the device's FaultPlan at its entry
+// collective sync and throws RankFailure when a rank of the group is
+// down.  The throw happens before any compute or communication is
+// charged, so the serve layer can re-dispatch the whole batch on the
+// single-rank fallback path with bit-identical results.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+#include "util/types.hpp"
+
+namespace fftmv::comm {
+
+/// A rank of a sharded group was unreachable at a collective sync
+/// point.  Not retryable on the sharded path while the outage lasts;
+/// callers degrade to the single-rank path instead.
+class RankFailure : public std::runtime_error {
+ public:
+  RankFailure(index_t rank, index_t ranks)
+      : std::runtime_error("rank " + std::to_string(rank) + " of " +
+                           std::to_string(ranks) +
+                           " failed at a collective sync point"),
+        rank_(rank),
+        ranks_(ranks) {}
+
+  index_t rank() const { return rank_; }
+  index_t ranks() const { return ranks_; }
+
+ private:
+  index_t rank_;
+  index_t ranks_;
+};
+
+}  // namespace fftmv::comm

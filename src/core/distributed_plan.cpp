@@ -4,6 +4,7 @@
 #include <stdexcept>
 #include <string>
 
+#include "comm/fault.hpp"
 #include "core/synthetic.hpp"
 
 namespace fftmv::core {
@@ -83,14 +84,12 @@ void ShardedOperator::warm_spectrum_f(device::Stream& stream) {
   for (const auto& op : adj_ops_) op->spectrum_f(stream);
 }
 
-void DistributedMatvecPlan::apply_batch(
+index_t DistributedMatvecPlan::validate_batch(
     const ShardedOperator& op, ApplyDirection direction,
-    const precision::PrecisionConfig& config,
     std::span<const ConstVectorView> inputs,
     std::span<const VectorView> outputs,
-    std::span<const RankLane> lanes, CommMode mode, index_t pipeline_chunks) {
-  const index_t b = static_cast<index_t>(inputs.size());
-  if (b < 1) {
+    std::span<const RankLane> lanes) const {
+  if (inputs.empty()) {
     throw std::invalid_argument(
         "DistributedMatvecPlan: need at least one right-hand side");
   }
@@ -112,6 +111,17 @@ void DistributedMatvecPlan::apply_batch(
           "DistributedMatvecPlan: rank plan dims do not match the shard");
     }
   }
+  return ranks;
+}
+
+void DistributedMatvecPlan::apply_batch(
+    const ShardedOperator& op, ApplyDirection direction,
+    const precision::PrecisionConfig& config,
+    std::span<const ConstVectorView> inputs,
+    std::span<const VectorView> outputs,
+    std::span<const RankLane> lanes, CommMode mode, index_t pipeline_chunks) {
+  const index_t b = static_cast<index_t>(inputs.size());
+  const index_t ranks = validate_batch(op, direction, inputs, outputs, lanes);
 
   if (ranks == 1) {
     // Degenerate placement: byte-for-byte the single-rank fused batch,
@@ -129,7 +139,17 @@ void DistributedMatvecPlan::apply_batch(
   const index_t nt = dims.n_t;
   const index_t ns_in = adjoint ? dims.n_d : dims.n_m;
   const index_t ns_out = adjoint ? dims.n_m : dims.n_d;
-  const bool phantom = lanes[0].plan->stream().device().phantom();
+  device::Device& dev = lanes[0].plan->stream().device();
+  const bool phantom = dev.phantom();
+
+  // Fault consult at the entry collective: a down rank aborts the
+  // sharded dispatch before any compute or communication is charged,
+  // so the caller can re-dispatch on the degraded single-survivor
+  // path with bit-identical results.
+  if (device::FaultPlan* faults = dev.fault_plan()) {
+    const index_t down = faults->on_group_sync(ranks);
+    if (down >= 0) throw comm::RankFailure(down, ranks);
+  }
 
   // Collective bill through the shared cost-model path.  Batched mode
   // moves the whole batch's payload in ONE broadcast and ONE gather;
@@ -173,6 +193,88 @@ void DistributedMatvecPlan::apply_batch(
   const double t_start = sync_group();
   for (const auto& lane : lanes) lane.plan->stream().advance(coll.broadcast_s);
 
+  run_rank_slices(op, direction, config, inputs, lanes, pipeline_chunks,
+                  phantom);
+
+  sync_group();
+  for (const auto& lane : lanes) lane.plan->stream().advance(coll.reduce_s);
+  const double t_end = sync_group();
+
+  // Assemble: per-rank output slices have disjoint support, so the
+  // gather is plain copies into the caller's vectors (already billed
+  // above at the reduce tariff).
+  assemble_outputs(op, direction, outputs, phantom);
+
+  // Group accounting: phase fields stay the ranks' summed busy time
+  // (serial-equivalent), comm is the collective bill charged once, and
+  // the makespan is the group's end-to-end window.
+  timings_.comm = coll.total();
+  timings_.makespan = t_end - t_start;
+  const double comm_share = coll.total() / static_cast<double>(b);
+  const double span_share = timings_.makespan / static_cast<double>(b);
+  for (auto& share : rhs_timings_) {
+    share.comm = comm_share;
+    share.makespan = span_share;
+  }
+}
+
+void DistributedMatvecPlan::apply_batch_degraded(
+    const ShardedOperator& op, ApplyDirection direction,
+    const precision::PrecisionConfig& config,
+    std::span<const ConstVectorView> inputs,
+    std::span<const VectorView> outputs, std::span<const RankLane> lanes,
+    index_t pipeline_chunks) {
+  const index_t b = static_cast<index_t>(inputs.size());
+  const index_t ranks = validate_batch(op, direction, inputs, outputs, lanes);
+
+  if (ranks == 1) {
+    FftMatvecPlan& plan = *lanes[0].plan;
+    plan.apply_batch(op.rank_op(direction, 0), direction, config, inputs,
+                     outputs, BatchPipeline{pipeline_chunks, lanes[0].aux});
+    timings_ = plan.last_timings();
+    rhs_timings_ = plan.last_batch_timings();
+    return;
+  }
+
+  const bool phantom = lanes[0].plan->stream().device().phantom();
+
+  // Survivor-local window: with all lanes bound to one stream (pair)
+  // the slices serialize and the makespan is the survivor's elapsed
+  // clock; no sync, no collective charge.
+  const auto group_now = [&lanes]() {
+    double t = 0.0;
+    for (const auto& lane : lanes) {
+      t = std::max(t, lane.plan->stream().now());
+      if (lane.aux != nullptr) t = std::max(t, lane.aux->now());
+    }
+    return t;
+  };
+
+  const double t_start = group_now();
+  run_rank_slices(op, direction, config, inputs, lanes, pipeline_chunks,
+                  phantom);
+  const double t_end = group_now();
+  assemble_outputs(op, direction, outputs, phantom);
+
+  timings_.comm = 0.0;
+  timings_.makespan = t_end - t_start;
+  const double span_share = timings_.makespan / static_cast<double>(b);
+  for (auto& share : rhs_timings_) {
+    share.comm = 0.0;
+    share.makespan = span_share;
+  }
+}
+
+void DistributedMatvecPlan::run_rank_slices(
+    const ShardedOperator& op, ApplyDirection direction,
+    const precision::PrecisionConfig& config,
+    std::span<const ConstVectorView> inputs, std::span<const RankLane> lanes,
+    index_t pipeline_chunks, bool phantom) {
+  const index_t b = static_cast<index_t>(inputs.size());
+  const index_t ranks = op.ranks();
+  const bool adjoint = direction == ApplyDirection::kAdjoint;
+  const index_t nt = op.dims().n_t;
+
   timings_ = PhaseTimings{};
   rhs_timings_.assign(static_cast<std::size_t>(b), PhaseTimings{});
   if (stage_.size() < static_cast<std::size_t>(ranks)) {
@@ -207,43 +309,33 @@ void DistributedMatvecPlan::apply_batch(
           shares[static_cast<std::size_t>(i)];
     }
   }
+}
 
-  sync_group();
-  for (const auto& lane : lanes) lane.plan->stream().advance(coll.reduce_s);
-  const double t_end = sync_group();
-
-  // Assemble: per-rank output slices have disjoint support, so the
-  // gather is plain copies into the caller's vectors (already billed
-  // above at the reduce tariff).
-  if (!phantom) {
-    for (index_t i = 0; i < b; ++i) {
-      double* out = outputs[static_cast<std::size_t>(i)].data();
-      for (index_t r = 0; r < ranks; ++r) {
-        const LocalDims& local = op.rank_dims(direction, r);
-        const index_t offset = adjoint ? local.m_offset : local.d_offset;
-        const index_t count = adjoint ? local.n_m_local : local.n_d_local;
-        const index_t out_elems = nt * count;
-        const double* slice =
-            stage_[static_cast<std::size_t>(r)].data() + i * out_elems;
-        for (index_t t = 0; t < nt; ++t) {
-          const double* src = slice + t * count;
-          double* dst = out + t * ns_out + offset;
-          std::copy(src, src + count, dst);
-        }
+void DistributedMatvecPlan::assemble_outputs(
+    const ShardedOperator& op, ApplyDirection direction,
+    std::span<const VectorView> outputs, bool phantom) const {
+  if (phantom) return;
+  const index_t b = static_cast<index_t>(outputs.size());
+  const index_t ranks = op.ranks();
+  const bool adjoint = direction == ApplyDirection::kAdjoint;
+  const ProblemDims& dims = op.dims();
+  const index_t nt = dims.n_t;
+  const index_t ns_out = adjoint ? dims.n_m : dims.n_d;
+  for (index_t i = 0; i < b; ++i) {
+    double* out = outputs[static_cast<std::size_t>(i)].data();
+    for (index_t r = 0; r < ranks; ++r) {
+      const LocalDims& local = op.rank_dims(direction, r);
+      const index_t offset = adjoint ? local.m_offset : local.d_offset;
+      const index_t count = adjoint ? local.n_m_local : local.n_d_local;
+      const index_t out_elems = nt * count;
+      const double* slice =
+          stage_[static_cast<std::size_t>(r)].data() + i * out_elems;
+      for (index_t t = 0; t < nt; ++t) {
+        const double* src = slice + t * count;
+        double* dst = out + t * ns_out + offset;
+        std::copy(src, src + count, dst);
       }
     }
-  }
-
-  // Group accounting: phase fields stay the ranks' summed busy time
-  // (serial-equivalent), comm is the collective bill charged once, and
-  // the makespan is the group's end-to-end window.
-  timings_.comm = coll.total();
-  timings_.makespan = t_end - t_start;
-  const double comm_share = coll.total() / static_cast<double>(b);
-  const double span_share = timings_.makespan / static_cast<double>(b);
-  for (auto& share : rhs_timings_) {
-    share.comm = comm_share;
-    share.makespan = span_share;
   }
 }
 

@@ -144,6 +144,9 @@ class DistributedMatvecPlan {
   /// to the single-rank apply_batch (and therefore to b independent
   /// applies) for every precision config, both directions, ragged
   /// partitions included, in both comm modes and any chunk count.
+  /// Throws comm::RankFailure — before any compute or communication
+  /// is charged — when the device's FaultPlan reports a rank of the
+  /// group down at the entry collective sync.
   void apply_batch(const ShardedOperator& op, ApplyDirection direction,
                    const precision::PrecisionConfig& config,
                    std::span<const ConstVectorView> inputs,
@@ -151,6 +154,24 @@ class DistributedMatvecPlan {
                    std::span<const RankLane> lanes,
                    CommMode mode = CommMode::kBatched,
                    index_t pipeline_chunks = 1);
+
+  /// Degraded single-survivor apply: every rank's slice runs serially
+  /// on the caller's surviving stream(s) — pass lanes whose plans are
+  /// all bound to one lane's stream — with ZERO communication charged
+  /// (the data never leaves the survivor; this is the single-rank
+  /// path's cost semantics, just with the work of all slices).
+  /// Outputs are bit-identical to the sharded apply_batch, because
+  /// slice outputs have disjoint support and each slice's compute is
+  /// unchanged; only the modelled time differs (slower: no overlap,
+  /// but no collectives).  Never consults the FaultPlan's rank hook,
+  /// so it completes while the group outage lasts.
+  void apply_batch_degraded(const ShardedOperator& op,
+                            ApplyDirection direction,
+                            const precision::PrecisionConfig& config,
+                            std::span<const ConstVectorView> inputs,
+                            std::span<const VectorView> outputs,
+                            std::span<const RankLane> lanes,
+                            index_t pipeline_chunks = 1);
 
   /// Totals of the most recent apply: per-phase fields are the
   /// group's summed busy time (serial-equivalent work), `comm` the
@@ -166,6 +187,24 @@ class DistributedMatvecPlan {
   }
 
  private:
+  /// Shared argument validation; returns op.ranks().
+  index_t validate_batch(const ShardedOperator& op, ApplyDirection direction,
+                         std::span<const ConstVectorView> inputs,
+                         std::span<const VectorView> outputs,
+                         std::span<const RankLane> lanes) const;
+  /// Run every rank's slice apply into stage_, accumulating timings_
+  /// and rhs_timings_ (comm/makespan left for the caller to fill).
+  void run_rank_slices(const ShardedOperator& op, ApplyDirection direction,
+                       const precision::PrecisionConfig& config,
+                       std::span<const ConstVectorView> inputs,
+                       std::span<const RankLane> lanes,
+                       index_t pipeline_chunks, bool phantom);
+  /// Copy the disjoint per-rank slices from stage_ into the caller's
+  /// output vectors.
+  void assemble_outputs(const ShardedOperator& op, ApplyDirection direction,
+                        std::span<const VectorView> outputs,
+                        bool phantom) const;
+
   comm::NetworkSpec network_;
   PhaseTimings timings_;
   std::vector<PhaseTimings> rhs_timings_;

@@ -34,6 +34,10 @@ void Device::validate_launch(const LaunchGeometry& geom) const {
 }
 
 void Device::track_alloc(index_t bytes) {
+  if (FaultPlan* faults = fault_plan_.get(); faults && faults->on_alloc()) {
+    throw DeviceOutOfMemory(spec().name + " [injected fault]", bytes,
+                            memory_capacity() - memory_used());
+  }
   const index_t prev = memory_used_.fetch_add(bytes, std::memory_order_relaxed);
   if (prev + bytes > memory_capacity()) {
     memory_used_.fetch_sub(bytes, std::memory_order_relaxed);

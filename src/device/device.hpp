@@ -13,6 +13,7 @@
 
 #include "device/cost_model.hpp"
 #include "device/device_spec.hpp"
+#include "device/fault_plan.hpp"
 #include "util/thread_pool.hpp"
 
 namespace fftmv::device {
@@ -59,11 +60,21 @@ class Device {
   void track_alloc(index_t bytes);
   void track_free(index_t bytes) noexcept;
 
+  /// Attach (or clear, with nullptr) a deterministic fault-injection
+  /// plan.  Not synchronized against in-flight work: attach before
+  /// traffic starts (or between drained phases), typically after
+  /// setup so the plan's counters index request-path work only.
+  void set_fault_plan(std::shared_ptr<FaultPlan> plan) {
+    fault_plan_ = std::move(plan);
+  }
+  FaultPlan* fault_plan() const { return fault_plan_.get(); }
+
  private:
   CostModel model_;
   util::ThreadPool* pool_;
   bool phantom_ = false;
   std::atomic<index_t> memory_used_{0};
+  std::shared_ptr<FaultPlan> fault_plan_;
 };
 
 }  // namespace fftmv::device

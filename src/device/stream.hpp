@@ -60,6 +60,17 @@ class Stream {
   KernelTiming launch(const LaunchGeometry& geom, const KernelFootprint& fp,
                       BlockFn&& block_fn, bool execute = true) {
     dev_->validate_launch(geom);
+    if (FaultPlan* faults = dev_->fault_plan();
+        faults && faults->on_kernel_launch()) {
+      // Injected transient fault: the failure is modelled as detected
+      // at kernel completion, so the clock is charged, but the abort
+      // happens before any numerics run — no partial writes, and a
+      // retried dispatch recomputes bit-identical outputs.
+      const KernelTiming t = dev_->cost_model().kernel_time(geom, fp);
+      sim_time_ += t.seconds;
+      busy_ += t.seconds;
+      throw StreamFault(dev_->fault_plan()->stats().kernel_launches - 1);
+    }
     if (execute && !dev_->phantom()) {
       const index_t gx = geom.grid_x, gy = geom.grid_y;
       const index_t total = geom.total_blocks();

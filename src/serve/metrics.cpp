@@ -50,14 +50,18 @@ void ServeMetrics::undo_submit() {
 }
 
 void ServeMetrics::record_request(double queue_seconds, double exec_seconds,
-                                  bool failed, std::uint64_t session,
-                                  bool had_deadline, bool missed) {
+                                  ErrorCode error, std::uint64_t session,
+                                  bool had_deadline, bool missed, int retries) {
   const double total_seconds = queue_seconds + exec_seconds;
   std::lock_guard lock(mutex_);
-  if (failed) {
+  if (error != ErrorCode::kOk) {
     ++counters_.failed;
+    ++counters_.errors[error];
+    if (error == ErrorCode::kShed) ++counters_.shed;
+    if (error == ErrorCode::kQueueFull) ++counters_.rejected;
   } else {
     ++counters_.completed;
+    if (retries > 0) ++counters_.retries_succeeded;
   }
   if (had_deadline) {
     ++counters_.deadline_total;
@@ -123,6 +127,21 @@ void ServeMetrics::close_session(std::uint64_t session) {
   while (retired_sessions_.size() > kMaxRetiredSessions) {
     retired_sessions_.erase(retired_sessions_.begin());
   }
+}
+
+void ServeMetrics::record_retry() {
+  std::lock_guard lock(mutex_);
+  ++counters_.retries_attempted;
+}
+
+void ServeMetrics::record_rank_failure() {
+  std::lock_guard lock(mutex_);
+  ++counters_.rank_failures;
+}
+
+void ServeMetrics::record_degraded_batch() {
+  std::lock_guard lock(mutex_);
+  ++counters_.degraded_batches;
 }
 
 void ServeMetrics::record_batch(int size, double sim_seconds) {
@@ -274,6 +293,24 @@ util::Table MetricsSnapshot::lane_table() const {
   return t;
 }
 
+util::Table MetricsSnapshot::error_table() const {
+  util::Table t({"error code", "count"});
+  for (const auto& [code, count] : errors) {
+    t.add_row({error_code_name(code), std::to_string(count)});
+  }
+  return t;
+}
+
+util::Table MetricsSnapshot::resilience_table() const {
+  util::Table t({"retries attempted", "retries succeeded", "shed", "rejected",
+                 "rank failures", "degraded batches"});
+  t.add_row({std::to_string(retries_attempted),
+             std::to_string(retries_succeeded), std::to_string(shed),
+             std::to_string(rejected), std::to_string(rank_failures),
+             std::to_string(degraded_batches)});
+  return t;
+}
+
 void MetricsSnapshot::print(std::ostream& os) const {
   summary_table().print(os);
   os << '\n';
@@ -289,6 +326,15 @@ void MetricsSnapshot::print(std::ostream& os) const {
   if (!sessions.empty()) {
     os << '\n';
     session_table().print(os);
+  }
+  if (!errors.empty()) {
+    os << '\n';
+    error_table().print(os);
+  }
+  if (retries_attempted > 0 || shed > 0 || rejected > 0 || rank_failures > 0 ||
+      degraded_batches > 0) {
+    os << '\n';
+    resilience_table().print(os);
   }
 }
 

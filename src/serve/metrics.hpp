@@ -16,6 +16,7 @@
 #include <mutex>
 #include <vector>
 
+#include "serve/error_code.hpp"
 #include "util/table.hpp"
 
 namespace fftmv::serve {
@@ -95,6 +96,23 @@ struct MetricsSnapshot {
   /// observed depth and its high-water mark.
   std::int64_t queue_depth_last = 0;
   std::int64_t queue_depth_peak = 0;
+  /// Failed-request breakdown by ErrorCode (non-kOk codes only);
+  /// values sum to `failed`.
+  std::map<ErrorCode, std::int64_t> errors;
+  /// Re-dispatches after a retryable fault: batch-level retries plus
+  /// per-request quarantine re-dispatches.
+  std::int64_t retries_attempted = 0;
+  /// Requests that completed (kOk) after at least one re-dispatch.
+  std::int64_t retries_succeeded = 0;
+  /// Admitted then displaced by the shed-best-effort policy (kShed).
+  std::int64_t shed = 0;
+  /// Refused at submission by bounded admission (kQueueFull).
+  std::int64_t rejected = 0;
+  /// Sharded dispatches aborted by a down rank (each one either
+  /// degrades to the single-rank fallback or fails the batch).
+  std::int64_t rank_failures = 0;
+  /// Batches completed on the degraded single-rank fallback path.
+  std::int64_t degraded_batches = 0;
 
   double cache_hit_rate() const {
     const std::int64_t n = cache_hits + cache_misses;
@@ -126,6 +144,11 @@ struct MetricsSnapshot {
   util::Table batch_table() const;
   util::Table session_table() const;
   util::Table lane_table() const;
+  /// Failed-request breakdown by error code (empty table when no
+  /// request failed).
+  util::Table error_table() const;
+  /// Retry/shed/degradation counters as one row.
+  util::Table resilience_table() const;
 };
 
 /// Thread-safe metrics sink shared by the scheduler's worker lanes.
@@ -142,11 +165,23 @@ class ServeMetrics {
   /// Roll back a record_submit whose request was never accepted
   /// (submit raced a shutdown).
   void undo_submit();
-  /// One fulfilled (or failed) request.  `session` is 0 for one-shot
-  /// requests; `had_deadline`/`missed` drive the SLO counters.
-  void record_request(double queue_seconds, double exec_seconds, bool failed,
-                      std::uint64_t session = 0, bool had_deadline = false,
-                      bool missed = false);
+  /// One fulfilled (or failed) request.  `error` is kOk for a
+  /// success, otherwise the failure code (which also feeds the
+  /// shed/rejected counters for those codes); `session` is 0 for
+  /// one-shot requests; `had_deadline`/`missed` drive the SLO
+  /// counters; `retries` > 0 marks a request whose work was
+  /// re-dispatched (a successful one counts as a retry success).
+  void record_request(double queue_seconds, double exec_seconds,
+                      ErrorCode error, std::uint64_t session = 0,
+                      bool had_deadline = false, bool missed = false,
+                      int retries = 0);
+  /// One re-dispatch of previously-faulted work (batch-level retry or
+  /// per-request quarantine re-dispatch).
+  void record_retry();
+  /// One sharded dispatch aborted by a down rank.
+  void record_rank_failure();
+  /// One batch completed on the degraded single-rank fallback.
+  void record_degraded_batch();
   void record_batch(int size, double sim_seconds);
   void record_cache(std::int64_t hits, std::int64_t misses, std::int64_t evictions);
   /// Per-lane utilisation sample, taken by the OWNING lane thread at

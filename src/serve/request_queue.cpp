@@ -23,11 +23,14 @@ bool edf_before(const PendingRequest& a, const PendingRequest& b) {
 }  // namespace
 
 RequestQueue::RequestQueue(int max_batch, double linger_seconds, int max_groups,
-                           bool deadline_aware)
+                           bool deadline_aware, int max_queue_depth,
+                           OverloadPolicy policy)
     : max_batch_(max_batch),
       linger_seconds_(linger_seconds),
       max_groups_(max_groups),
-      deadline_aware_(deadline_aware) {
+      deadline_aware_(deadline_aware),
+      max_queue_depth_(max_queue_depth),
+      policy_(policy) {
   if (max_batch_ < 1) {
     throw std::invalid_argument("RequestQueue: max_batch must be >= 1");
   }
@@ -37,12 +40,69 @@ RequestQueue::RequestQueue(int max_batch, double linger_seconds, int max_groups,
   if (max_groups_ < 0) {
     throw std::invalid_argument("RequestQueue: max_groups must be >= 0");
   }
+  if (max_queue_depth_ < 0) {
+    throw std::invalid_argument("RequestQueue: max_queue_depth must be >= 0");
+  }
 }
 
-bool RequestQueue::push(const BatchKey& key, PendingRequest request) {
+std::optional<PendingRequest> RequestQueue::shed_newest_best_effort() {
+  // The EDF order sorts best-effort requests (deadline == max) behind
+  // every deadlined one with seq as the tie-break, so within a key
+  // the newest best-effort request is the back of the deque — but the
+  // blind mode keeps FIFO order, so scan every entry.  The queue is
+  // at its (bounded) depth, so the scan is O(max_queue_depth).
+  std::map<BatchKey, KeyQueue>::iterator victim_key = queues_.end();
+  std::deque<PendingRequest>::iterator victim;
+  for (auto it = queues_.begin(); it != queues_.end(); ++it) {
+    for (auto rit = it->second.q.begin(); rit != it->second.q.end(); ++rit) {
+      if (rit->has_deadline()) continue;
+      if (victim_key == queues_.end() || rit->seq > victim->seq) {
+        victim_key = it;
+        victim = rit;
+      }
+    }
+  }
+  if (victim_key == queues_.end()) return std::nullopt;
+  PendingRequest shed = std::move(*victim);
+  KeyQueue& kq = victim_key->second;
+  kq.q.erase(victim);
+  --total_pending_;
+  if (kq.q.empty()) {
+    // Deactivate exactly as pop_batch does for a drained key: leave
+    // the rotation and park the start tag as the finish tag (no
+    // dispatch happened, so nothing is charged).
+    rotation_.remove(victim_key->first);
+    vfinish_[victim_key->first] = kq.vstart;
+    queues_.erase(victim_key);
+  }
+  return shed;
+}
+
+RequestQueue::PushOutcome RequestQueue::push(const BatchKey& key,
+                                             PendingRequest request) {
+  PushOutcome out;
   {
     std::lock_guard lock(mutex_);
-    if (closed_) return false;
+    if (closed_) {
+      out.status = PushOutcome::Status::kClosed;
+      out.returned = std::move(request);
+      return out;
+    }
+    if (max_queue_depth_ > 0 &&
+        total_pending_ >= static_cast<std::size_t>(max_queue_depth_)) {
+      // Bounded admission.  Under the shed policy only deadline-
+      // bearing arrivals may displace pending best-effort work;
+      // admitting a best-effort arrival by shedding an older one
+      // would be pure churn.
+      if (policy_ == OverloadPolicy::kShedBestEffort && request.has_deadline()) {
+        out.shed = shed_newest_best_effort();
+      }
+      if (!out.shed.has_value()) {
+        out.status = PushOutcome::Status::kFull;
+        out.returned = std::move(request);
+        return out;
+      }
+    }
     request.seq = next_seq_++;
     auto [it, inserted] = queues_.try_emplace(key);
     KeyQueue& kq = it->second;
@@ -77,7 +137,7 @@ bool RequestQueue::push(const BatchKey& key, PendingRequest request) {
   // Wake every consumer: one takes the batch when it fills, the rest
   // re-evaluate their linger deadlines.
   cv_.notify_all();
-  return true;
+  return out;
 }
 
 std::chrono::steady_clock::time_point RequestQueue::release_time(

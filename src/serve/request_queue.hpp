@@ -67,6 +67,7 @@
 
 #include "core/matvec_plan.hpp"
 #include "precision/precision.hpp"
+#include "serve/error_code.hpp"
 #include "util/types.hpp"
 
 namespace fftmv::serve {
@@ -142,6 +143,16 @@ struct MatvecResult {
   /// True iff the request carried a deadline and was fulfilled after
   /// it (also counted in ServeMetrics::deadline_missed).
   bool deadline_missed = false;
+  /// Outcome code: kOk on success, otherwise why the request failed.
+  /// Failures always arrive as a value with this field set — never as
+  /// a future exception (see AsyncScheduler's error contract).
+  ErrorCode error = ErrorCode::kOk;
+  /// Re-dispatches this request's work consumed beyond the first
+  /// attempt (batch-level retries plus any per-request quarantine
+  /// re-dispatch).  0 on the clean path.
+  int retries = 0;
+
+  bool ok() const { return error == ErrorCode::kOk; }
 };
 
 /// Coalescing key: requests batch together iff shape (LocalDims),
@@ -191,18 +202,48 @@ struct Batch {
   std::int64_t seq = -1;
 };
 
+/// What happens to new work when the queue sits at max_queue_depth.
+enum class OverloadPolicy : unsigned char {
+  /// Refuse the incoming request (ErrorCode::kQueueFull) regardless
+  /// of its class.
+  kRejectNew,
+  /// Admit deadline-bearing requests by displacing the NEWEST pending
+  /// best-effort request (ErrorCode::kShed); best-effort arrivals are
+  /// refused as in kRejectNew.  Under overload this keeps the
+  /// tight-deadline classes admitted while best-effort load absorbs
+  /// the loss.
+  kShedBestEffort,
+};
+
 class RequestQueue {
  public:
   /// `max_groups` caps distinct tenants per popped batch (0 =
   /// unlimited); `deadline_aware` selects EDF-within-key + WFQ-
   /// across-keys (true, production) vs FIFO + round-robin (false, the
-  /// deadline-blind baseline).
+  /// deadline-blind baseline).  `max_queue_depth` bounds total
+  /// pending requests (0 = unbounded); `policy` picks what gives way
+  /// at the bound.
   RequestQueue(int max_batch, double linger_seconds, int max_groups = 0,
-               bool deadline_aware = true);
+               bool deadline_aware = true, int max_queue_depth = 0,
+               OverloadPolicy policy = OverloadPolicy::kShedBestEffort);
 
-  /// Enqueue one request (any thread).  Returns false after close():
-  /// the caller keeps the request and must fail its promise itself.
-  bool push(const BatchKey& key, PendingRequest request);
+  /// Outcome of a push attempt.  When the request was not accepted it
+  /// comes back in `returned` (the queue never owns a promise it will
+  /// not fulfil); a displaced victim under kShedBestEffort comes back
+  /// in `shed`.  The caller fails the returned promises — outside the
+  /// queue lock.
+  struct PushOutcome {
+    enum class Status : unsigned char { kAccepted, kClosed, kFull };
+    Status status = Status::kAccepted;
+    std::optional<PendingRequest> returned;
+    std::optional<PendingRequest> shed;
+
+    bool accepted() const { return status == Status::kAccepted; }
+  };
+
+  /// Enqueue one request (any thread).  Status kClosed after close(),
+  /// kFull when bounded admission refused it; see PushOutcome.
+  PushOutcome push(const BatchKey& key, PendingRequest request);
 
   /// Block until a batch is ready (or the queue is closed and empty,
   /// returning nullopt).  Multiple consumers may pop concurrently;
@@ -219,6 +260,8 @@ class RequestQueue {
   double linger_seconds() const { return linger_seconds_; }
   int max_groups() const { return max_groups_; }
   bool deadline_aware() const { return deadline_aware_; }
+  int max_queue_depth() const { return max_queue_depth_; }
+  OverloadPolicy overload_policy() const { return policy_; }
 
  private:
   /// Per-key queue + weighted-fair-queueing state.
@@ -240,10 +283,18 @@ class RequestQueue {
   /// deadline.  Assumes the queue mutex is held.
   std::chrono::steady_clock::time_point release_time(const KeyQueue& kq) const;
 
+  /// Remove the newest pending best-effort request (largest arrival
+  /// seq with no deadline) to make room, maintaining the key
+  /// activation bookkeeping.  Assumes the queue mutex is held;
+  /// nullopt when every pending request carries a deadline.
+  std::optional<PendingRequest> shed_newest_best_effort();
+
   int max_batch_;
   double linger_seconds_;
   int max_groups_;
   bool deadline_aware_;
+  int max_queue_depth_;
+  OverloadPolicy policy_;
   mutable std::mutex mutex_;
   std::condition_variable cv_;
   std::map<BatchKey, KeyQueue> queues_;

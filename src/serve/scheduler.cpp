@@ -4,7 +4,9 @@
 #include <chrono>
 #include <stdexcept>
 #include <string>
+#include <thread>
 
+#include "comm/fault.hpp"
 #include "util/thread_pool.hpp"
 #include "util/trace.hpp"
 
@@ -53,8 +55,42 @@ ServeOptions resolve_options(ServeOptions options, const device::DeviceSpec& spe
         "ServeOptions: max_rank_group must be >= 1, got " +
         std::to_string(options.max_rank_group));
   }
+  if (options.max_queue_depth < 0) {
+    throw std::invalid_argument(
+        "ServeOptions: max_queue_depth must be >= 0, got " +
+        std::to_string(options.max_queue_depth));
+  }
+  if (options.max_retries < 0) {
+    throw std::invalid_argument("ServeOptions: max_retries must be >= 0, got " +
+                                std::to_string(options.max_retries));
+  }
+  if (options.retry_backoff_seconds < 0.0) {
+    throw std::invalid_argument(
+        "ServeOptions: retry_backoff_seconds must be >= 0, got " +
+        std::to_string(options.retry_backoff_seconds));
+  }
   if (options.max_batch == 0) options.max_batch = adaptive_max_batch(spec);
   return options;
+}
+
+/// Map a dispatch-path exception to the serve error taxonomy;
+/// kTransientDevice and kOutOfMemory are the retryable classes.
+ErrorCode classify_failure(std::exception_ptr error) {
+  try {
+    std::rethrow_exception(error);
+  } catch (const device::StreamFault&) {
+    return ErrorCode::kTransientDevice;
+  } catch (const device::DeviceOutOfMemory&) {
+    return ErrorCode::kOutOfMemory;
+  } catch (const comm::RankFailure&) {
+    return ErrorCode::kRankFailure;
+  } catch (...) {
+    return ErrorCode::kInternal;
+  }
+}
+
+bool retryable(ErrorCode code) {
+  return code == ErrorCode::kTransientDevice || code == ErrorCode::kOutOfMemory;
 }
 
 /// Shared fixture for the adaptive-policy probes: a phantom device
@@ -197,7 +233,8 @@ AsyncScheduler::AsyncScheduler(const device::DeviceSpec& spec, ServeOptions opti
       setup_stream_(dev_),
       cache_(dev_, options_.plan_cache_capacity),
       queue_(options_.max_batch, options_.linger_seconds,
-             options_.max_groups_per_batch, options_.deadline_aware) {
+             options_.max_groups_per_batch, options_.deadline_aware,
+             options_.max_queue_depth, options_.overload_policy) {
   lanes_.resize(static_cast<std::size_t>(options_.num_streams));
   for (std::size_t i = 0; i < lanes_.size(); ++i) {
     lanes_[i].stream = std::make_unique<device::Stream>(dev_);
@@ -307,6 +344,17 @@ int AsyncScheduler::tenant_rank_group(TenantId tenant) const {
   return it->second.rank_group;
 }
 
+bool AsyncScheduler::tenant_degraded(TenantId tenant) const {
+  std::lock_guard lock(tenants_mutex_);
+  const auto it = tenants_.find(tenant);
+  if (it == tenants_.end()) {
+    throw std::invalid_argument(
+        "AsyncScheduler::tenant_degraded: unknown tenant " +
+        std::to_string(tenant));
+  }
+  return it->second.degraded;
+}
+
 int AsyncScheduler::pipeline_chunks_for(const core::LocalDims& dims,
                                         index_t batch,
                                         core::ApplyDirection direction,
@@ -387,17 +435,26 @@ std::future<MatvecResult> AsyncScheduler::enqueue(Request request,
   req.weight = request.qos.weight;
   std::future<MatvecResult> future = req.promise.get_future();
 
+  bool counted = false;
   {
     std::lock_guard lock(state_mutex_);
-    if (!accepting_) {
-      throw std::runtime_error("AsyncScheduler::submit: scheduler is shut down");
+    if (accepting_) {
+      ++in_flight_;
+      counted = true;
     }
-    ++in_flight_;
   }
   // Counted (and the serving wall clock started) before the push: a
   // lane may pop and finish the request before this thread resumes,
   // and completed must never exceed submitted in a metrics() snapshot.
   metrics_.record_submit();
+  if (!counted) {
+    // Shut down: the error contract returns a ready kShutdown future
+    // instead of throwing — the two submit overloads and a live
+    // session handle all behave identically.
+    retire_undispatched(std::move(req), ErrorCode::kShutdown,
+                        /*counted=*/false);
+    return future;
+  }
 
   // Queue-wait span: an async begin/end pair (the wait ends on a lane
   // thread, and same-key waits overlap) matched on trace_id, which
@@ -409,7 +466,6 @@ std::future<MatvecResult> AsyncScheduler::enqueue(Request request,
         {{"tenant", static_cast<std::int64_t>(request.tenant)},
          {"session", static_cast<std::int64_t>(session)}});
   }
-  const std::uint64_t trace_id = req.trace_id;
 
   // Shape-keyed coalescing: tenant splits keys in the same-tenant-only
   // ablation mode, and ALWAYS for sharded tenants — placement is a
@@ -419,16 +475,59 @@ std::future<MatvecResult> AsyncScheduler::enqueue(Request request,
                      options_.cross_tenant_batching && !tenant_sharded
                          ? TenantId{0}
                          : request.tenant};
-  if (!queue_.push(key, std::move(req))) {
-    // close() raced with the accepting_ check; undo the accept.
-    if (trace_id != 0) util::trace::async_end("queue_wait", "serve", trace_id);
-    metrics_.undo_submit();
-    std::lock_guard lock(state_mutex_);
-    --in_flight_;
-    cv_drained_.notify_all();
-    throw std::runtime_error("AsyncScheduler::submit: scheduler is shut down");
+  RequestQueue::PushOutcome outcome = queue_.push(key, std::move(req));
+  // Promises surface OUTSIDE the queue lock: push hands refused and
+  // displaced requests back instead of fulfilling them itself.
+  if (outcome.shed.has_value()) {
+    retire_undispatched(std::move(*outcome.shed), ErrorCode::kShed,
+                        /*counted=*/true);
+  }
+  if (!outcome.accepted()) {
+    const ErrorCode code =
+        outcome.status == RequestQueue::PushOutcome::Status::kClosed
+            ? ErrorCode::kShutdown  // close() raced the accepting_ check
+            : ErrorCode::kQueueFull;
+    retire_undispatched(std::move(*outcome.returned), code, /*counted=*/true);
   }
   return future;
+}
+
+void AsyncScheduler::retire_undispatched(PendingRequest req, ErrorCode code,
+                                         bool counted) {
+  if (req.trace_id != 0) {
+    util::trace::async_end("queue_wait", "serve", req.trace_id);
+  }
+  if (util::trace::enabled()) {
+    util::trace::instant(
+        code == ErrorCode::kShed        ? "shed"
+        : code == ErrorCode::kQueueFull ? "rejected"
+                                        : "refused_shutdown",
+        "serve",
+        {{"tenant", static_cast<std::int64_t>(req.tenant)},
+         {"session", static_cast<std::int64_t>(req.session)}});
+  }
+  const double queue_s = seconds_between(req.enqueued, clock::now());
+  const bool had_deadline = req.has_deadline();
+  MatvecResult result;
+  result.error = code;
+  result.session = req.session;
+  result.queue_seconds = queue_s;
+  // A refused deadline-bearing request was certainly not served on
+  // time.
+  result.deadline_missed = had_deadline;
+  req.promise.set_value(std::move(result));
+  metrics_.record_request(queue_s, 0.0, code, req.session, had_deadline,
+                          had_deadline);
+  {
+    std::lock_guard lock(state_mutex_);
+    if (counted) --in_flight_;
+    if (req.session != 0) {
+      if (const auto it = sessions_.find(req.session); it != sessions_.end()) {
+        --it->second.outstanding;
+      }
+    }
+  }
+  cv_drained_.notify_all();
 }
 
 std::future<MatvecResult> AsyncScheduler::submit(Request request) {
@@ -594,41 +693,60 @@ void AsyncScheduler::execute_batch(int lane, Batch& batch) {
 
   const core::LocalDims dims = batch.key.dims;
   Lane& lane_state = lanes_[static_cast<std::size_t>(lane)];
-  std::shared_ptr<core::FftMatvecPlan> plan;
-  precision::PrecisionConfig config;
-  // The shared_ptrs keep every group's operator alive across the
-  // apply even if its tenant is concurrently deregistered.
-  std::vector<std::shared_ptr<core::BlockToeplitzOperator>> ops;
-  std::vector<core::FftMatvecPlan::OperatorGroup> groups;
-  // Sharded dispatch state (rank-group tenants): the tenant's
-  // ShardedOperator, one cached plan per shard rank and the borrowed
-  // RankLane views DistributedMatvecPlan drives.
+  const TenantId batch_tenant = batch.requests[0].tenant;
+  const precision::PrecisionConfig config =
+      precision::PrecisionConfig::parse(batch.key.precision);
+  const bool forward = batch.key.direction == core::ApplyDirection::kForward;
+  const index_t out_len =
+      forward ? dims.n_t() * dims.n_d_local : dims.n_t() * dims.n_m_local;
+
+  // Tenant bindings resolve ONCE, before any (possibly retried)
+  // dispatch attempt: the shared_ptrs keep every operator alive
+  // across the applies even if its tenant is concurrently
+  // deregistered, and a retry or per-request quarantine re-dispatch
+  // rebuilds its operator groups from these without another pass over
+  // the tenants map.
   std::shared_ptr<core::ShardedOperator> sharded;
-  std::vector<std::shared_ptr<core::FftMatvecPlan>> rank_plans;
-  std::vector<core::DistributedMatvecPlan::RankLane> rank_lanes;
-  std::exception_ptr batch_error;
-  int resolved_chunks = 1;
-  try {
-    {
-      std::lock_guard lock(tenants_mutex_);
-      const Tenant& first = tenants_.at(batch.requests[0].tenant);
-      if (first.sharded) {
-        // Sharded batches are tenant-homogeneous by key construction
-        // (enqueue keys them on the tenant id).
-        sharded = first.sharded;
-      } else {
-        for (std::size_t r = 0; r < b; ++r) {
-          const TenantId tenant = batch.requests[r].tenant;
-          if (r > 0 && tenant == batch.requests[r - 1].tenant) {
-            ++groups.back().rhs_count;
-          } else {
-            ops.push_back(tenants_.at(tenant).op);
-            groups.push_back({ops.back().get(), 1});
-          }
-        }
+  bool was_degraded = false;
+  std::vector<std::shared_ptr<core::BlockToeplitzOperator>> req_ops(b);
+  {
+    std::lock_guard lock(tenants_mutex_);
+    const Tenant& first = tenants_.at(batch_tenant);
+    if (first.sharded) {
+      // Sharded batches are tenant-homogeneous by key construction
+      // (enqueue keys them on the tenant id).
+      sharded = first.sharded;
+      was_degraded = first.degraded;
+    } else {
+      for (std::size_t r = 0; r < b; ++r) {
+        req_ops[r] = tenants_.at(batch.requests[r].tenant).op;
       }
     }
-    config = precision::PrecisionConfig::parse(batch.key.precision);
+  }
+
+  std::vector<MatvecResult> results(b);
+  std::vector<core::PhaseTimings> shares(b);
+  int resolved_chunks = 1;
+  int group_count = sharded ? 1 : 0;
+
+  // One dispatch attempt over requests [lo, hi): acquire the plan(s)
+  // (plan creation may itself fault — an injected DeviceOutOfMemory
+  // caches nothing, so the retry rebuilds cleanly), run ONE fused
+  // apply_batch and attribute the per-request timing shares.  Throws
+  // on failure; a failed attempt leaves no partial numerics visible
+  // (StreamFault fires before any writes) and a successful re-attempt
+  // rewrites results[lo..hi) completely, so retried dispatches stay
+  // bit-identical to a fault-free run.
+  const auto run_attempt = [&](std::size_t lo, std::size_t hi) {
+    const std::size_t n = hi - lo;
+    std::vector<core::ConstVectorView> inputs(n);
+    std::vector<core::VectorView> outputs(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      results[lo + i].output.resize(static_cast<std::size_t>(out_len));
+      inputs[i] = batch.requests[lo + i].input;
+      outputs[i] = results[lo + i].output;
+    }
+    const util::trace::Span apply_span("apply", "serve");
     if (sharded) {
       // Rank plans ride the shared PlanCache under per-(lane, rank)
       // keys: shard rank 0 reuses the lane's own index — it drives the
@@ -648,38 +766,193 @@ void AsyncScheduler::execute_batch(int lane, Batch& batch) {
       }
       resolved_chunks =
           pipeline_chunks_for(sharded->rank_dims(batch.key.direction, 0),
-                              static_cast<index_t>(b), batch.key.direction,
+                              static_cast<index_t>(n), batch.key.direction,
                               config);
-      const util::trace::Span acquire_span("acquire_rank_plans", "serve");
-      for (index_t r = 0; r < ranks; ++r) {
-        device::Stream& rank_stream =
-            r == 0 ? stream
-                   : *lane_state.rank_streams[static_cast<std::size_t>(r - 1)];
-        device::Stream& rank_aux =
-            r == 0 ? aux
-                   : *lane_state.rank_aux[static_cast<std::size_t>(r - 1)];
-        const int encoded = lane + num_lanes * static_cast<int>(r);
-        rank_plans.push_back(cache_.acquire(
-            PlanKey{sharded->rank_dims(batch.key.direction, r),
-                    options_.matvec, dev_.spec().name, encoded},
-            rank_stream));
-        rank_lanes.push_back({rank_plans.back().get(), &rank_aux});
+      if (!lane_state.dist) {
+        lane_state.dist = std::make_unique<core::DistributedMatvecPlan>(
+            options_.matvec.network);
       }
+      std::vector<std::shared_ptr<core::FftMatvecPlan>> rank_plans;
+      std::vector<core::DistributedMatvecPlan::RankLane> rank_lanes;
+      {
+        const util::trace::Span acquire_span("acquire_rank_plans", "serve");
+        for (index_t rk = 0; rk < ranks; ++rk) {
+          device::Stream& rank_stream =
+              rk == 0
+                  ? stream
+                  : *lane_state.rank_streams[static_cast<std::size_t>(rk - 1)];
+          device::Stream& rank_aux =
+              rk == 0
+                  ? aux
+                  : *lane_state.rank_aux[static_cast<std::size_t>(rk - 1)];
+          const int encoded = lane + num_lanes * static_cast<int>(rk);
+          rank_plans.push_back(cache_.acquire(
+              PlanKey{sharded->rank_dims(batch.key.direction, rk),
+                      options_.matvec, dev_.spec().name, encoded},
+              rank_stream));
+          rank_lanes.push_back({rank_plans.back().get(), &rank_aux});
+        }
+      }
+      try {
+        // One sharded apply for the whole range: broadcast and gather
+        // fused across all n right-hand sides (CommMode::kBatched),
+        // per-rank compute on the lane's rank stream pairs.
+        lane_state.dist->apply_batch(*sharded, batch.key.direction, config,
+                                     inputs, outputs, rank_lanes,
+                                     core::CommMode::kBatched,
+                                     resolved_chunks);
+        metrics_.record_comm(lane, lane_state.dist->last_timings().comm);
+        if (was_degraded) {
+          // The group answered a full sharded dispatch again: healed.
+          was_degraded = false;
+          {
+            std::lock_guard lock(tenants_mutex_);
+            if (const auto it = tenants_.find(batch_tenant);
+                it != tenants_.end()) {
+              it->second.degraded = false;
+            }
+          }
+          if (trace_on) {
+            util::trace::instant(
+                "rank_healed", "serve",
+                {{"tenant", static_cast<std::int64_t>(batch_tenant)}});
+          }
+        }
+      } catch (const comm::RankFailure& rf) {
+        // A rank is down for this dispatch: mark the tenant degraded
+        // and fall back to the single-rank path — every slice runs
+        // serially on this lane's own stream pair, zero collectives,
+        // outputs bit-identical to the sharded apply (slice supports
+        // are disjoint).  Slower, but the batch completes.
+        metrics_.record_rank_failure();
+        {
+          std::lock_guard lock(tenants_mutex_);
+          if (const auto it = tenants_.find(batch_tenant);
+              it != tenants_.end()) {
+            it->second.degraded = true;
+          }
+        }
+        was_degraded = true;
+        if (trace_on) {
+          util::trace::instant(
+              "rank_failure", "serve",
+              {{"tenant", static_cast<std::int64_t>(batch_tenant)},
+               {"rank", static_cast<std::int64_t>(rf.rank())},
+               {"batch_seq", batch_seq}});
+        }
+        // Fallback plans bind every slice to the MAIN lane stream,
+        // keyed at this lane's own index (rank 0's regular entry is
+        // interchangeable; equal-shaped slices legitimately share one
+        // cached plan, reused serially).
+        std::vector<std::shared_ptr<core::FftMatvecPlan>> fb_plans;
+        std::vector<core::DistributedMatvecPlan::RankLane> fb_lanes;
+        for (index_t rk = 0; rk < ranks; ++rk) {
+          fb_plans.push_back(cache_.acquire(
+              PlanKey{sharded->rank_dims(batch.key.direction, rk),
+                      options_.matvec, dev_.spec().name, lane},
+              stream));
+          fb_lanes.push_back({fb_plans.back().get(), &aux});
+        }
+        lane_state.dist->apply_batch_degraded(*sharded, batch.key.direction,
+                                              config, inputs, outputs,
+                                              fb_lanes, resolved_chunks);
+        metrics_.record_degraded_batch();
+        if (trace_on) {
+          util::trace::instant(
+              "degraded_dispatch", "serve",
+              {{"tenant", static_cast<std::int64_t>(batch_tenant)},
+               {"batch_seq", batch_seq}});
+        }
+      }
+      const auto& rhs_shares = lane_state.dist->last_batch_timings();
+      for (std::size_t i = 0; i < n; ++i) shares[lo + i] = rhs_shares[i];
     } else {
       // Resolved for this exact (shape, batch size, direction,
       // precision): every pipelined dispatch runs a configuration the
       // model validated against serial — a partial, adjoint or
       // lower-precision batch never inherits the full-batch
       // forward-ddddd count.
-      resolved_chunks = pipeline_chunks_for(dims, static_cast<index_t>(b),
+      resolved_chunks = pipeline_chunks_for(dims, static_cast<index_t>(n),
                                             batch.key.direction, config);
-      const util::trace::Span acquire_span("acquire_plan", "serve");
-      plan = cache_.acquire(
-          PlanKey{dims, options_.matvec, dev_.spec().name, lane}, stream);
+      std::shared_ptr<core::FftMatvecPlan> plan;
+      {
+        const util::trace::Span acquire_span("acquire_plan", "serve");
+        plan = cache_.acquire(
+            PlanKey{dims, options_.matvec, dev_.spec().name, lane}, stream);
+      }
+      // Contiguous same-tenant runs form operator groups (the batch
+      // was stable-sorted by tenant above).
+      std::vector<core::FftMatvecPlan::OperatorGroup> groups;
+      for (std::size_t i = lo; i < hi; ++i) {
+        if (i > lo &&
+            batch.requests[i].tenant == batch.requests[i - 1].tenant) {
+          ++groups.back().rhs_count;
+        } else {
+          groups.push_back({req_ops[i].get(), 1});
+        }
+      }
+      group_count = static_cast<int>(groups.size());
+      core::BatchPipeline pipeline;
+      pipeline.chunks = resolved_chunks;
+      pipeline.aux = &aux;
+      plan->apply_batch(groups, batch.key.direction, config, inputs, outputs,
+                        pipeline);
+      const auto& rhs_shares = plan->last_batch_timings();
+      for (std::size_t i = 0; i < n; ++i) shares[lo + i] = rhs_shares[i];
     }
-  } catch (...) {
-    batch_error = std::current_exception();
-  }
+  };
+
+  // Doubling backoff before re-dispatch k of [lo, hi), clamped to the
+  // tightest remaining deadline slack in the range — a retry never
+  // sleeps past a deadline it could still make (and never sleeps at
+  // all once every deadline in the range has passed).
+  const auto backoff = [&](int attempt, std::size_t lo, std::size_t hi) {
+    double delay = options_.retry_backoff_seconds;
+    for (int i = 1; i < attempt; ++i) delay *= 2.0;
+    const auto now = clock::now();
+    for (std::size_t r = lo; r < hi; ++r) {
+      if (batch.requests[r].has_deadline()) {
+        const double slack =
+            std::max(0.0, seconds_between(now, batch.requests[r].deadline));
+        delay = std::min(delay, slack);
+      }
+    }
+    if (delay > 0.0) {
+      std::this_thread::sleep_for(std::chrono::duration<double>(delay));
+    }
+  };
+
+  // Dispatch requests [lo, hi) under the retry budget: retryable
+  // failures (transient stream faults, plan-creation OOM) re-dispatch
+  // up to max_retries times with backoff.  Returns kOk or the final
+  // failure's class; `retries` accumulates re-dispatches consumed.
+  const auto run_range = [&](std::size_t lo, std::size_t hi, int& retries) {
+    for (int attempt = 0;; ++attempt) {
+      try {
+        run_attempt(lo, hi);
+        return ErrorCode::kOk;
+      } catch (...) {
+        const ErrorCode code = classify_failure(std::current_exception());
+        if (trace_on) {
+          util::trace::instant("fault", "serve",
+                               {{"code", error_code_name(code)},
+                                {"lane", lane},
+                                {"batch_seq", batch_seq},
+                                {"attempt", attempt}});
+        }
+        if (!retryable(code) || attempt >= options_.max_retries) return code;
+        ++retries;
+        metrics_.record_retry();
+        if (trace_on) {
+          util::trace::instant("retry", "serve",
+                               {{"attempt", attempt + 1},
+                                {"lane", lane},
+                                {"batch_seq", batch_seq}});
+        }
+        backoff(attempt + 1, lo, hi);
+      }
+    }
+  };
 
   // The whole coalesced batch executes as ONE fused apply_batch: the
   // cached plan's phase-2/4 FFTs run b * n_s sequences in one launch
@@ -692,46 +965,26 @@ void AsyncScheduler::execute_batch(int lane, Batch& batch) {
   // simulated makespan.  The batch's simulated time and PhaseTimings
   // are attributed by each request's share of the modelled phase work
   // (plan->last_batch_timings()).
-  std::vector<MatvecResult> results(b);
-  std::vector<core::PhaseTimings> shares;
-  if (!batch_error) {
-    try {
-      const bool forward =
-          batch.key.direction == core::ApplyDirection::kForward;
-      const index_t out_len =
-          forward ? dims.n_t() * dims.n_d_local : dims.n_t() * dims.n_m_local;
-      std::vector<core::ConstVectorView> inputs(b);
-      std::vector<core::VectorView> outputs(b);
-      for (std::size_t r = 0; r < b; ++r) {
-        results[r].output.resize(static_cast<std::size_t>(out_len));
-        inputs[r] = batch.requests[r].input;
-        outputs[r] = results[r].output;
-      }
-      const util::trace::Span apply_span("apply", "serve");
-      if (sharded) {
-        // One sharded apply for the whole batch: broadcast and gather
-        // fused across all b right-hand sides (CommMode::kBatched),
-        // per-rank compute on the lane's rank stream pairs.
-        if (!lane_state.dist) {
-          lane_state.dist = std::make_unique<core::DistributedMatvecPlan>(
-              options_.matvec.network);
-        }
-        lane_state.dist->apply_batch(*sharded, batch.key.direction, config,
-                                     inputs, outputs, rank_lanes,
-                                     core::CommMode::kBatched,
-                                     resolved_chunks);
-        shares = lane_state.dist->last_batch_timings();
-        metrics_.record_comm(lane, lane_state.dist->last_timings().comm);
-      } else {
-        core::BatchPipeline pipeline;
-        pipeline.chunks = resolved_chunks;
-        pipeline.aux = &aux;
-        plan->apply_batch(groups, batch.key.direction, config, inputs, outputs,
-                          pipeline);
-        shares = plan->last_batch_timings();
-      }
-    } catch (...) {
-      batch_error = std::current_exception();
+  int batch_retries = 0;
+  const ErrorCode batch_code = run_range(0, b, batch_retries);
+  std::vector<ErrorCode> codes(b, batch_code);
+  std::vector<int> req_retries(b, batch_retries);
+  if (batch_code != ErrorCode::kOk && b > 1) {
+    // Batch-failure isolation: the fused dispatch kept failing, so
+    // quarantine — each request re-dispatches SOLO with its own fresh
+    // retry budget.  A poisoned request then fails alone instead of
+    // failing all b futures; its companions complete bit-identically
+    // (outputs never depend on batch composition).
+    if (trace_on) {
+      util::trace::instant("quarantine", "serve",
+                           {{"batch_seq", batch_seq}, {"size", batch_size}});
+    }
+    for (std::size_t r = 0; r < b; ++r) {
+      metrics_.record_retry();
+      ++req_retries[r];
+      int solo_retries = 0;
+      codes[r] = run_range(r, r + 1, solo_retries);
+      req_retries[r] += solo_retries;
     }
   }
 
@@ -739,35 +992,40 @@ void AsyncScheduler::execute_batch(int lane, Batch& batch) {
   for (std::size_t r = 0; r < b; ++r) {
     auto& req = batch.requests[r];
     const double queue_s = seconds_between(req.enqueued, exec_start);
-    bool failed = false;
+    const bool failed = codes[r] != ErrorCode::kOk;
     // Fulfilled-late test against the wall clock at fulfillment; a
     // failed request with a deadline also counts as a miss (it was
     // certainly not served on time).
     const auto fulfilled = clock::now();
     const bool missed =
-        req.has_deadline() && (batch_error || fulfilled > req.deadline);
-    if (batch_error) {
-      req.promise.set_exception(batch_error);
-      failed = true;
+        req.has_deadline() && (failed || fulfilled > req.deadline);
+    MatvecResult result;
+    if (failed) {
+      // Failures are VALUES, never future exceptions: the code says
+      // why, and the batch/latency fields below still describe the
+      // attempt (see the AsyncScheduler error contract).
+      result.error = codes[r];
     } else {
-      MatvecResult result = std::move(results[r]);
+      result = std::move(results[r]);
       result.timings = shares[r];
       // span(): the request's share of the batch's end-to-end
       // makespan, so per-request sim times still sum to the lane
       // clock advance when a pipelined batch overlapped phases
       // (busy-time per phase stays available in `timings`).
       result.sim_seconds = shares[r].span();
-      result.queue_seconds = queue_s;
-      result.exec_seconds = seconds_between(exec_start, fulfilled);
-      result.batch_size = batch_size;
-      result.lane = lane;
-      result.batch_seq = batch_seq;
-      result.session = req.session;
-      result.deadline_missed = missed;
-      req.promise.set_value(std::move(result));
     }
+    result.queue_seconds = queue_s;
+    result.exec_seconds = seconds_between(exec_start, fulfilled);
+    result.batch_size = batch_size;
+    result.lane = lane;
+    result.batch_seq = batch_seq;
+    result.session = req.session;
+    result.deadline_missed = missed;
+    result.retries = req_retries[r];
+    req.promise.set_value(std::move(result));
     metrics_.record_request(queue_s, seconds_between(exec_start, clock::now()),
-                            failed, req.session, req.has_deadline(), missed);
+                            codes[r], req.session, req.has_deadline(), missed,
+                            req_retries[r]);
     ++done;
   }
   metrics_.record_batch(batch_size, stream.now() - sim_start);
@@ -790,14 +1048,17 @@ void AsyncScheduler::execute_batch(int lane, Batch& batch) {
         "batch", "serve", span_t0, util::trace::now_us() - span_t0,
         {{"batch_seq", batch_seq},
          {"size", batch_size},
-         {"groups", static_cast<std::int64_t>(groups.size())},
+         {"groups", static_cast<std::int64_t>(group_count)},
          {"chunks", resolved_chunks},
          {"lane", lane},
          {"shape", std::to_string(d.n_m) + "x" + std::to_string(d.n_d) + "x" +
                        std::to_string(d.n_t)},
          {"dir", direction_name(batch.key.direction)},
          {"precision", batch.key.precision},
-         {"failed", batch_error ? 1 : 0}});
+         {"failed", static_cast<std::int64_t>(std::count_if(
+                        codes.begin(), codes.end(),
+                        [](ErrorCode c) { return c != ErrorCode::kOk; }))},
+         {"retries", batch_retries}});
   }
 
   const auto cache_stats = cache_.stats();

@@ -36,7 +36,38 @@
 // bench/serve_slo gates the attainment win over the deadline-blind
 // round-robin baseline.  Shutdown is graceful: accepted requests
 // drain before the workers exit, and every future is always fulfilled
-// (value or exception).
+// with a MatvecResult value.
+//
+// ERROR CONTRACT — what throws, what returns a failed future, what
+// retries silently:
+//
+//   THROWS std::invalid_argument, synchronously, for caller bugs
+//   only: unknown tenant, wrong input extent, invalid QoS (negative
+//   deadline, non-positive weight), invalid ServeOptions at
+//   construction, and open_stream pin-capacity overflow.
+//   StreamSession::submit/close on a CLOSED handle — or a handle that
+//   outlived its scheduler — still throws std::runtime_error: handle
+//   misuse is a caller bug, not a service outcome.
+//
+//   RETURNS A FAILED FUTURE (a MatvecResult value with `error` set;
+//   NEVER a future exception) for every service-side outcome:
+//   kShutdown for a submit after shutdown() — both submit overloads
+//   and StreamSession::submit on a live handle — kQueueFull/kShed
+//   from bounded admission (max_queue_depth + overload_policy), and
+//   kTransientDevice / kOutOfMemory / kRankFailure / kInternal when a
+//   dispatch failure survives the retry budget.
+//
+//   RETRIES SILENTLY (observable only through MatvecResult::retries,
+//   ServeMetrics retry counters and trace instants): transient
+//   stream/kernel faults and plan-creation DeviceOutOfMemory
+//   re-dispatch up to ServeOptions::max_retries times with doubling
+//   backoff clamped to the batch's tightest deadline slack; a batch
+//   that keeps failing is broken up and each request re-dispatched
+//   solo, so one poisoned request cannot fail its batch companions;
+//   and a sharded tenant whose rank group loses a rank falls back to
+//   a bit-identical single-rank dispatch (slower: no rank
+//   parallelism), the tenant marked degraded until a later sharded
+//   dispatch succeeds.
 #pragma once
 
 #include <future>
@@ -120,6 +151,25 @@ struct ServeOptions {
   /// batcher (misses are still counted) — kept as the bench/serve_slo
   /// baseline ablation.
   bool deadline_aware = true;
+  /// Bound on total pending requests (0 = unbounded, the default).
+  /// At the bound, `overload_policy` decides what gives way; refused
+  /// and displaced requests resolve their futures with kQueueFull /
+  /// kShed instead of queueing without limit.
+  int max_queue_depth = 0;
+  /// What happens to new work at max_queue_depth (ignored while the
+  /// depth is unbounded).  The default sheds the newest pending
+  /// best-effort request to admit deadline-bearing arrivals.
+  OverloadPolicy overload_policy = OverloadPolicy::kShedBestEffort;
+  /// Re-dispatch budget for retryable dispatch failures (transient
+  /// stream/kernel faults, plan-creation OOM): a failed fused batch
+  /// retries up to this many times before the per-request quarantine
+  /// pass, and each quarantined request gets the same budget solo.
+  /// 0 disables retry (first failure is final).
+  int max_retries = 2;
+  /// Base backoff before a re-dispatch; attempt k sleeps
+  /// retry_backoff_seconds * 2^(k-1), clamped so the wait never
+  /// exceeds the tightest remaining deadline slack in the batch.
+  double retry_backoff_seconds = 50e-6;
   /// Matvec execution options shared by all tenants.
   core::MatvecOptions matvec;
 };
@@ -213,13 +263,22 @@ class AsyncScheduler {
   /// Throws std::invalid_argument for an unknown tenant.
   int tenant_rank_group(TenantId tenant) const;
 
+  /// True while a sharded tenant is serving on the degraded
+  /// single-rank fallback after a rank failure (outputs stay
+  /// bit-identical; rank parallelism is lost).  Cleared by the next
+  /// successful sharded dispatch.  Always false for unsharded
+  /// tenants; throws std::invalid_argument for an unknown tenant.
+  bool tenant_degraded(TenantId tenant) const;
+
   /// Enqueue one matvec described by a Request (the canonical submit
   /// form: new request-path fields — e.g. StreamQoS — land on the
   /// struct, not on a growing argument list).  `request.input` is
   /// TOSI (n_t x n_m for forward, n_t x n_d for adjoint).  Throws
   /// std::invalid_argument for an unknown tenant, wrong extent or
-  /// invalid QoS, std::runtime_error after shutdown.  The returned
-  /// future is always eventually fulfilled.
+  /// invalid QoS; every other outcome — including a submit after
+  /// shutdown (kShutdown) and bounded-admission refusal (kQueueFull)
+  /// — arrives as a fulfilled future whose MatvecResult carries the
+  /// ErrorCode (see the class error contract).
   std::future<MatvecResult> submit(Request request);
 
   /// Positional convenience form: equivalent to submit(Request{...})
@@ -237,7 +296,9 @@ class AsyncScheduler {
   /// Throws std::invalid_argument for an unknown tenant, a negative
   /// deadline, a non-positive weight, or when the pinned working set
   /// (distinct pinned shapes x num_streams lanes) would exceed
-  /// plan_cache_capacity; std::runtime_error after shutdown.
+  /// plan_cache_capacity; std::runtime_error after shutdown (this
+  /// call returns a handle, not a future, so there is no failed
+  /// future to return — unlike submit).
   StreamSession open_stream(TenantId tenant, core::ApplyDirection direction,
                             const precision::PrecisionConfig& config,
                             StreamQoS qos = {});
@@ -245,8 +306,10 @@ class AsyncScheduler {
   /// Block until every accepted request has completed.
   void drain();
 
-  /// Drain, then stop the workers.  Idempotent; submit() refuses new
-  /// work afterwards.  Called by the destructor.
+  /// Drain, then stop the workers.  Idempotent; afterwards every
+  /// submit overload (and StreamSession::submit on a live handle)
+  /// returns a ready future carrying ErrorCode::kShutdown.  Called by
+  /// the destructor.
   void shutdown();
 
   MetricsSnapshot metrics() const;
@@ -280,6 +343,10 @@ class AsyncScheduler {
     int rank_group = 1;
     /// Sharded placement (rank_group > 1); null otherwise.
     std::shared_ptr<core::ShardedOperator> sharded;
+    /// Serving on the single-rank fallback after a rank failure
+    /// (guarded by tenants_mutex_); cleared when a sharded dispatch
+    /// next succeeds.
+    bool degraded = false;
   };
   /// Book-keeping for one open StreamSession (guarded by
   /// state_mutex_).  `outstanding` counts accepted-but-unfulfilled
@@ -319,9 +386,18 @@ class AsyncScheduler {
   void execute_batch(int lane, Batch& batch);
 
   /// Common enqueue path behind both submit forms and session
-  /// submits: validates, stamps the absolute deadline from
-  /// request.qos, counts in-flight and pushes to the queue.
+  /// submits: validates (throwing std::invalid_argument for caller
+  /// bugs), stamps the absolute deadline from request.qos, counts
+  /// in-flight and pushes to the queue.  Shutdown and
+  /// bounded-admission refusals fulfil the future with the ErrorCode
+  /// instead of throwing (see the class error contract).
   std::future<MatvecResult> enqueue(Request request, SessionId session);
+  /// Fulfil a request that never dispatched (shutdown race, admission
+  /// refusal, shed victim) with a failed MatvecResult, closing its
+  /// trace span and metrics accounting.  `counted` says whether the
+  /// request already holds an in_flight_ / session-outstanding count
+  /// to release.
+  void retire_undispatched(PendingRequest req, ErrorCode code, bool counted);
   /// StreamSession::submit body: resolves the session's (tenant,
   /// direction, config, qos), counts the apply outstanding and
   /// delegates to enqueue().

@@ -64,7 +64,11 @@ class StreamSession {
 
   /// Enqueue the session's next apply (TOSI input, same extent rules
   /// as AsyncScheduler::submit).  The session's applies are dispatched
-  /// in submit order.  Throws std::runtime_error on a closed handle.
+  /// in submit order.  Throws std::runtime_error on a closed handle
+  /// (or one that outlived its scheduler) — handle misuse is a caller
+  /// bug; a live handle racing the scheduler's shutdown() instead
+  /// returns a ready future carrying ErrorCode::kShutdown, like both
+  /// AsyncScheduler::submit overloads.
   std::future<MatvecResult> submit(std::vector<double> input);
 
   /// Drain this session's outstanding applies, unpin its plan shape

@@ -180,7 +180,7 @@ TEST(PlanCache, FullyPinnedCacheStillReturnsTheRequestedPlan) {
 TEST(RequestQueue, SplitsKeyIntoMaxBatchChunks) {
   RequestQueue q(3, 0.0);
   const BatchKey key = batch_key(small_dims());
-  for (int i = 0; i < 5; ++i) EXPECT_TRUE(q.push(key, make_request()));
+  for (int i = 0; i < 5; ++i) EXPECT_TRUE(q.push(key, make_request()).accepted());
   auto b1 = q.pop_batch();
   ASSERT_TRUE(b1.has_value());
   EXPECT_EQ(b1->requests.size(), 3u);
@@ -289,7 +289,11 @@ TEST(RequestQueue, CloseDrainsThenStops) {
   q.push(key, make_request());
   q.push(key, make_request());
   q.close();
-  EXPECT_FALSE(q.push(key, make_request()));  // no new work after close
+  // No new work after close: the request comes back for the caller to
+  // fail (the queue never owns a promise it will not fulfil).
+  const auto refused = q.push(key, make_request());
+  EXPECT_EQ(refused.status, RequestQueue::PushOutcome::Status::kClosed);
+  EXPECT_TRUE(refused.returned.has_value());
   const auto batch = q.pop_batch();           // queued work still drains
   ASSERT_TRUE(batch.has_value());
   EXPECT_EQ(batch->requests.size(), 2u);
@@ -610,10 +614,17 @@ TEST(AsyncScheduler, ShutdownIsGracefulAndRefusesNewWork) {
                                    precision::PrecisionConfig{}, input));
   }
   sched.shutdown();
-  for (auto& f : futures) EXPECT_NO_THROW(f.get());  // accepted work drained
-  EXPECT_THROW(sched.submit(tenant.tenant, core::ApplyDirection::kForward,
-                            precision::PrecisionConfig{}, input),
-               std::runtime_error);
+  for (auto& f : futures) {
+    EXPECT_TRUE(f.get().ok());  // accepted work drained successfully
+  }
+  // The unified submit-after-shutdown contract: a READY future
+  // carrying kShutdown, never a synchronous throw (see the error
+  // contract on AsyncScheduler).
+  using namespace std::chrono_literals;
+  auto refused = sched.submit(tenant.tenant, core::ApplyDirection::kForward,
+                              precision::PrecisionConfig{}, input);
+  ASSERT_EQ(refused.wait_for(0s), std::future_status::ready);
+  EXPECT_EQ(refused.get().error, ErrorCode::kShutdown);
   sched.shutdown();  // idempotent
 }
 
@@ -1236,7 +1247,7 @@ TEST(ServeMetrics, ClosedSessionCompactsToRetainedSummary) {
   ServeMetrics m;
   for (int i = 0; i < 10; ++i) {
     m.record_submit();
-    m.record_request(1e-3, 2e-3, /*failed=*/false, /*session=*/7,
+    m.record_request(1e-3, 2e-3, ErrorCode::kOk, /*session=*/7,
                      /*had_deadline=*/true, /*missed=*/i == 0);
   }
   m.close_session(7);
@@ -1302,13 +1313,13 @@ TEST(ServeMetrics, SloAttainmentCountsOnlyDeadlineTaggedRequests) {
   ServeMetrics m;
   for (int i = 0; i < 5; ++i) {
     m.record_submit();
-    m.record_request(1e-3, 1e-3, /*failed=*/false);  // best effort
+    m.record_request(1e-3, 1e-3, ErrorCode::kOk);  // best effort
   }
   auto snap = m.snapshot();
   EXPECT_EQ(snap.deadline_total, 0);
   EXPECT_DOUBLE_EQ(snap.slo_attainment(), 1.0);
   m.record_submit();
-  m.record_request(1e-3, 1e-3, /*failed=*/false, /*session=*/0,
+  m.record_request(1e-3, 1e-3, ErrorCode::kOk, /*session=*/0,
                    /*had_deadline=*/true, /*missed=*/true);
   snap = m.snapshot();
   EXPECT_EQ(snap.deadline_total, 1);
@@ -1318,7 +1329,7 @@ TEST(ServeMetrics, SloAttainmentCountsOnlyDeadlineTaggedRequests) {
 TEST(ServeMetrics, RetiredOnlySessionTableRenders) {
   ServeMetrics m;
   m.record_submit();
-  m.record_request(1e-3, 1e-3, /*failed=*/false, /*session=*/3);
+  m.record_request(1e-3, 1e-3, ErrorCode::kOk, /*session=*/3);
   m.close_session(3);
   const auto snap = m.snapshot();
   ASSERT_EQ(snap.sessions.size(), 1u);  // only the retired summary
@@ -1738,10 +1749,10 @@ TEST(AsyncScheduler, DrainMidShardedFlightFulfillsEveryFuture) {
   EXPECT_EQ(snap.completed, 16);
   EXPECT_GT(snap.sharded_batches, 0);
   sched.shutdown();
-  EXPECT_THROW(sched.submit(t, core::ApplyDirection::kForward,
-                            precision::PrecisionConfig{},
-                            core::make_input_vector(dims.n_t * dims.n_m, 999)),
-               std::runtime_error);
+  auto refused = sched.submit(t, core::ApplyDirection::kForward,
+                              precision::PrecisionConfig{},
+                              core::make_input_vector(dims.n_t * dims.n_m, 999));
+  EXPECT_EQ(refused.get().error, ErrorCode::kShutdown);
 }
 
 }  // namespace
