@@ -27,10 +27,27 @@
 // >= 0.9, at least one shed and one rejection, and no lost futures
 // (completed + failed == submitted).
 //
+// Section C — SDC storm.  The same three tenants serve the Section A
+// burst under seeded silent-data-corruption injection (the FaultPlan's
+// buffer site flips an exponent bit in grouped-GEMV outputs: the first
+// two buffer writes scripted plus a Bernoulli rate).  A verify-off
+// baseline completes "successfully" with wrong answers (the
+// corrupted-and-undetected contrast row); the checksum-mode run must
+// deliver >= 99% results bit-identical to the clean run, detect every
+// injected fault (detection rate = serve detections / injected buffer
+// faults), recompute transparently, and surface ZERO false positives.
+// Then two deterministic core-level probes: the modelled checksum
+// overhead at the serve shape (verify-on vs verify-off makespan,
+// <= 10%) and a zero-false-positive sweep running paranoid mode over
+// ALL 32 precision configs x both directions with no injection —
+// outputs must match verify-off bit-for-bit and nothing may throw.
+//
 // Reported: a "resilience" table ("retry success rate" is tracked by
-// cmake/perf_diff.py) and an "overload" table (the "shed-best-effort"
-// row's "SLO attainment" is tracked).  `--quick` shrinks both bursts
-// for the CI smoke step.  Exits nonzero on any self-check failure.
+// cmake/perf_diff.py), an "overload" table (the "shed-best-effort"
+// row's "SLO attainment" is tracked) and an "sdc" table ("sdc
+// detection rate" and "verify overhead" are tracked).  `--quick`
+// shrinks the bursts for the CI smoke step.  Exits nonzero on any
+// self-check failure.
 #include <algorithm>
 #include <future>
 #include <iostream>
@@ -39,8 +56,10 @@
 #include <vector>
 
 #include "bench_common.hpp"
+#include "core/block_toeplitz.hpp"
 #include "device/fault_plan.hpp"
 #include "serve/scheduler.hpp"
+#include "util/thread_pool.hpp"
 
 using namespace fftmv;
 
@@ -347,6 +366,247 @@ int main(int argc, char** argv) {
       ok = false;
     }
   }
+
+  // --------------------------------------------- Section C: SDC storm
+  bench::print_header("Serve SDC storm — seeded buffer corruption, checksum "
+                      "verify vs undetected baseline (" +
+                      std::to_string(n_storm) + " requests)");
+
+  struct SdcResult {
+    std::vector<serve::MatvecResult> results;  // submission order
+    serve::MetricsSnapshot snap;
+  };
+  // The Section A burst replayed under SDC injection: the FaultPlan's
+  // buffer site corrupts grouped-GEMV outputs (first two writes
+  // scripted so the storm engages deterministically, plus a Bernoulli
+  // tail), while kernel/alloc/rank sites stay quiet — every observed
+  // wrong answer or detection is attributable to the buffer site.
+  const auto run_sdc = [&](core::VerifyMode verify) {
+    SdcResult out;
+    serve::ServeOptions opts;
+    opts.num_streams = 1;
+    opts.max_batch = 4;
+    opts.linger_seconds = 200e-6;
+    opts.max_retries = 4;
+    opts.retry_backoff_seconds = 20e-6;
+    opts.verify_mode = verify;
+    serve::AsyncScheduler sched(spec, opts);
+    std::vector<serve::TenantId> ids;
+    for (const auto& ts : tenants) {
+      ids.push_back(sched.add_tenant(ts.dims, ts.col, ts.rank_group));
+    }
+    device::FaultPlanOptions fopts;
+    fopts.seed = 3033;
+    fopts.buffer_fault_rate = 0.05;
+    auto plan = std::make_shared<device::FaultPlan>(fopts);
+    plan->fail_buffer_writes(0, 2);
+    sched.device().set_fault_plan(plan);
+    std::vector<std::future<serve::MatvecResult>> futures;
+    for (int i = 0; i < n_storm; ++i) {
+      futures.push_back(sched.submit(
+          ids[static_cast<std::size_t>(i) % tenants.size()],
+          core::ApplyDirection::kForward, precision::PrecisionConfig{},
+          storm_inputs[static_cast<std::size_t>(i)]));
+    }
+    for (auto& f : futures) out.results.push_back(f.get());
+    sched.drain();
+    out.snap = sched.metrics();
+    return out;
+  };
+
+  const SdcResult undetected = run_sdc(core::VerifyMode::kOff);
+  const SdcResult protected_run = run_sdc(core::VerifyMode::kChecksum);
+
+  // Baseline contrast: with verify off every request "succeeds", but
+  // the injected corruption hands back wrong answers undetected.
+  index_t baseline_wrong = 0;
+  for (std::size_t i = 0; i < undetected.results.size(); ++i) {
+    if (undetected.results[i].ok() &&
+        undetected.results[i].output != clean.results[i].output) {
+      ++baseline_wrong;
+    }
+  }
+  if (baseline_wrong < 1) {
+    std::cout << "FAIL: the verify-off baseline shows no corrupted results — "
+                 "the storm never engaged\n";
+    ok = false;
+  }
+  if (undetected.snap.sdc_detected != 0) {
+    std::cout << "FAIL: verify-off run reported "
+              << undetected.snap.sdc_detected << " detection(s)\n";
+    ok = false;
+  }
+
+  // Protected run: >= 99% of results must be bit-identical to the
+  // clean run (a recompute after a detection is indistinguishable from
+  // a never-corrupted dispatch).
+  index_t sdc_correct = 0;
+  for (std::size_t i = 0; i < protected_run.results.size(); ++i) {
+    if (protected_run.results[i].ok() &&
+        protected_run.results[i].output == clean.results[i].output) {
+      ++sdc_correct;
+    }
+  }
+  const double correct_rate =
+      static_cast<double>(sdc_correct) / static_cast<double>(n_storm);
+  if (correct_rate < 0.99) {
+    std::cout << "FAIL: only " << sdc_correct << "/" << n_storm
+              << " results correct under the SDC storm in checksum mode "
+                 "(need >= 99%)\n";
+    ok = false;
+  }
+  const auto& psnap = protected_run.snap;
+  if (psnap.sdc_detected < 1 || psnap.sdc_recomputes < 1) {
+    std::cout << "FAIL: expected detections and recomputes (detected "
+              << psnap.sdc_detected << ", recomputes " << psnap.sdc_recomputes
+              << ")\n";
+    ok = false;
+  }
+  if (psnap.sdc_false_positives != 0) {
+    std::cout << "FAIL: " << psnap.sdc_false_positives
+              << " request(s) surfaced kSilentCorruption (persistent "
+                 "detection under a transient injection model)\n";
+    ok = false;
+  }
+  if (!psnap.have_fault_stats || psnap.fault_stats.buffer_faults < 1) {
+    std::cout << "FAIL: the fault-plan audit shows no injected buffer "
+                 "faults\n";
+    ok = false;
+  }
+  // Every injected corruption sits in a grouped-GEMV output that the
+  // very next verify launch reads, so checksum mode must catch them
+  // all: detections / injected faults >= 0.99 (it is exactly 1.0 when
+  // no detection is spurious).
+  const double detection_rate =
+      psnap.have_fault_stats && psnap.fault_stats.buffer_faults > 0
+          ? static_cast<double>(psnap.sdc_detected) /
+                static_cast<double>(psnap.fault_stats.buffer_faults)
+          : 0.0;
+  if (detection_rate < 0.99) {
+    std::cout << "FAIL: sdc detection rate "
+              << util::Table::fmt(detection_rate, 3) << " < 0.99 ("
+              << psnap.sdc_detected << " detections / "
+              << (psnap.have_fault_stats ? psnap.fault_stats.buffer_faults : 0)
+              << " injected faults)\n";
+    ok = false;
+  }
+  std::cout << "sdc storm: baseline " << baseline_wrong << "/" << n_storm
+            << " silently wrong; checksum mode " << sdc_correct << "/"
+            << n_storm << " correct, " << psnap.sdc_detected
+            << " detection(s), " << psnap.sdc_recomputes
+            << " recompute(s), " << psnap.sdc_false_positives
+            << " false positive(s)\n";
+
+  // Modelled verify overhead at the serve shape: one deterministic
+  // core-level batch, verify off vs checksum, same plan and stream
+  // (the simulated clock advance IS the modelled makespan).  The
+  // checksum work rides the main grouped launch plus one tiny verify
+  // launch, so the ratio must stay within the 10% budget.
+  double t_off = 0.0, t_on = 0.0;
+  {
+    device::Device dev(spec, &util::ThreadPool::global());
+    device::Stream stream(dev);
+    const auto dims = core::LocalDims::single_rank(tenants[0].dims);
+    core::BlockToeplitzOperator op(dev, stream, dims, tenants[0].col);
+    core::FftMatvecPlan plan(dev, stream, dims);
+    op.checksum_d(stream, /*adjoint=*/false);  // warm, like serve setup
+    const index_t b = 8;
+    std::vector<std::vector<double>> ins;
+    std::vector<std::vector<double>> outs(static_cast<std::size_t>(b));
+    std::vector<core::ConstVectorView> in_views(static_cast<std::size_t>(b));
+    std::vector<core::VectorView> out_views(static_cast<std::size_t>(b));
+    for (index_t i = 0; i < b; ++i) {
+      ins.push_back(core::make_input_vector(
+          tenants[0].dims.n_t * tenants[0].dims.n_m, 950 + i));
+      outs[static_cast<std::size_t>(i)].resize(static_cast<std::size_t>(
+          tenants[0].dims.n_t * tenants[0].dims.n_d));
+      in_views[static_cast<std::size_t>(i)] = ins.back();
+      out_views[static_cast<std::size_t>(i)] = outs[static_cast<std::size_t>(i)];
+    }
+    const auto timed = [&](core::VerifyMode mode) {
+      core::BatchPipeline pipeline;
+      pipeline.verify = mode;
+      const double t0 = stream.now();
+      plan.apply_batch(op, core::ApplyDirection::kForward,
+                       precision::PrecisionConfig{}, in_views, out_views,
+                       pipeline);
+      return stream.now() - t0;
+    };
+    timed(core::VerifyMode::kOff);  // untimed warm-up (plan workspaces)
+    t_off = timed(core::VerifyMode::kOff);
+    t_on = timed(core::VerifyMode::kChecksum);
+  }
+  const double overhead = t_on / t_off - 1.0;
+  if (!(t_on > 0.0) || overhead > 0.10) {
+    std::cout << "FAIL: modelled checksum overhead "
+              << util::Table::fmt(overhead * 100.0, 2)
+              << "% exceeds the 10% budget (off "
+              << bench::ms(t_off) << " ms, on " << bench::ms(t_on)
+              << " ms)\n";
+    ok = false;
+  }
+  std::cout << "verify overhead: " << util::Table::fmt(overhead * 100.0, 2)
+            << "% modelled (off " << bench::ms(t_off) << " ms, on "
+            << bench::ms(t_on) << " ms, batch 8, serve shape)\n";
+
+  // Zero-false-positive property sweep: paranoid mode across ALL 32
+  // precision configs, both directions, no injection — legitimate
+  // mixed-precision rounding must never trip a tolerance, and the
+  // outputs must match verify-off bit-for-bit.
+  index_t sweep_failures = 0;
+  {
+    device::Device dev(spec, &util::ThreadPool::global());
+    device::Stream stream(dev);
+    const core::ProblemDims small{32, 4, 16};
+    const auto dims = core::LocalDims::single_rank(small);
+    const auto col = core::make_first_block_col(dims, 777);
+    core::BlockToeplitzOperator op(dev, stream, dims, col);
+    core::FftMatvecPlan plan(dev, stream, dims);
+    for (const bool adjoint : {false, true}) {
+      const auto direction = adjoint ? core::ApplyDirection::kAdjoint
+                                     : core::ApplyDirection::kForward;
+      const index_t in_len = small.n_t * (adjoint ? small.n_d : small.n_m);
+      const index_t out_len = small.n_t * (adjoint ? small.n_m : small.n_d);
+      const auto input = core::make_input_vector(in_len, adjoint ? 779 : 778);
+      std::vector<double> ref(static_cast<std::size_t>(out_len));
+      std::vector<double> got(static_cast<std::size_t>(out_len));
+      const core::ConstVectorView in_view[] = {input};
+      for (const auto& config : precision::PrecisionConfig::all_configs()) {
+        try {
+          core::VectorView ref_view[] = {ref};
+          plan.apply_batch(op, direction, config, in_view, ref_view, {});
+          core::BatchPipeline pipeline;
+          pipeline.verify = core::VerifyMode::kParanoid;
+          core::VectorView got_view[] = {got};
+          plan.apply_batch(op, direction, config, in_view, got_view, pipeline);
+          if (got != ref) {
+            std::cout << "FAIL: paranoid verify changed the "
+                      << config.to_string() << (adjoint ? " adjoint" : "")
+                      << " output\n";
+            ++sweep_failures;
+          }
+        } catch (const device::SilentCorruption& e) {
+          std::cout << "FAIL: false positive on clean " << config.to_string()
+                    << (adjoint ? " adjoint" : "") << ": " << e.what() << "\n";
+          ++sweep_failures;
+        }
+      }
+    }
+  }
+  if (sweep_failures != 0) ok = false;
+  std::cout << "false-positive sweep: 32 configs x 2 directions, "
+            << sweep_failures << " failure(s)\n";
+
+  util::Table sdc({"metric", "value"});
+  sdc.add_row({"sdc detection rate", util::Table::fmt(detection_rate, 3)});
+  sdc.add_row({"verify overhead", util::Table::fmt(t_off / t_on, 3)});
+  sdc.add_row({"correct under storm", util::Table::fmt(correct_rate, 3)});
+  sdc.add_row({"baseline silently wrong", std::to_string(baseline_wrong)});
+  sdc.add_row({"sdc recomputes", std::to_string(psnap.sdc_recomputes)});
+  sdc.add_row(
+      {"sdc false positives", std::to_string(psnap.sdc_false_positives)});
+  sdc.print(std::cout);
+  artifact.add("sdc", sdc);
 
   if (const auto path = artifact.write(); !path.empty()) {
     std::cout << "wrote artifact " << path << "\n";

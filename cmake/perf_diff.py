@@ -62,7 +62,18 @@ Gated metrics (higher is better):
                     0.95 completion / 0.9 attainment) but retain
                     wall-clock sensitivity through batch composition
                     and deadline timing, so the gates carry the wide
-                    35% threshold.
+                    35% threshold.  Also table "sdc", row "sdc
+                    detection rate", column "value" — ABFT checksum
+                    detections over injected buffer faults under the
+                    seeded corruption storm (1.0 when every flip is
+                    caught; the harness hard-fails below 0.99) — and
+                    row "verify overhead", column "value" — the
+                    higher-is-better ratio t_off/t_on of the modelled
+                    batch makespan without and with checksum
+                    verification (~0.95; the harness hard-fails when
+                    the overhead exceeds 10%).  Both carry the wide
+                    35% threshold: batch composition keeps mild
+                    run-to-run sensitivity in the storm counters.
 
 Rows are matched by (bench, table, first cell).  A gated row present
 in the baseline but missing from the current run FAILS the gate (a
@@ -101,6 +112,8 @@ GATES = [
      None),
     ("serve_faults", "resilience", "retry success rate", "value", 0.35),
     ("serve_faults", "overload", "shed-best-effort", "SLO attainment", 0.35),
+    ("serve_faults", "sdc", "sdc detection rate", "value", 0.35),
+    ("serve_faults", "sdc", "verify overhead", "value", 0.35),
 ]
 
 

@@ -58,6 +58,19 @@
 //                    (default) = no injection
 //   -fault-seed S    seed for the fault plan's Bernoulli draws; the
 //                    same seed and workload replays the same faults
+//   -verify M        ABFT verification mode: off (default), checksum
+//                    (grouped-GEMV column checksums) or paranoid
+//                    (+ per-chunk FFT Parseval checks).  Detections
+//                    re-dispatch through the retry machinery; the
+//                    resilience table reports detections, recomputes
+//                    and false positives
+//   -sdc-rate F      silent-data-corruption injection: per grouped-
+//                    GEMV launch probability of flipping an exponent
+//                    bit in the output buffer (device::FaultPlan's
+//                    buffer site).  Corruption is injected whether or
+//                    not -verify is on — off shows the corrupted-and-
+//                    undetected baseline.  0 (default) = no injection
+//   -sdc-seed S      seed for the SDC draws (defaults to -fault-seed)
 //   -raw             machine-parseable summary (bare numbers)
 //   -json PATH       write the metrics tables as a bench::Artifact
 //                    (headers carry the git SHA and build type, so CI
@@ -148,8 +161,9 @@ int main(int argc, char** argv) {
     cli.check_known({"tenants", "requests", "rps", "streams", "batch",
                      "pipeline-chunks", "linger-ms", "cache", "prec",
                      "adjoint-frac", "sessions", "deadline-ms", "weights",
-                     "queue-depth", "fault-rate", "fault-seed", "device",
-                     "seed", "raw", "smoke"});
+                     "queue-depth", "fault-rate", "fault-seed", "verify",
+                     "sdc-rate", "sdc-seed", "device", "seed", "raw",
+                     "smoke"});
     const bool smoke = cli.get_flag("smoke");
     const bool raw = cli.get_flag("raw");
 
@@ -186,6 +200,20 @@ int main(int argc, char** argv) {
     const double fault_rate = cli.get_double("fault-rate", 0.0);
     const std::uint64_t fault_seed =
         static_cast<std::uint64_t>(cli.get_int("fault-seed", 1));
+    const std::string verify_name = cli.get_string("verify", "off");
+    if (verify_name == "off") {
+      opts.verify_mode = core::VerifyMode::kOff;
+    } else if (verify_name == "checksum") {
+      opts.verify_mode = core::VerifyMode::kChecksum;
+    } else if (verify_name == "paranoid") {
+      opts.verify_mode = core::VerifyMode::kParanoid;
+    } else {
+      throw std::invalid_argument(
+          "-verify: expected off, checksum or paranoid, got " + verify_name);
+    }
+    const double sdc_rate = cli.get_double("sdc-rate", 0.0);
+    const std::uint64_t sdc_seed = static_cast<std::uint64_t>(
+        cli.get_int("sdc-seed", static_cast<index_t>(fault_seed)));
 
     // Started before the scheduler exists so lane threads, tenant
     // setup and the first cold-cache dispatches are all on the record.
@@ -265,17 +293,24 @@ int main(int argc, char** argv) {
     // Fault injection is attached AFTER tenant setup and session
     // opens, so the fault counters index only request-path work (and
     // setup can never be the thing that faults).
-    if (fault_rate > 0.0) {
+    std::shared_ptr<device::FaultPlan> fault_plan;
+    if (fault_rate > 0.0 || sdc_rate > 0.0) {
       device::FaultPlanOptions fopts;
-      fopts.seed = fault_seed;
+      // All four sites hash a per-site constant into their draws, so
+      // one seed drives them independently; -sdc-seed lets the SDC
+      // storm replay while the fail-stop schedule changes (it defaults
+      // to -fault-seed).
+      fopts.seed = sdc_rate > 0.0 ? sdc_seed : fault_seed;
       fopts.kernel_fault_rate = fault_rate;
       fopts.alloc_fault_rate = fault_rate / 2.0;
-      scheduler.device().set_fault_plan(
-          std::make_shared<device::FaultPlan>(fopts));
+      fopts.buffer_fault_rate = sdc_rate;
+      fault_plan = std::make_shared<device::FaultPlan>(fopts);
+      scheduler.device().set_fault_plan(fault_plan);
       if (!raw) {
         std::cout << "fault injection: kernel rate " << fault_rate
-                  << ", alloc rate " << fault_rate / 2.0 << ", seed "
-                  << fault_seed << "\n";
+                  << ", alloc rate " << fault_rate / 2.0 << ", buffer rate "
+                  << sdc_rate << ", seed " << fopts.seed << ", verify "
+                  << core::verify_mode_name(opts.verify_mode) << "\n";
       }
     }
 
@@ -337,6 +372,22 @@ int main(int argc, char** argv) {
     artifact.add("batch histogram", snap.batch_table());
     artifact.add("errors", snap.error_table());
     artifact.add("resilience", snap.resilience_table());
+    if (snap.have_fault_stats) {
+      // Injected-vs-observed audit (satellite of the ABFT work): the
+      // device FaultPlan's per-site counters, so a run's artifact
+      // records exactly what was injected alongside the serve-level
+      // outcomes in the resilience table.
+      const auto& fs = snap.fault_stats;
+      util::Table faults_table({"kernel launches", "kernel faults", "allocs",
+                                "alloc faults", "group syncs", "rank faults",
+                                "buffer writes", "buffer faults"});
+      faults_table.add_row(
+          {std::to_string(fs.kernel_launches), std::to_string(fs.kernel_faults),
+           std::to_string(fs.allocs), std::to_string(fs.alloc_faults),
+           std::to_string(fs.group_syncs), std::to_string(fs.rank_faults),
+           std::to_string(fs.buffer_writes), std::to_string(fs.buffer_faults)});
+      artifact.add("faults", faults_table);
+    }
     artifact.add("pipeline chunks", pipeline_table);
     if (!snap.lanes.empty()) artifact.add("lanes", snap.lane_table());
     if (!snap.sessions.empty()) artifact.add("sessions", snap.session_table());

@@ -166,7 +166,138 @@ T conj_if_complex_dispatch(const T& v, bool conj) {
   return conj ? conj_if_complex(v) : v;
 }
 
+/// Widen a scalar to its double-precision counterpart (the ABFT
+/// checksum accumulator type).
+template <class T>
+typename SbgemvVerify<T>::acc_t widen(const T& v) {
+  if constexpr (is_complex_v<T>) {
+    return cdouble(static_cast<double>(v.real()), static_cast<double>(v.imag()));
+  } else {
+    return static_cast<double>(v);
+  }
+}
+
 }  // namespace detail
+
+/// Extra modelled cost of augmenting the grouped launch with ABFT
+/// checksum dots: each group's checksum row is read once per batch
+/// entry, one dot (+ magnitude sum) of length x_len is computed per
+/// (batch, RHS), and the double-width dot/scale outputs are written.
+template <class T>
+device::KernelFootprint gemv_checksum_extra_footprint(index_t x_len,
+                                                      index_t batch,
+                                                      index_t num_groups,
+                                                      index_t total_nrhs) {
+  using acc_t = typename SbgemvVerify<T>::acc_t;
+  const double b = static_cast<double>(batch);
+  const double xl = static_cast<double>(x_len);
+  const double nr = static_cast<double>(total_nrhs);
+  device::KernelFootprint fp;
+  fp.bytes_read = static_cast<double>(num_groups) * b * xl *
+                  static_cast<double>(sizeof(T));
+  fp.bytes_written = b * nr * static_cast<double>(sizeof(acc_t) + sizeof(double));
+  fp.flops = (is_complex_v<T> ? 8.0 : 2.0) * b * nr * xl;
+  return fp;
+}
+
+/// Footprint of the checksum-verify launch: re-reads y plus the
+/// dot/scale outputs and reduces each (batch, RHS) column of y.
+template <class T>
+device::KernelFootprint gemv_verify_footprint(index_t y_len, index_t batch,
+                                              index_t total_nrhs) {
+  using acc_t = typename SbgemvVerify<T>::acc_t;
+  const double b = static_cast<double>(batch);
+  const double yl = static_cast<double>(y_len);
+  const double nr = static_cast<double>(total_nrhs);
+  device::KernelFootprint fp;
+  fp.bytes_read = b * nr * (yl * static_cast<double>(sizeof(T)) +
+                            static_cast<double>(sizeof(acc_t) + sizeof(double)));
+  fp.bytes_written = 0.0;
+  fp.flops = (is_complex_v<T> ? 4.0 : 2.0) * b * nr * yl;
+  fp.fp64_path = true;
+  fp.vector_load_bytes = 16;
+  fp.coalescing_efficiency = 0.84;
+  return fp;
+}
+
+/// First verification failure recorded by the verify launch (blocks
+/// of the simulated device run sequentially, so a plain struct shared
+/// through a pointer capture is race-free).
+struct GemvVerifyFailure {
+  int count = 0;
+  index_t batch_entry = -1;
+  index_t rhs = -1;
+  double diff = 0.0;
+  double bound = 0.0;
+};
+
+/// Checksum-dot body, run once per batch entry bz by the augmented
+/// grouped launch (on the bx == 0 gridblocks): for every (group, RHS)
+/// accumulate `conj_if(checksum) . x` and `sum |checksum_j x_j|` in
+/// double and store them at [bz + batch * r].  Serial per bz, so the
+/// dots are deterministic.
+template <class T>
+void gemv_grouped_checksum_block(const SbgemvGroupedArgs<T>& ga,
+                                 const SbgemvVerify<T>& verify, index_t bz) {
+  const SbgemvArgs<T>& a = ga.base;
+  const index_t x_len = a.x_len();
+  const bool conj = a.op == Op::C;
+  index_t r0 = 0;
+  for (const auto& g : ga.groups) {
+    const T* c = g.checksum + bz * x_len;
+    for (index_t r = r0; r < r0 + g.nrhs; ++r) {
+      const T* x = a.x + bz * a.stride_x + r * ga.rhs_stride_x;
+      typename SbgemvVerify<T>::acc_t dot{};
+      double scale = 0.0;
+      for (index_t j = 0; j < x_len; ++j) {
+        const auto term = detail::widen(detail::conj_if_complex_dispatch(c[j], conj)) *
+                          detail::widen(x[j]);
+        dot += term;
+        scale += std::abs(term);
+      }
+      verify.checksum_out[bz + a.batch * r] = dot;
+      verify.scale_out[bz + a.batch * r] = scale;
+    }
+    r0 += g.nrhs;
+  }
+}
+
+/// Verify body for batch entry bz: reduce each RHS column of y in
+/// double and compare against alpha times its checksum dot.  The
+/// acceptance scale sums every magnitude entering the comparison, so
+/// the relative tolerance composes with the data's dynamic range.
+template <class T>
+void gemv_grouped_verify_block(const SbgemvGroupedArgs<T>& ga,
+                               const SbgemvVerify<T>& verify,
+                               GemvVerifyFailure* fail, index_t bz) {
+  const SbgemvArgs<T>& a = ga.base;
+  const index_t y_len = a.y_len();
+  const index_t nrhs = ga.total_nrhs();
+  const auto alpha = detail::widen(a.alpha);
+  for (index_t r = 0; r < nrhs; ++r) {
+    const T* y = a.y + bz * a.stride_y + r * ga.rhs_stride_y;
+    typename SbgemvVerify<T>::acc_t sum{};
+    double y_mag = 0.0;
+    for (index_t i = 0; i < y_len; ++i) {
+      const auto yi = detail::widen(y[i]);
+      sum += yi;
+      y_mag += std::abs(yi);
+    }
+    const auto expect = alpha * verify.checksum_out[bz + a.batch * r];
+    const double scale = y_mag + std::abs(expect) +
+                         std::abs(alpha) * verify.scale_out[bz + a.batch * r];
+    const double diff = std::abs(sum - expect);
+    const double bound = verify.tolerance * scale;
+    if (diff > bound) {
+      if (fail->count++ == 0) {
+        fail->batch_entry = bz;
+        fail->rhs = r;
+        fail->diff = diff;
+        fail->bound = bound;
+      }
+    }
+  }
+}
 
 /// Grouped kernel bodies: gridblock (bx, bz) walks the RHS groups in
 /// order and runs the matching multi-RHS body on each group's matrix,

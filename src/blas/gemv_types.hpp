@@ -1,9 +1,11 @@
 // Shared argument and policy types for the strided batched GEMV.
 #pragma once
 
+#include <complex>
 #include <span>
 #include <stdexcept>
 #include <string>
+#include <type_traits>
 
 #include "util/types.hpp"
 
@@ -121,10 +123,44 @@ struct SbgemvMultiArgs {
 /// One operator group of a grouped multi-RHS GEMV: `nrhs` contiguous
 /// right-hand sides sharing one matrix base pointer.  Batch entry b
 /// of the group reads a + b*stride_a, exactly like SbgemvArgs::a.
+///
+/// `checksum` is the group's ABFT encoding vector (Huang-Abraham),
+/// consulted only when the call carries an enabled SbgemvVerify:
+/// batch entry b reads checksum + b*x_len.  For op == N the entries
+/// are the matrix's column sums (sum of y equals checksum . x); for
+/// op == C they are its row sums (the kernel conjugates them, so sum
+/// of y equals conj(checksum) . x).
 template <class T>
 struct SbgemvGroup {
   const T* a = nullptr;
   index_t nrhs = 0;
+  const T* checksum = nullptr;
+};
+
+/// ABFT verification request for sbgemv_grouped (the Huang-Abraham
+/// column-checksum scheme).  When enabled, the main launch is
+/// augmented to also compute, per (batch entry, RHS), the checksum
+/// dot `checksum . x` and a magnitude estimate `sum |checksum_j x_j|`
+/// — both accumulated in double and written to checksum_out /
+/// scale_out at index [b + batch * r] — and a second, cheap launch
+/// re-reads y and compares `sum_i y_i` against `alpha * dot` within
+/// `tolerance * scale`, throwing device::SilentCorruption on
+/// mismatch.  Requires beta == 0 (a carried-in y has no checksum).
+/// The block bodies of the main launch are unchanged, so verified
+/// outputs are bit-identical to unverified ones.
+template <class T>
+struct SbgemvVerify {
+  /// Double-width accumulator type used for the checksum dots.
+  using acc_t = std::conditional_t<is_complex_v<T>, cdouble, double>;
+
+  bool enabled = false;
+  /// [batch * total_nrhs] checksum dots, index b + batch * r.
+  acc_t* checksum_out = nullptr;
+  /// [batch * total_nrhs] magnitude estimates, same layout.
+  double* scale_out = nullptr;
+  /// Relative tolerance from core::verify_tolerances — calibrated so
+  /// legitimate mixed-precision rounding never trips it.
+  double tolerance = 0.0;
 };
 
 /// Grouped extension of the multi-RHS strided batched GEMV (the

@@ -7,11 +7,54 @@
 // application code unchanged.
 #pragma once
 
+#include <cstring>
+#include <string>
+
 #include "blas/gemv_kernels.hpp"
 #include "blas/gemv_types.hpp"
+#include "device/device.hpp"
 #include "device/stream.hpp"
 
 namespace fftmv::blas {
+
+namespace detail {
+
+/// Map a FaultPlan buffer-write draw onto one element of the grouped
+/// GEMV's output and flip the top exponent bit of one of its real
+/// components.  The draw fully determines (batch entry, RHS, element,
+/// component), so an injected corruption replays bit-identically.
+/// Flipping the TOP exponent bit moves any finite value far outside
+/// rounding noise (|v| < 2 becomes huge, |v| >= 2 collapses toward
+/// zero, 0 becomes 2.0), so every injection is ABFT-detectable.
+template <class T>
+void corrupt_grouped_output(const SbgemvGroupedArgs<T>& args,
+                            std::uint64_t draw) {
+  using R = real_t<T>;
+  const SbgemvArgs<T>& a = args.base;
+  const std::uint64_t batch = static_cast<std::uint64_t>(a.batch);
+  const std::uint64_t nrhs = static_cast<std::uint64_t>(args.total_nrhs());
+  const std::uint64_t y_len = static_cast<std::uint64_t>(a.y_len());
+  const index_t b = static_cast<index_t>(draw % batch);
+  const index_t r = static_cast<index_t>((draw / batch) % nrhs);
+  const index_t i = static_cast<index_t>((draw / (batch * nrhs)) % y_len);
+  T* elem = a.y + b * a.stride_y + r * args.rhs_stride_y + i;
+  // std::complex<R> is layout-compatible with R[2].
+  R* comps = reinterpret_cast<R*>(elem);
+  R& c = comps[is_complex_v<T> ? static_cast<int>((draw >> 62) & 1) : 0];
+  if constexpr (sizeof(R) == 8) {
+    std::uint64_t bits;
+    std::memcpy(&bits, &c, sizeof(bits));
+    bits ^= std::uint64_t{1} << 62;
+    std::memcpy(&c, &bits, sizeof(bits));
+  } else {
+    std::uint32_t bits;
+    std::memcpy(&bits, &c, sizeof(bits));
+    bits ^= std::uint32_t{1} << 30;
+    std::memcpy(&c, &bits, sizeof(bits));
+  }
+}
+
+}  // namespace detail
 
 /// Transition rule used by GemvKernelPolicy::kAuto for transpose-
 /// family ops.  Derived from the Figure-1-style benchmark sweep
@@ -105,37 +148,131 @@ device::KernelTiming sbgemv_multi(device::Stream& stream,
 /// one sbgemv_multi call per group, and a single group IS a
 /// sbgemv_multi call — the same-operator case stays on that fast path
 /// with an identical modelled footprint.
+///
+/// This is also the library's SDC boundary.  An attached FaultPlan's
+/// buffer-write hook may silently flip a bit of the output after the
+/// main launch; `verify.enabled` arms the Huang-Abraham checksum
+/// defense (see SbgemvVerify): the main launch is augmented with the
+/// checksum dots (block bodies unchanged — verified outputs stay
+/// bit-identical), a second launch checks them against y, and a
+/// mismatch beyond the calibrated tolerance throws
+/// device::SilentCorruption.  Both extra costs are charged through
+/// the cost model.
 template <class T>
 device::KernelTiming sbgemv_grouped(device::Stream& stream,
                                     const SbgemvGroupedArgs<T>& args,
-                                    GemvKernelPolicy policy = GemvKernelPolicy::kAuto) {
-  args.validate(/*allow_null=*/stream.device().phantom());
-  if (args.groups.size() == 1) {
-    return sbgemv_multi(
+                                    GemvKernelPolicy policy = GemvKernelPolicy::kAuto,
+                                    const SbgemvVerify<T>& verify = {}) {
+  const bool phantom = stream.device().phantom();
+  args.validate(/*allow_null=*/phantom);
+  if (verify.enabled) {
+    if (args.base.beta != T(0)) {
+      throw std::invalid_argument(
+          "sbgemv_grouped: checksum verification requires beta == 0");
+    }
+    if (verify.tolerance < 0.0) {
+      throw std::invalid_argument(
+          "sbgemv_grouped: verify tolerance must be >= 0");
+    }
+    if (!phantom) {
+      if (verify.checksum_out == nullptr || verify.scale_out == nullptr) {
+        throw std::invalid_argument(
+            "sbgemv_grouped: verify output buffers are null");
+      }
+      for (const auto& g : args.groups) {
+        if (g.checksum == nullptr) {
+          throw std::invalid_argument(
+              "sbgemv_grouped: verify requires a checksum row per group");
+        }
+      }
+    }
+  }
+  device::KernelTiming timing{};
+  if (!verify.enabled && args.groups.size() == 1) {
+    timing = sbgemv_multi(
         stream, args.group_slice(args.groups[0].a, 0, args.groups[0].nrhs),
         policy);
+  } else {
+    const SbgemvArgs<T>& base = args.base;
+    const GemvKernelKind kind = select_kernel(base, policy);
+    const auto geom = gemv_geometry(kind, base.m, base.n, base.batch);
+    auto fp = gemv_grouped_footprint<T>(
+        kind, base.m, base.n, base.batch,
+        static_cast<index_t>(args.groups.size()), args.total_nrhs());
+    if (verify.enabled) {
+      const auto extra = gemv_checksum_extra_footprint<T>(
+          base.x_len(), base.batch,
+          static_cast<index_t>(args.groups.size()), args.total_nrhs());
+      fp.bytes_read += extra.bytes_read;
+      fp.bytes_written += extra.bytes_written;
+      fp.flops += extra.flops;
+    }
+    // The augmented body runs the unchanged grouped block, then lets
+    // each batch entry's bx == 0 block compute the checksum dots.
+    const auto run = [&](auto block_fn) {
+      return stream.launch(geom, fp,
+                           [args, verify, block_fn](index_t bx, index_t,
+                                                    index_t bz) {
+                             block_fn(args, bx, bz);
+                             if (verify.enabled && bx == 0) {
+                               gemv_grouped_checksum_block(args, verify, bz);
+                             }
+                           });
+    };
+    switch (kind) {
+      case GemvKernelKind::kReferenceN:
+        timing = run([](const SbgemvGroupedArgs<T>& a, index_t bx, index_t bz) {
+          gemv_n_reference_grouped_block(a, bx, bz);
+        });
+        break;
+      case GemvKernelKind::kReferenceT:
+        timing = run([](const SbgemvGroupedArgs<T>& a, index_t bx, index_t bz) {
+          gemv_t_reference_grouped_block(a, bx, bz);
+        });
+        break;
+      case GemvKernelKind::kOptimizedT:
+        timing = run([](const SbgemvGroupedArgs<T>& a, index_t bx, index_t bz) {
+          gemv_t_optimized_grouped_block(a, bx, bz);
+        });
+        break;
+    }
   }
-  const SbgemvArgs<T>& base = args.base;
-  const GemvKernelKind kind = select_kernel(base, policy);
-  const auto geom = gemv_geometry(kind, base.m, base.n, base.batch);
-  const auto fp = gemv_grouped_footprint<T>(
-      kind, base.m, base.n, base.batch,
-      static_cast<index_t>(args.groups.size()), args.total_nrhs());
-  switch (kind) {
-    case GemvKernelKind::kReferenceN:
-      return stream.launch(geom, fp, [args](index_t bx, index_t, index_t bz) {
-        gemv_n_reference_grouped_block(args, bx, bz);
-      });
-    case GemvKernelKind::kReferenceT:
-      return stream.launch(geom, fp, [args](index_t bx, index_t, index_t bz) {
-        gemv_t_reference_grouped_block(args, bx, bz);
-      });
-    case GemvKernelKind::kOptimizedT:
-      return stream.launch(geom, fp, [args](index_t bx, index_t, index_t bz) {
-        gemv_t_optimized_grouped_block(args, bx, bz);
-      });
+  // SDC injection site: an attached FaultPlan may corrupt the output
+  // buffer after the (apparently successful) main launch.  Consulted
+  // unconditionally — with verification off, the corruption goes
+  // undetected, which is exactly the baseline the bench contrasts.
+  if (!phantom && args.base.y != nullptr) {
+    if (const auto plan = stream.device().fault_plan()) {
+      if (const auto draw = plan->on_buffer_write()) {
+        detail::corrupt_grouped_output(args, *draw);
+      }
+    }
   }
-  return {};
+  if (verify.enabled) {
+    GemvVerifyFailure fail;
+    GemvVerifyFailure* fail_ptr = &fail;
+    const SbgemvArgs<T>& base = args.base;
+    const device::LaunchGeometry vgeom{.grid_x = 1,
+                                       .grid_y = 1,
+                                       .grid_z = base.batch,
+                                       .block_threads = 64};
+    const auto vfp =
+        gemv_verify_footprint<T>(base.y_len(), base.batch, args.total_nrhs());
+    stream.launch(vgeom, vfp, [args, verify, fail_ptr](index_t, index_t,
+                                                       index_t bz) {
+      gemv_grouped_verify_block(args, verify, fail_ptr, bz);
+    });
+    if (!phantom && fail.count > 0) {
+      throw device::SilentCorruption(
+          "sbgemv-checksum",
+          "batch entry " + std::to_string(fail.batch_entry) + ", rhs " +
+              std::to_string(fail.rhs) + ": |sum(y) - checksum| = " +
+              std::to_string(fail.diff) + " exceeds bound " +
+              std::to_string(fail.bound) + " (" +
+              std::to_string(fail.count) + " failing column(s))");
+    }
+  }
+  return timing;
 }
 
 /// Plain single-threaded host GEMV used as the correctness reference

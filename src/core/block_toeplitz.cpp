@@ -48,6 +48,46 @@ device::KernelTiming spectrum_to_blocks(device::Stream& stream, const cdouble* s
   });
 }
 
+/// Compute the per-frequency-block checksum rows: column sums
+/// (forward) or row sums (adjoint), accumulated in double and
+/// narrowed to the spectrum's own precision.  One gridblock per
+/// frequency block; charged like any setup kernel.
+template <class C>
+device::KernelTiming compute_checksums(device::Stream& stream,
+                                       const C* spectrum, C* out, index_t n_d,
+                                       index_t n_m, index_t n_f, bool adjoint) {
+  const index_t x_len = adjoint ? n_d : n_m;
+  const device::LaunchGeometry geom{
+      .grid_x = n_f, .grid_y = 1, .grid_z = 1, .block_threads = 256};
+  device::KernelFootprint fp;
+  fp.bytes_read = static_cast<double>(n_d) * static_cast<double>(n_m) *
+                  static_cast<double>(n_f) * sizeof(C);
+  fp.bytes_written =
+      static_cast<double>(n_f) * static_cast<double>(x_len) * sizeof(C);
+  fp.flops = 2.0 * static_cast<double>(n_d) * static_cast<double>(n_m) *
+             static_cast<double>(n_f);
+  fp.fp64_path = true;
+  fp.vector_load_bytes = 16;
+  fp.coalescing_efficiency = 0.8;
+  return stream.launch(geom, fp, [=](index_t bx, index_t, index_t) {
+    const C* blk = spectrum + bx * n_d * n_m;
+    C* o = out + bx * x_len;
+    if (adjoint) {
+      for (index_t i = 0; i < n_d; ++i) {
+        cdouble acc{};
+        for (index_t j = 0; j < n_m; ++j) acc += cdouble(blk[i + j * n_d]);
+        o[i] = C(acc);
+      }
+    } else {
+      for (index_t j = 0; j < n_m; ++j) {
+        cdouble acc{};
+        for (index_t i = 0; i < n_d; ++i) acc += cdouble(blk[i + j * n_d]);
+        o[j] = C(acc);
+      }
+    }
+  });
+}
+
 }  // namespace
 
 BlockToeplitzOperator::BlockToeplitzOperator(device::Device& dev,
@@ -108,6 +148,32 @@ const cfloat* BlockToeplitzOperator::spectrum_f(device::Stream& stream) const {
                              spectrum_elems());
   }
   return spectrum_f_->data();
+}
+
+const cdouble* BlockToeplitzOperator::checksum_d(device::Stream& stream,
+                                                 bool adjoint) const {
+  auto& slot = adjoint ? checksum_row_d_ : checksum_col_d_;
+  if (!slot) {
+    const index_t x_len = adjoint ? dims_.n_d_local : dims_.n_m_local;
+    slot.emplace(*dev_, dims_.num_frequencies() * x_len);
+    compute_checksums(stream, spectrum_d_.data(), slot->data(),
+                      dims_.n_d_local, dims_.n_m_local,
+                      dims_.num_frequencies(), adjoint);
+  }
+  return slot->data();
+}
+
+const cfloat* BlockToeplitzOperator::checksum_f(device::Stream& stream,
+                                                bool adjoint) const {
+  auto& slot = adjoint ? checksum_row_f_ : checksum_col_f_;
+  if (!slot) {
+    const cfloat* spec = spectrum_f(stream);
+    const index_t x_len = adjoint ? dims_.n_d_local : dims_.n_m_local;
+    slot.emplace(*dev_, dims_.num_frequencies() * x_len);
+    compute_checksums(stream, spec, slot->data(), dims_.n_d_local,
+                      dims_.n_m_local, dims_.num_frequencies(), adjoint);
+  }
+  return slot->data();
 }
 
 }  // namespace fftmv::core

@@ -40,6 +40,18 @@ class BlockToeplitzOperator {
   /// Lazily cast single-precision copy (charged to `stream`).
   const cfloat* spectrum_f(device::Stream& stream) const;
 
+  /// ABFT checksum rows (Huang-Abraham encoding) for the grouped
+  /// GEMV's verify mode, lazily materialised and charged to `stream`:
+  /// for each frequency block, the column sums (forward matvec,
+  /// length n_m_local) or row sums (adjoint, length n_d_local) of the
+  /// block, laid out block-contiguously — block f's vector starts at
+  /// f * x_len.  The single-precision rows are summed from the
+  /// single-precision spectrum (the matrix the verified kernel
+  /// actually reads) so matrix-cast rounding cancels out of the
+  /// checksum relation instead of accumulating into it.
+  const cdouble* checksum_d(device::Stream& stream, bool adjoint) const;
+  const cfloat* checksum_f(device::Stream& stream, bool adjoint) const;
+
   index_t block_elems() const { return dims_.n_d_local * dims_.n_m_local; }
   index_t spectrum_elems() const {
     return dims_.num_frequencies() * block_elems();
@@ -57,6 +69,10 @@ class BlockToeplitzOperator {
   LocalDims dims_;
   device::device_vector<cdouble> spectrum_d_;
   mutable std::optional<device::device_vector<cfloat>> spectrum_f_;
+  mutable std::optional<device::device_vector<cdouble>> checksum_col_d_;
+  mutable std::optional<device::device_vector<cdouble>> checksum_row_d_;
+  mutable std::optional<device::device_vector<cfloat>> checksum_col_f_;
+  mutable std::optional<device::device_vector<cfloat>> checksum_row_f_;
   double spectrum_norm_ = 0.0;
   double setup_seconds_ = 0.0;
 };

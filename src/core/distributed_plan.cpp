@@ -84,6 +84,20 @@ void ShardedOperator::warm_spectrum_f(device::Stream& stream) {
   for (const auto& op : adj_ops_) op->spectrum_f(stream);
 }
 
+void ShardedOperator::warm_checksums(device::Stream& stream) {
+  // A forward slice is only ever applied forward and an adjoint slice
+  // only adjoint, so each list warms just its own direction (in the
+  // ranks == 1 degenerate case the shared operator gets both).
+  for (const auto& op : fwd_ops_) {
+    op->checksum_d(stream, /*adjoint=*/false);
+    op->checksum_f(stream, /*adjoint=*/false);
+  }
+  for (const auto& op : adj_ops_) {
+    op->checksum_d(stream, /*adjoint=*/true);
+    op->checksum_f(stream, /*adjoint=*/true);
+  }
+}
+
 index_t DistributedMatvecPlan::validate_batch(
     const ShardedOperator& op, ApplyDirection direction,
     std::span<const ConstVectorView> inputs,
@@ -119,7 +133,8 @@ void DistributedMatvecPlan::apply_batch(
     const precision::PrecisionConfig& config,
     std::span<const ConstVectorView> inputs,
     std::span<const VectorView> outputs,
-    std::span<const RankLane> lanes, CommMode mode, index_t pipeline_chunks) {
+    std::span<const RankLane> lanes, CommMode mode, index_t pipeline_chunks,
+    VerifyMode verify) {
   const index_t b = static_cast<index_t>(inputs.size());
   const index_t ranks = validate_batch(op, direction, inputs, outputs, lanes);
 
@@ -128,7 +143,8 @@ void DistributedMatvecPlan::apply_batch(
     // zero communication charged.
     FftMatvecPlan& plan = *lanes[0].plan;
     plan.apply_batch(op.rank_op(direction, 0), direction, config, inputs,
-                     outputs, BatchPipeline{pipeline_chunks, lanes[0].aux});
+                     outputs,
+                     BatchPipeline{pipeline_chunks, lanes[0].aux, verify});
     timings_ = plan.last_timings();
     rhs_timings_ = plan.last_batch_timings();
     return;
@@ -194,7 +210,7 @@ void DistributedMatvecPlan::apply_batch(
   for (const auto& lane : lanes) lane.plan->stream().advance(coll.broadcast_s);
 
   run_rank_slices(op, direction, config, inputs, lanes, pipeline_chunks,
-                  phantom);
+                  verify, phantom);
 
   sync_group();
   for (const auto& lane : lanes) lane.plan->stream().advance(coll.reduce_s);
@@ -223,14 +239,15 @@ void DistributedMatvecPlan::apply_batch_degraded(
     const precision::PrecisionConfig& config,
     std::span<const ConstVectorView> inputs,
     std::span<const VectorView> outputs, std::span<const RankLane> lanes,
-    index_t pipeline_chunks) {
+    index_t pipeline_chunks, VerifyMode verify) {
   const index_t b = static_cast<index_t>(inputs.size());
   const index_t ranks = validate_batch(op, direction, inputs, outputs, lanes);
 
   if (ranks == 1) {
     FftMatvecPlan& plan = *lanes[0].plan;
     plan.apply_batch(op.rank_op(direction, 0), direction, config, inputs,
-                     outputs, BatchPipeline{pipeline_chunks, lanes[0].aux});
+                     outputs,
+                     BatchPipeline{pipeline_chunks, lanes[0].aux, verify});
     timings_ = plan.last_timings();
     rhs_timings_ = plan.last_batch_timings();
     return;
@@ -252,7 +269,7 @@ void DistributedMatvecPlan::apply_batch_degraded(
 
   const double t_start = group_now();
   run_rank_slices(op, direction, config, inputs, lanes, pipeline_chunks,
-                  phantom);
+                  verify, phantom);
   const double t_end = group_now();
   assemble_outputs(op, direction, outputs, phantom);
 
@@ -269,7 +286,7 @@ void DistributedMatvecPlan::run_rank_slices(
     const ShardedOperator& op, ApplyDirection direction,
     const precision::PrecisionConfig& config,
     std::span<const ConstVectorView> inputs, std::span<const RankLane> lanes,
-    index_t pipeline_chunks, bool phantom) {
+    index_t pipeline_chunks, VerifyMode verify, bool phantom) {
   const index_t b = static_cast<index_t>(inputs.size());
   const index_t ranks = op.ranks();
   const bool adjoint = direction == ApplyDirection::kAdjoint;
@@ -301,7 +318,8 @@ void DistributedMatvecPlan::run_rank_slices(
 
     FftMatvecPlan& plan = *lanes[r].plan;
     plan.apply_batch(op.rank_op(direction, r), direction, config, inputs,
-                     rank_outputs, BatchPipeline{pipeline_chunks, lanes[r].aux});
+                     rank_outputs,
+                     BatchPipeline{pipeline_chunks, lanes[r].aux, verify});
     timings_ += plan.last_timings();
     const auto& shares = plan.last_batch_timings();
     for (index_t i = 0; i < b; ++i) {

@@ -101,6 +101,12 @@ class ShardedOperator {
   /// on the request path).
   void warm_spectrum_f(device::Stream& stream);
 
+  /// Materialise every slice's ABFT checksum vectors (both precisions,
+  /// both directions) — the verify-mode analogue of warm_spectrum_f,
+  /// so request-path applies never build checksums lazily under
+  /// concurrency.
+  void warm_checksums(device::Stream& stream);
+
  private:
   std::size_t check(index_t rank) const;
 
@@ -153,7 +159,8 @@ class DistributedMatvecPlan {
                    std::span<const VectorView> outputs,
                    std::span<const RankLane> lanes,
                    CommMode mode = CommMode::kBatched,
-                   index_t pipeline_chunks = 1);
+                   index_t pipeline_chunks = 1,
+                   VerifyMode verify = VerifyMode::kOff);
 
   /// Degraded single-survivor apply: every rank's slice runs serially
   /// on the caller's surviving stream(s) — pass lanes whose plans are
@@ -171,7 +178,8 @@ class DistributedMatvecPlan {
                             std::span<const ConstVectorView> inputs,
                             std::span<const VectorView> outputs,
                             std::span<const RankLane> lanes,
-                            index_t pipeline_chunks = 1);
+                            index_t pipeline_chunks = 1,
+                            VerifyMode verify = VerifyMode::kOff);
 
   /// Totals of the most recent apply: per-phase fields are the
   /// group's summed busy time (serial-equivalent work), `comm` the
@@ -198,7 +206,8 @@ class DistributedMatvecPlan {
                        const precision::PrecisionConfig& config,
                        std::span<const ConstVectorView> inputs,
                        std::span<const RankLane> lanes,
-                       index_t pipeline_chunks, bool phantom);
+                       index_t pipeline_chunks, VerifyMode verify,
+                       bool phantom);
   /// Copy the disjoint per-rank slices from stage_ into the caller's
   /// output vectors.
   void assemble_outputs(const ShardedOperator& op, ApplyDirection direction,

@@ -70,6 +70,56 @@ inline double error_bound(const precision::PrecisionConfig& config,
   return in.amplification * terms;
 }
 
+/// Safety factor over the first-order ABFT tolerance terms.  The
+/// error-model constants are O(1) but not sharp, kernel summation
+/// orders differ from the sequential model (tree reductions, lane
+/// striding), and the checksum encoding itself rounds — a generous
+/// constant absorbs all of that while staying orders of magnitude
+/// below an exponent-bit flip.  Validated by the zero-false-positive
+/// property test across all 32 precision configs.
+inline constexpr double kVerifySafety = 64.0;
+
+/// Per-phase ABFT verification tolerances, calibrated from the same
+/// per-config epsilons as error_bound so a legitimate mixed-precision
+/// rounding (even `sssss`) never trips a false positive.
+///
+/// gemv: the checksum relation  sum_i y_i == alpha * (checksum . x)
+/// is compared at a scale that already carries the data's magnitude
+/// (see blas::SbgemvVerify), so the tolerance only needs the relative
+/// rounding headroom: x_len * eps3 for the phase-3 dots on either
+/// side of the relation (the y sum inherits each element's GEMV
+/// rounding; the checksum dot re-rounds the encoding row), plus
+/// (x_len + y_len) * eps_d for the double-precision reductions the
+/// verify pass itself performs.
+///
+/// fft: Parseval compares energies, whose relative error is twice the
+/// amplitude error, itself bounded by the FFT's O(log2 L) rounding
+/// growth in the phase precision plus the double energy reductions.
+struct VerifyTolerances {
+  double gemv = 0.0;
+  double fft_forward = 0.0;
+  double fft_inverse = 0.0;
+};
+
+inline VerifyTolerances verify_tolerances(
+    const precision::PrecisionConfig& config, const LocalDims& dims,
+    bool adjoint) {
+  const double e2 = precision::eps(config.phase(precision::kPhaseFft));
+  const double e3 = precision::eps(config.phase(precision::kPhaseSbgemv));
+  const double e4 = precision::eps(config.phase(precision::kPhaseIfft));
+  const double x_len = static_cast<double>(adjoint ? dims.n_d_local
+                                                   : dims.n_m_local);
+  const double y_len = static_cast<double>(adjoint ? dims.n_m_local
+                                                   : dims.n_d_local);
+  const double log_l =
+      util::log2_ceil(util::next_pow2(2 * dims.n_t())) + 2.0;
+  VerifyTolerances tol;
+  tol.gemv = kVerifySafety * ((x_len + y_len) * kEpsDouble + x_len * e3);
+  tol.fft_forward = kVerifySafety * log_l * (e2 + kEpsDouble);
+  tol.fft_inverse = kVerifySafety * log_l * (e4 + kEpsDouble);
+  return tol;
+}
+
 /// The phase whose epsilon term dominates the bound — §3.2.1 argues
 /// this is the SBGEMV whenever its n-dependence is active.
 inline int dominant_phase(const precision::PrecisionConfig& config,

@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "core/error_model.hpp"
 #include "precision/convert.hpp"
 #include "util/trace.hpp"
 
@@ -502,8 +503,22 @@ void FftMatvecPlan::apply_batch(std::span<const OperatorGroup> groups,
       sb = &*owned_aux_;
     }
   }
+  // ABFT verification state: per-config tolerances plus the shared
+  // double-width checksum workspaces (sized for the largest chunk).
+  const VerifyMode verify = pipeline.verify;
+  VerifyTolerances vtol;
+  if (verify != VerifyMode::kOff) {
+    vtol = verify_tolerances(config, dims_, adjoint);
+  }
   const double t_begin = sa.now();
   const index_t cmax = (b + chunks - 1) / chunks;
+  if (verify != VerifyMode::kOff) {
+    const index_t chk_elems = nf * cmax;
+    if (!chk_ || chk_->size() < chk_elems) chk_.emplace(*dev_, chk_elems);
+    if (!chk_scale_ || chk_scale_->size() < chk_elems) {
+      chk_scale_.emplace(*dev_, chk_elems);
+    }
+  }
   const auto chunk_lo = [&](index_t i) { return (i * b) / chunks; };
   DualComplex* spec_set[2] = {&spec_, &spec_alt_};
   DualComplex* spec_t_set[2] = {&spec_t_, &spec_t_alt_};
@@ -577,6 +592,10 @@ void FftMatvecPlan::apply_batch(std::span<const OperatorGroup> groups,
       const S2* padded = padded_.get<S2>(*dev_, cmax * ns_in * L);
       C2* spec = spec_set[par]->get<C2>(*dev_, cmax * ns_in * nf);
       plan.forward_on(sa, padded, L, spec, nf, /*batch_multiplier=*/cb);
+      if (verify == VerifyMode::kParanoid) {
+        plan.verify_parseval_on(sa, padded, L, spec, nf, cb, vtol.fft_forward,
+                                "fft-parseval-forward");
+      }
     });
     trace_phase(sa, "fft", i, cb, t0);
     timings_.fft += sa.now() - t0;
@@ -618,12 +637,19 @@ void FftMatvecPlan::apply_batch(std::span<const OperatorGroup> groups,
         g0 += g.rhs_count;
         if (s >= e) continue;
         const C3* spectrum;
+        const C3* checksum = nullptr;
         if constexpr (std::is_same_v<C3, cdouble>) {
           spectrum = g.op->spectrum_d();
+          if (verify != VerifyMode::kOff) {
+            checksum = g.op->checksum_d(*sb, adjoint);
+          }
         } else {
           spectrum = g.op->spectrum_f(*sb);
+          if (verify != VerifyMode::kOff) {
+            checksum = g.op->checksum_f(*sb, adjoint);
+          }
         }
-        gemv_groups.push_back({spectrum, e - s});
+        gemv_groups.push_back({spectrum, e - s, checksum});
       }
       blas::SbgemvGroupedArgs<C3> args;
       args.base.op = adjoint ? blas::Op::C : blas::Op::N;
@@ -641,7 +667,14 @@ void FftMatvecPlan::apply_batch(std::span<const OperatorGroup> groups,
       args.rhs_stride_x = ns_in;
       args.rhs_stride_y = ns_out;
       args.groups = gemv_groups;
-      blas::sbgemv_grouped(*sb, args, options_.gemv_policy);
+      blas::SbgemvVerify<C3> vreq;
+      if (verify != VerifyMode::kOff) {
+        vreq.enabled = true;
+        vreq.checksum_out = chk_->data();
+        vreq.scale_out = chk_scale_->data();
+        vreq.tolerance = vtol.gemv;
+      }
+      blas::sbgemv_grouped(*sb, args, options_.gemv_policy, vreq);
     });
     gemv_seconds += sb->now() - gemv_t0;
     dispatch2(p3, p4, [&](auto tag3, auto tag4) {
@@ -685,6 +718,10 @@ void FftMatvecPlan::apply_batch(std::span<const OperatorGroup> groups,
       const C4* ospec = ospec_set[par]->get<C4>(*dev_, cmax * ns_out * nf);
       S4* opad = opad_.get<S4>(*dev_, cmax * ns_out * L);
       plan.inverse_on(sa, ospec, nf, opad, L, /*batch_multiplier=*/cb);
+      if (verify == VerifyMode::kParanoid) {
+        plan.verify_parseval_on(sa, opad, L, ospec, nf, cb, vtol.fft_inverse,
+                                "fft-parseval-inverse");
+      }
     });
     trace_phase(sa, "ifft", i, cb, t0);
     timings_.ifft += sa.now() - t0;

@@ -86,6 +86,31 @@ struct PhaseTimings {
 /// adjoint() remain the single-RHS spellings).
 enum class ApplyDirection : unsigned char { kForward, kAdjoint };
 
+/// ABFT verification level for apply_batch:
+///   kOff       no checks (today's behaviour, zero extra cost);
+///   kChecksum  Huang-Abraham column checksums on the grouped
+///              phase-3 SBGEMV — covers the library's silent-
+///              corruption injection site at a few percent modelled
+///              overhead;
+///   kParanoid  checksum plus a Parseval energy invariant on every
+///              phase-2/4 FFT chunk (defense in depth for corruption
+///              sources the GEMV checksum cannot see).
+/// Detection throws device::SilentCorruption; outputs of a verified
+/// apply are bit-identical to an unverified one (the checks only
+/// read), so a clean recompute after a detection is a full repair.
+/// Tolerances come from core::verify_tolerances, calibrated per
+/// precision config so legitimate rounding never trips a check.
+enum class VerifyMode : unsigned char { kOff, kChecksum, kParanoid };
+
+inline const char* verify_mode_name(VerifyMode m) {
+  switch (m) {
+    case VerifyMode::kOff: return "off";
+    case VerifyMode::kChecksum: return "checksum";
+    case VerifyMode::kParanoid: return "paranoid";
+  }
+  return "?";
+}
+
 /// Mutable / immutable views of one right-hand side or output vector
 /// in an apply_batch call.
 using VectorView = std::span<double>;
@@ -111,6 +136,10 @@ struct BatchPipeline {
   /// lane's own auxiliary stream instead (stream pairs are lane-
   /// owned, so a cached plan is still never driven by two threads).
   device::Stream* aux = nullptr;
+  /// ABFT verification level for this batch (see VerifyMode).  Lives
+  /// here rather than in MatvecOptions so flipping it never splits
+  /// plan-cache entries.
+  VerifyMode verify = VerifyMode::kOff;
 };
 
 struct MatvecOptions {
@@ -293,6 +322,14 @@ class FftMatvecPlan {
   /// Lazily-created second stream for pipelined applies when the
   /// caller does not supply one (BatchPipeline::aux == nullptr).
   std::optional<device::Stream> owned_aux_;
+
+  // ABFT verify workspaces (double-width regardless of the precision
+  // config — see blas::SbgemvVerify::acc_t): per (frequency block,
+  // RHS) checksum dots and magnitude estimates.  A single set
+  // suffices even when pipelined: launches execute synchronously at
+  // issue time, so stage 2 writes and consumes them within one call.
+  std::optional<device::device_vector<cdouble>> chk_;
+  std::optional<device::device_vector<double>> chk_scale_;
 };
 
 }  // namespace fftmv::core

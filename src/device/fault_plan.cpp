@@ -19,6 +19,7 @@ std::uint64_t mix64(std::uint64_t x) {
 constexpr std::uint64_t kSiteKernel = 0x6b65726e;  // "kern"
 constexpr std::uint64_t kSiteAlloc = 0x616c6c6f;   // "allo"
 constexpr std::uint64_t kSiteRank = 0x72616e6b;    // "rank"
+constexpr std::uint64_t kSiteBuffer = 0x62756666;  // "buff"
 
 double uniform01(std::uint64_t h) {
   // Top 53 bits -> [0, 1).
@@ -32,10 +33,16 @@ StreamFault::StreamFault(std::uint64_t launch_index)
                          std::to_string(launch_index)),
       launch_index_(launch_index) {}
 
+SilentCorruption::SilentCorruption(const std::string& site,
+                                   const std::string& detail)
+    : std::runtime_error("silent data corruption detected at " + site + ": " +
+                         detail),
+      site_(site) {}
+
 FaultPlan::FaultPlan(FaultPlanOptions options) : options_(options) {
   for (const double rate :
        {options_.kernel_fault_rate, options_.alloc_fault_rate,
-        options_.rank_fault_rate}) {
+        options_.rank_fault_rate, options_.buffer_fault_rate}) {
     if (rate < 0.0 || rate > 1.0) {
       throw std::invalid_argument(
           "FaultPlan: fault rates must be within [0, 1]");
@@ -58,6 +65,11 @@ void FaultPlan::fail_rank(index_t rank, std::uint64_t begin,
   if (rank < 0) throw std::invalid_argument("FaultPlan: rank must be >= 0");
   std::lock_guard lock(mutex_);
   rank_windows_.push_back({rank, begin, end});
+}
+
+void FaultPlan::fail_buffer_writes(std::uint64_t begin, std::uint64_t end) {
+  std::lock_guard lock(mutex_);
+  buffer_windows_.push_back({begin, end});
 }
 
 bool FaultPlan::in_window(const std::vector<Window>& windows,
@@ -113,6 +125,18 @@ index_t FaultPlan::on_group_sync(index_t ranks) {
   }
   if (down >= 0) ++stats_.rank_faults;
   return down;
+}
+
+std::optional<std::uint64_t> FaultPlan::on_buffer_write() {
+  std::lock_guard lock(mutex_);
+  const std::uint64_t i = stats_.buffer_writes++;
+  const bool fault = in_window(buffer_windows_, i) ||
+                     sampled(kSiteBuffer, i, options_.buffer_fault_rate);
+  if (!fault) return std::nullopt;
+  ++stats_.buffer_faults;
+  // The element draw is its own hash so the corrupted location is
+  // independent of the fault decision yet fully seed-determined.
+  return mix64(options_.seed ^ mix64(kSiteBuffer + 1) ^ mix64(i));
 }
 
 FaultStats FaultPlan::stats() const {

@@ -1,6 +1,6 @@
 // Deterministic fault injection for the simulated runtime.
 //
-// A FaultPlan attached to a Device perturbs three sites:
+// A FaultPlan attached to a Device perturbs four sites:
 //
 //   * kernel launches  — Stream::launch throws StreamFault *before*
 //     running numerics (the fault is detected at kernel completion in
@@ -11,7 +11,14 @@
 //     modelling plan-creation OOM;
 //   * rank-group syncs — DistributedMatvecPlan::apply_batch consults
 //     on_group_sync() at its entry collective and throws
-//     comm::RankFailure when a rank of the group is down.
+//     comm::RankFailure when a rank of the group is down;
+//   * buffer writes    — blas::sbgemv_grouped consults
+//     on_buffer_write() after its main launch and, when the hook
+//     fires, flips an exponent bit of one element of the output
+//     DeviceVector.  The kernel "succeeds" and the result is silently
+//     wrong — detectable only by ABFT verification (VerifyMode).  The
+//     corrupted element is itself a deterministic draw, so detection
+//     and recompute replay bit-identically.
 //
 // Faults come from two sources that compose: scripted windows over
 // each site's own monotonically increasing counter (exact, for tests)
@@ -29,7 +36,9 @@
 
 #include <cstdint>
 #include <mutex>
+#include <optional>
 #include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "util/types.hpp"
@@ -49,6 +58,20 @@ class StreamFault : public std::runtime_error {
   std::uint64_t launch_index_;
 };
 
+/// Thrown by an ABFT verification pass (GEMV column checksum, FFT
+/// Parseval invariant) when a computed result fails its invariant
+/// beyond the calibrated mixed-precision tolerance.  Retryable: the
+/// corruption model is transient (a buffer-write bit flip), so
+/// re-dispatching the same work yields bit-identical clean outputs.
+class SilentCorruption : public std::runtime_error {
+ public:
+  SilentCorruption(const std::string& site, const std::string& detail);
+  const std::string& site() const { return site_; }
+
+ private:
+  std::string site_;
+};
+
 struct FaultPlanOptions {
   std::uint64_t seed = 1;
   /// Per-launch probability of a transient kernel fault.
@@ -57,6 +80,9 @@ struct FaultPlanOptions {
   double alloc_fault_rate = 0.0;
   /// Per-group-sync probability that a rank of the group goes down.
   double rank_fault_rate = 0.0;
+  /// Per-verified-buffer-write probability of a silent bit flip in a
+  /// kernel's output buffer (the SDC injection site).
+  double buffer_fault_rate = 0.0;
   /// How many subsequent group syncs a sampled rank outage lasts
   /// before the rank heals (scripted outages carry their own window).
   std::uint64_t rank_outage_syncs = 4;
@@ -72,6 +98,8 @@ struct FaultStats {
   std::uint64_t alloc_faults = 0;
   std::uint64_t group_syncs = 0;
   std::uint64_t rank_faults = 0;
+  std::uint64_t buffer_writes = 0;
+  std::uint64_t buffer_faults = 0;
 };
 
 class FaultPlan {
@@ -86,6 +114,7 @@ class FaultPlan {
   /// Rank `rank` is down for group syncs [begin, end).  Windows whose
   /// rank is outside a group's size are ignored for that group.
   void fail_rank(index_t rank, std::uint64_t begin, std::uint64_t end);
+  void fail_buffer_writes(std::uint64_t begin, std::uint64_t end);
 
   /// Hook for Stream::launch; true = inject a StreamFault.  Each call
   /// consumes one kernel-launch index.
@@ -99,6 +128,13 @@ class FaultPlan {
   /// Each call consumes one group-sync index; a sampled outage keeps
   /// the same rank down for rank_outage_syncs subsequent calls.
   index_t on_group_sync(index_t ranks);
+
+  /// Hook for a kernel's output-buffer write-back.  Each call
+  /// consumes one buffer-write index.  Returns nullopt when the
+  /// buffer stays clean; on a fault, returns a deterministic 64-bit
+  /// draw the caller maps onto an element (and a bit) of the buffer,
+  /// so the corrupted location replays bit-identically.
+  std::optional<std::uint64_t> on_buffer_write();
 
   FaultStats stats() const;
 
@@ -122,6 +158,7 @@ class FaultPlan {
   std::vector<Window> kernel_windows_;
   std::vector<Window> alloc_windows_;
   std::vector<RankWindow> rank_windows_;
+  std::vector<Window> buffer_windows_;
   // Sampled-outage state: down_rank_ is down until group-sync counter
   // down_until_.
   index_t down_rank_ = -1;

@@ -13,8 +13,11 @@
 // (twiddle tables and geometry depend only on the length).
 #pragma once
 
+#include <cmath>
 #include <complex>
+#include <string>
 
+#include "device/fault_plan.hpp"
 #include "device/stream.hpp"
 #include "fft/real_engine.hpp"
 #include "util/math.hpp"
@@ -75,6 +78,69 @@ class BatchedRealFft {
     });
   }
 
+  /// ABFT energy check over a time/spectrum pair (Parseval's theorem
+  /// for the unnormalised forward transform): for each sequence b,
+  ///   sum_n time[n]^2  ==  (1/L) * (|X_0|^2 + |X_{L/2}|^2
+  ///                                 + 2 * sum_{0<k<L/2} |X_k|^2)
+  /// within `tolerance` relative to the energies' magnitude.  Holds
+  /// for both directions (the inverse normalises by 1/L, which makes
+  /// its output the forward preimage of its input), so one check
+  /// covers phase 2 and phase 4.  Energies accumulate in double; a
+  /// violation throws device::SilentCorruption tagged with `site`.
+  /// The pass is charged through the cost model like any kernel.
+  device::KernelTiming verify_parseval_on(device::Stream& stream,
+                                          const Real* time, index_t time_stride,
+                                          const C* spec, index_t spec_stride,
+                                          index_t batch_multiplier,
+                                          double tolerance,
+                                          const char* site) const {
+    struct Failure {
+      int count = 0;
+      index_t seq = -1;
+      double diff = 0.0;
+      double bound = 0.0;
+    };
+    Failure fail;
+    Failure* fail_ptr = &fail;
+    const index_t L = engine_.length();
+    const index_t half = L / 2;
+    const auto timing = stream.launch(
+        geometry(batch_multiplier), parseval_footprint(batch_multiplier),
+        [=, this](index_t bx, index_t, index_t) {
+          const Real* t = time + bx * time_stride;
+          const C* s = spec + bx * spec_stride;
+          double e_time = 0.0;
+          for (index_t n = 0; n < L; ++n) {
+            const double v = static_cast<double>(t[n]);
+            e_time += v * v;
+          }
+          double e_spec = std::norm(std::complex<double>(s[0]));
+          if (L % 2 == 0) e_spec += std::norm(std::complex<double>(s[half]));
+          for (index_t k = 1; k < (L + 1) / 2; ++k) {
+            e_spec += 2.0 * std::norm(std::complex<double>(s[k]));
+          }
+          e_spec /= static_cast<double>(L);
+          const double diff = std::abs(e_time - e_spec);
+          const double bound = tolerance * (e_time + e_spec);
+          if (diff > bound) {
+            if (fail_ptr->count++ == 0) {
+              fail_ptr->seq = bx;
+              fail_ptr->diff = diff;
+              fail_ptr->bound = bound;
+            }
+          }
+        });
+    if (!stream.device().phantom() && fail.count > 0) {
+      throw device::SilentCorruption(
+          site, "sequence " + std::to_string(fail.seq) +
+                    ": |energy(time) - energy(spectrum)| = " +
+                    std::to_string(fail.diff) + " exceeds bound " +
+                    std::to_string(fail.bound) + " (" +
+                    std::to_string(fail.count) + " failing sequence(s))");
+    }
+    return timing;
+  }
+
   device::LaunchGeometry geometry(index_t batch_multiplier = 1) const {
     return {.grid_x = effective_batch(batch_multiplier),
             .grid_y = 1,
@@ -98,6 +164,23 @@ class BatchedRealFft {
     fp.flops = static_cast<double>(effective_batch(batch_multiplier)) *
                engine_.flops_per_transform();
     fp.fp64_path = sizeof(Real) == 8;
+    fp.vector_load_bytes = 16;
+    fp.coalescing_efficiency = 0.9;
+    return fp;
+  }
+
+  /// Footprint of the Parseval pass: one read of the time and
+  /// spectrum working sets, a handful of flops per element.
+  device::KernelFootprint parseval_footprint(index_t batch_multiplier) const {
+    const double eb = static_cast<double>(effective_batch(batch_multiplier));
+    const double L = static_cast<double>(engine_.length());
+    const double bins = static_cast<double>(engine_.spectrum_size());
+    device::KernelFootprint fp;
+    fp.bytes_read = eb * (L * static_cast<double>(sizeof(Real)) +
+                          bins * static_cast<double>(sizeof(C)));
+    fp.bytes_written = 0.0;
+    fp.flops = eb * (2.0 * L + 4.0 * bins);
+    fp.fp64_path = true;
     fp.vector_load_bytes = 16;
     fp.coalescing_efficiency = 0.9;
     return fp;

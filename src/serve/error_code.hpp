@@ -24,6 +24,11 @@ enum class ErrorCode : unsigned char {
   /// Admitted, then displaced by the shed-best-effort overload policy
   /// to make room for deadline-bearing work.
   kShed,
+  /// ABFT verification detected silent data corruption and the
+  /// recompute budget could not produce a clean result.  Transient
+  /// corruption retries successfully, so a surfaced instance means
+  /// either persistent corruption or a miscalibrated tolerance.
+  kSilentCorruption,
   /// Unclassified dispatch failure (a bug, not an injected fault).
   kInternal,
 };
@@ -44,6 +49,8 @@ inline const char* error_code_name(ErrorCode code) {
       return "queue_full";
     case ErrorCode::kShed:
       return "shed";
+    case ErrorCode::kSilentCorruption:
+      return "silent_corruption";
     case ErrorCode::kInternal:
       return "internal";
   }

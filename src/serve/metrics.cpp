@@ -144,6 +144,21 @@ void ServeMetrics::record_degraded_batch() {
   ++counters_.degraded_batches;
 }
 
+void ServeMetrics::record_sdc_detection() {
+  std::lock_guard lock(mutex_);
+  ++counters_.sdc_detected;
+}
+
+void ServeMetrics::record_sdc_recompute() {
+  std::lock_guard lock(mutex_);
+  ++counters_.sdc_recomputes;
+}
+
+void ServeMetrics::record_sdc_false_positive() {
+  std::lock_guard lock(mutex_);
+  ++counters_.sdc_false_positives;
+}
+
 void ServeMetrics::record_batch(int size, double sim_seconds) {
   std::lock_guard lock(mutex_);
   ++counters_.batches;
@@ -303,11 +318,22 @@ util::Table MetricsSnapshot::error_table() const {
 
 util::Table MetricsSnapshot::resilience_table() const {
   util::Table t({"retries attempted", "retries succeeded", "shed", "rejected",
-                 "rank failures", "degraded batches"});
+                 "rank failures", "degraded batches", "sdc detected",
+                 "sdc recomputes", "sdc false positives", "injected faults"});
+  // Injected-vs-observed audit column: everything the device FaultPlan
+  // actually injected (kernel + alloc + rank + buffer), to hold
+  // against the serve-level detection/retry counters on its left.
+  const std::string injected =
+      have_fault_stats
+          ? std::to_string(fault_stats.kernel_faults + fault_stats.alloc_faults +
+                           fault_stats.rank_faults + fault_stats.buffer_faults)
+          : "n/a";
   t.add_row({std::to_string(retries_attempted),
              std::to_string(retries_succeeded), std::to_string(shed),
              std::to_string(rejected), std::to_string(rank_failures),
-             std::to_string(degraded_batches)});
+             std::to_string(degraded_batches), std::to_string(sdc_detected),
+             std::to_string(sdc_recomputes),
+             std::to_string(sdc_false_positives), injected});
   return t;
 }
 
@@ -332,7 +358,8 @@ void MetricsSnapshot::print(std::ostream& os) const {
     error_table().print(os);
   }
   if (retries_attempted > 0 || shed > 0 || rejected > 0 || rank_failures > 0 ||
-      degraded_batches > 0) {
+      degraded_batches > 0 || sdc_detected > 0 || sdc_false_positives > 0 ||
+      have_fault_stats) {
     os << '\n';
     resilience_table().print(os);
   }

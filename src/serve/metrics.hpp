@@ -16,6 +16,7 @@
 #include <mutex>
 #include <vector>
 
+#include "device/fault_plan.hpp"
 #include "serve/error_code.hpp"
 #include "util/table.hpp"
 
@@ -113,6 +114,23 @@ struct MetricsSnapshot {
   std::int64_t rank_failures = 0;
   /// Batches completed on the degraded single-rank fallback path.
   std::int64_t degraded_batches = 0;
+  /// ABFT verification failures observed on dispatch attempts (each
+  /// one triggered a re-dispatch through the retry machinery).
+  std::int64_t sdc_detected = 0;
+  /// Ranges that completed verified-clean after at least one SDC
+  /// detection — the corruption was transient and the recompute is
+  /// bit-identical to a never-corrupted run.
+  std::int64_t sdc_recomputes = 0;
+  /// Requests whose FINAL code is kSilentCorruption: verification
+  /// kept failing across the whole retry + quarantine budget.  Under
+  /// the transient-corruption injection model this marks a
+  /// miscalibrated tolerance, hence "false positive".
+  std::int64_t sdc_false_positives = 0;
+  /// Device-side injection audit (scheduler fills these from the
+  /// attached device::FaultPlan at snapshot time): pairs what was
+  /// INJECTED against the serve-level outcomes above.
+  bool have_fault_stats = false;
+  device::FaultStats fault_stats;
 
   double cache_hit_rate() const {
     const std::int64_t n = cache_hits + cache_misses;
@@ -182,6 +200,12 @@ class ServeMetrics {
   void record_rank_failure();
   /// One batch completed on the degraded single-rank fallback.
   void record_degraded_batch();
+  /// One ABFT verification failure on a dispatch attempt.
+  void record_sdc_detection();
+  /// One range that completed clean after an SDC detection.
+  void record_sdc_recompute();
+  /// One request surfaced with kSilentCorruption (budget exhausted).
+  void record_sdc_false_positive();
   void record_batch(int size, double sim_seconds);
   void record_cache(std::int64_t hits, std::int64_t misses, std::int64_t evictions);
   /// Per-lane utilisation sample, taken by the OWNING lane thread at

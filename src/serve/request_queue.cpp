@@ -56,6 +56,9 @@ std::optional<PendingRequest> RequestQueue::shed_newest_best_effort() {
   for (auto it = queues_.begin(); it != queues_.end(); ++it) {
     for (auto rit = it->second.q.begin(); rit != it->second.q.end(); ++rit) {
       if (rit->has_deadline()) continue;
+      // Dispatched-and-retrying work keeps its admission: displacing
+      // it would discard device time already spent on the request.
+      if (rit->retrying) continue;
       if (victim_key == queues_.end() || rit->seq > victim->seq) {
         victim_key = it;
         victim = rit;

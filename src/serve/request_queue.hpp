@@ -187,6 +187,13 @@ struct PendingRequest {
   /// util::trace async-span id pairing the submit-side queue_wait
   /// begin with its end at dispatch; 0 = tracing was off at submit.
   std::uint64_t trace_id = 0;
+  /// True for work that was already dispatched once and is riding the
+  /// queue again for a retry (e.g. a quarantined solo re-dispatch).
+  /// The shed-best-effort overload policy never displaces such a
+  /// request: shedding work that already consumed device time trades
+  /// sunk cost for churn, and a retried request must not lose its
+  /// admission to a newer best-effort arrival.
+  bool retrying = false;
 
   bool has_deadline() const {
     return deadline != std::chrono::steady_clock::time_point::max();
@@ -284,9 +291,10 @@ class RequestQueue {
   std::chrono::steady_clock::time_point release_time(const KeyQueue& kq) const;
 
   /// Remove the newest pending best-effort request (largest arrival
-  /// seq with no deadline) to make room, maintaining the key
-  /// activation bookkeeping.  Assumes the queue mutex is held;
-  /// nullopt when every pending request carries a deadline.
+  /// seq with no deadline, skipping dispatched-and-retrying work) to
+  /// make room, maintaining the key activation bookkeeping.  Assumes
+  /// the queue mutex is held; nullopt when every pending request
+  /// carries a deadline or is retrying.
   std::optional<PendingRequest> shed_newest_best_effort();
 
   int max_batch_;

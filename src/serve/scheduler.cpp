@@ -7,6 +7,7 @@
 #include <thread>
 
 #include "comm/fault.hpp"
+#include "device/fault_plan.hpp"
 #include "util/thread_pool.hpp"
 #include "util/trace.hpp"
 
@@ -84,13 +85,19 @@ ErrorCode classify_failure(std::exception_ptr error) {
     return ErrorCode::kOutOfMemory;
   } catch (const comm::RankFailure&) {
     return ErrorCode::kRankFailure;
+  } catch (const device::SilentCorruption&) {
+    // Ordered before the catch-all: SilentCorruption derives from
+    // std::runtime_error, so a later handler would swallow it.
+    return ErrorCode::kSilentCorruption;
   } catch (...) {
     return ErrorCode::kInternal;
   }
 }
 
 bool retryable(ErrorCode code) {
-  return code == ErrorCode::kTransientDevice || code == ErrorCode::kOutOfMemory;
+  return code == ErrorCode::kTransientDevice ||
+         code == ErrorCode::kOutOfMemory ||
+         code == ErrorCode::kSilentCorruption;
 }
 
 /// Shared fixture for the adaptive-policy probes: a phantom device
@@ -310,10 +317,22 @@ TenantId AsyncScheduler::add_tenant(const core::ProblemDims& dims,
           dev_, setup_stream_, dims, static_cast<index_t>(rank_group),
           first_block_col);
       sharded->warm_spectrum_f(setup_stream_);
+      if (options_.verify_mode != core::VerifyMode::kOff) {
+        sharded->warm_checksums(setup_stream_);
+      }
     } else {
       op = std::make_shared<core::BlockToeplitzOperator>(dev_, setup_stream_,
                                                          local, first_block_col);
       op->spectrum_f(setup_stream_);
+      if (options_.verify_mode != core::VerifyMode::kOff) {
+        // Warm the ABFT checksum vectors too — both directions, both
+        // precisions — so the lazily-built copies are never raced (and
+        // never billed, or fault-injected) on the request path.
+        op->checksum_d(setup_stream_, /*adjoint=*/false);
+        op->checksum_d(setup_stream_, /*adjoint=*/true);
+        op->checksum_f(setup_stream_, /*adjoint=*/false);
+        op->checksum_f(setup_stream_, /*adjoint=*/true);
+      }
     }
   }
   // Pre-warm the shape's full-batch forward-ddddd pipeline resolution
@@ -800,7 +819,7 @@ void AsyncScheduler::execute_batch(int lane, Batch& batch) {
         lane_state.dist->apply_batch(*sharded, batch.key.direction, config,
                                      inputs, outputs, rank_lanes,
                                      core::CommMode::kBatched,
-                                     resolved_chunks);
+                                     resolved_chunks, options_.verify_mode);
         metrics_.record_comm(lane, lane_state.dist->last_timings().comm);
         if (was_degraded) {
           // The group answered a full sharded dispatch again: healed.
@@ -855,7 +874,8 @@ void AsyncScheduler::execute_batch(int lane, Batch& batch) {
         }
         lane_state.dist->apply_batch_degraded(*sharded, batch.key.direction,
                                               config, inputs, outputs,
-                                              fb_lanes, resolved_chunks);
+                                              fb_lanes, resolved_chunks,
+                                              options_.verify_mode);
         metrics_.record_degraded_batch();
         if (trace_on) {
           util::trace::instant(
@@ -895,6 +915,7 @@ void AsyncScheduler::execute_batch(int lane, Batch& batch) {
       core::BatchPipeline pipeline;
       pipeline.chunks = resolved_chunks;
       pipeline.aux = &aux;
+      pipeline.verify = options_.verify_mode;
       plan->apply_batch(groups, batch.key.direction, config, inputs, outputs,
                         pipeline);
       const auto& rhs_shares = plan->last_batch_timings();
@@ -927,12 +948,35 @@ void AsyncScheduler::execute_batch(int lane, Batch& batch) {
   // up to max_retries times with backoff.  Returns kOk or the final
   // failure's class; `retries` accumulates re-dispatches consumed.
   const auto run_range = [&](std::size_t lo, std::size_t hi, int& retries) {
+    bool sdc_seen = false;
     for (int attempt = 0;; ++attempt) {
       try {
         run_attempt(lo, hi);
+        if (sdc_seen) {
+          // The re-dispatch produced a verified-clean result: the
+          // corruption was transient and the recompute is
+          // bit-identical to a never-corrupted run.
+          metrics_.record_sdc_recompute();
+          if (trace_on) {
+            util::trace::instant("sdc_recompute", "serve",
+                                 {{"lane", lane},
+                                  {"batch_seq", batch_seq},
+                                  {"attempt", attempt}});
+          }
+        }
         return ErrorCode::kOk;
       } catch (...) {
         const ErrorCode code = classify_failure(std::current_exception());
+        if (code == ErrorCode::kSilentCorruption) {
+          sdc_seen = true;
+          metrics_.record_sdc_detection();
+          if (trace_on) {
+            util::trace::instant("sdc_detected", "serve",
+                                 {{"lane", lane},
+                                  {"batch_seq", batch_seq},
+                                  {"attempt", attempt}});
+          }
+        }
         if (trace_on) {
           util::trace::instant("fault", "serve",
                                {{"code", error_code_name(code)},
@@ -993,6 +1037,12 @@ void AsyncScheduler::execute_batch(int lane, Batch& batch) {
     auto& req = batch.requests[r];
     const double queue_s = seconds_between(req.enqueued, exec_start);
     const bool failed = codes[r] != ErrorCode::kOk;
+    if (codes[r] == ErrorCode::kSilentCorruption) {
+      // Every retry and the solo quarantine re-dispatch still tripped
+      // verification: under the transient-corruption model this marks
+      // a miscalibrated tolerance, counted as a false positive.
+      metrics_.record_sdc_false_positive();
+    }
     // Fulfilled-late test against the wall clock at fulfillment; a
     // failed request with a deadline also counts as a miss (it was
     // certainly not served on time).
@@ -1113,7 +1163,15 @@ MetricsSnapshot AsyncScheduler::metrics() const {
   // Refresh cache counters even before the first batch executes.
   const auto cache_stats = cache_.stats();
   metrics_.record_cache(cache_stats.hits, cache_stats.misses, cache_stats.evictions);
-  return metrics_.snapshot();
+  MetricsSnapshot snap = metrics_.snapshot();
+  // Injected-vs-observed audit: surface the device FaultPlan's own
+  // counters next to the serve-level outcomes (resilience_table pairs
+  // them up).
+  if (const device::FaultPlan* plan = dev_.fault_plan()) {
+    snap.have_fault_stats = true;
+    snap.fault_stats = plan->stats();
+  }
+  return snap;
 }
 
 double AsyncScheduler::max_lane_sim_seconds() const {

@@ -54,20 +54,23 @@
 //   kShutdown for a submit after shutdown() — both submit overloads
 //   and StreamSession::submit on a live handle — kQueueFull/kShed
 //   from bounded admission (max_queue_depth + overload_policy), and
-//   kTransientDevice / kOutOfMemory / kRankFailure / kInternal when a
-//   dispatch failure survives the retry budget.
+//   kTransientDevice / kOutOfMemory / kRankFailure / kSilentCorruption
+//   / kInternal when a dispatch failure survives the retry budget.
 //
 //   RETRIES SILENTLY (observable only through MatvecResult::retries,
 //   ServeMetrics retry counters and trace instants): transient
-//   stream/kernel faults and plan-creation DeviceOutOfMemory
-//   re-dispatch up to ServeOptions::max_retries times with doubling
-//   backoff clamped to the batch's tightest deadline slack; a batch
-//   that keeps failing is broken up and each request re-dispatched
-//   solo, so one poisoned request cannot fail its batch companions;
-//   and a sharded tenant whose rank group loses a rank falls back to
-//   a bit-identical single-rank dispatch (slower: no rank
-//   parallelism), the tenant marked degraded until a later sharded
-//   dispatch succeeds.
+//   stream/kernel faults, plan-creation DeviceOutOfMemory and
+//   ABFT-detected silent corruption (ServeOptions::verify_mode —
+//   detections re-dispatch exactly like transient faults, and a clean
+//   recompute is bit-identical to a never-corrupted run) re-dispatch
+//   up to ServeOptions::max_retries times with doubling backoff
+//   clamped to the batch's tightest deadline slack; a batch that
+//   keeps failing is broken up and each request re-dispatched solo,
+//   so one poisoned request cannot fail its batch companions; and a
+//   sharded tenant whose rank group loses a rank falls back to a
+//   bit-identical single-rank dispatch (slower: no rank parallelism),
+//   the tenant marked degraded until a later sharded dispatch
+//   succeeds.
 #pragma once
 
 #include <future>
@@ -170,6 +173,14 @@ struct ServeOptions {
   /// retry_backoff_seconds * 2^(k-1), clamped so the wait never
   /// exceeds the tightest remaining deadline slack in the batch.
   double retry_backoff_seconds = 50e-6;
+  /// ABFT verification level for every dispatched batch
+  /// (core::VerifyMode): kChecksum arms the grouped-GEMV column
+  /// checksums, kParanoid adds the per-chunk FFT Parseval checks.  A
+  /// detection re-dispatches through the retry machinery above and
+  /// surfaces kSilentCorruption only when the recompute budget is
+  /// exhausted.  Not part of PlanKey — cached plans are shared across
+  /// verify modes.
+  core::VerifyMode verify_mode = core::VerifyMode::kOff;
   /// Matvec execution options shared by all tenants.
   core::MatvecOptions matvec;
 };

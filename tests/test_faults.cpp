@@ -1,21 +1,28 @@
 // Fault-tolerance tests: deterministic fault injection (FaultPlan
 // scripted windows + seeded sampling), device-level fault surfacing
-// (StreamFault, injected DeviceOutOfMemory, RankFailure), serve-layer
-// retry with bit-identical re-dispatch, per-request quarantine after
-// a poisoned batch, sharded-group degradation and healing, bounded
-// admission with load shedding, and the unified submit-after-shutdown
-// contract.  Labelled `faults` in ctest.
+// (StreamFault, injected DeviceOutOfMemory, RankFailure), silent-data-
+// corruption injection with ABFT checksum/Parseval detection and
+// bit-identical recompute, serve-layer retry with bit-identical
+// re-dispatch, per-request quarantine after a poisoned batch,
+// sharded-group degradation and healing, bounded admission with load
+// shedding, and the unified submit-after-shutdown contract.  Labelled
+// `faults` in ctest.
 #include <gtest/gtest.h>
 
 #include <chrono>
 #include <future>
+#include <optional>
 #include <set>
 #include <vector>
 
 #include "comm/fault.hpp"
+#include "core/block_toeplitz.hpp"
+#include "core/matvec_plan.hpp"
 #include "core/synthetic.hpp"
 #include "device/device_spec.hpp"
 #include "device/fault_plan.hpp"
+#include "fft/plan.hpp"
+#include "precision/precision.hpp"
 #include "serve/request_queue.hpp"
 #include "serve/scheduler.hpp"
 
@@ -163,6 +170,76 @@ TEST(FaultPlan, RejectsInvalidRates) {
   EXPECT_THROW(FaultPlan{opts}, std::invalid_argument);
 }
 
+// --------------------------------------------- window/sampling composition
+TEST(FaultPlan, OverlappingWindowsFaultOncePerUnionIndex) {
+  FaultPlan plan;
+  plan.fail_kernel_launches(2, 5);
+  plan.fail_kernel_launches(4, 7);  // overlaps [4, 5) with the first
+  std::vector<bool> fired;
+  for (int i = 0; i < 8; ++i) fired.push_back(plan.on_kernel_launch());
+  EXPECT_EQ(fired, (std::vector<bool>{false, false, true, true, true, true,
+                                      true, false}));
+  // Index 4 is covered by BOTH windows but faults (and counts) once.
+  EXPECT_EQ(plan.stats().kernel_launches, 8u);
+  EXPECT_EQ(plan.stats().kernel_faults, 5u);
+}
+
+TEST(FaultPlan, WindowAndCertainSamplingComposeWithoutDoubleCount) {
+  FaultPlanOptions opts;
+  opts.kernel_fault_rate = 1.0;  // every index also samples a fault
+  FaultPlan plan(opts);
+  plan.fail_kernel_launches(0, 4);  // window and sampling agree on [0, 4)
+  for (int i = 0; i < 8; ++i) EXPECT_TRUE(plan.on_kernel_launch());
+  EXPECT_EQ(plan.stats().kernel_launches, 8u);
+  EXPECT_EQ(plan.stats().kernel_faults, 8u);  // one fault per index, not two
+}
+
+// ----------------------------------------------- fourth site: buffer writes
+TEST(FaultPlan, BufferWindowFiresAtExactIndicesWithReplayableDraws) {
+  FaultPlan a, b;
+  a.fail_buffer_writes(1, 3);
+  b.fail_buffer_writes(1, 3);
+  std::vector<std::optional<std::uint64_t>> da, db;
+  for (int i = 0; i < 5; ++i) {
+    da.push_back(a.on_buffer_write());
+    db.push_back(b.on_buffer_write());
+  }
+  EXPECT_FALSE(da[0].has_value());
+  EXPECT_TRUE(da[1].has_value());
+  EXPECT_TRUE(da[2].has_value());
+  EXPECT_FALSE(da[3].has_value());
+  EXPECT_FALSE(da[4].has_value());
+  // The element draw is part of the schedule: an identical plan
+  // replays not just WHERE faults fire but WHICH location they hit.
+  EXPECT_EQ(da, db);
+  // Distinct indices draw distinct corruption locations.
+  EXPECT_NE(*da[1], *da[2]);
+  const auto stats = a.stats();
+  EXPECT_EQ(stats.buffer_writes, 5u);
+  EXPECT_EQ(stats.buffer_faults, 2u);
+}
+
+TEST(FaultPlan, SampledBufferFaultsReplayBitIdenticallyBySeed) {
+  FaultPlanOptions opts;
+  opts.seed = 42;
+  opts.buffer_fault_rate = 0.25;
+  FaultPlan a(opts), b(opts);
+  std::vector<std::optional<std::uint64_t>> pa, pb;
+  for (int i = 0; i < 256; ++i) {
+    pa.push_back(a.on_buffer_write());
+    pb.push_back(b.on_buffer_write());
+  }
+  EXPECT_EQ(pa, pb);  // same seed -> same schedule AND same draws
+  EXPECT_GT(a.stats().buffer_faults, 0u);
+  EXPECT_LT(a.stats().buffer_faults, 256u);
+
+  opts.seed = 43;
+  FaultPlan c(opts);
+  std::vector<std::optional<std::uint64_t>> pc;
+  for (int i = 0; i < 256; ++i) pc.push_back(c.on_buffer_write());
+  EXPECT_NE(pa, pc);  // different seed -> different schedule
+}
+
 // ------------------------------------------------- device fault surfacing
 TEST(DeviceFaults, StreamLaunchThrowsThenRecoversBitIdentically) {
   device::Device dev(device::make_mi300x());
@@ -207,6 +284,165 @@ TEST(DeviceFaults, InjectedAllocFaultThrowsDeviceOutOfMemory) {
   EXPECT_EQ(faults->stats().alloc_faults, 1u);
   // The window passed: construction now succeeds.
   EXPECT_NO_THROW(core::BlockToeplitzOperator(dev, stream, local, col));
+}
+
+TEST(DeviceFaults, ZeroRatePlanIsExactNoOpWithAdvancingCounters) {
+  // Two fresh device/stream pairs run the identical sequence; the
+  // second carries a zero-rate, windowless FaultPlan from the start.
+  // The plan must be invisible: outputs AND the stream clock
+  // bit-identical (the hooks charge no modelled time), with only the
+  // plan's counters showing it was consulted.
+  const auto local = core::LocalDims::single_rank({16, 2, 8});
+  const auto col = core::make_first_block_col(local, 5);
+  const auto input = core::make_input_vector(local.n_t() * local.n_m_local, 6);
+  const std::vector<core::ConstVectorView> ins{core::ConstVectorView(input)};
+  auto faults = std::make_shared<FaultPlan>();
+
+  const auto run = [&](const std::shared_ptr<FaultPlan>& plan_or_null,
+                       std::vector<double>& out) {
+    device::Device dev(device::make_mi300x());
+    if (plan_or_null) dev.set_fault_plan(plan_or_null);
+    device::Stream stream(dev);
+    core::BlockToeplitzOperator op(dev, stream, local, col);
+    core::FftMatvecPlan plan(dev, stream, local);
+    const std::vector<core::VectorView> outs{core::VectorView(out)};
+    plan.apply_batch(op, core::ApplyDirection::kForward, {}, ins, outs);
+    return stream.now();
+  };
+  std::vector<double> clean(static_cast<std::size_t>(local.n_t() * local.n_d_local));
+  std::vector<double> out(clean.size());
+  const double clock_clean = run(nullptr, clean);
+  const double clock_plan = run(faults, out);
+  EXPECT_EQ(out, clean);
+  EXPECT_EQ(clock_plan, clock_clean);  // exact, not approximate
+  const auto stats = faults->stats();
+  EXPECT_GT(stats.kernel_launches, 0u);
+  EXPECT_GT(stats.allocs, 0u);
+  EXPECT_GT(stats.buffer_writes, 0u);
+  EXPECT_EQ(stats.kernel_faults, 0u);
+  EXPECT_EQ(stats.alloc_faults, 0u);
+  EXPECT_EQ(stats.buffer_faults, 0u);
+}
+
+// ------------------------------------------------- ABFT detection (core)
+TEST(AbftChecksum, DetectsInjectedCorruptionThenRecomputesBitIdentically) {
+  device::Device dev(device::make_mi300x());
+  device::Stream stream(dev);
+  const auto local = core::LocalDims::single_rank(small_dims());
+  const auto col = core::make_first_block_col(local, 7);
+  core::BlockToeplitzOperator op(dev, stream, local, col);
+  core::FftMatvecPlan plan(dev, stream, local);
+  const auto input = core::make_input_vector(local.n_t() * local.n_m_local, 8);
+  const std::vector<core::ConstVectorView> ins{core::ConstVectorView(input)};
+  std::vector<double> clean(static_cast<std::size_t>(local.n_t() * local.n_d_local));
+  const std::vector<core::VectorView> clean_outs{core::VectorView(clean)};
+  core::BatchPipeline verify;
+  verify.verify = core::VerifyMode::kChecksum;
+  // Clean run WITH verification: no false positive, and the checksum
+  // pass leaves the result untouched.
+  plan.apply_batch(op, core::ApplyDirection::kForward, {}, ins, clean_outs,
+                   verify);
+
+  auto faults = std::make_shared<FaultPlan>();
+  faults->fail_buffer_writes(0, 1);
+  dev.set_fault_plan(faults);
+  std::vector<double> out(clean.size());
+  const std::vector<core::VectorView> outs{core::VectorView(out)};
+  EXPECT_THROW(plan.apply_batch(op, core::ApplyDirection::kForward, {}, ins,
+                                outs, verify),
+               device::SilentCorruption);
+  EXPECT_EQ(faults->stats().buffer_faults, 1u);
+  // The window passed: the recompute is clean and bit-identical.
+  plan.apply_batch(op, core::ApplyDirection::kForward, {}, ins, outs, verify);
+  EXPECT_EQ(out, clean);
+}
+
+TEST(AbftChecksum, VerifyOffLeavesInjectedCorruptionSilent) {
+  device::Device dev(device::make_mi300x());
+  device::Stream stream(dev);
+  const auto local = core::LocalDims::single_rank(small_dims());
+  const auto col = core::make_first_block_col(local, 7);
+  core::BlockToeplitzOperator op(dev, stream, local, col);
+  core::FftMatvecPlan plan(dev, stream, local);
+  const auto input = core::make_input_vector(local.n_t() * local.n_m_local, 8);
+  const std::vector<core::ConstVectorView> ins{core::ConstVectorView(input)};
+  std::vector<double> clean(static_cast<std::size_t>(local.n_t() * local.n_d_local));
+  const std::vector<core::VectorView> clean_outs{core::VectorView(clean)};
+  plan.apply_batch(op, core::ApplyDirection::kForward, {}, ins, clean_outs);
+
+  auto faults = std::make_shared<FaultPlan>();
+  faults->fail_buffer_writes(0, 1);
+  dev.set_fault_plan(faults);
+  std::vector<double> out(clean.size());
+  const std::vector<core::VectorView> outs{core::VectorView(out)};
+  // This is the hazard the tentpole defends against: the apply
+  // "succeeds" and the caller gets a wrong answer with no signal.
+  EXPECT_NO_THROW(
+      plan.apply_batch(op, core::ApplyDirection::kForward, {}, ins, outs));
+  EXPECT_EQ(faults->stats().buffer_faults, 1u);
+  EXPECT_NE(out, clean);
+}
+
+// Property test over the full precision lattice: paranoid verification
+// (GEMV checksums + per-chunk Parseval checks) must never trip on
+// legitimate mixed-precision rounding, and must never perturb the
+// result, for all 32 configs in both directions.
+TEST(AbftChecksum, ParanoidZeroFalsePositivesAcrossAllPrecisionConfigs) {
+  device::Device dev(device::make_mi300x());
+  device::Stream stream(dev);
+  const auto local = core::LocalDims::single_rank(small_dims());
+  const auto col = core::make_first_block_col(local, 777);
+  core::BlockToeplitzOperator op(dev, stream, local, col);
+  core::FftMatvecPlan plan(dev, stream, local);
+  const auto fwd_in = core::make_input_vector(local.n_t() * local.n_m_local, 778);
+  const auto adj_in = core::make_input_vector(local.n_t() * local.n_d_local, 779);
+  core::BatchPipeline paranoid;
+  paranoid.verify = core::VerifyMode::kParanoid;
+  for (const auto& config : precision::PrecisionConfig::all_configs()) {
+    for (const auto direction :
+         {core::ApplyDirection::kForward, core::ApplyDirection::kAdjoint}) {
+      const bool forward = direction == core::ApplyDirection::kForward;
+      const auto& in = forward ? fwd_in : adj_in;
+      const auto out_len = static_cast<std::size_t>(
+          local.n_t() * (forward ? local.n_d_local : local.n_m_local));
+      const std::vector<core::ConstVectorView> ins{core::ConstVectorView(in)};
+      std::vector<double> ref(out_len), checked(out_len);
+      const std::vector<core::VectorView> ref_outs{core::VectorView(ref)};
+      const std::vector<core::VectorView> chk_outs{core::VectorView(checked)};
+      plan.apply_batch(op, direction, config, ins, ref_outs);
+      ASSERT_NO_THROW(
+          plan.apply_batch(op, direction, config, ins, chk_outs, paranoid))
+          << config.to_string() << (forward ? " forward" : " adjoint");
+      EXPECT_EQ(checked, ref)
+          << config.to_string() << (forward ? " forward" : " adjoint");
+    }
+  }
+}
+
+TEST(AbftParseval, EnergyInvariantCatchesSpectrumCorruption) {
+  device::Device dev(device::make_mi300x());
+  device::Stream stream(dev);
+  const index_t length = 16;
+  const index_t batch = 2;
+  fft::BatchedRealFft<double> fft(length, batch);
+  const auto time = core::make_input_vector(length * batch, 81);
+  std::vector<std::complex<double>> spec(
+      static_cast<std::size_t>(batch * fft.spectrum_size()));
+  fft.forward(time.data(), length, spec.data(), fft.spectrum_size());
+  const double tol = 1e-10;  // far above double rounding, far below a flip
+  EXPECT_NO_THROW(fft.verify_parseval_on(stream, time.data(), length,
+                                         spec.data(), fft.spectrum_size(),
+                                         /*batch_multiplier=*/1, tol, "unit"));
+  // Corrupt one bin of the SECOND sequence: the per-sequence energy
+  // balance breaks and the pass must name the site it guards.
+  spec[static_cast<std::size_t>(fft.spectrum_size()) + 3] *= 2.0;
+  try {
+    fft.verify_parseval_on(stream, time.data(), length, spec.data(),
+                           fft.spectrum_size(), 1, tol, "unit");
+    FAIL() << "corrupted spectrum passed the Parseval check";
+  } catch (const device::SilentCorruption& e) {
+    EXPECT_EQ(e.site(), "unit");
+  }
 }
 
 // -------------------------------------------------- serve retry + quarantine
@@ -302,6 +538,107 @@ TEST(ServeFaults, QuarantineIsolatesPoisonedRequest) {
   EXPECT_EQ(snap.failed, 1);
   EXPECT_EQ(snap.errors.at(ErrorCode::kTransientDevice), 1);
   EXPECT_EQ(snap.retries_succeeded, 3);
+}
+
+// ------------------------------------------- serve detect-and-recompute
+TEST(ServeFaults, ChecksumDetectsCorruptionAndRecomputesTransparently) {
+  ServeOptions opts;
+  opts.num_streams = 1;
+  opts.max_batch = 4;
+  opts.linger_seconds = 0.05;
+  opts.max_retries = 2;
+  opts.retry_backoff_seconds = 1e-6;
+  opts.verify_mode = core::VerifyMode::kChecksum;
+  std::vector<std::vector<double>> inputs;
+  for (int r = 0; r < 4; ++r) {
+    inputs.push_back(
+        core::make_input_vector(small_dims().n_t * small_dims().n_m, 500 + r));
+  }
+  const auto col =
+      core::make_first_block_col(core::LocalDims::single_rank(small_dims()), 31);
+  const auto clean = clean_outputs(opts, small_dims(), col, 1, inputs);
+
+  AsyncScheduler sched(device::make_mi300x(), opts);
+  const TenantId t = sched.add_tenant(small_dims(), col);
+  sched.submit(t, core::ApplyDirection::kForward, precision::PrecisionConfig{},
+               inputs[0])
+      .get();  // warm the plan cache and chunk resolution
+  // The first grouped-GEMV write-back of the next batch is corrupted;
+  // the checksum trips, the batch recomputes past the window, and the
+  // caller sees nothing but a clean (bit-identical) result.
+  auto faults = std::make_shared<FaultPlan>();
+  faults->fail_buffer_writes(0, 1);
+  sched.device().set_fault_plan(faults);
+
+  std::vector<std::future<MatvecResult>> futures;
+  for (const auto& in : inputs) {
+    futures.push_back(sched.submit(t, core::ApplyDirection::kForward,
+                                   precision::PrecisionConfig{}, in));
+  }
+  for (std::size_t r = 0; r < futures.size(); ++r) {
+    const auto res = futures[r].get();
+    ASSERT_TRUE(res.ok()) << error_code_name(res.error);
+    EXPECT_GE(res.retries, 1);
+    EXPECT_EQ(res.output, clean[r]);
+  }
+  sched.drain();
+  const auto snap = sched.metrics();
+  EXPECT_EQ(snap.failed, 0);
+  EXPECT_GE(snap.sdc_detected, 1);
+  EXPECT_GE(snap.sdc_recomputes, 1);
+  EXPECT_EQ(snap.sdc_false_positives, 0);
+  ASSERT_TRUE(snap.have_fault_stats);
+  EXPECT_EQ(snap.fault_stats.buffer_faults, 1u);
+}
+
+TEST(ServeFaults, PersistentCorruptionSurfacesAfterRetryBudget) {
+  ServeOptions opts;
+  opts.num_streams = 1;
+  opts.max_batch = 4;
+  opts.linger_seconds = 0.05;
+  opts.max_retries = 0;  // no batch retry budget: straight to quarantine
+  opts.retry_backoff_seconds = 1e-6;
+  opts.verify_mode = core::VerifyMode::kChecksum;
+  std::vector<std::vector<double>> inputs;
+  for (int r = 0; r < 4; ++r) {
+    inputs.push_back(
+        core::make_input_vector(small_dims().n_t * small_dims().n_m, 600 + r));
+  }
+  const auto col =
+      core::make_first_block_col(core::LocalDims::single_rank(small_dims()), 37);
+  AsyncScheduler sched(device::make_mi300x(), opts);
+  const TenantId t = sched.add_tenant(small_dims(), col);
+  sched.submit(t, core::ApplyDirection::kForward, precision::PrecisionConfig{},
+               inputs[0])
+      .get();
+  // EVERY write-back is corrupted: the fused batch detects, the solo
+  // quarantine re-dispatches detect again, and the failure must
+  // surface as kSilentCorruption — never as a silently wrong result.
+  auto faults = std::make_shared<FaultPlan>();
+  faults->fail_buffer_writes(0, 1u << 20);
+  sched.device().set_fault_plan(faults);
+
+  std::vector<std::future<MatvecResult>> futures;
+  for (const auto& in : inputs) {
+    futures.push_back(sched.submit(t, core::ApplyDirection::kForward,
+                                   precision::PrecisionConfig{}, in));
+  }
+  for (auto& f : futures) {
+    const auto res = f.get();
+    EXPECT_EQ(res.error, ErrorCode::kSilentCorruption);
+    EXPECT_GE(res.retries, 1);
+  }
+  sched.drain();
+  const auto snap = sched.metrics();
+  EXPECT_EQ(snap.failed, 4);
+  EXPECT_EQ(snap.errors.at(ErrorCode::kSilentCorruption), 4);
+  // Fused attempt + four solo re-dispatches, each detected.
+  EXPECT_GE(snap.sdc_detected, 5);
+  EXPECT_EQ(snap.sdc_recomputes, 0);
+  // A detection that survives every recompute is accounted as a
+  // suspected false positive (the transient-corruption model says a
+  // real flip cannot persist across re-dispatches).
+  EXPECT_EQ(snap.sdc_false_positives, 4);
 }
 
 // ------------------------------------------------- sharded degradation
@@ -510,6 +847,32 @@ TEST(BoundedAdmission, ShedBestEffortDisplacesNewestForDeadlines) {
   EXPECT_EQ(q.pending(), 2u);
 }
 
+TEST(BoundedAdmission, ShedSkipsDispatchedAndRetryingWork) {
+  RequestQueue q(8, 10.0, 0, true, /*max_queue_depth=*/2,
+                 OverloadPolicy::kShedBestEffort);
+  const BatchKey key = batch_key(small_dims());
+  ASSERT_TRUE(q.push(key, make_request(1)).accepted());  // best effort, oldest
+  // The NEWEST pending request is best-effort but already cost device
+  // time: it was dispatched once and is riding the queue again for a
+  // quarantined solo retry.  Shedding it would discard that work.
+  PendingRequest retry = make_request(2);
+  retry.retrying = true;
+  ASSERT_TRUE(q.push(key, std::move(retry)).accepted());
+  // The deadlined arrival skips the retrying request and displaces
+  // the OLDER plain best-effort one instead.
+  auto out = q.push(key, deadline_request(10.0, 3));
+  EXPECT_TRUE(out.accepted());
+  ASSERT_TRUE(out.shed.has_value());
+  EXPECT_EQ(out.shed->tenant, 1u);
+  EXPECT_FALSE(out.shed->retrying);
+  // Everything left is deadlined or retrying: nothing sheddable.
+  out = q.push(key, deadline_request(10.0, 4));
+  EXPECT_EQ(out.status, RequestQueue::PushOutcome::Status::kFull);
+  ASSERT_TRUE(out.returned.has_value());
+  EXPECT_EQ(out.returned->tenant, 4u);
+  EXPECT_EQ(q.pending(), 2u);
+}
+
 TEST(BoundedAdmission, SchedulerShedsAndRejectsWithAccounting) {
   ServeOptions opts;
   opts.num_streams = 1;
@@ -575,7 +938,8 @@ TEST(ErrorCodes, NamesAreDistinct) {
   const ErrorCode all[] = {ErrorCode::kOk,          ErrorCode::kTransientDevice,
                            ErrorCode::kOutOfMemory, ErrorCode::kRankFailure,
                            ErrorCode::kShutdown,    ErrorCode::kQueueFull,
-                           ErrorCode::kShed,        ErrorCode::kInternal};
+                           ErrorCode::kShed,        ErrorCode::kSilentCorruption,
+                           ErrorCode::kInternal};
   std::set<std::string> names;
   for (const ErrorCode c : all) names.insert(error_code_name(c));
   EXPECT_EQ(names.size(), std::size(all));
